@@ -1,0 +1,44 @@
+// Ablation A — routing-resource pressure.
+//
+// Sweeps the share of routing tracks available to the clock network. The
+// congestion model is what keeps "route everything at maximum spacing" from
+// being free: spacing-heavy rules consume pitch. Expected shape: with
+// generous capacity the optimizer freely picks spacing-rich rules; as
+// capacity tightens, blanket NDR itself starts overflowing and the smart
+// flow must retreat to narrower rules (1W1S shows up), trading coupling for
+// track pitch.
+#include "common.hpp"
+
+int main() {
+  using namespace sndr;
+  using namespace sndr::bench;
+
+  std::vector<std::string> cols{"clock track frac", "blanket overflow",
+                                "blanket util", "smart P (mW)", "saving"};
+  const auto rules = tech::Technology::make_default_45nm().rules;
+  for (const tech::RoutingRule& r : rules) cols.push_back(r.name);
+  cols.push_back("feasible");
+  report::Table t(cols);
+
+  for (const double frac : {0.08, 0.10, 0.12, 0.15, 0.20, 0.30}) {
+    workload::DesignSpec spec = workload::paper_benchmarks()[1];  // jpeg.
+    spec.clock_track_fraction = frac;
+    const Flow f = build_flow(spec);
+    const auto blanket = eval_uniform(f, f.tech.rules.blanket_index());
+    const ndr::SmartNdrResult smart =
+        ndr::optimize_smart_ndr(f.cts.tree, f.design, f.tech, f.nets);
+    std::vector<std::string> row{
+        report::fmt(frac, 2), std::to_string(blanket.overflow_cells),
+        report::fmt(blanket.max_track_util, 2),
+        report::fmt(units::to_mW(smart.final_eval.power.total_power), 2),
+        report::fmt_pct(smart.final_eval.power.total_power /
+                            blanket.power.total_power -
+                        1.0)};
+    for (const int c : smart.rule_histogram) row.push_back(std::to_string(c));
+    row.push_back(smart.final_eval.feasible() ? "yes" : "NO");
+    t.add_row(std::move(row));
+  }
+  finish(t, "Ablation A: savings vs clock routing capacity (jpeg_like)",
+         "abl_capacity.csv");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Fig. 3 — clock power vs. the slew constraint.
+//
+// Sweeps the max-transition limit on one mid-size design and reports the
+// optimized smart-NDR power against the (constraint-independent) blanket
+// power. Expected shape: smart-NDR power falls as the limit loosens (more
+// nets can drop to narrow rules) and saturates at the routing-resource/
+// variation-limited floor; below some limit the optimizer can no longer
+// beat blanket (the crossover where blanket NDR is actually the right
+// answer).
+#include "common.hpp"
+
+int main() {
+  using namespace sndr;
+  using namespace sndr::bench;
+  using units::ps;
+
+  workload::DesignSpec spec = workload::paper_benchmarks()[2];  // vga_like
+  const Flow base = build_flow(spec);
+  const auto blanket = eval_uniform(base, base.tech.rules.blanket_index());
+
+  report::Table t({"slew limit (ps)", "smart P (mW)", "blanket P (mW)",
+                   "saving", "commits", "feasible"});
+  for (const double limit_ps :
+       {70.0, 80.0, 90.0, 100.0, 120.0, 140.0, 170.0, 200.0}) {
+    Flow f = base;  // copy; constraints are per-run.
+    f.design.constraints.max_slew = limit_ps * ps;
+    const ndr::SmartNdrResult smart =
+        ndr::optimize_smart_ndr(f.cts.tree, f.design, f.tech, f.nets);
+    t.add_row({report::fmt(limit_ps, 0),
+               report::fmt(units::to_mW(smart.final_eval.power.total_power),
+                           3),
+               report::fmt(units::to_mW(blanket.power.total_power), 3),
+               report::fmt_pct(smart.final_eval.power.total_power /
+                                   blanket.power.total_power -
+                               1.0),
+               std::to_string(smart.stats.commits),
+               smart.final_eval.feasible() ? "yes" : "NO"});
+  }
+  finish(t, "Fig. 3: smart-NDR power vs slew constraint (vga_like)",
+         "fig3_slew_sweep.csv");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Fig. 4 — the power/skew trade-off frontier.
+//
+// Sweeps the skew budget on one mid-size design. Expected shape: tighter
+// skew budgets shrink the latency window the optimizer may move sinks
+// within, freezing more nets at the blanket rule and reducing savings;
+// generous budgets saturate at the variation/slew-limited floor.
+#include "common.hpp"
+
+int main() {
+  using namespace sndr;
+  using namespace sndr::bench;
+  using units::ps;
+
+  workload::DesignSpec spec = workload::paper_benchmarks()[1];  // jpeg_like
+  const Flow base = build_flow(spec);
+  const auto blanket = eval_uniform(base, base.tech.rules.blanket_index());
+  const double base_skew_ps = units::to_ps(blanket.timing.skew());
+
+  report::Table t({"skew limit (ps)", "smart P (mW)", "saving",
+                   "final skew (ps)", "commits", "feasible"});
+  for (const double limit_ps :
+       {22.0, 25.0, 28.0, 32.0, 40.0, 60.0, 100.0, 150.0}) {
+    if (limit_ps < base_skew_ps) continue;  // infeasible even for blanket.
+    Flow f = base;
+    f.design.constraints.max_skew = limit_ps * ps;
+    const ndr::SmartNdrResult smart =
+        ndr::optimize_smart_ndr(f.cts.tree, f.design, f.tech, f.nets);
+    t.add_row({report::fmt(limit_ps, 0),
+               report::fmt(units::to_mW(smart.final_eval.power.total_power),
+                           3),
+               report::fmt_pct(smart.final_eval.power.total_power /
+                                   blanket.power.total_power -
+                               1.0),
+               report::fmt(units::to_ps(smart.final_eval.timing.skew()), 1),
+               std::to_string(smart.stats.commits),
+               smart.final_eval.feasible() ? "yes" : "NO"});
+  }
+  std::cout << "(blanket skew: " << report::fmt(base_skew_ps, 1) << " ps)\n";
+  finish(t, "Fig. 4: power vs skew budget (jpeg_like)",
+         "fig4_skew_tradeoff.csv");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Fig. 5 — rule distribution vs. tree depth.
+//
+// Histogram of the smart-NDR rule choice per buffer-hierarchy level.
+// Expected shape: trunk levels (low depth, long spans, every sink's
+// uncertainty at stake) keep wide/spaced rules; leaf levels (bulk of the
+// wirelength, local impact only) migrate to the cheap 1W2S/1W1S rules —
+// which is where the power saving comes from.
+#include "common.hpp"
+
+int main() {
+  using namespace sndr;
+  using namespace sndr::bench;
+
+  workload::DesignSpec spec = workload::paper_benchmarks()[3];  // ethmac
+  const Flow f = build_flow(spec);
+  const ndr::SmartNdrResult smart =
+      ndr::optimize_smart_ndr(f.cts.tree, f.design, f.tech, f.nets);
+
+  int max_depth = 0;
+  for (const auto& net : f.nets.nets) {
+    max_depth = std::max(max_depth, net.depth);
+  }
+
+  std::vector<std::string> cols{"depth", "nets", "WL (mm)"};
+  for (const tech::RoutingRule& r : f.tech.rules) cols.push_back(r.name);
+  cols.push_back("wide frac");
+  report::Table t(cols);
+
+  for (int d = 0; d <= max_depth; ++d) {
+    std::vector<int> count(f.tech.rules.size(), 0);
+    int nets_at_depth = 0;
+    double wl = 0.0;
+    int wide = 0;
+    for (const auto& net : f.nets.nets) {
+      if (net.depth != d) continue;
+      ++nets_at_depth;
+      ++count[smart.assignment[net.id]];
+      wl += netlist::net_wirelength(f.cts.tree, net);
+      if (f.tech.rules[smart.assignment[net.id]].width_mult > 1) ++wide;
+    }
+    if (nets_at_depth == 0) continue;
+    std::vector<std::string> row{std::to_string(d),
+                                 std::to_string(nets_at_depth),
+                                 report::fmt(units::to_mm(wl), 2)};
+    for (const int c : count) row.push_back(std::to_string(c));
+    row.push_back(report::fmt_pct(static_cast<double>(wide) / nets_at_depth));
+    t.add_row(std::move(row));
+  }
+  finish(t, "Fig. 5: smart-NDR rule mix by tree depth (ethmac_like)",
+         "fig5_rule_distribution.csv");
+  return 0;
+}

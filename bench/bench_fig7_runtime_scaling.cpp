@@ -1,0 +1,65 @@
+// Fig. 7 — optimizer scalability and the value of the learned models.
+//
+// Runs smart NDR across design sizes in three candidate-scoring modes:
+//   models    — learned per-rule impact models (the paper's method),
+//   exact-net — exact per-net re-extraction per candidate,
+//   full-STA  — complete extraction + timing + variation + EM per candidate
+//               (the naive signoff-in-the-loop flow the paper's runtime
+//               argument targets; only run on the smaller designs).
+// Expected shape: all three land on (nearly) the same power; full-STA
+// runtime explodes quadratically and is orders of magnitude slower than the
+// model-guided flow, whose cost is dominated by the one-time training.
+#include <chrono>
+
+#include "common.hpp"
+
+int main() {
+  using namespace sndr;
+  using namespace sndr::bench;
+  using Clock = std::chrono::steady_clock;
+
+  report::Table t({"sinks", "mode", "P (mW)", "saving", "net evals",
+                   "full evals", "train (s)", "total (s)"});
+  for (const int sinks : {1024, 4096, 16384, 32768}) {
+    workload::DesignSpec spec;
+    spec.name = "scale_" + std::to_string(sinks);
+    spec.num_sinks = sinks;
+    spec.dist = workload::SinkDistribution::kMixed;
+    spec.seed = 77;
+    const Flow f = build_flow(spec);
+    const auto blanket = eval_uniform(f, f.tech.rules.blanket_index());
+
+    for (const ndr::Scoring mode :
+         {ndr::Scoring::kModels, ndr::Scoring::kExactNet,
+          ndr::Scoring::kFullSta}) {
+      if (mode == ndr::Scoring::kFullSta && sinks > 4096) {
+        t.add_row({std::to_string(sinks), "full-STA", "-", "-", "-", "-",
+                   "-", "(skipped: ~minutes+)"});
+        continue;
+      }
+      ndr::OptimizerOptions opt;
+      opt.scoring = mode;
+      const auto t0 = Clock::now();
+      const ndr::SmartNdrResult smart =
+          ndr::optimize_smart_ndr(f.cts.tree, f.design, f.tech, f.nets, opt);
+      const double total =
+          std::chrono::duration<double>(Clock::now() - t0).count();
+      const char* name = mode == ndr::Scoring::kModels ? "models"
+                         : mode == ndr::Scoring::kExactNet ? "exact-net"
+                                                           : "full-STA";
+      t.add_row({std::to_string(sinks), name,
+                 report::fmt(units::to_mW(smart.final_eval.power.total_power),
+                             2),
+                 report::fmt_pct(smart.final_eval.power.total_power /
+                                     blanket.power.total_power -
+                                 1.0),
+                 std::to_string(smart.stats.exact_net_evals),
+                 std::to_string(smart.stats.full_evals),
+                 report::fmt(smart.stats.train_seconds, 2),
+                 report::fmt(total, 2)});
+    }
+  }
+  finish(t, "Fig. 7: scaling and scoring-mode runtime comparison",
+         "fig7_runtime_scaling.csv");
+  return 0;
+}

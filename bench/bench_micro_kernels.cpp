@@ -1,0 +1,109 @@
+// Microbenchmarks of the library's hot kernels (google-benchmark).
+//
+// Not a paper table — this guards the computational costs that the Fig. 7
+// scalability claims rest on: per-net extraction, Elmore/moment evaluation,
+// full-tree timing, and whole-flow building blocks.
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+#include "timing/tree_timing.hpp"
+#include "timing/variation.hpp"
+
+namespace {
+
+using namespace sndr;
+
+const bench::Flow& flow_1k() {
+  static bench::Flow f = [] {
+    workload::DesignSpec spec;
+    spec.name = "micro";
+    spec.num_sinks = 1024;
+    spec.seed = 5;
+    return bench::build_flow(spec);
+  }();
+  return f;
+}
+
+void BM_ExtractNet(benchmark::State& state) {
+  const bench::Flow& f = flow_1k();
+  const extract::Extractor ex(f.tech, f.design);
+  const auto& net = f.nets[f.nets.size() / 2];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ex.extract_net(f.cts.tree, net, f.tech.rules.blanket_rule()));
+  }
+}
+BENCHMARK(BM_ExtractNet);
+
+void BM_ExtractAll(benchmark::State& state) {
+  const bench::Flow& f = flow_1k();
+  const extract::Extractor ex(f.tech, f.design);
+  const std::vector<int> rules(f.nets.size(), f.tech.rules.blanket_index());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ex.extract_all(f.cts.tree, f.nets, rules));
+  }
+}
+BENCHMARK(BM_ExtractAll);
+
+void BM_ElmoreAndMoments(benchmark::State& state) {
+  const bench::Flow& f = flow_1k();
+  const extract::Extractor ex(f.tech, f.design);
+  const auto par = ex.extract_net(f.cts.tree, f.nets[0],
+                                  f.tech.rules.blanket_rule());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(par.rc.elmore_delay(100.0, 1.0));
+    benchmark::DoNotOptimize(par.rc.second_moment(100.0, 1.0));
+  }
+}
+BENCHMARK(BM_ElmoreAndMoments);
+
+void BM_FullTreeTiming(benchmark::State& state) {
+  const bench::Flow& f = flow_1k();
+  const extract::Extractor ex(f.tech, f.design);
+  const auto par = ex.extract_all(
+      f.cts.tree, f.nets,
+      std::vector<int>(f.nets.size(), f.tech.rules.blanket_index()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        timing::analyze(f.cts.tree, f.design, f.tech, f.nets, par));
+  }
+}
+BENCHMARK(BM_FullTreeTiming);
+
+void BM_VariationAnalysis(benchmark::State& state) {
+  const bench::Flow& f = flow_1k();
+  const extract::Extractor ex(f.tech, f.design);
+  const std::vector<int> rules(f.nets.size(), f.tech.rules.blanket_index());
+  const auto par = ex.extract_all(f.cts.tree, f.nets, rules);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(timing::analyze_variation(
+        f.cts.tree, f.design, f.tech, f.nets, par, rules));
+  }
+}
+BENCHMARK(BM_VariationAnalysis);
+
+void BM_CtsSynthesis(benchmark::State& state) {
+  workload::DesignSpec spec;
+  spec.num_sinks = static_cast<int>(state.range(0));
+  spec.seed = 5;
+  const netlist::Design design = workload::make_design(spec);
+  const tech::Technology tech = tech::Technology::make_default_45nm();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cts::synthesize(design, tech));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CtsSynthesis)->Arg(256)->Arg(1024)->Arg(4096)->Complexity();
+
+void BM_SmartNdrEndToEnd(benchmark::State& state) {
+  const bench::Flow& f = flow_1k();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ndr::optimize_smart_ndr(f.cts.tree, f.design, f.tech, f.nets));
+  }
+}
+BENCHMARK(BM_SmartNdrEndToEnd);
+
+}  // namespace
+
+BENCHMARK_MAIN();

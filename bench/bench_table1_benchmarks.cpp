@@ -1,0 +1,31 @@
+// Table I — benchmark statistics.
+//
+// Reproduces the testcase-summary table of the evaluation section: per
+// design, the sink count, spatial distribution, core size, synthesized tree
+// statistics (buffers, nets, wirelength), and the clock power of the
+// conventional blanket-NDR implementation that all later experiments
+// normalize against.
+#include "common.hpp"
+
+int main() {
+  using namespace sndr;
+  using namespace sndr::bench;
+
+  report::Table t({"design", "sinks", "dist", "core (mm)", "buffers", "nets",
+                   "WL (mm)", "skew (ps)", "blanket P (mW)"});
+  for (const workload::DesignSpec& spec : workload::paper_benchmarks()) {
+    const Flow f = build_flow(spec);
+    const auto blanket = eval_uniform(f, f.tech.rules.blanket_index());
+    t.add_row({spec.name, std::to_string(spec.num_sinks),
+               workload::to_string(spec.dist),
+               report::fmt(units::to_mm(f.design.core.width()), 2),
+               std::to_string(f.cts.buffers),
+               std::to_string(f.nets.size()),
+               report::fmt(units::to_mm(f.cts.wirelength), 1),
+               report::fmt(units::to_ps(blanket.timing.skew()), 1),
+               report::fmt(units::to_mW(blanket.power.total_power), 2)});
+  }
+  finish(t, "Table I: benchmark statistics (blanket-NDR reference)",
+         "table1_benchmarks.csv");
+  return 0;
+}

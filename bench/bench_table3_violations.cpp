@@ -1,0 +1,36 @@
+// Table III — why blanket NDR exists.
+//
+// Constraint violations of the all-default (1W1S everywhere) implementation
+// per benchmark: slew misses, EM current-density misses, per-sink
+// uncertainty misses, and the skew overshoot. Expected shape: violations
+// grow with design size (deeper trees accumulate crosstalk, larger cores
+// have longer unbuffered runs), and the blanket column is clean everywhere.
+#include "common.hpp"
+
+int main() {
+  using namespace sndr;
+  using namespace sndr::bench;
+  using units::to_ps;
+
+  report::Table t({"design", "flow", "slew viol", "EM viol", "unc viol",
+                   "skew (ps)", "skew limit", "worst slew (ps)",
+                   "worst unc (ps)"});
+  for (const workload::DesignSpec& spec : workload::paper_benchmarks()) {
+    const Flow f = build_flow(spec);
+    const auto row = [&](const std::string& name,
+                         const ndr::FlowEvaluation& ev) {
+      t.add_row({spec.name, name, std::to_string(ev.slew_violations),
+                 std::to_string(ev.em_violations),
+                 std::to_string(ev.uncertainty_violations),
+                 report::fmt(to_ps(ev.timing.skew()), 1),
+                 report::fmt(to_ps(f.design.constraints.max_skew), 0),
+                 report::fmt(to_ps(ev.timing.max_slew), 1),
+                 report::fmt(to_ps(ev.variation.max_uncertainty), 1)});
+    };
+    row("all-default", eval_uniform(f, 0));
+    row("blanket-2W2S", eval_uniform(f, f.tech.rules.blanket_index()));
+  }
+  finish(t, "Table III: constraint violations without NDR",
+         "table3_violations.csv");
+  return 0;
+}

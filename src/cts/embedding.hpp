@@ -1,0 +1,80 @@
+// Delay-balanced buffered embedding (the "geometry + buffering" half of CTS).
+//
+// A DME-style bottom-up pass walks the abstract topology and, at each merge,
+// places the tapping point on the rectilinear path between the two child
+// roots so that the Elmore delays to both subtrees' sinks are equal; if one
+// side is slower than the other can compensate, the fast side's wire is
+// elongated (snaked). When the capacitance accumulated at a merge point
+// exceeds the buffering budget, a buffer sized for the load is inserted at
+// that point and the subtree above it sees only the buffer's input cap —
+// because merges balance *delay* (wire + buffer stages included), the
+// resulting buffered tree is near-zero-skew by construction.
+//
+// The planning RC values are taken from one routing rule (conventionally the
+// blanket NDR, matching industrial practice of building the clock tree under
+// the assumption that every clock net gets the NDR); the smart-NDR optimizer
+// later re-assigns rules net by net.
+#pragma once
+
+#include <memory>
+
+#include "cts/topology.hpp"
+#include "netlist/clock_tree.hpp"
+#include "netlist/design.hpp"
+#include "tech/technology.hpp"
+#include "tech/units.hpp"
+
+namespace sndr::cts {
+
+/// Which connectivity generator the synthesis uses (see topology.hpp).
+enum class TopologyMode { kMmm, kHybridHtree };
+
+struct CtsOptions {
+  TopologyMode topology = TopologyMode::kMmm;
+  /// Levels of geometric H-tree recursion before MMM takes over
+  /// (kHybridHtree only).
+  int htree_levels = 6;
+  /// Rule index (into Technology::rules) assumed during construction; -1
+  /// means the technology's blanket rule.
+  int planning_rule = -1;
+  /// Neighbor occupancy assumed for planning capacitance. Deliberately
+  /// pessimistic: under-planning coupling in congestion hotspots leads to
+  /// undersized buffers and post-extraction slew misses.
+  double planning_occupancy = 0.5;
+  /// A buffer is inserted once the accumulated subtree cap reaches this.
+  double max_unbuffered_cap = 100 * units::fF;
+  /// Long merge spans are broken with repeater chains so no net's wire run
+  /// exceeds roughly this length (wire resistance, not capacitance, is what
+  /// kills slew on trunk routes).
+  double max_unbuffered_len = 300.0;  ///< um.
+  /// Target transition used to size buffers.
+  double target_slew = 80 * units::ps;
+  /// Guard band on target_slew during cell selection, absorbing the gap
+  /// between planned and extracted capacitance (hotspot coupling).
+  double sizing_derate = 0.80;
+  /// Nominal input slew assumed for buffer delay during construction.
+  double nominal_slew = 60 * units::ps;
+  /// Cap threshold above which the root of the whole tree gets a buffer
+  /// regardless (drives the net from the clock source).
+  bool buffer_root = true;
+};
+
+/// Result of synthesis: a valid buffered, routed ClockTree plus stats.
+struct CtsResult {
+  netlist::ClockTree tree;
+  int buffers = 0;
+  int merges = 0;
+  double wirelength = 0.0;      ///< um, total.
+  double elongation = 0.0;      ///< um, wirelength added by snaking.
+  /// s, worst per-merge delay mismatch left unabsorbed because snaking was
+  /// clamped at the unbuffered-length budget (adds to skew).
+  double residual_imbalance = 0.0;
+  double planned_latency = 0.0; ///< s, balanced delay estimate at the root.
+};
+
+/// Full clock tree synthesis: topology + balanced buffered embedding.
+CtsResult synthesize(const netlist::Design& design,
+                     const tech::Technology& tech,
+                     const CtsOptions& options = {});
+
+}  // namespace sndr::cts

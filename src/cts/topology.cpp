@@ -1,0 +1,128 @@
+#include "cts/topology.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace sndr::cts {
+
+int Topology::leaf_count() const {
+  int n = 0;
+  for (const TopoNode& node : nodes) {
+    if (node.is_leaf()) ++n;
+  }
+  return n;
+}
+
+namespace {
+
+struct Builder {
+  const std::vector<netlist::Sink>* sinks;
+  Topology topo;
+
+  int median_split(std::vector<int>& ids, int lo, int hi, bool split_x) {
+    const int mid = lo + (hi - lo) / 2;
+    std::nth_element(ids.begin() + lo, ids.begin() + mid, ids.begin() + hi,
+                     [&](int a, int b) {
+                       const geom::Point pa = (*sinks)[a].loc;
+                       const geom::Point pb = (*sinks)[b].loc;
+                       if (split_x) {
+                         if (pa.x != pb.x) return pa.x < pb.x;
+                       } else {
+                         if (pa.y != pb.y) return pa.y < pb.y;
+                       }
+                       return a < b;  // deterministic tie-break.
+                     });
+    return mid;
+  }
+
+  int build(std::vector<int>& ids, int lo, int hi) {  // [lo, hi)
+    if (hi - lo == 1) {
+      topo.nodes.push_back(TopoNode{-1, -1, ids[lo]});
+      return topo.size() - 1;
+    }
+    // Axis of larger spread; median split keeps the tree balanced.
+    geom::BBox box;
+    for (int i = lo; i < hi; ++i) box.extend((*sinks)[ids[i]].loc);
+    const bool split_x = box.width() >= box.height();
+    const int mid = median_split(ids, lo, hi, split_x);
+    const int l = build(ids, lo, mid);
+    const int r = build(ids, mid, hi);
+    topo.nodes.push_back(TopoNode{l, r, -1});
+    return topo.size() - 1;
+  }
+
+  int build_hybrid(std::vector<int>& ids, int lo, int hi,
+                   const geom::BBox& region, int h_levels, int depth) {
+    if (hi - lo == 1) {
+      topo.nodes.push_back(TopoNode{-1, -1, ids[lo]});
+      return topo.size() - 1;
+    }
+    if (depth >= h_levels) {
+      return build(ids, lo, hi);
+    }
+    // Geometric center cut with alternating axis.
+    const bool split_x = depth % 2 == 0;
+    const double cut = split_x ? region.center().x : region.center().y;
+    const auto left_of = [&](int id) {
+      const geom::Point p = (*sinks)[id].loc;
+      return (split_x ? p.x : p.y) <= cut;
+    };
+    const auto mid_it =
+        std::partition(ids.begin() + lo, ids.begin() + hi, left_of);
+    int mid = static_cast<int>(mid_it - ids.begin());
+    if (mid == lo || mid == hi) {
+      // Degenerate cut (all sinks on one side): median keeps progress.
+      mid = median_split(ids, lo, hi, split_x);
+    }
+    geom::BBox left = region;
+    geom::BBox right = region;
+    if (split_x) {
+      left = geom::BBox(region.lo().x, region.lo().y, cut, region.hi().y);
+      right = geom::BBox(cut, region.lo().y, region.hi().x, region.hi().y);
+    } else {
+      left = geom::BBox(region.lo().x, region.lo().y, region.hi().x, cut);
+      right = geom::BBox(region.lo().x, cut, region.hi().x, region.hi().y);
+    }
+    const int l = build_hybrid(ids, lo, mid, left, h_levels, depth + 1);
+    const int r = build_hybrid(ids, mid, hi, right, h_levels, depth + 1);
+    topo.nodes.push_back(TopoNode{l, r, -1});
+    return topo.size() - 1;
+  }
+};
+
+}  // namespace
+
+Topology build_topology_mmm(const std::vector<netlist::Sink>& sinks) {
+  if (sinks.empty()) {
+    throw std::invalid_argument("build_topology_mmm: no sinks");
+  }
+  Builder b;
+  b.sinks = &sinks;
+  b.topo.nodes.reserve(2 * sinks.size());
+  std::vector<int> ids(sinks.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  b.topo.root = b.build(ids, 0, static_cast<int>(ids.size()));
+  return std::move(b.topo);
+}
+
+Topology build_topology_hybrid(const std::vector<netlist::Sink>& sinks,
+                               const geom::BBox& core, int htree_levels) {
+  if (sinks.empty()) {
+    throw std::invalid_argument("build_topology_hybrid: no sinks");
+  }
+  Builder b;
+  b.sinks = &sinks;
+  b.topo.nodes.reserve(2 * sinks.size());
+  std::vector<int> ids(sinks.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  geom::BBox region = core;
+  if (region.empty()) {
+    for (const netlist::Sink& s : sinks) region.extend(s.loc);
+  }
+  b.topo.root = b.build_hybrid(ids, 0, static_cast<int>(ids.size()), region,
+                               std::max(0, htree_levels), 0);
+  return std::move(b.topo);
+}
+
+}  // namespace sndr::cts

@@ -1,0 +1,76 @@
+// RC extraction of routed clock nets.
+//
+// Turns net geometry (routed paths) + the net's routing rule + the local
+// congestion context into a distributed RcTree. Edges are subdivided so no
+// RC piece exceeds `max_seg_um`; each piece's capacitance is split half to
+// each end (pi-ladder), and its coupling part is scaled by the neighbor
+// occupancy sampled at the piece midpoint.
+#pragma once
+
+#include <vector>
+
+#include "extract/rc_tree.hpp"
+#include "netlist/clock_nets.hpp"
+#include "netlist/clock_tree.hpp"
+#include "netlist/design.hpp"
+#include "tech/technology.hpp"
+
+namespace sndr::extract {
+
+struct ExtractOptions {
+  double max_seg_um = 20.0;  ///< max wire length per RC piece.
+};
+
+/// Parasitics of one extracted net.
+struct NetParasitics {
+  RcTree rc;
+  /// RC node index of each net load, parallel to Net::loads.
+  std::vector<int> load_rc_index;
+  /// RC node index of each tree node on the net (driver included).
+  /// Entries are -1 for tree nodes not on this net.
+  std::vector<int> rc_index_of_tree_node;
+
+  double wirelength = 0.0;    ///< um.
+  double wire_cap_gnd = 0.0;  ///< F, wire area+fringe cap.
+  double wire_cap_cpl = 0.0;  ///< F, wire coupling cap (occupancy-scaled).
+  double load_cap = 0.0;      ///< F, sum of load pin caps.
+
+  /// Switched capacitance seen by the driver each clock edge, with the given
+  /// power Miller factor on coupling.
+  double switched_cap(double miller_power) const {
+    return wire_cap_gnd + load_cap + miller_power * wire_cap_cpl;
+  }
+};
+
+class Extractor {
+ public:
+  Extractor(const tech::Technology& tech, const netlist::Design& design,
+            ExtractOptions options = {})
+      : tech_(&tech), design_(&design), options_(options) {}
+
+  /// Extracts one net routed with `rule`.
+  NetParasitics extract_net(const netlist::ClockTree& tree,
+                            const netlist::Net& net,
+                            const tech::RoutingRule& rule) const;
+
+  /// Extracts every net with its assigned rule (`rule_of_net[net.id]` is an
+  /// index into the technology rule set).
+  std::vector<NetParasitics> extract_all(
+      const netlist::ClockTree& tree, const netlist::NetList& nets,
+      const std::vector<int>& rule_of_net) const;
+
+  const tech::Technology& tech() const { return *tech_; }
+  const netlist::Design& design() const { return *design_; }
+
+ private:
+  const tech::Technology* tech_;
+  const netlist::Design* design_;
+  ExtractOptions options_;
+};
+
+/// Capacitive load hanging at a load node: buffer input cap or sink pin cap.
+double load_pin_cap(const netlist::ClockTree& tree,
+                    const netlist::Design& design,
+                    const tech::Technology& tech, int node_id);
+
+}  // namespace sndr::extract

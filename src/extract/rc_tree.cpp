@@ -1,0 +1,71 @@
+#include "extract/rc_tree.hpp"
+
+#include <stdexcept>
+
+namespace sndr::extract {
+
+int RcTree::add_node(int parent, double res, double cap_gnd, double cap_cpl) {
+  if (parent < 0 || parent >= size()) {
+    throw std::logic_error("RcTree::add_node: invalid parent");
+  }
+  RcNode n;
+  n.parent = parent;
+  n.res = res;
+  n.cap_gnd = cap_gnd;
+  n.cap_cpl = cap_cpl;
+  nodes_.push_back(n);
+  return size() - 1;
+}
+
+double RcTree::total_cap_gnd() const {
+  double c = 0.0;
+  for (const RcNode& n : nodes_) c += n.cap_gnd;
+  return c;
+}
+
+double RcTree::total_cap_cpl() const {
+  double c = 0.0;
+  for (const RcNode& n : nodes_) c += n.cap_cpl;
+  return c;
+}
+
+std::vector<double> RcTree::downstream_cap(double miller) const {
+  std::vector<double> down(nodes_.size(), 0.0);
+  for (int i = size() - 1; i >= 0; --i) {
+    down[i] += nodes_[i].cap_total(miller);
+    if (nodes_[i].parent >= 0) down[nodes_[i].parent] += down[i];
+  }
+  return down;
+}
+
+std::vector<double> RcTree::elmore_delay(double driver_res,
+                                         double miller) const {
+  const std::vector<double> down = downstream_cap(miller);
+  std::vector<double> delay(nodes_.size(), 0.0);
+  delay[0] = driver_res * down[0];
+  for (int i = 1; i < size(); ++i) {
+    delay[i] = delay[nodes_[i].parent] + nodes_[i].res * down[i];
+  }
+  return delay;
+}
+
+std::vector<double> RcTree::second_moment(double driver_res,
+                                          double miller) const {
+  // m2_i = sum_k R_ik * C_k * m1_k where R_ik is the shared resistance of the
+  // paths to i and k, computed with the standard two-pass algorithm:
+  // accumulate C_k * m1_k downstream, then prefix-sum R along paths.
+  const std::vector<double> m1 = elmore_delay(driver_res, miller);
+  std::vector<double> weighted(nodes_.size(), 0.0);
+  for (int i = size() - 1; i >= 0; --i) {
+    weighted[i] += nodes_[i].cap_total(miller) * m1[i];
+    if (nodes_[i].parent >= 0) weighted[nodes_[i].parent] += weighted[i];
+  }
+  std::vector<double> m2(nodes_.size(), 0.0);
+  m2[0] = driver_res * weighted[0];
+  for (int i = 1; i < size(); ++i) {
+    m2[i] = m2[nodes_[i].parent] + nodes_[i].res * weighted[i];
+  }
+  return m2;
+}
+
+}  // namespace sndr::extract

@@ -1,0 +1,66 @@
+// Distributed RC tree of one extracted clock net.
+//
+// Node 0 is always the driver output. Every other node hangs off its parent
+// through a resistance; capacitance is stored split into a grounded part
+// (area + fringe + load pins) and a lateral coupling part, because the two
+// are weighted differently by the consumers: timing applies a Miller factor
+// to coupling for worst-case delay, power applies the average switching
+// factor, and the variation analysis uses the raw coupling value.
+#pragma once
+
+#include <vector>
+
+namespace sndr::extract {
+
+struct RcNode {
+  int parent = -1;
+  double res = 0.0;      ///< ohm, resistance from parent to this node.
+  double cap_gnd = 0.0;  ///< F, grounded capacitance lumped here.
+  double cap_cpl = 0.0;  ///< F, lateral coupling capacitance lumped here.
+
+  // Provenance (diagnostics, EM, crosstalk).
+  int tree_node = -1;  ///< ClockTree node this rc node coincides with, or -1.
+  double wire_len = 0.0;   ///< um of wire represented by the parent edge.
+  double occupancy = 0.0;  ///< neighbor occupancy of that wire piece.
+
+  double cap_total(double miller) const { return cap_gnd + miller * cap_cpl; }
+};
+
+class RcTree {
+ public:
+  RcTree() { nodes_.emplace_back(); }
+
+  /// Adds a node under `parent`; returns its index.
+  int add_node(int parent, double res, double cap_gnd, double cap_cpl);
+
+  int size() const { return static_cast<int>(nodes_.size()); }
+  RcNode& node(int i) { return nodes_.at(i); }
+  const RcNode& node(int i) const { return nodes_.at(i); }
+
+  double total_cap_gnd() const;
+  double total_cap_cpl() const;
+
+  /// Capacitance downstream of (and including) each node, with the given
+  /// Miller weight on coupling caps. downstream[0] is the total net cap the
+  /// driver sees.
+  std::vector<double> downstream_cap(double miller) const;
+
+  /// Elmore delay from the driver output (node 0) to every node, given the
+  /// driver's linearized output resistance. delay[i] = Rdrv*Ctot +
+  /// sum_{edges e on path to i} R_e * Cdown(e).
+  std::vector<double> elmore_delay(double driver_res, double miller) const;
+
+  /// Circuit second moment at every node (same driver model):
+  /// m2_i = sum_k R_shared(i,k) C_k m1_k, i.e. the magnitude of the s^2
+  /// transfer-function coefficient. The second *time* moment is 2*m2.
+  /// Used by the D2M delay metric and the slew estimate.
+  std::vector<double> second_moment(double driver_res, double miller) const;
+
+  /// Nodes are appended parent-first, so index order is topological.
+  const std::vector<RcNode>& nodes() const { return nodes_; }
+
+ private:
+  std::vector<RcNode> nodes_;
+};
+
+}  // namespace sndr::extract

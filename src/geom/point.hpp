@@ -1,0 +1,50 @@
+// Basic 2-D geometry primitives used throughout the clock-network tooling.
+//
+// Coordinates are in micrometers (um) and stored as doubles; all routing in
+// this library is rectilinear (Manhattan), so the distance of record is the
+// L1 metric.
+#pragma once
+
+#include <cmath>
+#include <iosfwd>
+
+namespace sndr::geom {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr bool operator==(const Point&, const Point&) = default;
+};
+
+constexpr Point operator+(Point a, Point b) { return {a.x + b.x, a.y + b.y}; }
+constexpr Point operator-(Point a, Point b) { return {a.x - b.x, a.y - b.y}; }
+constexpr Point operator*(Point a, double s) { return {a.x * s, a.y * s}; }
+constexpr Point operator*(double s, Point a) { return a * s; }
+
+/// L1 (Manhattan) distance between two points, in um.
+inline double manhattan(Point a, Point b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+/// Euclidean distance, used only for reporting/diagnostics.
+inline double euclidean(Point a, Point b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+/// Linear interpolation: t=0 -> a, t=1 -> b.
+constexpr Point lerp(Point a, Point b, double t) {
+  return {a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t};
+}
+
+/// Midpoint of a and b.
+constexpr Point midpoint(Point a, Point b) { return lerp(a, b, 0.5); }
+
+/// True if the two points coincide within eps (um).
+inline bool almost_equal(Point a, Point b, double eps = 1e-9) {
+  return std::abs(a.x - b.x) <= eps && std::abs(a.y - b.y) <= eps;
+}
+
+std::ostream& operator<<(std::ostream& os, const Point& p);
+
+}  // namespace sndr::geom

@@ -1,0 +1,74 @@
+// Axis-aligned bounding box in um coordinates.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+
+#include "geom/point.hpp"
+
+namespace sndr::geom {
+
+class BBox {
+ public:
+  /// Constructs an empty (inverted) box; extend() makes it valid.
+  BBox() = default;
+  BBox(Point lo, Point hi) : lo_(lo), hi_(hi) {}
+  BBox(double x0, double y0, double x1, double y1)
+      : lo_{std::min(x0, x1), std::min(y0, y1)},
+        hi_{std::max(x0, x1), std::max(y0, y1)} {}
+
+  bool empty() const { return lo_.x > hi_.x || lo_.y > hi_.y; }
+
+  Point lo() const { return lo_; }
+  Point hi() const { return hi_; }
+  double width() const { return empty() ? 0.0 : hi_.x - lo_.x; }
+  double height() const { return empty() ? 0.0 : hi_.y - lo_.y; }
+  double area() const { return width() * height(); }
+  double half_perimeter() const { return width() + height(); }
+  Point center() const { return midpoint(lo_, hi_); }
+
+  void extend(Point p) {
+    lo_.x = std::min(lo_.x, p.x);
+    lo_.y = std::min(lo_.y, p.y);
+    hi_.x = std::max(hi_.x, p.x);
+    hi_.y = std::max(hi_.y, p.y);
+  }
+
+  void extend(const BBox& b) {
+    if (b.empty()) return;
+    extend(b.lo_);
+    extend(b.hi_);
+  }
+
+  /// Inflates the box by d um on every side.
+  void inflate(double d) {
+    lo_.x -= d;
+    lo_.y -= d;
+    hi_.x += d;
+    hi_.y += d;
+  }
+
+  bool contains(Point p) const {
+    return !empty() && p.x >= lo_.x && p.x <= hi_.x && p.y >= lo_.y &&
+           p.y <= hi_.y;
+  }
+
+  bool intersects(const BBox& b) const {
+    return !empty() && !b.empty() && lo_.x <= b.hi_.x && b.lo_.x <= hi_.x &&
+           lo_.y <= b.hi_.y && b.lo_.y <= hi_.y;
+  }
+
+  /// Closest point inside the box to p (p itself if contained).
+  Point clamp(Point p) const {
+    return {std::clamp(p.x, lo_.x, hi_.x), std::clamp(p.y, lo_.y, hi_.y)};
+  }
+
+  friend bool operator==(const BBox&, const BBox&) = default;
+
+ private:
+  static constexpr double kInf = std::numeric_limits<double>::infinity();
+  Point lo_{kInf, kInf};
+  Point hi_{-kInf, -kInf};
+};
+
+}  // namespace sndr::geom

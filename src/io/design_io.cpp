@@ -1,0 +1,178 @@
+#include "io/design_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+#include "tech/units.hpp"
+
+namespace sndr::io {
+
+void write_design(std::ostream& os, const netlist::Design& design) {
+  os << std::setprecision(10);
+  os << "design " << design.name << "\n";
+  os << "core " << design.core.lo().x << ' ' << design.core.lo().y << ' '
+     << design.core.hi().x << ' ' << design.core.hi().y << "\n";
+  os << "clock_root " << design.clock_root.x << ' ' << design.clock_root.y
+     << "\n";
+  const netlist::ClockConstraints& c = design.constraints;
+  os << "clock_freq_ghz " << c.clock_freq / units::GHz << "\n";
+  os << "max_slew_ps " << units::to_ps(c.max_slew) << "\n";
+  os << "max_skew_ps " << units::to_ps(c.max_skew) << "\n";
+  os << "max_uncertainty_ps " << units::to_ps(c.max_uncertainty) << "\n";
+  if (design.congestion.valid()) {
+    const netlist::CongestionMap& m = design.congestion;
+    os << "congestion " << m.nx() << ' ' << m.ny() << " 0 "
+       << m.capacity_cell(0) << "\n";
+    for (int i = 0; i < m.cell_count(); ++i) {
+      os << "occupancy_cell " << i << ' ' << m.occupancy_cell(i) << "\n";
+    }
+  }
+  for (const netlist::Sink& s : design.sinks) {
+    os << "sink " << s.name << ' ' << s.loc.x << ' ' << s.loc.y << ' '
+       << units::to_fF(s.pin_cap) << "\n";
+  }
+  if (design.useful_skew.enabled()) {
+    for (std::size_t i = 0; i < design.useful_skew.lo.size(); ++i) {
+      os << "window " << i << ' '
+         << units::to_ps(design.useful_skew.lo[i]) << ' '
+         << units::to_ps(design.useful_skew.hi[i]) << "\n";
+    }
+  }
+}
+
+void write_design_file(const std::string& path,
+                       const netlist::Design& design) {
+  std::ofstream f(path);
+  if (!f) {
+    throw std::runtime_error("write_design_file: cannot open " + path);
+  }
+  write_design(f, design);
+}
+
+namespace {
+
+[[noreturn]] void design_error(int line_no, const std::string& what) {
+  throw std::runtime_error("read_design: line " + std::to_string(line_no) +
+                           ": " + what);
+}
+
+}  // namespace
+
+netlist::Design read_design(std::istream& is) {
+  netlist::Design d;
+  bool have_core = false;
+  int cong_nx = 0;
+  int cong_ny = 0;
+  double cong_occ = 0.0;
+  double cong_cap = 0.0;
+  std::vector<std::pair<int, double>> occ_cells;
+  std::vector<std::tuple<int, double, double>> windows;
+
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::istringstream ls(line);
+    std::string key;
+    if (!(ls >> key)) continue;
+
+    if (key == "design") {
+      ls >> d.name;
+    } else if (key == "core") {
+      double x0, y0, x1, y1;
+      if (!(ls >> x0 >> y0 >> x1 >> y1)) design_error(line_no, "bad core");
+      d.core = geom::BBox(x0, y0, x1, y1);
+      have_core = true;
+    } else if (key == "clock_root") {
+      if (!(ls >> d.clock_root.x >> d.clock_root.y)) {
+        design_error(line_no, "bad clock_root");
+      }
+    } else if (key == "clock_freq_ghz") {
+      double v;
+      if (!(ls >> v)) design_error(line_no, "bad clock_freq_ghz");
+      d.constraints.clock_freq = v * units::GHz;
+    } else if (key == "max_slew_ps") {
+      double v;
+      if (!(ls >> v)) design_error(line_no, "bad max_slew_ps");
+      d.constraints.max_slew = v * units::ps;
+    } else if (key == "max_skew_ps") {
+      double v;
+      if (!(ls >> v)) design_error(line_no, "bad max_skew_ps");
+      d.constraints.max_skew = v * units::ps;
+    } else if (key == "max_uncertainty_ps") {
+      double v;
+      if (!(ls >> v)) design_error(line_no, "bad max_uncertainty_ps");
+      d.constraints.max_uncertainty = v * units::ps;
+    } else if (key == "congestion") {
+      if (!(ls >> cong_nx >> cong_ny >> cong_occ >> cong_cap)) {
+        design_error(line_no, "bad congestion");
+      }
+    } else if (key == "occupancy_cell") {
+      int idx;
+      double v;
+      if (!(ls >> idx >> v)) design_error(line_no, "bad occupancy_cell");
+      occ_cells.emplace_back(idx, v);
+    } else if (key == "sink") {
+      netlist::Sink s;
+      double cap_ff;
+      if (!(ls >> s.name >> s.loc.x >> s.loc.y >> cap_ff)) {
+        design_error(line_no, "bad sink");
+      }
+      s.pin_cap = cap_ff * units::fF;
+      d.sinks.push_back(std::move(s));
+    } else if (key == "window") {
+      int idx;
+      double lo, hi;
+      if (!(ls >> idx >> lo >> hi)) design_error(line_no, "bad window");
+      windows.emplace_back(idx, lo * units::ps, hi * units::ps);
+    } else {
+      design_error(line_no, "unknown key '" + key + "'");
+    }
+  }
+
+  if (!have_core) {
+    // Derive a core from the sink bounding box with a small margin.
+    geom::BBox box;
+    for (const netlist::Sink& s : d.sinks) box.extend(s.loc);
+    box.extend(d.clock_root);
+    box.inflate(1.0);
+    d.core = box;
+  }
+  if (cong_nx > 0 && cong_ny > 0) {
+    d.congestion =
+        netlist::CongestionMap(d.core, cong_nx, cong_ny, cong_occ, cong_cap);
+    for (const auto& [idx, v] : occ_cells) {
+      if (idx < 0 || idx >= d.congestion.cell_count()) {
+        throw std::runtime_error(
+            "read_design: occupancy_cell index out of range");
+      }
+      d.congestion.set_occupancy_cell(idx, v);
+    }
+  }
+  if (!windows.empty()) {
+    d.useful_skew.lo.assign(d.sinks.size(), -d.constraints.max_skew / 2);
+    d.useful_skew.hi.assign(d.sinks.size(), d.constraints.max_skew / 2);
+    for (const auto& [idx, lo, hi] : windows) {
+      if (idx < 0 || idx >= static_cast<int>(d.sinks.size())) {
+        throw std::runtime_error("read_design: window index out of range");
+      }
+      d.useful_skew.lo[idx] = lo;
+      d.useful_skew.hi[idx] = hi;
+    }
+  }
+  return d;
+}
+
+netlist::Design read_design_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    throw std::runtime_error("read_design_file: cannot open " + path);
+  }
+  return read_design(f);
+}
+
+}  // namespace sndr::io

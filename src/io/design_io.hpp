@@ -1,0 +1,33 @@
+// Text interchange for designs: a minimal, line-oriented format so users
+// can bring their own sink placements and constraints to the CLI and the
+// library without writing C++.
+//
+//   design <name>
+//   core <x0> <y0> <x1> <y1>              # um
+//   clock_root <x> <y>
+//   clock_freq_ghz <f>
+//   max_slew_ps <v> | max_skew_ps <v> | max_uncertainty_ps <v>
+//   congestion <nx> <ny> <occupancy> <capacity_per_cell>   # optional
+//   occupancy_cell <index> <value>                         # optional
+//   sink <name> <x> <y> <pin_cap_ff>
+//   window <sink_index> <lo_ps> <hi_ps>                    # useful skew
+//
+// '#' starts a comment. Unknown keys are an error (typos should not parse).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/design.hpp"
+
+namespace sndr::io {
+
+void write_design(std::ostream& os, const netlist::Design& design);
+void write_design_file(const std::string& path,
+                       const netlist::Design& design);
+
+/// Throws std::runtime_error with a line diagnostic on malformed input.
+netlist::Design read_design(std::istream& is);
+netlist::Design read_design_file(const std::string& path);
+
+}  // namespace sndr::io

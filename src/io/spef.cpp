@@ -1,0 +1,226 @@
+#include "io/spef.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace sndr::io {
+
+namespace {
+
+std::string pin_name(const netlist::ClockTree& tree, int node_id) {
+  const netlist::TreeNode& n = tree.node(node_id);
+  switch (n.kind) {
+    case netlist::NodeKind::kSource:
+      return "src:Z";
+    case netlist::NodeKind::kBuffer:
+      return "buf_" + std::to_string(node_id);  // port added by caller.
+    case netlist::NodeKind::kSink:
+      return "sink_" + std::to_string(n.sink) + ":CK";
+    case netlist::NodeKind::kSteiner:
+      break;
+  }
+  return "steiner_" + std::to_string(node_id);
+}
+
+std::string rc_node_name(int net_id, int rc_index) {
+  return "clk_net_" + std::to_string(net_id) + ":" +
+         std::to_string(rc_index);
+}
+
+}  // namespace
+
+void write_spef(std::ostream& os, const netlist::ClockTree& tree,
+                const netlist::Design& design,
+                const netlist::NetList& nets,
+                const std::vector<extract::NetParasitics>& parasitics,
+                const SpefWriteOptions& options) {
+  if (parasitics.size() != static_cast<std::size_t>(nets.size())) {
+    throw std::invalid_argument("write_spef: parasitics size mismatch");
+  }
+  os << "*SPEF \"IEEE 1481-1998\"\n";
+  os << "*DESIGN \"" << design.name << "\"\n";
+  os << "*DATE \"-\"\n";
+  os << "*VENDOR \"sndr\"\n";
+  os << "*PROGRAM \"" << options.program << "\"\n";
+  os << "*VERSION \"" << options.version << "\"\n";
+  os << "*DESIGN_FLOW \"COUPLING_AS_GROUND " << options.miller_power
+     << "\"\n";
+  os << "*DIVIDER /\n*DELIMITER :\n*BUS_DELIMITER [ ]\n";
+  os << "*T_UNIT 1 PS\n*C_UNIT 1 FF\n*R_UNIT 1 OHM\n*L_UNIT 1 HENRY\n\n";
+
+  os << std::fixed << std::setprecision(6);
+  for (const netlist::Net& net : nets.nets) {
+    const extract::NetParasitics& par = parasitics[net.id];
+    const double total_ff =
+        par.switched_cap(options.miller_power) / 1e-15;
+    os << "*D_NET clk_net_" << net.id << ' ' << total_ff << "\n";
+
+    os << "*CONN\n";
+    const netlist::TreeNode& drv = tree.node(net.driver);
+    if (drv.kind == netlist::NodeKind::kSource) {
+      os << "*P src:Z O\n";
+    } else {
+      os << "*I buf_" << net.driver << ":Z O\n";
+    }
+    for (const int load : net.loads) {
+      const netlist::TreeNode& ln = tree.node(load);
+      if (ln.kind == netlist::NodeKind::kBuffer) {
+        os << "*I buf_" << load << ":A I\n";
+      } else {
+        os << "*I " << pin_name(tree, load) << " I\n";
+      }
+    }
+
+    os << "*CAP\n";
+    int idx = 1;
+    for (int i = 0; i < par.rc.size(); ++i) {
+      const extract::RcNode& n = par.rc.node(i);
+      const double cap =
+          n.cap_gnd + options.miller_power * n.cap_cpl;
+      if (cap <= 0.0) continue;
+      os << idx++ << ' ' << rc_node_name(net.id, i) << ' ' << cap / 1e-15
+         << "\n";
+    }
+
+    os << "*RES\n";
+    idx = 1;
+    for (int i = 1; i < par.rc.size(); ++i) {
+      const extract::RcNode& n = par.rc.node(i);
+      os << idx++ << ' ' << rc_node_name(net.id, n.parent) << ' '
+         << rc_node_name(net.id, i) << ' ' << n.res << "\n";
+    }
+    os << "*END\n\n";
+  }
+}
+
+void write_spef_file(const std::string& path, const netlist::ClockTree& tree,
+                     const netlist::Design& design,
+                     const netlist::NetList& nets,
+                     const std::vector<extract::NetParasitics>& parasitics,
+                     const SpefWriteOptions& options) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("write_spef_file: cannot open " + path);
+  write_spef(f, tree, design, nets, parasitics, options);
+}
+
+double SpefNet::cap_sum() const {
+  double c = 0.0;
+  for (const auto& [node, cap] : caps) c += cap;
+  return c;
+}
+
+const SpefNet* SpefFile::find(const std::string& name) const {
+  for (const SpefNet& n : nets) {
+    if (n.name == name) return &n;
+  }
+  return nullptr;
+}
+
+namespace {
+
+[[noreturn]] void spef_error(int line_no, const std::string& what) {
+  throw std::runtime_error("read_spef: line " + std::to_string(line_no) +
+                           ": " + what);
+}
+
+double unit_scale(const std::string& mult, const std::string& unit,
+                  int line_no) {
+  const double m = std::stod(mult);
+  if (unit == "PS") return m * 1e-12;
+  if (unit == "NS") return m * 1e-9;
+  if (unit == "FF") return m * 1e-15;
+  if (unit == "PF") return m * 1e-12;
+  if (unit == "OHM") return m;
+  if (unit == "KOHM") return m * 1e3;
+  if (unit == "HENRY") return m;
+  spef_error(line_no, "unknown unit '" + unit + "'");
+}
+
+}  // namespace
+
+SpefFile read_spef(std::istream& is) {
+  SpefFile out;
+  std::string line;
+  int line_no = 0;
+  enum class Section { kNone, kConn, kCap, kRes };
+  Section section = Section::kNone;
+  SpefNet* current = nullptr;
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    std::istringstream ls(line);
+    std::string tok;
+    if (!(ls >> tok)) continue;
+
+    if (tok == "*DESIGN") {
+      std::string rest;
+      std::getline(ls, rest);
+      const auto q1 = rest.find('"');
+      const auto q2 = rest.rfind('"');
+      if (q1 != std::string::npos && q2 > q1) {
+        out.design_name = rest.substr(q1 + 1, q2 - q1 - 1);
+      }
+    } else if (tok == "*T_UNIT" || tok == "*C_UNIT" || tok == "*R_UNIT") {
+      std::string mult;
+      std::string unit;
+      if (!(ls >> mult >> unit)) spef_error(line_no, "bad unit line");
+      const double scale = unit_scale(mult, unit, line_no);
+      if (tok == "*T_UNIT") out.time_unit = scale;
+      if (tok == "*C_UNIT") out.cap_unit = scale;
+      if (tok == "*R_UNIT") out.res_unit = scale;
+    } else if (tok == "*D_NET") {
+      SpefNet net;
+      double total = 0.0;
+      if (!(ls >> net.name >> total)) spef_error(line_no, "bad *D_NET");
+      net.total_cap = total;  // scaled after units are final, below.
+      out.nets.push_back(std::move(net));
+      current = &out.nets.back();
+      section = Section::kNone;
+    } else if (tok == "*CONN") {
+      section = Section::kConn;
+    } else if (tok == "*CAP") {
+      section = Section::kCap;
+    } else if (tok == "*RES") {
+      section = Section::kRes;
+    } else if (tok == "*END") {
+      current = nullptr;
+      section = Section::kNone;
+    } else if (tok[0] == '*') {
+      // Header keywords we do not interpret.
+      continue;
+    } else if (current != nullptr && section == Section::kCap) {
+      // Format: <index> <node> <cap>.
+      int idx = 0;
+      std::string node;
+      double cap = 0.0;
+      std::istringstream entry(line);
+      if (!(entry >> idx >> node >> cap)) {
+        spef_error(line_no, "bad *CAP entry");
+      }
+      current->caps.emplace_back(node, cap * out.cap_unit);
+    } else if (current != nullptr && section == Section::kRes) {
+      // Format: <index> <node_a> <node_b> <ohm>.
+      int idx = 0;
+      SpefNet::Res r;
+      double ohm = 0.0;
+      std::istringstream entry(line);
+      if (!(entry >> idx >> r.a >> r.b >> ohm)) {
+        spef_error(line_no, "bad *RES entry");
+      }
+      r.ohm = ohm * out.res_unit;
+      current->resistors.push_back(std::move(r));
+    }
+  }
+  for (SpefNet& n : out.nets) n.total_cap *= out.cap_unit;
+  return out;
+}
+
+SpefFile read_spef_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("read_spef_file: cannot open " + path);
+  return read_spef(f);
+}
+
+}  // namespace sndr::io

@@ -1,0 +1,80 @@
+// SPEF (IEEE 1481) parasitics exchange.
+//
+// Writes the extracted clock-network parasitics as a standard SPEF file so
+// downstream tools (or a signoff STA) can consume them, and reads SPEF back
+// into per-net RC trees. The subset implemented is the structural core used
+// by every extractor: header units, *D_NET sections with *CONN/*CAP/*RES.
+// Coupling caps are emitted as grounded caps scaled by the power Miller
+// factor convention used in the library (documented in the header comment
+// of each file written).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "extract/extractor.hpp"
+#include "netlist/clock_nets.hpp"
+#include "netlist/clock_tree.hpp"
+#include "netlist/design.hpp"
+
+namespace sndr::io {
+
+struct SpefWriteOptions {
+  std::string program = "sndr";
+  std::string version = "1.0";
+  /// Coupling caps folded to ground with this factor (SPEF cc sections for
+  /// true aggressor nets are not modeled — the aggressors are abstract).
+  double miller_power = 1.0;
+};
+
+/// Writes the whole clock network. Net names are `clk_net_<id>`; internal
+/// RC nodes are `clk_net_<id>:<rc_index>`; pins are `<inst>:<pin>` with
+/// instances `src`, `buf_<tree_node>`, `sink_<design_sink>`.
+void write_spef(std::ostream& os, const netlist::ClockTree& tree,
+                const netlist::Design& design,
+                const netlist::NetList& nets,
+                const std::vector<extract::NetParasitics>& parasitics,
+                const SpefWriteOptions& options = {});
+
+/// Convenience: write to a file path. Throws std::runtime_error on I/O
+/// failure.
+void write_spef_file(const std::string& path, const netlist::ClockTree& tree,
+                     const netlist::Design& design,
+                     const netlist::NetList& nets,
+                     const std::vector<extract::NetParasitics>& parasitics,
+                     const SpefWriteOptions& options = {});
+
+/// One parsed *D_NET section.
+struct SpefNet {
+  std::string name;
+  double total_cap = 0.0;  ///< F, from the D_NET header.
+  /// Node name -> grounded cap (F).
+  std::vector<std::pair<std::string, double>> caps;
+  /// (node a, node b, ohm) resistors.
+  struct Res {
+    std::string a;
+    std::string b;
+    double ohm = 0.0;
+  };
+  std::vector<Res> resistors;
+
+  double cap_sum() const;
+};
+
+struct SpefFile {
+  std::string design_name;
+  double time_unit = 1e-12;  ///< s per SPEF time unit.
+  double cap_unit = 1e-15;   ///< F per SPEF cap unit.
+  double res_unit = 1.0;     ///< ohm per SPEF res unit.
+  std::vector<SpefNet> nets;
+
+  const SpefNet* find(const std::string& name) const;
+};
+
+/// Parses the subset written by write_spef. Throws std::runtime_error with
+/// a line diagnostic on malformed input.
+SpefFile read_spef(std::istream& is);
+SpefFile read_spef_file(const std::string& path);
+
+}  // namespace sndr::io

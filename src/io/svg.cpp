@@ -1,0 +1,151 @@
+#include "io/svg.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace sndr::io {
+
+namespace {
+
+// Categorical palette for rules (cycled if a rule set is larger).
+const char* kRuleColors[] = {"#4477aa", "#66ccee", "#228833",
+                             "#ccbb44", "#ee6677", "#aa3377",
+                             "#bbbbbb"};
+constexpr int kNumColors = 7;
+
+struct Mapper {
+  geom::BBox core;
+  double scale = 1.0;
+  double pad = 20.0;
+
+  double x(double ux) const { return pad + (ux - core.lo().x) * scale; }
+  // SVG y grows downward; flip so the layout reads like a floorplan.
+  double y(double uy) const {
+    return pad + (core.hi().y - uy) * scale;
+  }
+};
+
+}  // namespace
+
+std::string render_svg(const netlist::ClockTree& tree,
+                       const netlist::Design& design,
+                       const tech::Technology& tech,
+                       const netlist::NetList& nets,
+                       const std::vector<int>& rule_of_net,
+                       const SvgOptions& options) {
+  if (rule_of_net.size() != static_cast<std::size_t>(nets.size())) {
+    throw std::invalid_argument("render_svg: rule assignment mismatch");
+  }
+  Mapper m;
+  m.core = design.core;
+  const double span = std::max(design.core.width(), design.core.height());
+  m.scale = (options.canvas_px - 2 * m.pad) / std::max(span, 1e-9);
+  const double w = options.canvas_px;
+  const double legend_h = options.draw_legend ? 26.0 : 0.0;
+  const double h = 2 * m.pad + design.core.height() * m.scale + legend_h;
+
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2);
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << w
+     << "\" height=\"" << h << "\" viewBox=\"0 0 " << w << ' ' << h
+     << "\">\n";
+  os << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+
+  if (options.draw_congestion && design.congestion.valid()) {
+    os << "<g>\n";
+    for (int ci = 0; ci < design.congestion.cell_count(); ++ci) {
+      const geom::BBox cell = design.congestion.cell_box(ci);
+      const double occ = design.congestion.occupancy_cell(ci);
+      const int shade = static_cast<int>(255 - 80 * occ);
+      os << "<rect x=\"" << m.x(cell.lo().x) << "\" y=\"" << m.y(cell.hi().y)
+         << "\" width=\"" << cell.width() * m.scale << "\" height=\""
+         << cell.height() * m.scale << "\" fill=\"rgb(" << shade << ','
+         << shade << ",255)\" fill-opacity=\"0.35\"/>\n";
+    }
+    os << "</g>\n";
+  }
+
+  // Core outline.
+  os << "<rect x=\"" << m.x(design.core.lo().x) << "\" y=\""
+     << m.y(design.core.hi().y) << "\" width=\""
+     << design.core.width() * m.scale << "\" height=\""
+     << design.core.height() * m.scale
+     << "\" fill=\"none\" stroke=\"#444\" stroke-width=\"1\"/>\n";
+
+  // Wires, one polyline per edge, colored by the owning net's rule.
+  os << "<g fill=\"none\" stroke-linecap=\"round\">\n";
+  for (int v = 0; v < tree.size(); ++v) {
+    const netlist::TreeNode& n = tree.node(v);
+    if (n.parent < 0) continue;
+    const int net_id = nets.net_of_edge[v];
+    if (net_id < 0) continue;
+    const int rule = rule_of_net[net_id];
+    geom::Path path = n.path;
+    if (path.size() < 2) path = {tree.loc(n.parent), n.loc};
+    os << "<polyline points=\"";
+    for (const geom::Point& p : path) {
+      os << m.x(p.x) << ',' << m.y(p.y) << ' ';
+    }
+    os << "\" stroke=\"" << kRuleColors[rule % kNumColors]
+       << "\" stroke-width=\""
+       << 0.8 + 0.7 * tech.rules[rule].width_mult << "\"/>\n";
+  }
+  os << "</g>\n";
+
+  if (options.draw_sinks) {
+    os << "<g fill=\"#333\">\n";
+    for (const netlist::Sink& s : design.sinks) {
+      os << "<circle cx=\"" << m.x(s.loc.x) << "\" cy=\"" << m.y(s.loc.y)
+         << "\" r=\"1.2\"/>\n";
+    }
+    os << "</g>\n";
+  }
+
+  if (options.draw_buffers) {
+    os << "<g fill=\"#d62728\" stroke=\"white\" stroke-width=\"0.5\">\n";
+    for (int v = 0; v < tree.size(); ++v) {
+      if (tree.node(v).kind != netlist::NodeKind::kBuffer) continue;
+      const geom::Point p = tree.loc(v);
+      os << "<rect x=\"" << m.x(p.x) - 2.2 << "\" y=\"" << m.y(p.y) - 2.2
+         << "\" width=\"4.4\" height=\"4.4\"/>\n";
+    }
+    os << "</g>\n";
+  }
+
+  if (options.draw_legend) {
+    double lx = m.pad;
+    const double ly = h - 14.0;
+    os << "<g font-family=\"sans-serif\" font-size=\"11\">\n";
+    for (int r = 0; r < tech.rules.size(); ++r) {
+      os << "<rect x=\"" << lx << "\" y=\"" << ly - 9 << "\" width=\"14\""
+         << " height=\"10\" fill=\"" << kRuleColors[r % kNumColors]
+         << "\"/>\n";
+      os << "<text x=\"" << lx + 18 << "\" y=\"" << ly << "\">"
+         << tech.rules[r].name << "</text>\n";
+      lx += 26.0 + 8.0 * tech.rules[r].name.size();
+    }
+    os << "<text x=\"" << lx + 10 << "\" y=\"" << ly << "\" fill=\"#666\">"
+       << design.name << ": " << design.sinks.size() << " sinks, "
+       << nets.size() << " nets</text>\n";
+    os << "</g>\n";
+  }
+
+  os << "</svg>\n";
+  return os.str();
+}
+
+void write_svg_file(const std::string& path, const netlist::ClockTree& tree,
+                    const netlist::Design& design,
+                    const tech::Technology& tech,
+                    const netlist::NetList& nets,
+                    const std::vector<int>& rule_of_net,
+                    const SvgOptions& options) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("write_svg_file: cannot open " + path);
+  f << render_svg(tree, design, tech, nets, rule_of_net, options);
+}
+
+}  // namespace sndr::io

@@ -1,0 +1,45 @@
+// SVG rendering of a routed clock tree.
+//
+// Draws the core outline, the congestion heat field, every routed wire
+// colored by its assigned NDR (stroke width scaled by the rule's wire
+// width), buffers as squares, sinks as dots, and a legend. The output is a
+// standalone .svg any browser renders — the fastest way to eyeball a rule
+// assignment.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/clock_nets.hpp"
+#include "netlist/clock_tree.hpp"
+#include "netlist/design.hpp"
+#include "tech/technology.hpp"
+
+namespace sndr::io {
+
+struct SvgOptions {
+  double canvas_px = 900.0;     ///< width/height of the drawing area.
+  bool draw_congestion = true;  ///< shade cells by occupancy.
+  bool draw_sinks = true;
+  bool draw_buffers = true;
+  bool draw_legend = true;
+};
+
+/// Renders the tree under a rule assignment (one rule index per net; pass
+/// an all-equal assignment to view a baseline).
+std::string render_svg(const netlist::ClockTree& tree,
+                       const netlist::Design& design,
+                       const tech::Technology& tech,
+                       const netlist::NetList& nets,
+                       const std::vector<int>& rule_of_net,
+                       const SvgOptions& options = {});
+
+/// Convenience: render into a file. Throws std::runtime_error on I/O error.
+void write_svg_file(const std::string& path, const netlist::ClockTree& tree,
+                    const netlist::Design& design,
+                    const tech::Technology& tech,
+                    const netlist::NetList& nets,
+                    const std::vector<int>& rule_of_net,
+                    const SvgOptions& options = {});
+
+}  // namespace sndr::io

@@ -1,0 +1,103 @@
+#include "ndr/annealer.hpp"
+
+#include <cmath>
+
+#include "ndr/assignment_state.hpp"
+#include "workload/rng.hpp"
+
+namespace sndr::ndr {
+
+AnnealResult anneal_rules(const netlist::ClockTree& tree,
+                          const netlist::Design& design,
+                          const tech::Technology& tech,
+                          const netlist::NetList& nets,
+                          const RuleAssignment& start,
+                          const AnnealOptions& options) {
+  AnnealResult result;
+  result.assignment = start;
+
+  AssignmentState state(tree, design, tech, nets, options.analysis);
+  FlowEvaluation ev =
+      evaluate(tree, design, tech, nets, start, options.analysis);
+  state.rebuild(start, ev);
+  result.start_cap = state.total_cap();
+  const bool start_feasible = ev.feasible();
+
+  const MoveMargins margins{options.slew_margin, options.uncertainty_margin,
+                            options.em_margin, options.skew_margin};
+  workload::Rng rng(options.seed * 0x9e3779b97f4a7c15ULL + 17);
+
+  const int n_nets = nets.size();
+  const int n_rules = tech.rules.size();
+  const double mean_cap =
+      state.total_cap() / std::max(1, n_nets);
+  const double t_start = options.t_start_frac * mean_cap;
+  const double t_end = std::max(options.t_end_frac * mean_cap, 1e-21);
+  const double cooling =
+      options.iterations > 1
+          ? std::pow(t_end / t_start, 1.0 / (options.iterations - 1))
+          : 1.0;
+
+  // Track the best feasible assignment seen.
+  RuleAssignment best = start;
+  double best_cap = state.total_cap();
+
+  double temperature = t_start;
+  int accepted_since_refresh = 0;
+  for (int it = 0; it < options.iterations; ++it, temperature *= cooling) {
+    const int net_id = static_cast<int>(rng.uniform_int(n_nets));
+    int rule = static_cast<int>(rng.uniform_int(n_rules));
+    if (rule == state.rule_of(net_id)) {
+      rule = (rule + 1) % n_rules;
+    }
+    ++result.proposed;
+
+    const NetExact exact = state.exact_eval(net_id, rule);
+    const double d_cap = exact.cap_switched - state.net_cap(net_id);
+    if (d_cap > 0.0) {
+      const double p = std::exp(-d_cap / temperature);
+      if (rng.uniform() >= p) continue;
+    }
+    NetImpact impact;
+    impact.step_slew = exact.step_slew_worst;
+    impact.sigma = exact.sigma_worst;
+    impact.xtalk = exact.xtalk_worst;
+    impact.delay = exact.wire_delay_worst;
+    if (exact.em_peak >
+        tech.clock_layer.em_jmax * (1.0 - options.em_margin)) {
+      continue;
+    }
+    if (!state.check_move(net_id, rule, impact, margins)) continue;
+
+    state.apply_move(net_id, rule, exact);
+    ++result.accepted;
+    if (d_cap > 0.0) ++result.uphill_accepted;
+
+    if (state.total_cap() < best_cap) {
+      best = state.assignment();
+      best_cap = state.total_cap();
+    }
+    if (++accepted_since_refresh >= options.full_refresh_interval) {
+      accepted_since_refresh = 0;
+      ev = evaluate(tree, design, tech, nets, state.assignment(),
+                    options.analysis);
+      state.rebuild(state.assignment(), ev);
+    }
+  }
+
+  // Verify the best assignment exactly; fall back to the input if it does
+  // not hold up (or if the input itself was infeasible, report honestly).
+  ev = evaluate(tree, design, tech, nets, best, options.analysis);
+  if (ev.feasible() || !start_feasible) {
+    result.assignment = best;
+    result.final_eval = std::move(ev);
+  } else {
+    result.assignment = start;
+    result.final_eval =
+        evaluate(tree, design, tech, nets, start, options.analysis);
+  }
+  result.end_cap = result.final_eval.power.switched_cap;
+  return result;
+}
+
+}  // namespace sndr::ndr

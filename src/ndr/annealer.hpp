@@ -1,0 +1,60 @@
+// Simulated-annealing refinement of a rule assignment.
+//
+// The greedy optimizer commits the cheapest feasible rule per net in
+// leaf-first order; because moves interact only weakly (through the shared
+// skew window, uncertainty budgets, and routing capacity), greedy is close
+// to optimal — this annealer exists to *measure* that gap (Ablation D) and
+// to squeeze the last fraction of a percent when runtime is free.
+//
+// Moves are single-net rule changes validated with exact per-net
+// evaluation; energy is the total switched capacitance. Uphill moves are
+// accepted with the Metropolis criterion on a geometric cooling schedule.
+// Infeasible moves are never accepted, so every intermediate state remains
+// signoff-clean (up to the incremental approximations, which a final full
+// evaluation verifies).
+#pragma once
+
+#include "ndr/evaluation.hpp"
+#include "ndr/optimizer.hpp"
+
+namespace sndr::ndr {
+
+struct AnnealOptions {
+  int iterations = 20000;
+  /// Starting temperature as a fraction of the mean per-net switched cap;
+  /// ends at `t_end_frac` of the same on a geometric schedule.
+  double t_start_frac = 0.5;
+  double t_end_frac = 0.005;
+  std::uint64_t seed = 1;
+  /// Exact full re-analysis cadence (accepted moves).
+  int full_refresh_interval = 512;
+  /// Guard bands during move checking (the annealer inherits the greedy
+  /// result's margins by default).
+  double slew_margin = 0.05;
+  double uncertainty_margin = 0.05;
+  double em_margin = 0.05;
+  double skew_margin = 0.10;
+  timing::AnalysisOptions analysis;
+};
+
+struct AnnealResult {
+  RuleAssignment assignment;
+  FlowEvaluation final_eval;
+  int proposed = 0;
+  int accepted = 0;
+  int uphill_accepted = 0;
+  double start_cap = 0.0;  ///< F, switched cap of the input assignment.
+  double end_cap = 0.0;    ///< F.
+};
+
+/// Refines `start` (typically the greedy optimizer's assignment). The
+/// returned assignment is exactly `start` if no improving sequence was
+/// found or if annealing ended infeasible (fallback).
+AnnealResult anneal_rules(const netlist::ClockTree& tree,
+                          const netlist::Design& design,
+                          const tech::Technology& tech,
+                          const netlist::NetList& nets,
+                          const RuleAssignment& start,
+                          const AnnealOptions& options = {});
+
+}  // namespace sndr::ndr

@@ -1,0 +1,206 @@
+#include "ndr/assignment_state.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "route/congestion_route.hpp"
+#include "timing/delay_metrics.hpp"
+
+namespace sndr::ndr {
+
+AssignmentState::AssignmentState(const netlist::ClockTree& tree,
+                                 const netlist::Design& design,
+                                 const tech::Technology& tech,
+                                 const netlist::NetList& nets,
+                                 const timing::AnalysisOptions& analysis)
+    : tree_(&tree),
+      design_(&design),
+      tech_(&tech),
+      nets_(&nets),
+      analysis_(analysis),
+      usage_(&design.congestion) {
+  const int n_nets = nets.size();
+  const int n_sinks = static_cast<int>(design.sinks.size());
+  sinks_under_.assign(n_nets, {});
+  nets_on_path_.assign(n_sinks, {});
+
+  for (int v = 0; v < tree.size(); ++v) {
+    const netlist::TreeNode& n = tree.node(v);
+    if (n.kind != netlist::NodeKind::kSink) continue;
+    int node = v;
+    int last_net = -1;
+    while (node >= 0) {
+      const int net = nets.net_of_edge[node];
+      if (net >= 0 && net != last_net) {
+        sinks_under_[net].push_back(n.sink);
+        nets_on_path_[n.sink].push_back(net);
+        last_net = net;
+      }
+      node = tree.node(node).parent;
+    }
+  }
+
+  win_lo_.resize(n_sinks);
+  win_hi_.resize(n_sinks);
+  for (int s = 0; s < n_sinks; ++s) {
+    if (design.useful_skew.enabled()) {
+      win_lo_[s] = design.useful_skew.lo[s];
+      win_hi_[s] = design.useful_skew.hi[s];
+    } else {
+      win_lo_[s] = -0.5 * design.constraints.max_skew;
+      win_hi_[s] = 0.5 * design.constraints.max_skew;
+    }
+  }
+
+  nets_state_.resize(n_nets);
+  for (const netlist::Net& net : nets.nets) {
+    NetState& st = nets_state_[net.id];
+    st.summary = summarize_net(tree, design, tech, net, analysis_);
+    const netlist::TreeNode& drv = tree.node(net.driver);
+    st.base_slew = drv.kind == netlist::NodeKind::kSource
+                       ? analysis_.source_slew
+                       : 0.4 * tech.buffers[drv.cell].intrinsic_delay;
+    st.paths.reserve(net.wires.size());
+    for (const int v : net.wires) {
+      const netlist::TreeNode& wn = tree.node(v);
+      if (wn.path.size() >= 2) {
+        st.paths.push_back(wn.path);
+      } else {
+        st.paths.push_back({tree.loc(wn.parent), wn.loc});
+      }
+    }
+  }
+}
+
+void AssignmentState::rebuild(const RuleAssignment& assignment,
+                              const FlowEvaluation& ev) {
+  assignment_ = assignment;
+  const int n_sinks = static_cast<int>(design_->sinks.size());
+  sink_latency_ = ev.timing.sink_arrival;
+  latency_sum_ = std::accumulate(sink_latency_.begin(), sink_latency_.end(),
+                                 0.0);
+  sink_var_.assign(n_sinks, 0.0);
+  sink_xtalk_.assign(n_sinks, 0.0);
+  for (int s = 0; s < n_sinks; ++s) {
+    for (const int net : nets_on_path_[s]) {
+      sink_var_[s] +=
+          ev.variation.net_sigma[net] * ev.variation.net_sigma[net];
+      sink_xtalk_[s] += ev.variation.net_xtalk[net];
+    }
+  }
+
+  total_cap_ = 0.0;
+  for (const netlist::Net& net : nets_->nets) {
+    NetState& st = nets_state_[net.id];
+    st.cap = ev.power.net_switched_cap[net.id];
+    total_cap_ += st.cap;
+    st.sigma = ev.variation.net_sigma[net.id];
+    st.xtalk = ev.variation.net_xtalk[net.id];
+    const extract::NetParasitics& par = ev.parasitics[net.id];
+    const double driver_res =
+        timing::net_driver_res(*tree_, *tech_, net, analysis_);
+    const std::vector<double> m1 =
+        par.rc.elmore_delay(driver_res, analysis_.timing_miller);
+    const std::vector<double> m2 =
+        par.rc.second_moment(driver_res, analysis_.timing_miller);
+    st.wire_delay = 0.0;
+    for (const int rc : par.load_rc_index) {
+      st.wire_delay =
+          std::max(st.wire_delay, timing::delay_d2m(m1[rc], m2[rc]));
+    }
+  }
+
+  usage_ = route::compute_usage(*tree_, *nets_, assignment_, *tech_,
+                                design_->congestion);
+}
+
+double AssignmentState::slew_at_loads(int net_id, double step_slew) const {
+  return timing::peri_slew(nets_state_[net_id].base_slew, step_slew);
+}
+
+bool AssignmentState::check_move(int net_id, int rule_idx,
+                                 const NetImpact& impact,
+                                 const MoveMargins& margins) const {
+  const netlist::ClockConstraints& c = design_->constraints;
+  const NetState& st = nets_state_[net_id];
+  const tech::RoutingRule& rule = tech_->rules[rule_idx];
+
+  if (slew_at_loads(net_id, impact.step_slew) >
+      c.max_slew * (1.0 - margins.slew)) {
+    return false;
+  }
+  if (net_em_bound(st.summary, *tech_, rule, c.clock_freq) >
+      tech_->clock_layer.em_jmax * (1.0 - margins.em)) {
+    return false;
+  }
+  const double width_frac = tech_->clock_layer.width_frac();
+  const double d_pitch =
+      rule.pitch_mult(width_frac) -
+      tech_->rules[assignment_[net_id]].pitch_mult(width_frac);
+  if (d_pitch > 0.0) {
+    for (const geom::Path& p : st.paths) {
+      if (!usage_.fits(p, d_pitch)) return false;
+    }
+  }
+
+  const double d_delay = impact.delay - st.wire_delay;
+  const std::vector<int>& under = sinks_under_[net_id];
+  const int n_sinks = static_cast<int>(design_->sinks.size());
+  const double new_mean =
+      (latency_sum_ + d_delay * static_cast<double>(under.size())) /
+      std::max(1, n_sinks);
+  const double d_var = impact.sigma * impact.sigma - st.sigma * st.sigma;
+  const double d_xtalk = impact.xtalk - st.xtalk;
+  const double max_unc = c.max_uncertainty * (1.0 - margins.uncertainty);
+  const double win_scale = 1.0 - margins.skew;
+  for (const int s : under) {
+    const double off = sink_latency_[s] + d_delay - new_mean;
+    if (off < win_lo_[s] * win_scale || off > win_hi_[s] * win_scale) {
+      return false;
+    }
+    const double var = std::max(0.0, sink_var_[s] + d_var);
+    const double unc = 3.0 * std::sqrt(var) + sink_xtalk_[s] + d_xtalk;
+    if (unc > max_unc) return false;
+  }
+  return true;
+}
+
+void AssignmentState::apply_move(int net_id, int rule_idx,
+                                 const NetExact& exact) {
+  NetState& st = nets_state_[net_id];
+  const double width_frac = tech_->clock_layer.width_frac();
+  const double d_pitch =
+      tech_->rules[rule_idx].pitch_mult(width_frac) -
+      tech_->rules[assignment_[net_id]].pitch_mult(width_frac);
+  if (d_pitch != 0.0) {
+    for (const geom::Path& p : st.paths) usage_.add(p, d_pitch);
+  }
+
+  const double d_delay = exact.wire_delay_worst - st.wire_delay;
+  const double d_var =
+      exact.sigma_worst * exact.sigma_worst - st.sigma * st.sigma;
+  const double d_xtalk = exact.xtalk_worst - st.xtalk;
+  for (const int s : sinks_under_[net_id]) {
+    sink_latency_[s] += d_delay;
+    latency_sum_ += d_delay;
+    sink_var_[s] = std::max(0.0, sink_var_[s] + d_var);
+    sink_xtalk_[s] = std::max(0.0, sink_xtalk_[s] + d_xtalk);
+  }
+
+  assignment_[net_id] = rule_idx;
+  total_cap_ += exact.cap_switched - st.cap;
+  st.cap = exact.cap_switched;
+  st.sigma = exact.sigma_worst;
+  st.xtalk = exact.xtalk_worst;
+  st.wire_delay = exact.wire_delay_worst;
+}
+
+NetExact AssignmentState::exact_eval(int net_id, int rule_idx) const {
+  return evaluate_net_exact(*tree_, *design_, *tech_, (*nets_)[net_id],
+                            tech_->rules[rule_idx],
+                            nets_state_[net_id].summary.driver_res,
+                            design_->constraints.clock_freq);
+}
+
+}  // namespace sndr::ndr

@@ -1,0 +1,111 @@
+// Incremental bookkeeping for rule-assignment search.
+//
+// Both the greedy optimizer and the annealer explore (net, rule) moves and
+// need the same machinery: per-net summaries and current metrics, per-sink
+// latency / variance / crosstalk accumulators, routing-usage tracking, and
+// latency windows. This class owns that state and offers move checking /
+// application with exactly the approximations documented in optimizer.hpp;
+// callers periodically re-synchronize against a full evaluation.
+#pragma once
+
+#include "ndr/evaluation.hpp"
+#include "ndr/net_eval.hpp"
+#include "ndr/predictor.hpp"
+
+namespace sndr::ndr {
+
+/// Guard bands used during move checking (fractions of each constraint).
+struct MoveMargins {
+  double slew = 0.0;
+  double uncertainty = 0.0;
+  double em = 0.0;
+  double skew = 0.0;
+};
+
+class AssignmentState {
+ public:
+  AssignmentState(const netlist::ClockTree& tree,
+                  const netlist::Design& design,
+                  const tech::Technology& tech, const netlist::NetList& nets,
+                  const timing::AnalysisOptions& analysis);
+
+  /// Re-synchronizes every incremental accumulator from a full evaluation
+  /// of `assignment` (which becomes the current assignment).
+  void rebuild(const RuleAssignment& assignment, const FlowEvaluation& ev);
+
+  const RuleAssignment& assignment() const { return assignment_; }
+  int rule_of(int net_id) const { return assignment_.at(net_id); }
+
+  /// Rule-independent summary of a net.
+  const NetSummary& summary(int net_id) const {
+    return nets_state_[net_id].summary;
+  }
+  /// Current switched cap of a net under its assigned rule.
+  double net_cap(int net_id) const { return nets_state_[net_id].cap; }
+  /// Total switched capacitance (the optimization energy).
+  double total_cap() const { return total_cap_; }
+
+  /// Transition at the loads of `net_id` if its wire step slew were `step`.
+  double slew_at_loads(int net_id, double step_slew) const;
+
+  /// Checks a candidate move against every constraint using predicted or
+  /// exact per-net metrics in `impact`.
+  bool check_move(int net_id, int rule_idx, const NetImpact& impact,
+                  const MoveMargins& margins) const;
+
+  /// Applies a validated move; `exact` must be the exact evaluation of the
+  /// net under the new rule.
+  void apply_move(int net_id, int rule_idx, const NetExact& exact);
+
+  /// Exact per-net evaluation of a candidate rule (driver model included).
+  NetExact exact_eval(int net_id, int rule_idx) const;
+
+  const netlist::ClockTree& tree() const { return *tree_; }
+  const netlist::Design& design() const { return *design_; }
+  const tech::Technology& tech() const { return *tech_; }
+  const netlist::NetList& nets() const { return *nets_; }
+  const timing::AnalysisOptions& analysis() const { return analysis_; }
+
+  /// Design sinks downstream of a net / nets on a sink's source path.
+  const std::vector<int>& sinks_under(int net_id) const {
+    return sinks_under_[net_id];
+  }
+  const std::vector<int>& nets_on_path(int sink) const {
+    return nets_on_path_[sink];
+  }
+  const std::vector<geom::Path>& net_paths(int net_id) const {
+    return nets_state_[net_id].paths;
+  }
+
+ private:
+  struct NetState {
+    NetSummary summary;
+    double cap = 0.0;
+    double sigma = 0.0;
+    double xtalk = 0.0;
+    double wire_delay = 0.0;
+    double base_slew = 0.0;
+    std::vector<geom::Path> paths;
+  };
+
+  const netlist::ClockTree* tree_;
+  const netlist::Design* design_;
+  const tech::Technology* tech_;
+  const netlist::NetList* nets_;
+  timing::AnalysisOptions analysis_;
+
+  RuleAssignment assignment_;
+  std::vector<NetState> nets_state_;
+  std::vector<std::vector<int>> sinks_under_;
+  std::vector<std::vector<int>> nets_on_path_;
+  std::vector<double> sink_latency_;
+  std::vector<double> sink_var_;
+  std::vector<double> sink_xtalk_;
+  std::vector<double> win_lo_;  ///< raw windows (no margin).
+  std::vector<double> win_hi_;
+  double latency_sum_ = 0.0;
+  double total_cap_ = 0.0;
+  netlist::RoutingUsage usage_;
+};
+
+}  // namespace sndr::ndr

@@ -1,0 +1,65 @@
+#include "ndr/corner_eval.hpp"
+
+namespace sndr::ndr {
+
+namespace {
+
+template <typename Metric>
+int worst_index(const std::vector<CornerResult>& corners, Metric metric) {
+  int worst = -1;
+  double value = -1.0;
+  for (int i = 0; i < static_cast<int>(corners.size()); ++i) {
+    const double v = metric(corners[i].eval);
+    if (v > value) {
+      value = v;
+      worst = i;
+    }
+  }
+  return worst;
+}
+
+}  // namespace
+
+int MultiCornerReport::worst_slew_corner() const {
+  return worst_index(corners, [](const FlowEvaluation& e) {
+    return e.timing.max_slew;
+  });
+}
+
+int MultiCornerReport::worst_skew_corner() const {
+  return worst_index(corners, [](const FlowEvaluation& e) {
+    return e.timing.skew();
+  });
+}
+
+int MultiCornerReport::worst_em_corner() const {
+  return worst_index(corners, [](const FlowEvaluation& e) {
+    return e.em.worst_density;
+  });
+}
+
+int MultiCornerReport::worst_power_corner() const {
+  return worst_index(corners, [](const FlowEvaluation& e) {
+    return e.power.total_power;
+  });
+}
+
+MultiCornerReport evaluate_corners(
+    const netlist::ClockTree& tree, const netlist::Design& design,
+    const tech::Technology& tech, const netlist::NetList& nets,
+    const RuleAssignment& assignment,
+    const std::vector<tech::Corner>& corners,
+    const timing::AnalysisOptions& options) {
+  MultiCornerReport rep;
+  rep.corners.reserve(corners.size());
+  for (const tech::Corner& corner : corners) {
+    const tech::Technology cornered = tech::apply_corner(tech, corner);
+    CornerResult r;
+    r.corner = corner;
+    r.eval = evaluate(tree, design, cornered, nets, assignment, options);
+    rep.corners.push_back(std::move(r));
+  }
+  return rep;
+}
+
+}  // namespace sndr::ndr

@@ -1,0 +1,46 @@
+// Multi-corner signoff of a rule assignment.
+//
+// Evaluates the same tree + assignment at each process corner and reports
+// the binding corner per constraint. This extends the paper's single-corner
+// evaluation with the signoff practice its flow would face in production:
+// a rule assignment is only acceptable if it holds at *every* corner.
+#pragma once
+
+#include "ndr/evaluation.hpp"
+#include "tech/corners.hpp"
+
+namespace sndr::ndr {
+
+struct CornerResult {
+  tech::Corner corner;
+  FlowEvaluation eval;
+};
+
+struct MultiCornerReport {
+  std::vector<CornerResult> corners;
+
+  /// True if every corner passes every constraint.
+  bool feasible() const {
+    for (const CornerResult& c : corners) {
+      if (!c.eval.feasible()) return false;
+    }
+    return true;
+  }
+
+  /// Index of the corner with the worst value of each signoff metric.
+  int worst_slew_corner() const;
+  int worst_skew_corner() const;
+  int worst_em_corner() const;
+  int worst_power_corner() const;
+};
+
+/// Runs evaluate() once per corner (buffer sizing and routing are fixed;
+/// only the electrical coefficients move).
+MultiCornerReport evaluate_corners(
+    const netlist::ClockTree& tree, const netlist::Design& design,
+    const tech::Technology& tech, const netlist::NetList& nets,
+    const RuleAssignment& assignment,
+    const std::vector<tech::Corner>& corners = tech::standard_corners(),
+    const timing::AnalysisOptions& options = {});
+
+}  // namespace sndr::ndr

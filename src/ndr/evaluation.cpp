@@ -1,0 +1,77 @@
+#include "ndr/evaluation.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "route/congestion_route.hpp"
+
+namespace sndr::ndr {
+
+RuleAssignment assign_all(const netlist::NetList& nets, int rule) {
+  return RuleAssignment(static_cast<std::size_t>(nets.size()), rule);
+}
+
+RuleAssignment assign_level_based(const netlist::NetList& nets,
+                                  int wide_levels, int wide_rule,
+                                  int narrow_rule) {
+  RuleAssignment a(static_cast<std::size_t>(nets.size()), narrow_rule);
+  for (const netlist::Net& net : nets.nets) {
+    if (net.depth < wide_levels) a[net.id] = wide_rule;
+  }
+  return a;
+}
+
+FlowEvaluation evaluate(const netlist::ClockTree& tree,
+                        const netlist::Design& design,
+                        const tech::Technology& tech,
+                        const netlist::NetList& nets,
+                        const RuleAssignment& assignment,
+                        const timing::AnalysisOptions& options) {
+  if (assignment.size() != static_cast<std::size_t>(nets.size())) {
+    throw std::invalid_argument("ndr::evaluate: assignment size mismatch");
+  }
+  FlowEvaluation ev;
+  ev.assignment = assignment;
+
+  const extract::Extractor extractor(tech, design);
+  ev.parasitics = extractor.extract_all(tree, nets, assignment);
+  ev.timing = timing::analyze(tree, design, tech, nets, ev.parasitics,
+                              options);
+  ev.variation = timing::analyze_variation(tree, design, tech, nets,
+                                           ev.parasitics, assignment,
+                                           options);
+  ev.power = power::analyze_power(tree, design, tech, nets, ev.parasitics);
+  ev.em = power::analyze_em(design, tech, nets, ev.parasitics, assignment);
+
+  const netlist::RoutingUsage usage = route::compute_usage(
+      tree, nets, assignment, tech, design.congestion);
+  ev.max_track_util = usage.max_utilization();
+  ev.overflow_cells = usage.overflow_cells();
+
+  const netlist::ClockConstraints& c = design.constraints;
+  ev.slew_violations = ev.timing.slew_violations(c.max_slew);
+  ev.uncertainty_violations = ev.variation.violations(c.max_uncertainty);
+  ev.em_violations = ev.em.violations();
+  if (design.useful_skew.enabled()) {
+    // Useful-skew mode: per-sink windows around the mean latency replace
+    // the global skew bound.
+    const auto& lat = ev.timing.sink_arrival;
+    const double mean =
+        lat.empty() ? 0.0
+                    : std::accumulate(lat.begin(), lat.end(), 0.0) /
+                          static_cast<double>(lat.size());
+    for (std::size_t s = 0; s < lat.size(); ++s) {
+      const double off = lat[s] - mean;
+      if (off < design.useful_skew.lo.at(s) ||
+          off > design.useful_skew.hi.at(s)) {
+        ++ev.window_violations;
+      }
+    }
+    ev.skew_ok = true;  // the window check subsumes the global bound.
+  } else {
+    ev.skew_ok = ev.timing.skew() <= c.max_skew;
+  }
+  return ev;
+}
+
+}  // namespace sndr::ndr

@@ -1,0 +1,67 @@
+// Full "signoff" evaluation of a clock tree under a rule assignment:
+// extraction, timing, variation, EM, power, and routing-resource checks in
+// one call. This is the ground truth every optimizer variant is validated
+// against, and the engine behind all reported tables.
+#pragma once
+
+#include <vector>
+
+#include "extract/extractor.hpp"
+#include "netlist/clock_nets.hpp"
+#include "netlist/clock_tree.hpp"
+#include "netlist/design.hpp"
+#include "power/clock_power.hpp"
+#include "power/em.hpp"
+#include "tech/technology.hpp"
+#include "timing/tree_timing.hpp"
+#include "timing/variation.hpp"
+
+namespace sndr::ndr {
+
+/// A rule assignment: rule index (into Technology::rules) per net id.
+using RuleAssignment = std::vector<int>;
+
+/// Every net gets the same rule.
+RuleAssignment assign_all(const netlist::NetList& nets, int rule);
+
+/// The industry middle-ground baseline: nets in the top `wide_levels` of the
+/// buffer hierarchy (depth < wide_levels) get `wide_rule`; the rest get
+/// `narrow_rule`.
+RuleAssignment assign_level_based(const netlist::NetList& nets,
+                                  int wide_levels, int wide_rule,
+                                  int narrow_rule);
+
+struct FlowEvaluation {
+  RuleAssignment assignment;
+  std::vector<extract::NetParasitics> parasitics;
+  timing::TimingReport timing;
+  timing::VariationReport variation;
+  power::PowerReport power;
+  power::EmReport em;
+
+  double max_track_util = 0.0;
+  int overflow_cells = 0;
+
+  int slew_violations = 0;
+  int uncertainty_violations = 0;
+  int em_violations = 0;
+  /// Sinks outside their useful-skew window (0 when windows are disabled).
+  int window_violations = 0;
+  bool skew_ok = true;
+
+  bool feasible() const {
+    return slew_violations == 0 && uncertainty_violations == 0 &&
+           em_violations == 0 && skew_ok && window_violations == 0 &&
+           overflow_cells == 0;
+  }
+};
+
+/// Runs the whole analysis stack. `nets` must come from build_nets(tree).
+FlowEvaluation evaluate(const netlist::ClockTree& tree,
+                        const netlist::Design& design,
+                        const tech::Technology& tech,
+                        const netlist::NetList& nets,
+                        const RuleAssignment& assignment,
+                        const timing::AnalysisOptions& options = {});
+
+}  // namespace sndr::ndr

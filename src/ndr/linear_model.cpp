@@ -1,0 +1,171 @@
+#include "ndr/linear_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace sndr::ndr {
+
+std::vector<double> solve_spd(std::vector<double> a, std::vector<double> b,
+                              int n) {
+  // Cholesky: A = L L^T, stored in the lower triangle of `a`.
+  for (int j = 0; j < n; ++j) {
+    double d = a[j * n + j];
+    for (int k = 0; k < j; ++k) d -= a[j * n + k] * a[j * n + k];
+    if (d <= 0.0) {
+      throw std::runtime_error("solve_spd: matrix not positive definite");
+    }
+    a[j * n + j] = std::sqrt(d);
+    for (int i = j + 1; i < n; ++i) {
+      double s = a[i * n + j];
+      for (int k = 0; k < j; ++k) s -= a[i * n + k] * a[j * n + k];
+      a[i * n + j] = s / a[j * n + j];
+    }
+  }
+  // Forward: L z = b.
+  for (int i = 0; i < n; ++i) {
+    double s = b[i];
+    for (int k = 0; k < i; ++k) s -= a[i * n + k] * b[k];
+    b[i] = s / a[i * n + i];
+  }
+  // Backward: L^T x = z.
+  for (int i = n - 1; i >= 0; --i) {
+    double s = b[i];
+    for (int k = i + 1; k < n; ++k) s -= a[k * n + i] * b[k];
+    b[i] = s / a[i * n + i];
+  }
+  return b;
+}
+
+void RidgeRegression::fit(const std::vector<std::vector<double>>& X,
+                          const std::vector<double>& y, double lambda) {
+  if (X.empty() || X.size() != y.size()) {
+    throw std::invalid_argument("RidgeRegression::fit: shape mismatch");
+  }
+  const int n = static_cast<int>(X.size());
+  const int d = static_cast<int>(X[0].size());
+  for (const auto& row : X) {
+    if (static_cast<int>(row.size()) != d) {
+      throw std::invalid_argument("RidgeRegression::fit: ragged rows");
+    }
+  }
+
+  // Standardize features; center the target (intercept handled separately).
+  mean_.assign(d, 0.0);
+  scale_.assign(d, 0.0);
+  for (const auto& row : X) {
+    for (int j = 0; j < d; ++j) mean_[j] += row[j];
+  }
+  for (int j = 0; j < d; ++j) mean_[j] /= n;
+  for (const auto& row : X) {
+    for (int j = 0; j < d; ++j) {
+      const double c = row[j] - mean_[j];
+      scale_[j] += c * c;
+    }
+  }
+  for (int j = 0; j < d; ++j) {
+    scale_[j] = std::sqrt(scale_[j] / n);
+    if (scale_[j] < 1e-30) scale_[j] = 1.0;  // constant feature.
+  }
+  const double y_mean =
+      std::accumulate(y.begin(), y.end(), 0.0) / static_cast<double>(n);
+
+  // Normal equations on standardized data: (Z^T Z + lambda I) w = Z^T yc.
+  std::vector<double> a(static_cast<std::size_t>(d) * d, 0.0);
+  std::vector<double> rhs(d, 0.0);
+  std::vector<double> z(d);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < d; ++j) z[j] = (X[i][j] - mean_[j]) / scale_[j];
+    const double yc = y[i] - y_mean;
+    for (int j = 0; j < d; ++j) {
+      rhs[j] += z[j] * yc;
+      for (int k = 0; k <= j; ++k) a[j * d + k] += z[j] * z[k];
+    }
+  }
+  for (int j = 0; j < d; ++j) {
+    for (int k = j + 1; k < d; ++k) a[j * d + k] = a[k * d + j];
+    a[j * d + j] += lambda * n;
+  }
+  weights_ = solve_spd(std::move(a), std::move(rhs), d);
+  intercept_ = y_mean;
+}
+
+double RidgeRegression::predict(const std::vector<double>& x) const {
+  if (static_cast<int>(x.size()) != dim()) {
+    throw std::invalid_argument("RidgeRegression::predict: bad dimension");
+  }
+  double y = intercept_;
+  for (int j = 0; j < dim(); ++j) {
+    y += weights_[j] * (x[j] - mean_[j]) / scale_[j];
+  }
+  return y;
+}
+
+double mean_abs_error(const std::vector<double>& truth,
+                      const std::vector<double>& pred) {
+  if (truth.empty() || truth.size() != pred.size()) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    s += std::abs(truth[i] - pred[i]);
+  }
+  return s / static_cast<double>(truth.size());
+}
+
+double r_squared(const std::vector<double>& truth,
+                 const std::vector<double>& pred) {
+  if (truth.size() < 2 || truth.size() != pred.size()) return 0.0;
+  const double mean =
+      std::accumulate(truth.begin(), truth.end(), 0.0) /
+      static_cast<double>(truth.size());
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    ss_res += (truth[i] - pred[i]) * (truth[i] - pred[i]);
+    ss_tot += (truth[i] - mean) * (truth[i] - mean);
+  }
+  if (ss_tot < 1e-60) return 1.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+namespace {
+
+std::vector<double> ranks(const std::vector<double>& v) {
+  std::vector<int> idx(v.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::sort(idx.begin(), idx.end(),
+            [&](int a, int b) { return v[a] < v[b]; });
+  std::vector<double> r(v.size(), 0.0);
+  std::size_t i = 0;
+  while (i < idx.size()) {
+    std::size_t j = i;
+    while (j + 1 < idx.size() && v[idx[j + 1]] == v[idx[i]]) ++j;
+    const double mean_rank = 0.5 * (i + j);  // average ranks for ties.
+    for (std::size_t k = i; k <= j; ++k) r[idx[k]] = mean_rank;
+    i = j + 1;
+  }
+  return r;
+}
+
+}  // namespace
+
+double spearman_rank_correlation(const std::vector<double>& a,
+                                 const std::vector<double>& b) {
+  if (a.size() < 2 || a.size() != b.size()) return 0.0;
+  const std::vector<double> ra = ranks(a);
+  const std::vector<double> rb = ranks(b);
+  const double n = static_cast<double>(a.size());
+  const double mean = (n - 1.0) / 2.0;
+  double cov = 0.0;
+  double va = 0.0;
+  double vb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    cov += (ra[i] - mean) * (rb[i] - mean);
+    va += (ra[i] - mean) * (ra[i] - mean);
+    vb += (rb[i] - mean) * (rb[i] - mean);
+  }
+  if (va < 1e-30 || vb < 1e-30) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+}  // namespace sndr::ndr

@@ -1,0 +1,46 @@
+// Small dense ridge regression, self-contained (no BLAS/LAPACK).
+//
+// Inputs are standardized feature-wise before fitting so one lambda works
+// across heterogeneous feature scales; the solve is normal equations with a
+// Cholesky factorization, which is exact and fast at the dimensionalities
+// used here (~a dozen features, hundreds of samples).
+#pragma once
+
+#include <vector>
+
+namespace sndr::ndr {
+
+class RidgeRegression {
+ public:
+  /// Fits y ~ X. Throws std::invalid_argument on shape errors.
+  void fit(const std::vector<std::vector<double>>& X,
+           const std::vector<double>& y, double lambda = 1e-3);
+
+  double predict(const std::vector<double>& x) const;
+
+  bool trained() const { return !weights_.empty(); }
+  int dim() const { return static_cast<int>(weights_.size()); }
+
+ private:
+  std::vector<double> weights_;  ///< in standardized feature space.
+  std::vector<double> mean_;
+  std::vector<double> scale_;
+  double intercept_ = 0.0;
+};
+
+/// Solves A x = b for symmetric positive-definite A via Cholesky, in place.
+/// A is row-major n x n. Throws std::runtime_error if not SPD.
+std::vector<double> solve_spd(std::vector<double> a, std::vector<double> b,
+                              int n);
+
+// Model-quality metrics (used by the Table IV bench).
+double mean_abs_error(const std::vector<double>& truth,
+                      const std::vector<double>& pred);
+double r_squared(const std::vector<double>& truth,
+                 const std::vector<double>& pred);
+/// Spearman rank correlation; the optimizer only needs correct *ordering*
+/// of candidates, so rank correlation is the metric that matters most.
+double spearman_rank_correlation(const std::vector<double>& a,
+                                 const std::vector<double>& b);
+
+}  // namespace sndr::ndr

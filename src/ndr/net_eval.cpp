@@ -1,0 +1,90 @@
+#include "ndr/net_eval.hpp"
+
+#include <algorithm>
+
+#include "power/em.hpp"
+#include "timing/delay_metrics.hpp"
+
+namespace sndr::ndr {
+
+NetSummary summarize_net(const netlist::ClockTree& tree,
+                         const netlist::Design& design,
+                         const tech::Technology& tech,
+                         const netlist::Net& net,
+                         const timing::AnalysisOptions& options) {
+  NetSummary s;
+  s.depth = net.depth;
+  s.driver_res = timing::net_driver_res(tree, tech, net, options);
+  s.load_count = static_cast<int>(net.loads.size());
+
+  // Per-node path length from the driver, along the tree.
+  std::vector<double> dist(tree.size(), 0.0);
+  for (const int v : net.wires) {
+    const netlist::TreeNode& n = tree.node(v);
+    const double len = tree.edge_length(v);
+    dist[v] = dist[n.parent] + len;  // driver's dist is 0.
+    s.wirelength += len;
+    geom::Path path = n.path;
+    if (path.size() < 2) path = {tree.loc(n.parent), n.loc};
+    s.occ_length += design.congestion.valid()
+                        ? design.congestion.avg_occupancy(path) * len
+                        : 0.0;
+  }
+  for (const int load : net.loads) {
+    s.max_path = std::max(s.max_path, dist[load]);
+    s.load_cap += extract::load_pin_cap(tree, design, tech, load);
+  }
+  return s;
+}
+
+double net_cap_under_rule(const NetSummary& s, const tech::Technology& tech,
+                          const tech::RoutingRule& rule) {
+  const tech::MetalLayer& layer = tech.clock_layer;
+  const double cgnd = tech::wire_cap_gnd_per_um(layer, rule) * s.wirelength;
+  const double ccpl =
+      2.0 * tech::wire_cap_couple_per_um(layer, rule) * s.occ_length;
+  return cgnd + tech.miller_power * ccpl + s.load_cap;
+}
+
+double net_em_bound(const NetSummary& s, const tech::Technology& tech,
+                    const tech::RoutingRule& rule, double freq) {
+  const double width = tech.clock_layer.min_width * rule.width_mult;
+  const double cap = net_cap_under_rule(s, tech, rule);
+  return tech.em_crest_factor * freq * tech.vdd * cap / width;
+}
+
+NetExact evaluate_net_exact(const netlist::ClockTree& tree,
+                            const netlist::Design& design,
+                            const tech::Technology& tech,
+                            const netlist::Net& net,
+                            const tech::RoutingRule& rule, double driver_res,
+                            double freq) {
+  NetExact out;
+  const extract::Extractor extractor(tech, design);
+  out.par = extractor.extract_net(tree, net, rule);
+  out.cap_switched = out.par.switched_cap(tech.miller_power);
+  out.em_peak = power::net_peak_current_density(out.par, tech, rule, freq);
+
+  const std::vector<double> m1 = out.par.rc.elmore_delay(driver_res, 1.0);
+  const std::vector<double> m2 = out.par.rc.second_moment(driver_res, 1.0);
+  double delay_sum = 0.0;
+  for (const int rc : out.par.load_rc_index) {
+    out.step_slew_worst =
+        std::max(out.step_slew_worst, timing::step_slew(m1[rc], m2[rc]));
+    const double d = timing::delay_d2m(m1[rc], m2[rc]);
+    delay_sum += d;
+    out.wire_delay_worst = std::max(out.wire_delay_worst, d);
+  }
+  out.wire_delay_mean =
+      out.par.load_rc_index.empty()
+          ? 0.0
+          : delay_sum / static_cast<double>(out.par.load_rc_index.size());
+
+  const timing::NetVariationDetail var =
+      timing::net_variation(out.par, tech, rule, driver_res);
+  out.sigma_worst = var.worst_sigma();
+  out.xtalk_worst = var.worst_xtalk();
+  return out;
+}
+
+}  // namespace sndr::ndr

@@ -1,0 +1,70 @@
+// Exact and analytic per-net evaluation under a candidate rule.
+//
+// These are the net-local quantities the optimizer needs when it considers
+// re-assigning one net's rule. Everything here is independent of the rest of
+// the tree given the driver's resistance and output slew, which is what
+// makes per-net rule optimization tractable:
+//
+//  * switched capacitance  — analytic (exact) from net length statistics;
+//  * EM current density    — analytic conservative bound from total cap;
+//  * worst step slew, process sigma, crosstalk delta — exact via per-net
+//    re-extraction (used to label model training data and to validate
+//    commits), or predicted by the learned models (used for fast scoring).
+#pragma once
+
+#include "extract/extractor.hpp"
+#include "netlist/clock_nets.hpp"
+#include "netlist/clock_tree.hpp"
+#include "netlist/design.hpp"
+#include "tech/technology.hpp"
+#include "timing/variation.hpp"
+
+namespace sndr::ndr {
+
+/// Rule-independent summary of one net's geometry and loads; all analytic
+/// per-rule quantities derive from it.
+struct NetSummary {
+  double wirelength = 0.0;  ///< um.
+  double occ_length = 0.0;  ///< um, occupancy-weighted wirelength.
+  double max_path = 0.0;    ///< um, driver -> farthest load along the route.
+  double load_cap = 0.0;    ///< F, sum of load pin caps.
+  int load_count = 0;
+  double driver_res = 0.0;  ///< ohm.
+  int depth = 0;            ///< buffer depth of the net.
+};
+
+NetSummary summarize_net(const netlist::ClockTree& tree,
+                         const netlist::Design& design,
+                         const tech::Technology& tech,
+                         const netlist::Net& net,
+                         const timing::AnalysisOptions& options);
+
+/// Exact switched capacitance of the net under `rule` (power accounting,
+/// with the average Miller factor on coupling).
+double net_cap_under_rule(const NetSummary& s, const tech::Technology& tech,
+                          const tech::RoutingRule& rule);
+
+/// Conservative (driver-piece) EM RMS current density bound under `rule`.
+double net_em_bound(const NetSummary& s, const tech::Technology& tech,
+                    const tech::RoutingRule& rule, double freq);
+
+/// Exact net-local metrics under `rule`, from a fresh per-net extraction.
+struct NetExact {
+  extract::NetParasitics par;
+  double cap_switched = 0.0;    ///< F.
+  double step_slew_worst = 0.0; ///< s, worst load step slew (pre-PERI).
+  double sigma_worst = 0.0;     ///< s.
+  double xtalk_worst = 0.0;     ///< s.
+  double em_peak = 0.0;         ///< A/um.
+  double wire_delay_mean = 0.0; ///< s, mean D2M wire delay over loads.
+  double wire_delay_worst = 0.0;///< s.
+};
+
+NetExact evaluate_net_exact(const netlist::ClockTree& tree,
+                            const netlist::Design& design,
+                            const tech::Technology& tech,
+                            const netlist::Net& net,
+                            const tech::RoutingRule& rule, double driver_res,
+                            double freq);
+
+}  // namespace sndr::ndr

@@ -1,0 +1,366 @@
+#include "ndr/optimizer.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <functional>
+#include <numeric>
+#include <stdexcept>
+
+#include "ndr/assignment_state.hpp"
+#include "route/congestion_route.hpp"
+#include "timing/delay_metrics.hpp"
+
+namespace sndr::ndr {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+class Optimizer {
+ public:
+  Optimizer(const netlist::ClockTree& tree, const netlist::Design& design,
+            const tech::Technology& tech, const netlist::NetList& nets,
+            const OptimizerOptions& opt)
+      : tree_(tree),
+        design_(design),
+        tech_(tech),
+        nets_(nets),
+        opt_(opt),
+        scoring_(opt.use_models ? opt.scoring : Scoring::kExactNet),
+        margins_{opt.slew_margin, opt.uncertainty_margin, opt.em_margin,
+                 opt.skew_margin},
+        state_(tree, design, tech, nets, opt.analysis) {}
+
+  SmartNdrResult run();
+
+ private:
+  FlowEvaluation full_eval(const RuleAssignment& assignment) {
+    ++stats_.full_evals;
+    return evaluate(tree_, design_, tech_, nets_, assignment,
+                    opt_.analysis);
+  }
+
+  void resync(const RuleAssignment& assignment) {
+    const FlowEvaluation ev = full_eval(assignment);
+    state_.rebuild(assignment, ev);
+  }
+
+  /// Tries to move `net_id` to the cheapest feasible rule; returns true on
+  /// a committed move.
+  bool improve_net(int net_id);
+  bool improve_net_full_sta(int net_id);
+
+  void commit(int net_id, int rule_idx, const NetExact& exact);
+  void repair(FlowEvaluation& ev);
+
+  const netlist::ClockTree& tree_;
+  const netlist::Design& design_;
+  const tech::Technology& tech_;
+  const netlist::NetList& nets_;
+  OptimizerOptions opt_;
+  Scoring scoring_;
+  MoveMargins margins_;
+
+  AssignmentState state_;
+  RuleAssignment assignment_;  ///< mirror of state_.assignment().
+
+  RuleImpactPredictor predictor_;
+  bool predictor_ready_ = false;
+  bool blanket_was_feasible_ = false;
+
+  OptimizerStats stats_;
+};
+
+void Optimizer::commit(int net_id, int rule_idx, const NetExact& exact) {
+  state_.apply_move(net_id, rule_idx, exact);
+  assignment_[net_id] = rule_idx;
+  ++stats_.commits;
+  if (opt_.full_refresh_interval > 0 &&
+      stats_.commits % opt_.full_refresh_interval == 0) {
+    resync(assignment_);
+  }
+}
+
+bool Optimizer::improve_net(int net_id) {
+  if (scoring_ == Scoring::kFullSta) return improve_net_full_sta(net_id);
+  const double cap_now = state_.net_cap(net_id);
+  const NetSummary& summary = state_.summary(net_id);
+
+  // Candidate rules, cheapest switched cap first, strictly cheaper only.
+  std::vector<std::pair<double, int>> cands;
+  for (int r = 0; r < tech_.rules.size(); ++r) {
+    if (r == assignment_[net_id]) continue;
+    const double cap = net_cap_under_rule(summary, tech_, tech_.rules[r]);
+    if (cap < cap_now * (1.0 - 1e-9)) cands.emplace_back(cap, r);
+  }
+  std::sort(cands.begin(), cands.end());
+
+  for (const auto& [cap_new, r] : cands) {
+    ++stats_.candidates_scored;
+    NetImpact impact;
+    if (scoring_ == Scoring::kModels && predictor_ready_) {
+      impact = predictor_.predict(summary, r);
+    } else {
+      const NetExact exact = state_.exact_eval(net_id, r);
+      ++stats_.exact_net_evals;
+      impact.step_slew = exact.step_slew_worst;
+      impact.sigma = exact.sigma_worst;
+      impact.xtalk = exact.xtalk_worst;
+      impact.delay = exact.wire_delay_worst;
+    }
+    if (!state_.check_move(net_id, r, impact, margins_)) continue;
+
+    // Validate the winning candidate with the exact per-net engines.
+    const NetExact exact = state_.exact_eval(net_id, r);
+    ++stats_.exact_net_evals;
+    NetImpact verified;
+    verified.step_slew = exact.step_slew_worst;
+    verified.sigma = exact.sigma_worst;
+    verified.xtalk = exact.xtalk_worst;
+    verified.delay = exact.wire_delay_worst;
+    if (exact.em_peak >
+        tech_.clock_layer.em_jmax * (1.0 - margins_.em)) {
+      continue;
+    }
+    if (!state_.check_move(net_id, r, verified, margins_)) continue;
+    commit(net_id, r, exact);
+    return true;
+  }
+  return false;
+}
+
+bool Optimizer::improve_net_full_sta(int net_id) {
+  // The naive flow: every candidate is judged by a complete extraction +
+  // timing + variation + EM run of the whole tree. Kept for the runtime
+  // comparison (Fig. 7); unusably slow beyond a few thousand nets.
+  const NetSummary& summary = state_.summary(net_id);
+  std::vector<std::pair<double, int>> cands;
+  for (int r = 0; r < tech_.rules.size(); ++r) {
+    if (r == assignment_[net_id]) continue;
+    const double cap = net_cap_under_rule(summary, tech_, tech_.rules[r]);
+    if (cap < state_.net_cap(net_id) * (1.0 - 1e-9)) {
+      cands.emplace_back(cap, r);
+    }
+  }
+  std::sort(cands.begin(), cands.end());
+  const int old_rule = assignment_[net_id];
+  for (const auto& [cap_new, r] : cands) {
+    ++stats_.candidates_scored;
+    assignment_[net_id] = r;
+    const FlowEvaluation ev = full_eval(assignment_);
+    if (ev.feasible()) {
+      state_.rebuild(assignment_, ev);
+      ++stats_.commits;
+      return true;
+    }
+    assignment_[net_id] = old_rule;
+  }
+  return false;
+}
+
+void Optimizer::repair(FlowEvaluation& ev) {
+  const netlist::ClockConstraints& c = design_.constraints;
+  for (int round = 0; round < opt_.max_repair_rounds; ++round) {
+    if (ev.feasible()) return;
+    bool changed = false;
+    const int blanket = tech_.rules.blanket_index();
+
+    // Routing overflow: move nets that cross overflowing cells to the
+    // narrowest-pitch rule that still holds their local constraints. This
+    // is the one repair direction that *reduces* wire footprint.
+    if (ev.overflow_cells > 0 && design_.congestion.valid()) {
+      const netlist::RoutingUsage usage = route::compute_usage(
+          tree_, nets_, assignment_, tech_, design_.congestion);
+      std::vector<char> cell_over(design_.congestion.cell_count(), 0);
+      for (int ci = 0; ci < design_.congestion.cell_count(); ++ci) {
+        cell_over[ci] =
+            usage.used_cell(ci) > design_.congestion.capacity_cell(ci);
+      }
+      const double width_frac = tech_.clock_layer.width_frac();
+      for (const netlist::Net& net : nets_.nets) {
+        bool crosses = false;
+        for (const geom::Path& p : state_.net_paths(net.id)) {
+          design_.congestion.for_each_cell(p, [&](int ci, double) {
+            if (cell_over[ci]) crosses = true;
+          });
+          if (crosses) break;
+        }
+        if (!crosses) continue;
+        int best = assignment_[net.id];
+        double best_pitch = tech_.rules[best].pitch_mult(width_frac);
+        for (int r = 0; r < tech_.rules.size(); ++r) {
+          const double pitch = tech_.rules[r].pitch_mult(width_frac);
+          if (pitch + 1e-12 >= best_pitch) continue;
+          const NetExact exact = state_.exact_eval(net.id, r);
+          ++stats_.exact_net_evals;
+          const double slew =
+              state_.slew_at_loads(net.id, exact.step_slew_worst);
+          if (slew > c.max_slew ||
+              exact.em_peak > tech_.clock_layer.em_jmax) {
+            continue;
+          }
+          best = r;
+          best_pitch = pitch;
+        }
+        if (best != assignment_[net.id]) {
+          assignment_[net.id] = best;
+          changed = true;
+          ++stats_.repair_upgrades;
+        }
+      }
+      if (changed) {
+        ev = full_eval(assignment_);
+        state_.rebuild(assignment_, ev);
+        continue;  // re-assess all constraint classes on fresh numbers.
+      }
+    }
+
+    // Slew / EM violations: push the offending nets back to the blanket
+    // rule (or the widest rule if blanket already).
+    for (const netlist::Net& net : nets_.nets) {
+      const bool slew_bad = ev.timing.net_max_load_slew[net.id] > c.max_slew;
+      const bool em_bad = ev.em.net_slack[net.id] < 0.0;
+      if (!slew_bad && !em_bad) continue;
+      const int target = assignment_[net.id] == blanket
+                             ? tech_.rules.size() - 1
+                             : blanket;
+      if (target != assignment_[net.id]) {
+        assignment_[net.id] = target;
+        changed = true;
+        ++stats_.repair_upgrades;
+      }
+    }
+    // Skew/window or uncertainty violations: revert every net on an
+    // offending sink's path to the blanket rule.
+    const double mean = std::accumulate(ev.timing.sink_arrival.begin(),
+                                        ev.timing.sink_arrival.end(), 0.0) /
+                        std::max<std::size_t>(1, design_.sinks.size());
+    for (int s = 0; s < static_cast<int>(design_.sinks.size()); ++s) {
+      const double off = ev.timing.sink_arrival[s] - mean;
+      bool skew_bad = false;
+      if (design_.useful_skew.enabled()) {
+        skew_bad = ev.window_violations > 0 &&
+                   (off < design_.useful_skew.lo[s] ||
+                    off > design_.useful_skew.hi[s]);
+      } else {
+        skew_bad = !ev.skew_ok && std::abs(off) > 0.5 * c.max_skew;
+      }
+      const bool unc_bad =
+          ev.variation.sink_uncertainty[s] > c.max_uncertainty;
+      if (!skew_bad && !unc_bad) continue;
+      for (const int net : state_.nets_on_path(s)) {
+        if (assignment_[net] != blanket) {
+          assignment_[net] = blanket;
+          changed = true;
+          ++stats_.repair_upgrades;
+        }
+      }
+    }
+    if (!changed) break;  // nothing more we can do incrementally.
+    ev = full_eval(assignment_);
+    state_.rebuild(assignment_, ev);
+  }
+  // Last resort: the conventional blanket assignment is a known-good point;
+  // if it was feasible and incremental repair failed, fall back to it so the
+  // result is never worse than the baseline practice.
+  if (!ev.feasible() && blanket_was_feasible_) {
+    assignment_ = assign_all(nets_, tech_.rules.blanket_index());
+    ev = full_eval(assignment_);
+    state_.rebuild(assignment_, ev);
+    stats_.repair_upgrades += nets_.size();
+  }
+}
+
+SmartNdrResult Optimizer::run() {
+  if (!opt_.initial_assignment.empty()) {
+    if (opt_.initial_assignment.size() !=
+        static_cast<std::size_t>(nets_.size())) {
+      throw std::invalid_argument(
+          "optimize_smart_ndr: initial_assignment size mismatch");
+    }
+    assignment_ = opt_.initial_assignment;
+  } else {
+    assignment_ = assign_all(nets_, tech_.rules.blanket_index());
+  }
+
+  FlowEvaluation ev = full_eval(assignment_);
+  state_.rebuild(assignment_, ev);
+  blanket_was_feasible_ = ev.feasible();
+  if (!ev.feasible()) {
+    // The conventional starting point itself violates (e.g. EM at high
+    // frequency wants 3W on trunks): repair first.
+    repair(ev);
+  }
+
+  if (scoring_ == Scoring::kModels) {
+    const auto t0 = Clock::now();
+    predictor_ = RuleImpactPredictor::train(tree_, design_, tech_, nets_,
+                                            opt_.analysis,
+                                            opt_.training_samples);
+    predictor_ready_ = true;
+    stats_.train_seconds = seconds_since(t0);
+  }
+
+  // Sweep order: leaf-first (deepest nets carry most of the wirelength and
+  // have the most slack; freeing their capacity first also unblocks
+  // upgrades). In ECO mode only the focus set is revisited.
+  std::vector<int> sweep;
+  if (opt_.focus_nets.empty()) {
+    sweep.resize(nets_.size());
+    for (int i = 0; i < nets_.size(); ++i) sweep[i] = nets_.size() - 1 - i;
+  } else {
+    sweep = opt_.focus_nets;
+    std::sort(sweep.begin(), sweep.end(), std::greater<int>());
+    sweep.erase(std::unique(sweep.begin(), sweep.end()), sweep.end());
+    for (const int id : sweep) {
+      if (id < 0 || id >= nets_.size()) {
+        throw std::invalid_argument(
+            "optimize_smart_ndr: focus_nets id out of range");
+      }
+    }
+  }
+
+  const auto t1 = Clock::now();
+  for (int pass = 0; pass < opt_.max_passes; ++pass) {
+    ++stats_.passes;
+    int commits = 0;
+    for (const int id : sweep) {
+      if (improve_net(id)) ++commits;
+    }
+    if (commits == 0) break;
+  }
+  stats_.optimize_seconds = seconds_since(t1);
+
+  ev = full_eval(assignment_);
+  if (!ev.feasible()) {
+    state_.rebuild(assignment_, ev);
+    repair(ev);
+  }
+
+  SmartNdrResult result;
+  result.assignment = assignment_;
+  result.final_eval = std::move(ev);
+  result.stats = stats_;
+  if (predictor_ready_) result.train_report = predictor_.report();
+  result.rule_histogram.assign(tech_.rules.size(), 0);
+  for (const int r : assignment_) ++result.rule_histogram[r];
+  return result;
+}
+
+}  // namespace
+
+SmartNdrResult optimize_smart_ndr(const netlist::ClockTree& tree,
+                                  const netlist::Design& design,
+                                  const tech::Technology& tech,
+                                  const netlist::NetList& nets,
+                                  const OptimizerOptions& options) {
+  Optimizer opt(tree, design, tech, nets, options);
+  return opt.run();
+}
+
+}  // namespace sndr::ndr

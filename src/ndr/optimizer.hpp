@@ -1,0 +1,91 @@
+// Smart non-default-rule assignment: the paper's core contribution.
+//
+// Starting from the conventional blanket NDR (every clock net at 2W2S), the
+// optimizer walks the nets greedily, moving each to the cheapest rule that
+// still satisfies every constraint:
+//
+//   * slew      — PERI(driver output slew, wire step slew) <= max_slew;
+//   * skew      — each sink's latency must stay inside a window of width
+//                 max_skew centered on the blanket-NDR latency spread;
+//   * variation — 3*sigma + crosstalk accumulated to each sink stays below
+//                 max_uncertainty;
+//   * EM        — RMS current density under the rule's width stays below
+//                 the layer limit;
+//   * resources — per-region routing capacity is never exceeded.
+//
+// Candidate scoring uses the learned per-rule models (plus exact analytic
+// capacitance and EM bounds); a commit is validated with an exact per-net
+// re-extraction, and periodic full analyses re-synchronize the incremental
+// state. `use_models = false` degenerates to exact re-extraction scoring,
+// which is the slow flow the paper compares against.
+#pragma once
+
+#include "ndr/evaluation.hpp"
+#include "ndr/net_eval.hpp"
+#include "ndr/predictor.hpp"
+
+namespace sndr::ndr {
+
+/// How candidate (net, rule) moves are scored before the commit validation.
+enum class Scoring {
+  kModels,    ///< learned per-rule models (the paper's method).
+  kExactNet,  ///< exact per-net re-extraction per candidate.
+  kFullSta,   ///< full extraction + STA per candidate (the naive flow the
+              ///< paper's runtime comparison is against; very slow).
+};
+
+struct OptimizerOptions {
+  Scoring scoring = Scoring::kModels;
+  bool use_models = true;  ///< legacy alias; false selects kExactNet.
+  int training_samples = 400;
+
+  // Guard bands, as fractions of each constraint kept in reserve by the
+  // estimate-driven loop (the final exact verification uses the raw limits).
+  double slew_margin = 0.05;
+  double uncertainty_margin = 0.05;
+  double em_margin = 0.05;
+  double skew_margin = 0.10;
+
+  int max_passes = 4;          ///< greedy sweeps until quiescence.
+  int full_refresh_interval = 256;  ///< exact full re-analysis cadence.
+  int max_repair_rounds = 8;
+
+  // ECO / incremental mode. A warm start re-optimizes from a previous
+  // assignment instead of the blanket (e.g. after a constraint change or a
+  // local tree edit); `focus_nets` restricts the greedy sweeps to the nets
+  // affected by the change (repair may still touch others to restore
+  // feasibility). Empty = full optimization from blanket.
+  RuleAssignment initial_assignment;
+  std::vector<int> focus_nets;
+
+  timing::AnalysisOptions analysis;
+};
+
+struct OptimizerStats {
+  int commits = 0;
+  int candidates_scored = 0;
+  int exact_net_evals = 0;
+  int full_evals = 0;
+  int repair_upgrades = 0;
+  int passes = 0;
+  double train_seconds = 0.0;
+  double optimize_seconds = 0.0;
+};
+
+struct SmartNdrResult {
+  RuleAssignment assignment;
+  FlowEvaluation final_eval;  ///< exact signoff of the final assignment.
+  OptimizerStats stats;
+  TrainReport train_report;   ///< empty when use_models is false.
+  /// Histogram: rule_count[rule] = number of nets on that rule.
+  std::vector<int> rule_histogram;
+};
+
+/// Runs the full smart-NDR flow on a synthesized tree.
+SmartNdrResult optimize_smart_ndr(const netlist::ClockTree& tree,
+                                  const netlist::Design& design,
+                                  const tech::Technology& tech,
+                                  const netlist::NetList& nets,
+                                  const OptimizerOptions& options = {});
+
+}  // namespace sndr::ndr

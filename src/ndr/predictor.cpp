@@ -1,0 +1,133 @@
+#include "ndr/predictor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace sndr::ndr {
+
+std::vector<double> net_feature_vector(const NetSummary& s) {
+  // Scaled to O(1) magnitudes: lengths in mm, caps in tens of fF,
+  // resistance in kohm. Interaction terms capture the R*C structure of the
+  // underlying physics (delay ~ Rdrv*C + r*L*C terms).
+  const double len = s.wirelength * 1e-3;
+  const double occ = s.occ_length * 1e-3;
+  const double maxp = s.max_path * 1e-3;
+  const double lcap = s.load_cap * 1e14;
+  const double rdrv = s.driver_res * 1e-3;
+  const double nloads = static_cast<double>(s.load_count);
+  return {
+      len,
+      occ,
+      maxp,
+      lcap,
+      rdrv,
+      nloads,
+      len * len,
+      maxp * maxp,
+      rdrv * lcap,
+      rdrv * len,
+      maxp * len,
+      occ * maxp,
+  };
+}
+
+RuleImpactPredictor RuleImpactPredictor::train(
+    const netlist::ClockTree& tree, const netlist::Design& design,
+    const tech::Technology& tech, const netlist::NetList& nets,
+    const timing::AnalysisOptions& options, int max_samples,
+    double holdout_frac) {
+  RuleImpactPredictor pred;
+  const int n_rules = tech.rules.size();
+  const double freq = design.constraints.clock_freq;
+
+  // Stratified sample: nets are depth-ordered by construction, so a strided
+  // pick covers every level of the hierarchy.
+  std::vector<int> sample_ids;
+  const int n_nets = nets.size();
+  const int stride = std::max(1, n_nets / std::max(1, max_samples));
+  for (int i = 0; i < n_nets; i += stride) sample_ids.push_back(i);
+
+  // Deterministic Fisher-Yates shuffle so the train/holdout split is not
+  // depth-biased (sample_ids start depth-ordered).
+  std::uint64_t state = 0x853c49e6748fea9bULL;
+  const auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (std::size_t i = sample_ids.size(); i > 1; --i) {
+    std::swap(sample_ids[i - 1], sample_ids[next() % i]);
+  }
+
+  const int n_holdout = std::max(
+      1, static_cast<int>(std::floor(sample_ids.size() * holdout_frac)));
+  const int n_train = std::max(
+      1, static_cast<int>(sample_ids.size()) - n_holdout);
+
+  // Features are rule-independent: compute once per sampled net.
+  std::vector<std::vector<double>> features;
+  std::vector<NetSummary> summaries;
+  features.reserve(sample_ids.size());
+  for (const int id : sample_ids) {
+    const NetSummary s =
+        summarize_net(tree, design, tech, nets[id], options);
+    features.push_back(net_feature_vector(s));
+    summaries.push_back(s);
+  }
+
+  pred.models_.resize(n_rules);
+  pred.report_.quality.resize(n_rules);
+  pred.report_.train_samples = n_train;
+  pred.report_.holdout_samples =
+      static_cast<int>(sample_ids.size()) - n_train;
+
+  for (int r = 0; r < n_rules; ++r) {
+    const tech::RoutingRule& rule = tech.rules[r];
+    // Exact labels for every sampled net under this rule.
+    std::vector<std::array<double, 4>> labels(sample_ids.size());
+    for (std::size_t i = 0; i < sample_ids.size(); ++i) {
+      const NetExact exact =
+          evaluate_net_exact(tree, design, tech, nets[sample_ids[i]], rule,
+                             summaries[i].driver_res, freq);
+      labels[i] = {exact.step_slew_worst, exact.sigma_worst,
+                   exact.xtalk_worst, exact.wire_delay_worst};
+    }
+
+    for (int m = 0; m < 4; ++m) {
+      std::vector<std::vector<double>> x_train(features.begin(),
+                                               features.begin() + n_train);
+      std::vector<double> y_train;
+      y_train.reserve(n_train);
+      for (int i = 0; i < n_train; ++i) y_train.push_back(labels[i][m]);
+      pred.models_[r][m].fit(x_train, y_train);
+
+      // Holdout quality.
+      std::vector<double> truth;
+      std::vector<double> est;
+      for (std::size_t i = n_train; i < sample_ids.size(); ++i) {
+        truth.push_back(labels[i][m]);
+        est.push_back(pred.models_[r][m].predict(features[i]));
+      }
+      ModelQuality& q = pred.report_.quality[r][m];
+      q.mae = mean_abs_error(truth, est);
+      q.r2 = r_squared(truth, est);
+      q.rank_corr = spearman_rank_correlation(truth, est);
+    }
+  }
+  return pred;
+}
+
+NetImpact RuleImpactPredictor::predict(const NetSummary& s, int rule) const {
+  const std::vector<double> x = net_feature_vector(s);
+  const std::array<RidgeRegression, 4>& m = models_.at(rule);
+  NetImpact out;
+  out.step_slew = std::max(0.0, m[0].predict(x));
+  out.sigma = std::max(0.0, m[1].predict(x));
+  out.xtalk = std::max(0.0, m[2].predict(x));
+  out.delay = std::max(0.0, m[3].predict(x));
+  return out;
+}
+
+}  // namespace sndr::ndr

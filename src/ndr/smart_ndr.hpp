@@ -1,0 +1,19 @@
+// Umbrella header: the public API of the smart non-default-routing library.
+//
+// Typical flow:
+//
+//   auto design = workload::make_design(spec);          // or your own
+//   auto tech   = tech::Technology::make_default_45nm();
+//   auto cts    = cts::synthesize(design, tech);
+//   auto nets   = netlist::build_nets(cts.tree);
+//   auto smart  = ndr::optimize_smart_ndr(cts.tree, design, tech, nets);
+//   // smart.final_eval has power/skew/slew/EM/variation signoff numbers.
+#pragma once
+
+#include "ndr/annealer.hpp"     // IWYU pragma: export
+#include "ndr/corner_eval.hpp"  // IWYU pragma: export
+#include "ndr/evaluation.hpp"   // IWYU pragma: export
+#include "ndr/linear_model.hpp" // IWYU pragma: export
+#include "ndr/net_eval.hpp"     // IWYU pragma: export
+#include "ndr/optimizer.hpp"    // IWYU pragma: export
+#include "ndr/predictor.hpp"    // IWYU pragma: export

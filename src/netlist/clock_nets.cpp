@@ -1,0 +1,48 @@
+#include "netlist/clock_nets.hpp"
+
+namespace sndr::netlist {
+
+NetList build_nets(const ClockTree& tree) {
+  NetList out;
+  out.net_of_edge.assign(tree.size(), -1);
+  out.net_driven.assign(tree.size(), -1);
+  if (tree.empty()) return out;
+
+  // Root-first walk: a driver starts a net; every other node's incoming edge
+  // joins its parent's net context.
+  for (const int id : tree.topological_order()) {
+    const TreeNode& n = tree.node(id);
+    if (n.parent >= 0) {
+      const TreeNode& p = tree.node(n.parent);
+      const int net_id =
+          p.is_driver() ? out.net_driven[n.parent] : out.net_of_edge[n.parent];
+      out.net_of_edge[id] = net_id;
+      Net& net = out.nets[net_id];
+      net.wires.push_back(id);
+      if (n.kind == NodeKind::kBuffer || n.kind == NodeKind::kSink) {
+        net.loads.push_back(id);
+      }
+    }
+    if (n.is_driver()) {
+      Net net;
+      net.id = static_cast<int>(out.nets.size());
+      net.driver = id;
+      if (n.kind == NodeKind::kSource) {
+        net.depth = 0;
+      } else {
+        net.depth = out.nets[out.net_of_edge[id]].depth + 1;
+      }
+      out.net_driven[id] = net.id;
+      out.nets.push_back(std::move(net));
+    }
+  }
+  return out;
+}
+
+double net_wirelength(const ClockTree& tree, const Net& net) {
+  double len = 0.0;
+  for (const int id : net.wires) len += tree.edge_length(id);
+  return len;
+}
+
+}  // namespace sndr::netlist

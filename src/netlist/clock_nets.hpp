@@ -1,0 +1,44 @@
+// Net decomposition of a buffered clock tree.
+//
+// A net is the wire region owned by one driver (the clock source or a buffer
+// output) together with the loads it reaches (buffer inputs and sinks).
+// Routing rules, extraction, slew checks, and EM checks are all per net —
+// the granularity at which the paper assigns NDRs.
+#pragma once
+
+#include <vector>
+
+#include "netlist/clock_tree.hpp"
+
+namespace sndr::netlist {
+
+struct Net {
+  int id = -1;
+  int driver = -1;  ///< source or buffer node id.
+  int depth = 0;    ///< 0 for the root net, +1 per upstream buffer stage.
+  /// Non-driver node ids v whose incoming edge (parent(v) -> v) belongs to
+  /// this net, in root-first order.
+  std::vector<int> wires;
+  /// Terminating loads: buffer or sink node ids.
+  std::vector<int> loads;
+};
+
+struct NetList {
+  std::vector<Net> nets;
+  /// Per tree-node id: net owning the edge *into* that node (-1 for root).
+  std::vector<int> net_of_edge;
+  /// Per tree-node id: net driven by this node (-1 if not a driver).
+  std::vector<int> net_driven;
+
+  int size() const { return static_cast<int>(nets.size()); }
+  const Net& operator[](int i) const { return nets.at(i); }
+};
+
+/// Decomposes the tree; nets are numbered in root-first driver order, so the
+/// root net is always net 0 and `Net::depth` is non-decreasing in id.
+NetList build_nets(const ClockTree& tree);
+
+/// Total routed length (um) of one net.
+double net_wirelength(const ClockTree& tree, const Net& net);
+
+}  // namespace sndr::netlist

@@ -1,0 +1,129 @@
+#include "netlist/congestion.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace sndr::netlist {
+
+CongestionMap::CongestionMap(geom::BBox area, int nx, int ny, double occupancy,
+                             double capacity_per_cell)
+    : area_(area), nx_(nx), ny_(ny) {
+  if (nx <= 0 || ny <= 0) {
+    throw std::invalid_argument("CongestionMap: grid must be positive");
+  }
+  if (area.empty()) {
+    throw std::invalid_argument("CongestionMap: empty area");
+  }
+  occupancy_.assign(static_cast<std::size_t>(nx) * ny,
+                    std::clamp(occupancy, 0.0, 1.0));
+  capacity_.assign(static_cast<std::size_t>(nx) * ny, capacity_per_cell);
+}
+
+CongestionMap CongestionMap::uniform(geom::BBox area, int nx, int ny,
+                                     double occupancy, double default_pitch_um,
+                                     double clock_track_fraction) {
+  const double cell_area = (area.width() / nx) * (area.height() / ny);
+  const double capacity =
+      cell_area / default_pitch_um * clock_track_fraction;
+  return CongestionMap(area, nx, ny, occupancy, capacity);
+}
+
+int CongestionMap::cell_index(geom::Point p) const {
+  const double fx = (p.x - area_.lo().x) / std::max(area_.width(), 1e-12);
+  const double fy = (p.y - area_.lo().y) / std::max(area_.height(), 1e-12);
+  const int ix = std::clamp(static_cast<int>(fx * nx_), 0, nx_ - 1);
+  const int iy = std::clamp(static_cast<int>(fy * ny_), 0, ny_ - 1);
+  return iy * nx_ + ix;
+}
+
+geom::BBox CongestionMap::cell_box(int idx) const {
+  const int ix = idx % nx_;
+  const int iy = idx / nx_;
+  const double w = area_.width() / nx_;
+  const double h = area_.height() / ny_;
+  const double x0 = area_.lo().x + ix * w;
+  const double y0 = area_.lo().y + iy * h;
+  return geom::BBox(x0, y0, x0 + w, y0 + h);
+}
+
+double CongestionMap::occupancy_at(geom::Point p) const {
+  return occupancy_[cell_index(p)];
+}
+
+double CongestionMap::avg_occupancy(const geom::Path& path) const {
+  double len = 0.0;
+  double weighted = 0.0;
+  for_each_cell(path, [&](int idx, double l) {
+    len += l;
+    weighted += l * occupancy_[idx];
+  });
+  if (len <= 0.0) {
+    return path.empty() ? occupancy_[0] : occupancy_at(path.front());
+  }
+  return weighted / len;
+}
+
+void CongestionMap::for_each_cell(
+    const geom::Path& path,
+    const std::function<void(int, double)>& fn) const {
+  const double cw = area_.width() / nx_;
+  const double ch = area_.height() / ny_;
+  for (const geom::Segment& seg : geom::path_segments(path)) {
+    const double len = seg.length();
+    if (len <= 0.0) continue;
+    // Walk the segment in sub-steps no longer than half a cell dimension;
+    // attribute each sub-step's length to the cell of its midpoint. Exact
+    // for axis-parallel segments up to the step quantization.
+    const double step_limit = 0.5 * (seg.horizontal() ? cw : ch);
+    const int steps =
+        std::max(1, static_cast<int>(std::ceil(len / std::max(step_limit,
+                                                              1e-9))));
+    const double dl = len / steps;
+    for (int i = 0; i < steps; ++i) {
+      const double t = (i + 0.5) / steps;
+      fn(cell_index(geom::lerp(seg.a, seg.b, t)), dl);
+    }
+  }
+}
+
+void RoutingUsage::add(const geom::Path& path, double pitch_mult) {
+  if (map_ == nullptr || !map_->valid()) return;
+  map_->for_each_cell(path, [&](int idx, double len) {
+    used_[idx] += pitch_mult * len;
+  });
+}
+
+double RoutingUsage::max_utilization() const {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < used_.size(); ++i) {
+    const double cap = map_->capacity_cell(static_cast<int>(i));
+    if (cap > 0.0) worst = std::max(worst, used_[i] / cap);
+  }
+  return worst;
+}
+
+int RoutingUsage::overflow_cells() const {
+  int n = 0;
+  for (std::size_t i = 0; i < used_.size(); ++i) {
+    if (used_[i] > map_->capacity_cell(static_cast<int>(i))) ++n;
+  }
+  return n;
+}
+
+bool RoutingUsage::fits(const geom::Path& path, double pitch_mult) const {
+  if (map_ == nullptr || !map_->valid()) return true;
+  // Accumulate the candidate's own demand per cell before comparing, since
+  // a path can cross the same cell through several sub-steps.
+  std::map<int, double> extra;
+  map_->for_each_cell(path, [&](int idx, double len) {
+    extra[idx] += pitch_mult * len;
+  });
+  for (const auto& [idx, demand] : extra) {
+    if (used_[idx] + demand > map_->capacity_cell(idx)) return false;
+  }
+  return true;
+}
+
+}  // namespace sndr::netlist

@@ -1,0 +1,98 @@
+// Routing-congestion context for the clock layer.
+//
+// The map discretizes the core into a uniform grid. Each cell carries:
+//
+//  * `occupancy`  — probability in [0,1] that a track adjacent to a clock
+//    wire in this cell is occupied by a (toggling) signal wire. This scales
+//    the realized coupling capacitance and the crosstalk exposure of clock
+//    wires crossing the cell: wider NDR spacing only pays off where
+//    occupancy is high.
+//  * `capacity`   — routing resource available to the clock network in the
+//    cell, expressed in default-pitch track-um. A clock wire consumes
+//    `pitch_mult(rule) * length` of it; the NDR optimizer must respect the
+//    per-cell budget (this is why "just route everything at triple spacing"
+//    is not free even though it lowers capacitance).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "geom/rect.hpp"
+#include "geom/segment.hpp"
+
+namespace sndr::netlist {
+
+class CongestionMap {
+ public:
+  /// A 1x1 map with the given uniform occupancy and unlimited capacity.
+  CongestionMap() = default;
+
+  CongestionMap(geom::BBox area, int nx, int ny, double occupancy,
+                double capacity_per_cell);
+
+  /// Uniform occupancy, capacity derived from cell geometry: each cell gets
+  /// `clock_track_fraction` of its total track length (cell area divided by
+  /// the default routing pitch).
+  static CongestionMap uniform(geom::BBox area, int nx, int ny,
+                               double occupancy, double default_pitch_um,
+                               double clock_track_fraction);
+
+  bool valid() const { return nx_ > 0 && ny_ > 0; }
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  const geom::BBox& area() const { return area_; }
+  int cell_count() const { return nx_ * ny_; }
+
+  int cell_index(geom::Point p) const;
+  geom::BBox cell_box(int idx) const;
+
+  double occupancy_cell(int idx) const { return occupancy_.at(idx); }
+  double capacity_cell(int idx) const { return capacity_.at(idx); }
+  void set_occupancy_cell(int idx, double v) { occupancy_.at(idx) = v; }
+  void set_capacity_cell(int idx, double v) { capacity_.at(idx) = v; }
+
+  double occupancy_at(geom::Point p) const;
+
+  /// Length-weighted mean occupancy along a rectilinear path.
+  double avg_occupancy(const geom::Path& path) const;
+
+  /// Calls fn(cell_index, length_um) for every (cell, in-cell length) pair a
+  /// rectilinear path crosses. Lengths sum to the path length.
+  void for_each_cell(const geom::Path& path,
+                     const std::function<void(int, double)>& fn) const;
+
+ private:
+  geom::BBox area_ = geom::BBox{0, 0, 1, 1};
+  int nx_ = 1;
+  int ny_ = 1;
+  std::vector<double> occupancy_{0.3};
+  std::vector<double> capacity_{1e18};
+};
+
+/// Tracks per-cell clock routing usage against a CongestionMap's capacity.
+class RoutingUsage {
+ public:
+  explicit RoutingUsage(const CongestionMap* map)
+      : map_(map), used_(map ? map->cell_count() : 0, 0.0) {}
+
+  /// Adds (or removes, if negative) `pitch_mult * length` usage along path.
+  void add(const geom::Path& path, double pitch_mult);
+
+  double used_cell(int idx) const { return used_.at(idx); }
+
+  /// Worst cell utilization used/capacity over the map (0 if empty).
+  double max_utilization() const;
+
+  /// Number of cells whose usage exceeds capacity.
+  int overflow_cells() const;
+
+  /// True if adding `pitch_mult*length` along `path` keeps every crossed
+  /// cell within capacity.
+  bool fits(const geom::Path& path, double pitch_mult) const;
+
+ private:
+  const CongestionMap* map_ = nullptr;
+  std::vector<double> used_;
+};
+
+}  // namespace sndr::netlist

@@ -1,0 +1,62 @@
+// Design-level data: clock sinks, constraints, and the congestion context in
+// which the clock network is routed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geom/point.hpp"
+#include "geom/rect.hpp"
+#include "netlist/congestion.hpp"
+#include "tech/units.hpp"
+
+namespace sndr::netlist {
+
+/// A clock sink: a flop/latch clock pin (or a clock-gate input).
+struct Sink {
+  std::string name;
+  geom::Point loc;
+  double pin_cap = 2e-15;  ///< F.
+};
+
+/// Clock network design constraints checked by the analyzers and enforced by
+/// the NDR optimizer.
+struct ClockConstraints {
+  double max_slew = 100 * units::ps;   ///< max transition anywhere on clock.
+  double max_skew = 50 * units::ps;    ///< global sink-to-sink skew bound.
+  double max_uncertainty = 35 * units::ps;  ///< 3*sigma + xtalk per sink.
+  double clock_freq = 1 * units::GHz;
+};
+
+/// Optional useful-skew windows: instead of one global skew bound, each
+/// sink i may arrive within [lo[i], hi[i]] of the mean latency (derived
+/// from per-path setup/hold slacks). Empty vectors = plain global skew.
+/// Loose windows hand the NDR optimizer extra freedom on non-critical
+/// sinks; tight windows protect critical paths.
+struct UsefulSkewWindows {
+  std::vector<double> lo;  ///< s, per design sink (negative = may be early).
+  std::vector<double> hi;  ///< s, per design sink (positive = may be late).
+
+  bool enabled() const { return !lo.empty(); }
+};
+
+/// A design, as seen by the clock implementation flow: a core area, a clock
+/// entry point, the sinks, the constraints, and the signal-routing congestion
+/// the clock wires must coexist with.
+struct Design {
+  std::string name = "design";
+  geom::BBox core;
+  geom::Point clock_root;  ///< clock source (e.g. PLL output pin) location.
+  std::vector<Sink> sinks;
+  ClockConstraints constraints;
+  UsefulSkewWindows useful_skew;  ///< optional; see UsefulSkewWindows.
+  CongestionMap congestion;
+
+  double total_sink_cap() const {
+    double c = 0.0;
+    for (const Sink& s : sinks) c += s.pin_cap;
+    return c;
+  }
+};
+
+}  // namespace sndr::netlist

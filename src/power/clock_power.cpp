@@ -1,0 +1,43 @@
+#include "power/clock_power.hpp"
+
+#include <stdexcept>
+
+namespace sndr::power {
+
+PowerReport analyze_power(
+    const netlist::ClockTree& tree, const netlist::Design& design,
+    const tech::Technology& tech, const netlist::NetList& nets,
+    const std::vector<extract::NetParasitics>& parasitics) {
+  if (parasitics.size() != static_cast<std::size_t>(nets.size())) {
+    throw std::invalid_argument("analyze_power: parasitics size mismatch");
+  }
+  const double freq = design.constraints.clock_freq;
+  const double vdd2 = tech.vdd * tech.vdd;
+
+  PowerReport rep;
+  rep.net_switched_cap.assign(nets.size(), 0.0);
+  rep.net_power.assign(nets.size(), 0.0);
+
+  for (const netlist::Net& net : nets.nets) {
+    const extract::NetParasitics& par = parasitics[net.id];
+    const double c_sw = par.switched_cap(tech.miller_power);
+    rep.net_switched_cap[net.id] = c_sw;
+    rep.net_power[net.id] = c_sw * vdd2 * freq;
+    rep.wire_cap_gnd += par.wire_cap_gnd;
+    rep.wire_cap_cpl += par.wire_cap_cpl;
+    rep.pin_cap += par.load_cap;
+    rep.switched_cap += c_sw;
+    rep.net_switching_power += rep.net_power[net.id];
+  }
+
+  for (const netlist::TreeNode& n : tree.nodes()) {
+    if (n.kind == netlist::NodeKind::kBuffer) {
+      rep.buffer_internal_power +=
+          tech.buffers[n.cell].internal_energy * freq;
+    }
+  }
+  rep.total_power = rep.net_switching_power + rep.buffer_internal_power;
+  return rep;
+}
+
+}  // namespace sndr::power

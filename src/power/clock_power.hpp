@@ -1,0 +1,41 @@
+// Clock network power analysis.
+//
+// Clock nets switch rail-to-rail once per cycle (charged and discharged), so
+// each net dissipates C_switched * Vdd^2 * f; coupling capacitance enters
+// with the average Miller factor. Buffer input caps and sink pins are
+// charged by the net that drives them, so summing per-net switched caps
+// covers the entire network without double counting. Buffers additionally
+// burn their internal (short-circuit + self-load) energy every cycle.
+#pragma once
+
+#include <vector>
+
+#include "extract/extractor.hpp"
+#include "netlist/clock_nets.hpp"
+#include "netlist/clock_tree.hpp"
+#include "netlist/design.hpp"
+#include "tech/technology.hpp"
+
+namespace sndr::power {
+
+struct PowerReport {
+  std::vector<double> net_switched_cap;  ///< F, per net id.
+  std::vector<double> net_power;         ///< W, per net id (wire+pins only).
+
+  double wire_cap_gnd = 0.0;       ///< F, all wire area+fringe cap.
+  double wire_cap_cpl = 0.0;       ///< F, all wire coupling cap (raw).
+  double pin_cap = 0.0;            ///< F, all buffer-input + sink-pin cap.
+  double switched_cap = 0.0;       ///< F, total effective switched cap.
+  double net_switching_power = 0.0;    ///< W.
+  double buffer_internal_power = 0.0;  ///< W.
+  double total_power = 0.0;            ///< W.
+};
+
+/// Rolls up power at `design.constraints.clock_freq`.
+PowerReport analyze_power(const netlist::ClockTree& tree,
+                          const netlist::Design& design,
+                          const tech::Technology& tech,
+                          const netlist::NetList& nets,
+                          const std::vector<extract::NetParasitics>& parasitics);
+
+}  // namespace sndr::power

@@ -1,0 +1,54 @@
+#include "power/em.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sndr::power {
+
+double net_peak_current_density(const extract::NetParasitics& par,
+                                const tech::Technology& tech,
+                                const tech::RoutingRule& rule, double freq) {
+  const double width = tech.clock_layer.min_width * rule.width_mult;
+  const std::vector<double> down =
+      par.rc.downstream_cap(tech.miller_power);
+  double worst = 0.0;
+  for (int i = 0; i < par.rc.size(); ++i) {
+    const extract::RcNode& n = par.rc.node(i);
+    if (n.wire_len <= 0.0) continue;
+    // Current through this piece charges everything at and below it.
+    const double i_avg = freq * tech.vdd * down[i];
+    const double i_rms = tech.em_crest_factor * i_avg;
+    worst = std::max(worst, i_rms / width);
+  }
+  return worst;
+}
+
+EmReport analyze_em(const netlist::Design& design,
+                    const tech::Technology& tech,
+                    const netlist::NetList& nets,
+                    const std::vector<extract::NetParasitics>& parasitics,
+                    const std::vector<int>& rule_of_net) {
+  if (parasitics.size() != static_cast<std::size_t>(nets.size()) ||
+      rule_of_net.size() != static_cast<std::size_t>(nets.size())) {
+    throw std::invalid_argument("analyze_em: per-net input size mismatch");
+  }
+  const double freq = design.constraints.clock_freq;
+  const double jmax = tech.clock_layer.em_jmax;
+
+  EmReport rep;
+  rep.net_peak_density.assign(nets.size(), 0.0);
+  rep.net_slack.assign(nets.size(), 0.0);
+  for (const netlist::Net& net : nets.nets) {
+    const double j = net_peak_current_density(
+        parasitics[net.id], tech, tech.rules[rule_of_net[net.id]], freq);
+    rep.net_peak_density[net.id] = j;
+    rep.net_slack[net.id] = jmax - j;
+    if (j > rep.worst_density) {
+      rep.worst_density = j;
+      rep.worst_net = net.id;
+    }
+  }
+  return rep;
+}
+
+}  // namespace sndr::power

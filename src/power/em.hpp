@@ -1,0 +1,50 @@
+// Electromigration analysis of clock wires.
+//
+// Clock wires carry bidirectional (charge/discharge) current, so the failure
+// mechanism is RMS-current Joule heating rather than unidirectional
+// transport; the standard signoff is a per-layer RMS current-density limit.
+// The average current through a wire piece is the charge delivered past it
+// per cycle, f * Vdd * C_downstream; the RMS value is that times a waveform
+// crest factor. The check is per unit wire *width*, which is exactly why EM
+// forces wide rules on high-capacitance nets near the tree root — one of the
+// three constraints that make blanket NDR look necessary.
+#pragma once
+
+#include <vector>
+
+#include "extract/extractor.hpp"
+#include "netlist/clock_nets.hpp"
+#include "netlist/design.hpp"
+#include "tech/technology.hpp"
+
+namespace sndr::power {
+
+struct EmReport {
+  std::vector<double> net_peak_density;  ///< A/um, per net id (worst piece).
+  std::vector<double> net_slack;         ///< A/um, jmax - peak.
+  double worst_density = 0.0;
+  int worst_net = -1;
+
+  int violations() const {
+    int n = 0;
+    for (const double s : net_slack) {
+      if (s < 0.0) ++n;
+    }
+    return n;
+  }
+};
+
+/// Peak RMS current density (A/um) over the pieces of one net routed with
+/// `rule`, at clock frequency `freq`.
+double net_peak_current_density(const extract::NetParasitics& par,
+                                const tech::Technology& tech,
+                                const tech::RoutingRule& rule, double freq);
+
+/// Whole-tree EM check at design.constraints.clock_freq.
+EmReport analyze_em(const netlist::Design& design,
+                    const tech::Technology& tech,
+                    const netlist::NetList& nets,
+                    const std::vector<extract::NetParasitics>& parasitics,
+                    const std::vector<int>& rule_of_net);
+
+}  // namespace sndr::power

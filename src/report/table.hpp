@@ -1,0 +1,41 @@
+// Fixed-width table and CSV emission shared by the benches and examples.
+//
+// Every bench prints its table to stdout (the paper-reproduction artifact)
+// and optionally writes the same rows as CSV next to the binary so the
+// series can be re-plotted.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sndr::report {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  /// Adds a row; cells are already-formatted strings. Throws on arity
+  /// mismatch with the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column alignment and a header rule.
+  void print(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  void write_csv(const std::string& path) const;
+
+  int rows() const { return static_cast<int>(rows_.size()); }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given precision (fixed notation).
+std::string fmt(double value, int precision = 2);
+
+/// Formats as a percentage with sign, e.g. -23.4%.
+std::string fmt_pct(double fraction, int precision = 1);
+
+}  // namespace sndr::report

@@ -1,0 +1,133 @@
+#include "route/steiner.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace sndr::route {
+
+double SteinerTree::length() const {
+  double len = 0.0;
+  for (const geom::Path& p : paths) len += geom::path_length(p);
+  return len;
+}
+
+std::pair<geom::Point, double> closest_on_path(const geom::Path& path,
+                                               geom::Point p) {
+  geom::Point best = path.empty() ? geom::Point{} : path.front();
+  double best_d = std::numeric_limits<double>::infinity();
+  for (const geom::Segment& seg : geom::path_segments(path)) {
+    geom::Point q;
+    if (seg.horizontal()) {
+      q = {std::clamp(p.x, std::min(seg.a.x, seg.b.x),
+                      std::max(seg.a.x, seg.b.x)),
+           seg.a.y};
+    } else {
+      q = {seg.a.x, std::clamp(p.y, std::min(seg.a.y, seg.b.y),
+                               std::max(seg.a.y, seg.b.y))};
+    }
+    const double d = geom::manhattan(p, q);
+    if (d < best_d) {
+      best_d = d;
+      best = q;
+    }
+  }
+  if (path.size() == 1 || best_d == std::numeric_limits<double>::infinity()) {
+    best = path.front();
+    best_d = geom::manhattan(p, best);
+  }
+  return {best, best_d};
+}
+
+SteinerTree build_rsmt(const std::vector<geom::Point>& terminals) {
+  if (terminals.empty()) {
+    throw std::invalid_argument("build_rsmt: no terminals");
+  }
+  SteinerTree tree;
+  tree.points.push_back(terminals[0]);
+  tree.parent.push_back(-1);
+  tree.paths.emplace_back();
+  tree.terminal_node.assign(terminals.size(), -1);
+  tree.terminal_node[0] = 0;
+
+  std::vector<int> pending;
+  for (int i = 1; i < static_cast<int>(terminals.size()); ++i) {
+    pending.push_back(i);
+  }
+
+  while (!pending.empty()) {
+    // Find the pending terminal closest to the current tree, measuring
+    // distance to nodes and to interior points of routed edges.
+    double best_d = std::numeric_limits<double>::infinity();
+    std::size_t best_pi = 0;
+    int best_node = -1;       // attach at an existing node...
+    int best_edge = -1;       // ...or by splitting this edge,
+    geom::Point best_split;   // at this point.
+
+    for (std::size_t pi = 0; pi < pending.size(); ++pi) {
+      const geom::Point t = terminals[pending[pi]];
+      for (int v = 0; v < tree.size(); ++v) {
+        const double d = geom::manhattan(t, tree.points[v]);
+        if (d < best_d) {
+          best_d = d;
+          best_pi = pi;
+          best_node = v;
+          best_edge = -1;
+        }
+        if (tree.parent[v] >= 0 && tree.paths[v].size() >= 2) {
+          const auto [q, dq] = closest_on_path(tree.paths[v], t);
+          if (dq + 1e-12 < best_d) {
+            best_d = dq;
+            best_pi = pi;
+            best_node = -1;
+            best_edge = v;
+            best_split = q;
+          }
+        }
+      }
+    }
+
+    int attach = best_node;
+    if (best_edge >= 0) {
+      // Split the edge parent(best_edge) -> best_edge at best_split.
+      const geom::Path& full = tree.paths[best_edge];
+      double along = 0.0;
+      {
+        // Arc length of the closest point along the path.
+        double acc = 0.0;
+        double best_err = std::numeric_limits<double>::infinity();
+        for (std::size_t i = 1; i < full.size(); ++i) {
+          const geom::Segment seg{full[i - 1], full[i]};
+          const auto [q, dq] = closest_on_path({seg.a, seg.b}, best_split);
+          const double err = dq;
+          if (err < best_err) {
+            best_err = err;
+            along = acc + geom::manhattan(seg.a, q);
+          }
+          acc += seg.length();
+        }
+      }
+      auto [head, tail] = geom::split_at(full, along);
+      const int split_node = tree.size();
+      tree.points.push_back(best_split);
+      tree.parent.push_back(tree.parent[best_edge]);
+      tree.paths.push_back(head);
+      // Re-hang the old child below the split node.
+      tree.parent[best_edge] = split_node;
+      tree.paths[best_edge] = tail;
+      attach = split_node;
+    }
+
+    const int term = pending[best_pi];
+    const int node = tree.size();
+    tree.points.push_back(terminals[term]);
+    tree.parent.push_back(attach);
+    tree.paths.push_back(geom::l_path(tree.points[attach], terminals[term],
+                                      /*horizontal_first=*/node % 2 == 0));
+    tree.terminal_node[term] = node;
+    pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(best_pi));
+  }
+  return tree;
+}
+
+}  // namespace sndr::route

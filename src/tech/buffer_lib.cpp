@@ -1,0 +1,54 @@
+#include "tech/buffer_lib.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "tech/units.hpp"
+
+namespace sndr::tech {
+
+BufferLibrary::BufferLibrary(std::vector<BufferCell> cells)
+    : cells_(std::move(cells)) {
+  if (cells_.empty()) {
+    throw std::invalid_argument("BufferLibrary: empty cell list");
+  }
+  std::sort(cells_.begin(), cells_.end(),
+            [](const BufferCell& a, const BufferCell& b) {
+              return a.drive_res > b.drive_res;  // weakest first.
+            });
+}
+
+BufferLibrary BufferLibrary::standard() {
+  std::vector<BufferCell> cells;
+  for (const int size : {2, 3, 4, 6, 8, 12, 16, 24, 32}) {
+    BufferCell c;
+    c.name = "CLKBUF_X" + std::to_string(size);
+    c.drive_res = 2400.0 / size * units::ohm;
+    c.input_cap = 0.8 * size * units::fF;
+    c.intrinsic_delay = 20 * units::ps;
+    c.internal_energy = 1.2 * size * units::fJ;
+    c.max_cap = 30.0 * size * units::fF;
+    c.slew_sensitivity = 0.15;
+    cells.push_back(c);
+  }
+  return BufferLibrary(std::move(cells));
+}
+
+int BufferLibrary::best_for_load(double load_cap, double max_slew) const {
+  for (int i = 0; i < size(); ++i) {
+    const BufferCell& c = cells_[i];
+    if (load_cap <= c.max_cap && c.output_slew(load_cap) <= max_slew) {
+      return i;
+    }
+  }
+  return size() - 1;
+}
+
+int BufferLibrary::find(const std::string& name) const {
+  for (int i = 0; i < size(); ++i) {
+    if (cells_[i].name == name) return i;
+  }
+  return -1;
+}
+
+}  // namespace sndr::tech

@@ -1,0 +1,68 @@
+// Clock buffer library.
+//
+// Buffers are modeled with the usual switch-level abstraction used by clock
+// tree synthesis: a linear drive resistance, a lumped input capacitance, an
+// intrinsic delay, and an internal energy per clock cycle. Delay and output
+// slew are analytic in the load, which keeps the timer closed-form while
+// preserving the sensitivities the NDR optimizer relies on (load cap up =>
+// slew up, drive resistance down => slew down).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sndr::tech {
+
+struct BufferCell {
+  std::string name;          ///< e.g. "CLKBUF_X8".
+  double drive_res = 300.0;  ///< ohm, linearized output resistance.
+  double input_cap = 6e-15;  ///< F.
+  double intrinsic_delay = 20e-12;  ///< s, zero-load delay.
+  double internal_energy = 10e-15;  ///< J per full clock cycle (both edges).
+  double max_cap = 250e-15;  ///< F, library max load.
+  double slew_sensitivity = 0.15;  ///< d(delay)/d(input slew), unitless.
+
+  /// Propagation delay driving `load_cap` with input transition `slew_in`.
+  double delay(double load_cap, double slew_in) const {
+    return intrinsic_delay + drive_res * load_cap +
+           slew_sensitivity * slew_in;
+  }
+
+  /// Output transition time (10-90%) driving `load_cap`. The driven wire's
+  /// distributed RC further degrades this downstream (see timing/slew).
+  double output_slew(double load_cap) const {
+    // ln(9) ~ 2.197: 10-90% transition of a single-pole response.
+    return 2.197 * drive_res * load_cap + 0.4 * intrinsic_delay;
+  }
+
+  friend bool operator==(const BufferCell&, const BufferCell&) = default;
+};
+
+class BufferLibrary {
+ public:
+  BufferLibrary() = default;
+  explicit BufferLibrary(std::vector<BufferCell> cells);
+
+  /// Geometrically sized CLKBUF_X2..X32 family for the default technology.
+  static BufferLibrary standard();
+
+  int size() const { return static_cast<int>(cells_.size()); }
+  const BufferCell& operator[](int i) const { return cells_.at(i); }
+  const BufferCell& smallest() const { return cells_.front(); }
+  const BufferCell& largest() const { return cells_.back(); }
+
+  /// Index of the smallest cell that can drive `load_cap` with output slew
+  /// <= `max_slew` and load <= max_cap; returns the largest cell if none
+  /// qualifies (caller splits the load by inserting more buffers).
+  int best_for_load(double load_cap, double max_slew) const;
+
+  int find(const std::string& name) const;
+
+  auto begin() const { return cells_.begin(); }
+  auto end() const { return cells_.end(); }
+
+ private:
+  std::vector<BufferCell> cells_;  ///< sorted by increasing drive strength.
+};
+
+}  // namespace sndr::tech

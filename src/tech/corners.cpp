@@ -1,0 +1,35 @@
+#include "tech/corners.hpp"
+
+namespace sndr::tech {
+
+std::vector<Corner> standard_corners() {
+  return {
+      {"slow", 1.10, 1.08, 0.95, 1.15},
+      {"typ", 1.00, 1.00, 1.00, 1.00},
+      {"fast", 0.90, 0.93, 1.05, 0.87},
+  };
+}
+
+Technology apply_corner(const Technology& tech, const Corner& corner) {
+  Technology t = tech;
+  t.name = tech.name + "_" + corner.name;
+  t.clock_layer.r_sheet *= corner.r_scale;
+  t.clock_layer.c_area *= corner.c_scale;
+  t.clock_layer.c_fringe *= corner.c_scale;
+  t.clock_layer.k_couple *= corner.c_scale;
+  t.vdd *= corner.vdd_scale;
+
+  std::vector<BufferCell> cells;
+  cells.reserve(t.buffers.size());
+  for (const BufferCell& c : t.buffers) {
+    BufferCell s = c;
+    s.drive_res *= corner.cell_scale;
+    s.intrinsic_delay *= corner.cell_scale;
+    s.internal_energy *= corner.vdd_scale * corner.vdd_scale;
+    cells.push_back(std::move(s));
+  }
+  t.buffers = BufferLibrary(std::move(cells));
+  return t;
+}
+
+}  // namespace sndr::tech

@@ -1,0 +1,33 @@
+// Process/voltage corners.
+//
+// A corner scales the interconnect sheet resistance, the capacitance
+// coefficients, and the supply. Signoff checks the worst corner per
+// constraint: slow (high R, high C, low V) dominates slew/skew/delay,
+// fast (low R, low C, high V) dominates EM current density and power.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tech/technology.hpp"
+
+namespace sndr::tech {
+
+struct Corner {
+  std::string name = "typ";
+  double r_scale = 1.0;    ///< multiplies layer sheet resistance.
+  double c_scale = 1.0;    ///< multiplies area/fringe/coupling caps.
+  double vdd_scale = 1.0;  ///< multiplies supply voltage.
+  /// Buffer drive resistance tracks the transistor corner; intrinsic delay
+  /// scales the same way to first order.
+  double cell_scale = 1.0;
+};
+
+/// The standard three-corner set used by the signoff flow.
+std::vector<Corner> standard_corners();
+
+/// Returns a Technology with the corner folded into every coefficient the
+/// analyzers read (layer R/C, vdd, buffer drive/intrinsic/energy).
+Technology apply_corner(const Technology& tech, const Corner& corner);
+
+}  // namespace sndr::tech

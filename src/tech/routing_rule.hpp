@@ -1,0 +1,60 @@
+// Non-default routing (NDR) rule definitions.
+//
+// A routing rule scales the minimum wire width and the minimum spacing of the
+// clock routing layer. The default rule is 1W1S; the conventional blanket
+// clock NDR is 2W2S (double width, double spacing). The smart-NDR optimizer
+// picks one rule per clock net from a RuleSet.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sndr::tech {
+
+struct RoutingRule {
+  std::string name;       ///< e.g. "2W2S".
+  double width_mult = 1;  ///< wire width  = width_mult  * layer min width.
+  double space_mult = 1;  ///< wire spacing = space_mult * layer min spacing.
+
+  /// Routing-track pitch consumed per um of wire, in multiples of the
+  /// default (1W1S) pitch. Drives the congestion/resource model.
+  double pitch_mult(double width_frac) const {
+    // width_frac = min_width / (min_width + min_space) of the layer.
+    return width_mult * width_frac + space_mult * (1.0 - width_frac);
+  }
+
+  friend bool operator==(const RoutingRule&, const RoutingRule&) = default;
+};
+
+/// An ordered set of candidate rules. Index 0 is always the default rule
+/// (1W1S); `blanket()` is the conventional all-clock NDR the paper's
+/// baselines use (widest rule unless marked otherwise).
+class RuleSet {
+ public:
+  RuleSet() = default;
+  explicit RuleSet(std::vector<RoutingRule> rules, int blanket_index = -1);
+
+  /// The production rule set studied in the paper's experiments:
+  /// 1W1S, 1W2S, 2W1S, 2W2S, 3W3S, with 2W2S as the blanket rule.
+  static RuleSet standard();
+
+  int size() const { return static_cast<int>(rules_.size()); }
+  const RoutingRule& operator[](int i) const { return rules_.at(i); }
+  const RoutingRule& default_rule() const { return rules_.at(0); }
+  const RoutingRule& blanket_rule() const { return rules_.at(blanket_); }
+  int default_index() const { return 0; }
+  int blanket_index() const { return blanket_; }
+
+  /// Index of the rule with the given name, or -1.
+  int find(const std::string& name) const;
+
+  auto begin() const { return rules_.begin(); }
+  auto end() const { return rules_.end(); }
+
+ private:
+  std::vector<RoutingRule> rules_;
+  int blanket_ = 0;
+};
+
+}  // namespace sndr::tech

@@ -1,0 +1,46 @@
+// Aggregate technology description: the clock routing layer, the candidate
+// NDR rule set, the buffer library, and global electrical parameters.
+//
+// A Technology can be built from the 45nm-class defaults
+// (`Technology::make_default_45nm()`) or loaded from a simple `key = value`
+// text format so that users can explore their own stacks (see
+// examples/custom_technology.cpp).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tech/buffer_lib.hpp"
+#include "tech/routing_rule.hpp"
+#include "tech/wire_model.hpp"
+
+namespace sndr::tech {
+
+struct Technology {
+  std::string name = "generic45";
+
+  MetalLayer clock_layer;
+  RuleSet rules = RuleSet::standard();
+  BufferLibrary buffers = BufferLibrary::standard();
+
+  // Operating point.
+  double vdd = 1.1;  ///< V.
+
+  // Crosstalk modeling.
+  double miller_delay = 2.0;   ///< coupling multiplier for worst-case delay.
+  double miller_power = 1.0;   ///< average coupling multiplier for power.
+  double aggressor_activity = 0.3;  ///< P(neighbor toggles against us).
+
+  // Electromigration: Irms ~= em_crest_factor * Iavg for clock waveforms.
+  double em_crest_factor = 2.0;
+
+  /// Default technology used throughout the paper reproduction.
+  static Technology make_default_45nm();
+
+  /// Serializes to / parses from the `key = value` text format. Parsing
+  /// throws std::runtime_error with a line diagnostic on malformed input.
+  std::string to_text() const;
+  static Technology from_text(const std::string& text);
+};
+
+}  // namespace sndr::tech

@@ -1,0 +1,55 @@
+// Unit conventions and readable literals.
+//
+// The library stores electrical quantities in SI units (ohm, farad, second,
+// watt, ampere, hertz, volt) and geometry in micrometers. The constants here
+// make construction sites and tests readable (e.g. `100 * units::ps`)
+// and the helpers convert to conventional display units.
+#pragma once
+
+namespace sndr::units {
+
+// Time.
+inline constexpr double s = 1.0;
+inline constexpr double ns = 1e-9;
+inline constexpr double ps = 1e-12;
+inline constexpr double fs = 1e-15;
+
+// Capacitance.
+inline constexpr double F = 1.0;
+inline constexpr double pF = 1e-12;
+inline constexpr double fF = 1e-15;
+
+// Resistance.
+inline constexpr double ohm = 1.0;
+inline constexpr double kohm = 1e3;
+
+// Power / energy / current / voltage / frequency.
+inline constexpr double W = 1.0;
+inline constexpr double mW = 1e-3;
+inline constexpr double uW = 1e-6;
+inline constexpr double J = 1.0;
+inline constexpr double fJ = 1e-15;
+inline constexpr double A = 1.0;
+inline constexpr double mA = 1e-3;
+inline constexpr double uA = 1e-6;
+inline constexpr double V = 1.0;
+inline constexpr double Hz = 1.0;
+inline constexpr double MHz = 1e6;
+inline constexpr double GHz = 1e9;
+
+// Geometry (canonical unit is the micrometer itself).
+inline constexpr double um = 1.0;
+inline constexpr double mm = 1e3;
+inline constexpr double nm = 1e-3;
+
+// Display conversions.
+inline constexpr double to_ps(double seconds) { return seconds / ps; }
+inline constexpr double to_ns(double seconds) { return seconds / ns; }
+inline constexpr double to_fF(double farads) { return farads / fF; }
+inline constexpr double to_pF(double farads) { return farads / pF; }
+inline constexpr double to_uW(double watts) { return watts / uW; }
+inline constexpr double to_mW(double watts) { return watts / mW; }
+inline constexpr double to_mA(double amps) { return amps / mA; }
+inline constexpr double to_mm(double microns) { return microns / mm; }
+
+}  // namespace sndr::units

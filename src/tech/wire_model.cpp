@@ -1,0 +1,84 @@
+#include "tech/wire_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sndr::tech {
+
+RuleSet::RuleSet(std::vector<RoutingRule> rules, int blanket_index)
+    : rules_(std::move(rules)) {
+  if (rules_.empty()) throw std::invalid_argument("RuleSet: empty rule list");
+  if (rules_[0].width_mult != 1.0 || rules_[0].space_mult != 1.0) {
+    throw std::invalid_argument("RuleSet: rule 0 must be the default 1W1S");
+  }
+  if (blanket_index < 0) {
+    // Widest rule is the conventional blanket NDR.
+    blanket_ = 0;
+    for (int i = 1; i < size(); ++i) {
+      const auto& r = rules_[i];
+      const auto& b = rules_[blanket_];
+      if (r.width_mult > b.width_mult ||
+          (r.width_mult == b.width_mult && r.space_mult > b.space_mult)) {
+        blanket_ = i;
+      }
+    }
+  } else {
+    if (blanket_index >= size()) {
+      throw std::invalid_argument("RuleSet: blanket index out of range");
+    }
+    blanket_ = blanket_index;
+  }
+}
+
+RuleSet RuleSet::standard() {
+  return RuleSet(
+      {
+          {"1W1S", 1, 1},
+          {"1W2S", 1, 2},
+          {"2W1S", 2, 1},
+          {"2W2S", 2, 2},
+          {"3W3S", 3, 3},
+      },
+      /*blanket_index=*/3);
+}
+
+int RuleSet::find(const std::string& name) const {
+  for (int i = 0; i < size(); ++i) {
+    if (rules_[i].name == name) return i;
+  }
+  return -1;
+}
+
+double wire_res_per_um(const MetalLayer& layer, const RoutingRule& rule) {
+  const double width = layer.min_width * rule.width_mult;
+  return layer.r_sheet / width;
+}
+
+double wire_cap_gnd_per_um(const MetalLayer& layer, const RoutingRule& rule) {
+  const double width = layer.min_width * rule.width_mult;
+  return layer.c_area * width + 2.0 * layer.c_fringe;
+}
+
+double wire_cap_couple_per_um(const MetalLayer& layer,
+                              const RoutingRule& rule) {
+  const double space = layer.min_space * rule.space_mult;
+  return layer.k_couple / (space + layer.s_offset);
+}
+
+WireRc wire_rc_per_um(const MetalLayer& layer, const RoutingRule& rule,
+                      double occupancy) {
+  occupancy = std::clamp(occupancy, 0.0, 1.0);
+  WireRc rc;
+  rc.res_per_um = wire_res_per_um(layer, rule);
+  rc.cap_gnd_per_um = wire_cap_gnd_per_um(layer, rule);
+  rc.cap_cpl_per_um =
+      2.0 * occupancy * wire_cap_couple_per_um(layer, rule);
+  return rc;
+}
+
+double wire_pitch(const MetalLayer& layer, const RoutingRule& rule) {
+  return layer.min_width * rule.width_mult +
+         layer.min_space * rule.space_mult;
+}
+
+}  // namespace sndr::tech

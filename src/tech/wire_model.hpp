@@ -1,0 +1,76 @@
+// Wire electrical model: per-layer resistance and capacitance as a function
+// of the routing rule (width/spacing) and the local neighbor occupancy.
+//
+// The model is the standard decomposition used in pre-layout clock planning:
+//
+//   R/um      = r_sheet / width
+//   Cg/um     = c_area * width + 2 * c_fringe            (cap to ground)
+//   Cc/um     = 2 * occupancy * c_couple(spacing)        (lateral coupling)
+//   c_couple(s) = k_couple / (s + s_offset)              (hyperbolic fit)
+//
+// `occupancy` in [0,1] is the fraction of the wire length that actually has
+// a parallel neighbor at the rule's spacing; it comes from the congestion
+// map of the design region the wire crosses. This is the crux of the paper's
+// power argument: extra width *always* costs area/fringe capacitance, while
+// extra spacing only saves coupling where a neighbor exists.
+#pragma once
+
+#include <string>
+
+#include "tech/routing_rule.hpp"
+
+namespace sndr::tech {
+
+struct MetalLayer {
+  std::string name = "M5";
+
+  // Geometry (um).
+  double min_width = 0.14;
+  double min_space = 0.14;
+
+  // Electrical coefficients (SI; geometry coefficients per um).
+  double r_sheet = 0.25;        ///< ohm/sq.
+  double c_area = 0.30e-15;     ///< F/um^2 (plate cap to adjacent planes).
+  double c_fringe = 0.038e-15;  ///< F/um per edge.
+  double k_couple = 16.2e-18;   ///< F*um/um, coupling = k/(s + s_offset).
+  double s_offset = 0.04;       ///< um, keeps coupling finite at s->0.
+
+  // Electromigration: maximum RMS current per um of wire width.
+  double em_jmax = 2.5e-3;  ///< A/um (RMS, at reference temperature).
+
+  // Process variation (one sigma).
+  double sigma_width = 0.005;      ///< um, absolute width variation.
+  double sigma_thickness = 0.05;   ///< fraction, thickness variation.
+
+  double default_pitch() const { return min_width + min_space; }
+  double width_frac() const { return min_width / default_pitch(); }
+};
+
+/// Per-um wire parasitics realized by a rule on a layer.
+struct WireRc {
+  double res_per_um = 0.0;      ///< ohm/um.
+  double cap_gnd_per_um = 0.0;  ///< F/um, area + fringe.
+  double cap_cpl_per_um = 0.0;  ///< F/um, lateral coupling (both sides).
+
+  double cap_total_per_um() const { return cap_gnd_per_um + cap_cpl_per_um; }
+};
+
+/// Resistance per um of a wire routed with `rule`.
+double wire_res_per_um(const MetalLayer& layer, const RoutingRule& rule);
+
+/// Ground (area+fringe) capacitance per um.
+double wire_cap_gnd_per_um(const MetalLayer& layer, const RoutingRule& rule);
+
+/// One-side coupling capacitance per um at the rule's spacing, assuming a
+/// neighbor is present along the full length.
+double wire_cap_couple_per_um(const MetalLayer& layer,
+                              const RoutingRule& rule);
+
+/// Full per-um parasitics with the given neighbor occupancy in [0,1].
+WireRc wire_rc_per_um(const MetalLayer& layer, const RoutingRule& rule,
+                      double occupancy);
+
+/// Routing pitch (um) consumed by one wire of `rule`: width + spacing.
+double wire_pitch(const MetalLayer& layer, const RoutingRule& rule);
+
+}  // namespace sndr::tech

@@ -1,0 +1,149 @@
+#include "timing/variation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sndr::timing {
+
+using netlist::NodeKind;
+
+double NetVariationDetail::worst_sigma() const {
+  double w = 0.0;
+  for (const double s : load_sigma) w = std::max(w, s);
+  return w;
+}
+
+double NetVariationDetail::worst_xtalk() const {
+  double w = 0.0;
+  for (const double x : load_xtalk) w = std::max(w, x);
+  return w;
+}
+
+double net_driver_res(const netlist::ClockTree& tree,
+                      const tech::Technology& tech, const netlist::Net& net,
+                      const AnalysisOptions& options) {
+  const netlist::TreeNode& drv = tree.node(net.driver);
+  return drv.kind == NodeKind::kSource ? options.source_drive_res
+                                       : tech.buffers[drv.cell].drive_res;
+}
+
+namespace {
+
+/// Elmore delay at each load of `par` for the given RC tree.
+std::vector<double> load_elmore(const extract::RcTree& rc,
+                                const std::vector<int>& load_rc_index,
+                                double driver_res, double miller) {
+  const std::vector<double> m1 = rc.elmore_delay(driver_res, miller);
+  std::vector<double> out(load_rc_index.size(), 0.0);
+  for (std::size_t i = 0; i < load_rc_index.size(); ++i) {
+    out[i] = m1[load_rc_index[i]];
+  }
+  return out;
+}
+
+}  // namespace
+
+NetVariationDetail net_variation(const extract::NetParasitics& par,
+                                 const tech::Technology& tech,
+                                 const tech::RoutingRule& rule,
+                                 double driver_res) {
+  const tech::MetalLayer& layer = tech.clock_layer;
+  const double width = layer.min_width * rule.width_mult;
+  const double d_w = layer.sigma_width;        // um, 1 sigma.
+  const double d_t = layer.sigma_thickness;    // fraction, 1 sigma.
+
+  const std::vector<double> base =
+      load_elmore(par.rc, par.load_rc_index, driver_res, 1.0);
+
+  // Width +1 sigma: R scales W/(W+dW); area cap grows by c_area*dW per um.
+  extract::RcTree width_rc = par.rc;
+  for (int i = 0; i < width_rc.size(); ++i) {
+    extract::RcNode& n = width_rc.node(i);
+    if (n.wire_len <= 0.0) continue;
+    n.res *= width / (width + d_w);
+    n.cap_gnd += layer.c_area * d_w * n.wire_len;
+  }
+  const std::vector<double> w_pert =
+      load_elmore(width_rc, par.load_rc_index, driver_res, 1.0);
+
+  // Thickness +1 sigma: R scales 1/(1+dT); coupling scales (1+dT).
+  extract::RcTree thick_rc = par.rc;
+  for (int i = 0; i < thick_rc.size(); ++i) {
+    extract::RcNode& n = thick_rc.node(i);
+    if (n.wire_len <= 0.0) continue;
+    n.res /= 1.0 + d_t;
+    n.cap_cpl *= 1.0 + d_t;
+  }
+  const std::vector<double> t_pert =
+      load_elmore(thick_rc, par.load_rc_index, driver_res, 1.0);
+
+  // Crosstalk: extra Miller charge on coupling caps, weighted by the
+  // probability that the neighbor actually switches against us.
+  const std::vector<double> x_pert = load_elmore(
+      par.rc, par.load_rc_index, driver_res, tech.miller_delay);
+
+  NetVariationDetail out;
+  out.load_sigma.resize(base.size());
+  out.load_xtalk.resize(base.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    const double dw = w_pert[i] - base[i];
+    const double dt = t_pert[i] - base[i];
+    out.load_sigma[i] = std::sqrt(dw * dw + dt * dt);
+    out.load_xtalk[i] =
+        tech.aggressor_activity * std::max(0.0, x_pert[i] - base[i]);
+  }
+  return out;
+}
+
+VariationReport analyze_variation(
+    const netlist::ClockTree& tree, const netlist::Design& design,
+    const tech::Technology& tech, const netlist::NetList& nets,
+    const std::vector<extract::NetParasitics>& parasitics,
+    const std::vector<int>& rule_of_net, const AnalysisOptions& options) {
+  if (parasitics.size() != static_cast<std::size_t>(nets.size()) ||
+      rule_of_net.size() != static_cast<std::size_t>(nets.size())) {
+    throw std::invalid_argument(
+        "analyze_variation: per-net input size mismatch");
+  }
+
+  VariationReport rep;
+  rep.net_sigma.assign(nets.size(), 0.0);
+  rep.net_xtalk.assign(nets.size(), 0.0);
+  rep.sink_sigma.assign(design.sinks.size(), 0.0);
+  rep.sink_xtalk.assign(design.sinks.size(), 0.0);
+  rep.sink_uncertainty.assign(design.sinks.size(), 0.0);
+
+  // Accumulators at driver inputs (tree node id -> path variance / xtalk).
+  std::vector<double> node_var(tree.size(), 0.0);
+  std::vector<double> node_xtalk(tree.size(), 0.0);
+
+  for (const netlist::Net& net : nets.nets) {
+    const double driver_res = net_driver_res(tree, tech, net, options);
+    const NetVariationDetail detail = net_variation(
+        parasitics[net.id], tech, tech.rules[rule_of_net[net.id]],
+        driver_res);
+    rep.net_sigma[net.id] = detail.worst_sigma();
+    rep.net_xtalk[net.id] = detail.worst_xtalk();
+
+    const double up_var = node_var[net.driver];
+    const double up_xtalk = node_xtalk[net.driver];
+    for (std::size_t li = 0; li < net.loads.size(); ++li) {
+      const int load = net.loads[li];
+      node_var[load] = up_var + detail.load_sigma[li] * detail.load_sigma[li];
+      node_xtalk[load] = up_xtalk + detail.load_xtalk[li];
+      const netlist::TreeNode& ln = tree.node(load);
+      if (ln.kind == NodeKind::kSink) {
+        const double sigma = std::sqrt(node_var[load]);
+        rep.sink_sigma[ln.sink] = sigma;
+        rep.sink_xtalk[ln.sink] = node_xtalk[load];
+        rep.sink_uncertainty[ln.sink] = 3.0 * sigma + node_xtalk[load];
+        rep.max_uncertainty =
+            std::max(rep.max_uncertainty, rep.sink_uncertainty[ln.sink]);
+      }
+    }
+  }
+  return rep;
+}
+
+}  // namespace sndr::timing

@@ -1,0 +1,75 @@
+// Delay-variation analysis: process-induced sigma and crosstalk-induced
+// delta-delay of clock paths.
+//
+// This is the analysis that justifies non-default rules in the first place:
+//
+//  * Process: wire width varies by sigma_width (absolute) and thickness by
+//    sigma_thickness (relative). Narrow wires have proportionally larger
+//    resistance variation, so *wider* rules shrink the delay sigma.
+//  * Crosstalk: a toggling neighbor injects up to (miller_delay - 1) extra
+//    coupling charge; *wider spacing* shrinks the coupling and with it the
+//    delta-delay window.
+//
+// Per-load responses are computed by re-evaluating Elmore on a perturbed
+// copy of the net's RC tree (the provenance fields of RcNode make the
+// perturbation exact without re-extraction). Path uncertainty accumulates
+// RSS for the random process part and linearly for the crosstalk bound:
+//     U(sink) = 3 * sqrt(sum sigma_net^2) + sum xtalk_net.
+#pragma once
+
+#include <vector>
+
+#include "timing/tree_timing.hpp"
+
+namespace sndr::timing {
+
+/// Per-load variation responses of one net.
+struct NetVariationDetail {
+  std::vector<double> load_sigma;  ///< s, 1-sigma process delay variation.
+  std::vector<double> load_xtalk;  ///< s, expected crosstalk delta-delay.
+
+  double worst_sigma() const;
+  double worst_xtalk() const;
+};
+
+/// Variation of one extracted net routed with `rule`, given its driver's
+/// linearized resistance.
+NetVariationDetail net_variation(const extract::NetParasitics& par,
+                                 const tech::Technology& tech,
+                                 const tech::RoutingRule& rule,
+                                 double driver_res);
+
+struct VariationReport {
+  // Per net id (worst load of the net).
+  std::vector<double> net_sigma;
+  std::vector<double> net_xtalk;
+
+  // Per design sink id, accumulated along the source->sink path.
+  std::vector<double> sink_sigma;        ///< RSS of per-net sigmas.
+  std::vector<double> sink_xtalk;        ///< linear sum of xtalk bounds.
+  std::vector<double> sink_uncertainty;  ///< 3*sigma + xtalk.
+
+  double max_uncertainty = 0.0;
+
+  int violations(double max_allowed) const {
+    int n = 0;
+    for (const double u : sink_uncertainty) {
+      if (u > max_allowed) ++n;
+    }
+    return n;
+  }
+};
+
+/// Whole-tree variation analysis. `rule_of_net[i]` indexes tech.rules.
+VariationReport analyze_variation(
+    const netlist::ClockTree& tree, const netlist::Design& design,
+    const tech::Technology& tech, const netlist::NetList& nets,
+    const std::vector<extract::NetParasitics>& parasitics,
+    const std::vector<int>& rule_of_net, const AnalysisOptions& options = {});
+
+/// Linearized output resistance of the net's driver (source or buffer).
+double net_driver_res(const netlist::ClockTree& tree,
+                      const tech::Technology& tech, const netlist::Net& net,
+                      const AnalysisOptions& options);
+
+}  // namespace sndr::timing

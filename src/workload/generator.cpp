@@ -1,0 +1,163 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "tech/units.hpp"
+#include "workload/rng.hpp"
+
+namespace sndr::workload {
+
+const char* to_string(SinkDistribution d) {
+  switch (d) {
+    case SinkDistribution::kUniform: return "uniform";
+    case SinkDistribution::kClustered: return "clustered";
+    case SinkDistribution::kMixed: return "mixed";
+  }
+  return "?";
+}
+
+namespace {
+
+geom::Point uniform_point(Rng& rng, const geom::BBox& core) {
+  return {rng.uniform(core.lo().x, core.hi().x),
+          rng.uniform(core.lo().y, core.hi().y)};
+}
+
+}  // namespace
+
+netlist::Design make_design(const DesignSpec& spec) {
+  if (spec.num_sinks <= 0) {
+    throw std::invalid_argument("make_design: num_sinks must be positive");
+  }
+  Rng rng(spec.seed * 0x9e3779b97f4a7c15ULL + 0xdeadbeef);
+
+  netlist::Design d;
+  d.name = spec.name;
+  d.constraints = spec.constraints;
+  if (spec.scale_constraints) {
+    // Clock budgets grow with design size in real flows: skew targets track
+    // insertion delay, and uncertainty (jitter) budgets track tree depth.
+    // Both depth and latency grow ~logarithmically / with the core span, so
+    // scale from the 256-sink baseline.
+    const double growth =
+        10.0 * std::log2(std::max(1.0, spec.num_sinks / 256.0));
+    d.constraints.max_skew =
+        std::max(spec.constraints.max_skew,
+                 (30.0 + growth) * units::ps);
+    d.constraints.max_uncertainty =
+        std::max(spec.constraints.max_uncertainty,
+                 (20.0 + growth) * units::ps);
+  }
+
+  // Floorplan: square core at constant sink density.
+  const double area_mm2 = spec.num_sinks / spec.sink_density;
+  const double side = std::sqrt(area_mm2) * units::mm;  // um.
+  d.core = geom::BBox(0.0, 0.0, side, side);
+  d.clock_root = {side / 2.0, 0.0};  // clock entry at bottom-edge midpoint.
+
+  // Cluster centers (also reused as congestion hotspots for kClustered).
+  std::vector<geom::Point> centers;
+  for (int i = 0; i < std::max(1, spec.clusters); ++i) {
+    centers.push_back(uniform_point(rng, d.core));
+  }
+  const double sigma = spec.cluster_sigma_frac * side;
+
+  d.sinks.reserve(spec.num_sinks);
+  for (int i = 0; i < spec.num_sinks; ++i) {
+    geom::Point p;
+    bool uniform = spec.dist == SinkDistribution::kUniform;
+    if (spec.dist == SinkDistribution::kMixed) {
+      uniform = rng.uniform() < spec.mixed_uniform_frac;
+    }
+    if (uniform) {
+      p = uniform_point(rng, d.core);
+    } else {
+      const geom::Point c = centers[rng.uniform_int(centers.size())];
+      p = d.core.clamp({rng.normal(c.x, sigma), rng.normal(c.y, sigma)});
+    }
+    netlist::Sink s;
+    s.name = "sink_" + std::to_string(i);
+    s.loc = p;
+    s.pin_cap = rng.uniform(spec.pin_cap_lo, spec.pin_cap_hi);
+    d.sinks.push_back(std::move(s));
+  }
+
+  // Congestion field: base + noise + hotspot bumps.
+  const int grid = std::clamp(static_cast<int>(side / 100.0), 8, 64);
+  // Capacity derives from the default clock-layer pitch (0.28 um for the
+  // generic45 stack); designs built for another stack can rebuild the map.
+  const double default_pitch = 0.28;
+  d.congestion = netlist::CongestionMap::uniform(
+      d.core, grid, grid, spec.occupancy_base, default_pitch,
+      spec.clock_track_fraction);
+  std::vector<geom::Point> hot;
+  for (int i = 0; i < spec.hotspots; ++i) {
+    hot.push_back(uniform_point(rng, d.core));
+  }
+  const double hot_radius = 0.15 * side;
+  for (int ci = 0; ci < d.congestion.cell_count(); ++ci) {
+    const geom::Point c = d.congestion.cell_box(ci).center();
+    double occ = spec.occupancy_base +
+                 rng.uniform(-spec.occupancy_noise, spec.occupancy_noise);
+    for (const geom::Point& h : hot) {
+      const double dist = geom::euclidean(c, h);
+      occ += spec.hotspot_occupancy *
+             std::exp(-0.5 * (dist / hot_radius) * (dist / hot_radius));
+    }
+    d.congestion.set_occupancy_cell(ci, std::clamp(occ, 0.05, 0.95));
+  }
+  return d;
+}
+
+std::vector<DesignSpec> paper_benchmarks() {
+  std::vector<DesignSpec> specs;
+
+  const auto add = [&](const std::string& name, int sinks,
+                       SinkDistribution dist, std::uint64_t seed) {
+    DesignSpec s;
+    s.name = name;
+    s.num_sinks = sinks;
+    s.dist = dist;
+    s.seed = seed;
+    specs.push_back(std::move(s));
+  };
+
+  add("aes_like", 1024, SinkDistribution::kUniform, 11);
+  add("jpeg_like", 2048, SinkDistribution::kClustered, 23);
+  add("vga_like", 4096, SinkDistribution::kUniform, 37);
+  add("ethmac_like", 8192, SinkDistribution::kMixed, 41);
+  add("mpeg2_like", 16384, SinkDistribution::kClustered, 53);
+  add("leon_like", 32768, SinkDistribution::kMixed, 67);
+  return specs;
+}
+
+void attach_useful_skew(netlist::Design& design, double tight_fraction,
+                        double tight_ps, double loose_ps,
+                        const std::vector<double>& center_offsets,
+                        std::uint64_t seed) {
+  Rng rng(seed * 0x2545f4914f6cdd1dULL + 0xabcdef);
+  const std::size_t n = design.sinks.size();
+  design.useful_skew.lo.assign(n, 0.0);
+  design.useful_skew.hi.assign(n, 0.0);
+  for (std::size_t s = 0; s < n; ++s) {
+    const bool tight = rng.uniform() < tight_fraction;
+    const double half = (tight ? tight_ps : loose_ps) * units::ps;
+    const double center =
+        center_offsets.empty() ? 0.0 : center_offsets.at(s);
+    design.useful_skew.lo[s] = center - half;
+    design.useful_skew.hi[s] = center + half;
+  }
+}
+
+DesignSpec quickstart_spec() {
+  DesignSpec s;
+  s.name = "quickstart";
+  s.num_sinks = 200;
+  s.dist = SinkDistribution::kUniform;
+  s.seed = 7;
+  return s;
+}
+
+}  // namespace sndr::workload

@@ -1,0 +1,79 @@
+// Synthetic benchmark design generation.
+//
+// The paper evaluates on placed netlist blocks; those placements are not
+// redistributable, so this module builds deterministic synthetic equivalents:
+// sink clouds with controlled count, spatial distribution (uniform flop
+// spread, clustered register banks, or a mix), pin-cap spread, and a signal
+// congestion/occupancy field over the core. DESIGN.md documents why this
+// substitution preserves the behaviors the experiments measure.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/design.hpp"
+
+namespace sndr::workload {
+
+enum class SinkDistribution { kUniform, kClustered, kMixed };
+
+const char* to_string(SinkDistribution d);
+
+struct DesignSpec {
+  std::string name = "design";
+  int num_sinks = 1000;
+  SinkDistribution dist = SinkDistribution::kUniform;
+  std::uint64_t seed = 1;
+
+  // Floorplan: core area follows the sink count at constant density.
+  double sink_density = 2000.0;  ///< sinks per mm^2.
+
+  // Clustered placement.
+  int clusters = 8;
+  double cluster_sigma_frac = 0.04;  ///< cluster radius / core side.
+  double mixed_uniform_frac = 0.4;   ///< kMixed: fraction placed uniformly.
+
+  // Sink electrical spread.
+  double pin_cap_lo = 1.5e-15;  ///< F.
+  double pin_cap_hi = 3.0e-15;  ///< F.
+
+  // Congestion field.
+  double occupancy_base = 0.25;
+  double occupancy_noise = 0.10;      ///< +- uniform noise per cell.
+  double hotspot_occupancy = 0.55;    ///< extra occupancy at hotspot centers.
+  int hotspots = 4;
+  double clock_track_fraction = 0.25; ///< share of tracks clock may use.
+
+  netlist::ClockConstraints constraints;
+  /// Scale skew/uncertainty budgets with design size (real flows give
+  /// bigger blocks looser clock budgets; see make_design).
+  bool scale_constraints = true;
+};
+
+/// Builds the design: floorplan, sinks, congestion map, clock root at the
+/// core-boundary midpoint (bottom edge), constraints copied from the spec.
+netlist::Design make_design(const DesignSpec& spec);
+
+/// The six testcases used throughout the reproduced evaluation (Table I).
+/// Sizes and mixes are chosen to match the block sizes typical of the
+/// paper's OpenCores-class testcases.
+std::vector<DesignSpec> paper_benchmarks();
+
+/// Convenience: a small quickstart design (200 sinks).
+DesignSpec quickstart_spec();
+
+/// Attaches synthetic useful-skew windows to a design: `tight_fraction` of
+/// sinks get a tight window of +-`tight_ps` (critical launch/capture
+/// pairs), the rest get a loose window of +-`loose_ps`. Each window is
+/// centered on the sink's entry in `center_offsets` (its latency offset in
+/// the reference implementation — critical sinks must stay where CTS
+/// balanced them); pass an empty vector to center all windows on the mean.
+/// Deterministic given the seed. Windows replace the global skew bound in
+/// evaluation and optimization.
+void attach_useful_skew(netlist::Design& design, double tight_fraction,
+                        double tight_ps, double loose_ps,
+                        const std::vector<double>& center_offsets = {},
+                        std::uint64_t seed = 101);
+
+}  // namespace sndr::workload

@@ -1,0 +1,50 @@
+// Deterministic random number generation for workload synthesis.
+//
+// SplitMix64 core: tiny, fully deterministic across platforms (unlike
+// std::normal_distribution, whose output is implementation-defined), which
+// keeps every benchmark and golden test reproducible bit-for-bit.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace sndr::workload {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t uniform_int(std::uint64_t n) { return next_u64() % n; }
+
+  /// Standard normal via Box-Muller (deterministic given the seed).
+  double normal() {
+    double u1 = uniform();
+    if (u1 < 1e-300) u1 = 1e-300;
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(6.283185307179586 * u2);
+  }
+
+  double normal(double mean, double sigma) { return mean + sigma * normal(); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace sndr::workload

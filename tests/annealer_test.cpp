@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "ndr/smart_ndr.hpp"
+#include "test_util.hpp"
+
+namespace sndr::ndr {
+namespace {
+
+class AnnealerFixture : public ::testing::Test {
+ protected:
+  test::Flow f = test::small_flow(128, 31);
+};
+
+TEST_F(AnnealerFixture, NeverWorseThanStartAndFeasible) {
+  const SmartNdrResult greedy =
+      optimize_smart_ndr(f.cts.tree, f.design, f.tech, f.nets);
+  AnnealOptions opt;
+  opt.iterations = 4000;
+  const AnnealResult sa = anneal_rules(f.cts.tree, f.design, f.tech, f.nets,
+                                       greedy.assignment, opt);
+  EXPECT_TRUE(sa.final_eval.feasible());
+  EXPECT_LE(sa.final_eval.power.switched_cap,
+            greedy.final_eval.power.switched_cap + 1e-18);
+  EXPECT_LE(sa.end_cap, sa.start_cap + 1e-18);
+  EXPECT_GT(sa.proposed, 0);
+}
+
+TEST_F(AnnealerFixture, ImprovesFromBlanketStart) {
+  // Starting from blanket (not the greedy optimum), annealing must find
+  // substantial savings on its own.
+  const RuleAssignment blanket =
+      assign_all(f.nets, f.tech.rules.blanket_index());
+  AnnealOptions opt;
+  opt.iterations = 6000;
+  const AnnealResult sa =
+      anneal_rules(f.cts.tree, f.design, f.tech, f.nets, blanket, opt);
+  EXPECT_TRUE(sa.final_eval.feasible());
+  EXPECT_LT(sa.end_cap, 0.97 * sa.start_cap);
+  EXPECT_GT(sa.accepted, 0);
+}
+
+TEST_F(AnnealerFixture, Deterministic) {
+  const RuleAssignment blanket =
+      assign_all(f.nets, f.tech.rules.blanket_index());
+  AnnealOptions opt;
+  opt.iterations = 2000;
+  const AnnealResult a =
+      anneal_rules(f.cts.tree, f.design, f.tech, f.nets, blanket, opt);
+  const AnnealResult b =
+      anneal_rules(f.cts.tree, f.design, f.tech, f.nets, blanket, opt);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.accepted, b.accepted);
+}
+
+TEST_F(AnnealerFixture, SeedChangesTrajectoryNotFeasibility) {
+  const RuleAssignment blanket =
+      assign_all(f.nets, f.tech.rules.blanket_index());
+  AnnealOptions opt;
+  opt.iterations = 2000;
+  opt.seed = 2;
+  const AnnealResult a =
+      anneal_rules(f.cts.tree, f.design, f.tech, f.nets, blanket, opt);
+  opt.seed = 3;
+  const AnnealResult b =
+      anneal_rules(f.cts.tree, f.design, f.tech, f.nets, blanket, opt);
+  EXPECT_TRUE(a.final_eval.feasible());
+  EXPECT_TRUE(b.final_eval.feasible());
+  EXPECT_NE(a.accepted, b.accepted);
+}
+
+TEST_F(AnnealerFixture, ZeroIterationsIsIdentity) {
+  const RuleAssignment blanket =
+      assign_all(f.nets, f.tech.rules.blanket_index());
+  AnnealOptions opt;
+  opt.iterations = 0;
+  const AnnealResult sa =
+      anneal_rules(f.cts.tree, f.design, f.tech, f.nets, blanket, opt);
+  EXPECT_EQ(sa.assignment, blanket);
+  EXPECT_EQ(sa.proposed, 0);
+}
+
+}  // namespace
+}  // namespace sndr::ndr

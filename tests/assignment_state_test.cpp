@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "ndr/assignment_state.hpp"
+#include "ndr/smart_ndr.hpp"
+#include "test_util.hpp"
+
+namespace sndr::ndr {
+namespace {
+
+class StateFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    f = test::small_flow(96, 23);
+    blanket = assign_all(f.nets, f.tech.rules.blanket_index());
+    state = std::make_unique<AssignmentState>(f.cts.tree, f.design, f.tech,
+                                              f.nets, aopt);
+    ev = evaluate(f.cts.tree, f.design, f.tech, f.nets, blanket, aopt);
+    state->rebuild(blanket, ev);
+  }
+
+  test::Flow f;
+  timing::AnalysisOptions aopt;
+  RuleAssignment blanket;
+  std::unique_ptr<AssignmentState> state;
+  FlowEvaluation ev;
+};
+
+TEST_F(StateFixture, RebuildMatchesEvaluation) {
+  EXPECT_EQ(state->assignment(), blanket);
+  double cap = 0.0;
+  for (int i = 0; i < f.nets.size(); ++i) {
+    EXPECT_DOUBLE_EQ(state->net_cap(i), ev.power.net_switched_cap[i]);
+    cap += state->net_cap(i);
+  }
+  EXPECT_NEAR(state->total_cap(), cap, 1e-18);
+  EXPECT_NEAR(state->total_cap(), ev.power.switched_cap, 1e-18);
+}
+
+TEST_F(StateFixture, SinkNetMappingsAreConsistent) {
+  // Every sink's path nets contain it in their sinks_under set, and the
+  // root net covers every sink.
+  for (int s = 0; s < static_cast<int>(f.design.sinks.size()); ++s) {
+    for (const int net : state->nets_on_path(s)) {
+      const auto& under = state->sinks_under(net);
+      EXPECT_NE(std::find(under.begin(), under.end(), s), under.end());
+    }
+  }
+  EXPECT_EQ(state->sinks_under(0).size(), f.design.sinks.size());
+}
+
+TEST_F(StateFixture, ApplyMoveTracksIncrementalCap) {
+  const int net_id = f.nets.size() - 1;
+  const int rule = 1;  // 1W2S.
+  const NetExact exact = state->exact_eval(net_id, rule);
+  const double before = state->total_cap();
+  state->apply_move(net_id, rule, exact);
+  EXPECT_EQ(state->rule_of(net_id), rule);
+  EXPECT_NEAR(state->total_cap(),
+              before + exact.cap_switched - ev.power.net_switched_cap[net_id],
+              1e-20);
+}
+
+TEST_F(StateFixture, IncrementalStateMatchesFreshRebuildAfterMoves) {
+  // Apply a handful of moves incrementally, then compare against a state
+  // rebuilt from a full evaluation of the same assignment: the incremental
+  // caps must agree (latency/uncertainty accumulators are approximations by
+  // design, but caps are exact).
+  RuleAssignment a = blanket;
+  for (const int net_id :
+       {1, f.nets.size() / 2, f.nets.size() - 2, f.nets.size() - 1}) {
+    const NetExact exact = state->exact_eval(net_id, 1);
+    state->apply_move(net_id, 1, exact);
+    a[net_id] = 1;
+  }
+  const FlowEvaluation ev2 =
+      evaluate(f.cts.tree, f.design, f.tech, f.nets, a, aopt);
+  EXPECT_NEAR(state->total_cap(), ev2.power.switched_cap,
+              1e-3 * ev2.power.switched_cap);
+}
+
+TEST_F(StateFixture, CheckMoveRejectsObviousViolations) {
+  const int net_id = f.nets.size() - 1;
+  NetImpact impossible;
+  impossible.step_slew = 1.0;  // one second of slew.
+  EXPECT_FALSE(state->check_move(net_id, 0, impossible, {}));
+
+  NetImpact benign;  // zero impact: strictly better everywhere.
+  EXPECT_TRUE(state->check_move(net_id, 1, benign, {}));
+
+  NetImpact huge_delay;
+  huge_delay.delay = 1.0;  // shifts sinks out of any window.
+  EXPECT_FALSE(state->check_move(net_id, 1, huge_delay, {}));
+}
+
+TEST_F(StateFixture, MarginsTightenChecks) {
+  const int net_id = f.nets.size() - 1;
+  const NetExact exact = state->exact_eval(net_id, 0);  // 1W1S.
+  NetImpact impact;
+  impact.step_slew = exact.step_slew_worst;
+  impact.sigma = exact.sigma_worst;
+  impact.xtalk = exact.xtalk_worst;
+  impact.delay = exact.wire_delay_worst;
+  // With absurd margins nothing passes.
+  MoveMargins crushing;
+  crushing.slew = 0.999;
+  EXPECT_FALSE(state->check_move(net_id, 0, impact, crushing));
+}
+
+TEST_F(StateFixture, ExactEvalUsesDriverModel) {
+  // The root (source-driven) net and a buffer-driven net get different
+  // driver resistances; both evaluations must be self-consistent.
+  const NetExact root = state->exact_eval(0, 0);
+  EXPECT_GT(root.cap_switched, 0.0);
+  EXPECT_GT(root.step_slew_worst, 0.0);
+  const NetExact leaf = state->exact_eval(f.nets.size() - 1, 0);
+  EXPECT_GT(leaf.cap_switched, 0.0);
+}
+
+}  // namespace
+}  // namespace sndr::ndr

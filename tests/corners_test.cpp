@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "ndr/smart_ndr.hpp"
+#include "tech/corners.hpp"
+#include "test_util.hpp"
+
+namespace sndr {
+namespace {
+
+TEST(Corners, StandardSetShape) {
+  const auto corners = tech::standard_corners();
+  ASSERT_EQ(corners.size(), 3u);
+  EXPECT_EQ(corners[0].name, "slow");
+  EXPECT_EQ(corners[1].name, "typ");
+  EXPECT_EQ(corners[2].name, "fast");
+  EXPECT_GT(corners[0].r_scale, 1.0);
+  EXPECT_LT(corners[2].r_scale, 1.0);
+  // typ is the identity.
+  EXPECT_DOUBLE_EQ(corners[1].r_scale, 1.0);
+  EXPECT_DOUBLE_EQ(corners[1].c_scale, 1.0);
+  EXPECT_DOUBLE_EQ(corners[1].vdd_scale, 1.0);
+  EXPECT_DOUBLE_EQ(corners[1].cell_scale, 1.0);
+}
+
+TEST(Corners, ApplyCornerScalesCoefficients) {
+  const tech::Technology base = tech::Technology::make_default_45nm();
+  const tech::Corner slow = tech::standard_corners()[0];
+  const tech::Technology t = tech::apply_corner(base, slow);
+  EXPECT_DOUBLE_EQ(t.clock_layer.r_sheet,
+                   base.clock_layer.r_sheet * slow.r_scale);
+  EXPECT_DOUBLE_EQ(t.clock_layer.c_area,
+                   base.clock_layer.c_area * slow.c_scale);
+  EXPECT_DOUBLE_EQ(t.vdd, base.vdd * slow.vdd_scale);
+  EXPECT_DOUBLE_EQ(t.buffers[0].drive_res,
+                   base.buffers[0].drive_res * slow.cell_scale);
+  EXPECT_EQ(t.name, base.name + "_slow");
+  // Identity corner changes nothing electrical.
+  const tech::Technology typ =
+      tech::apply_corner(base, tech::standard_corners()[1]);
+  EXPECT_DOUBLE_EQ(typ.clock_layer.r_sheet, base.clock_layer.r_sheet);
+}
+
+class CornerEvalFixture : public ::testing::Test {
+ protected:
+  test::Flow f = test::small_flow(128, 21);
+  ndr::RuleAssignment blanket =
+      ndr::assign_all(f.nets, f.tech.rules.blanket_index());
+};
+
+TEST_F(CornerEvalFixture, SlowCornerIsSlowest) {
+  const ndr::MultiCornerReport rep = ndr::evaluate_corners(
+      f.cts.tree, f.design, f.tech, f.nets, blanket);
+  ASSERT_EQ(rep.corners.size(), 3u);
+  const auto& slow = rep.corners[0].eval;
+  const auto& typ = rep.corners[1].eval;
+  const auto& fast = rep.corners[2].eval;
+  EXPECT_GT(slow.timing.max_latency, typ.timing.max_latency);
+  EXPECT_GT(typ.timing.max_latency, fast.timing.max_latency);
+  EXPECT_GT(slow.timing.max_slew, fast.timing.max_slew);
+  EXPECT_EQ(rep.worst_slew_corner(), 0);
+  // Fast corner burns the most power (P ~ C V^2: +5% V beats -7% C).
+  EXPECT_EQ(rep.worst_power_corner(), 2);
+  // EM current ~ V*C: the slow corner's +8% C outweighs its -5% V, so slow
+  // is the binding EM corner in this stack.
+  EXPECT_EQ(rep.worst_em_corner(), 0);
+}
+
+TEST_F(CornerEvalFixture, TypCornerMatchesSingleCornerEvaluate) {
+  const ndr::MultiCornerReport rep = ndr::evaluate_corners(
+      f.cts.tree, f.design, f.tech, f.nets, blanket);
+  const ndr::FlowEvaluation direct =
+      ndr::evaluate(f.cts.tree, f.design, f.tech, f.nets, blanket);
+  EXPECT_DOUBLE_EQ(rep.corners[1].eval.power.total_power,
+                   direct.power.total_power);
+  EXPECT_DOUBLE_EQ(rep.corners[1].eval.timing.skew(), direct.timing.skew());
+}
+
+TEST_F(CornerEvalFixture, OptimizingAtSlowCornerHoldsAcrossCorners) {
+  // Optimize against the slow-corner technology (the conservative signoff
+  // practice); the result must then hold at every corner for the timing
+  // constraints, with EM checked at fast.
+  const tech::Technology slow_tech =
+      tech::apply_corner(f.tech, tech::standard_corners()[0]);
+  const ndr::SmartNdrResult smart =
+      ndr::optimize_smart_ndr(f.cts.tree, f.design, slow_tech, f.nets);
+  const ndr::MultiCornerReport rep = ndr::evaluate_corners(
+      f.cts.tree, f.design, f.tech, f.nets, smart.assignment);
+  for (const auto& c : rep.corners) {
+    EXPECT_EQ(c.eval.slew_violations, 0) << c.corner.name;
+  }
+}
+
+}  // namespace
+}  // namespace sndr

@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cts/embedding.hpp"
+#include "cts/topology.hpp"
+#include "extract/extractor.hpp"
+#include "tech/units.hpp"
+#include "test_util.hpp"
+#include "timing/tree_timing.hpp"
+
+namespace sndr::cts {
+namespace {
+
+using units::ps;
+
+TEST(Topology, SingleSink) {
+  const std::vector<netlist::Sink> sinks{{"s", {5, 5}, 2e-15}};
+  const Topology topo = build_topology_mmm(sinks);
+  EXPECT_EQ(topo.size(), 1);
+  EXPECT_TRUE(topo[topo.root].is_leaf());
+  EXPECT_EQ(topo.leaf_count(), 1);
+}
+
+TEST(Topology, EmptyThrows) {
+  EXPECT_THROW(build_topology_mmm({}), std::invalid_argument);
+}
+
+TEST(Topology, LeavesMatchSinks) {
+  const netlist::Design d = test::small_design(37);
+  const Topology topo = build_topology_mmm(d.sinks);
+  EXPECT_EQ(topo.leaf_count(), 37);
+  // Binary: n leaves -> n-1 internal nodes.
+  EXPECT_EQ(topo.size(), 2 * 37 - 1);
+  // Every sink appears exactly once.
+  std::vector<int> seen(37, 0);
+  for (const TopoNode& n : topo.nodes) {
+    if (n.is_leaf()) ++seen[n.sink];
+  }
+  for (const int c : seen) EXPECT_EQ(c, 1);
+}
+
+TEST(Topology, BalancedDepth) {
+  const netlist::Design d = test::small_design(64);
+  const Topology topo = build_topology_mmm(d.sinks);
+  // Median splits: leaf depth within [log2 n, log2 n + 1].
+  std::vector<int> depth(topo.size(), 0);
+  int max_depth = 0;
+  // Root-last construction: walk from root recursively.
+  std::function<void(int, int)> walk = [&](int id, int dep) {
+    max_depth = std::max(max_depth, dep);
+    const TopoNode& n = topo[id];
+    if (!n.is_leaf()) {
+      walk(n.left, dep + 1);
+      walk(n.right, dep + 1);
+    }
+  };
+  walk(topo.root, 0);
+  EXPECT_EQ(max_depth, 6);  // 64 = 2^6, exactly balanced.
+}
+
+TEST(Topology, CollinearAndDuplicateSinks) {
+  std::vector<netlist::Sink> sinks;
+  for (int i = 0; i < 9; ++i) {
+    sinks.push_back({"s", {static_cast<double>(i % 3), 0.0}, 2e-15});
+  }
+  const Topology topo = build_topology_mmm(sinks);
+  EXPECT_EQ(topo.leaf_count(), 9);
+}
+
+TEST(Synthesize, ProducesValidTree) {
+  const test::Flow f = test::small_flow(50);
+  EXPECT_NO_THROW(f.cts.tree.validate(50));
+  EXPECT_GT(f.cts.buffers, 0);
+  EXPECT_EQ(f.cts.merges, 49);
+  EXPECT_GT(f.cts.wirelength, 0.0);
+  EXPECT_GE(f.cts.elongation, 0.0);
+  EXPECT_GT(f.cts.planned_latency, 0.0);
+}
+
+TEST(Synthesize, SingleSinkDesign) {
+  const test::Flow f = test::small_flow(1);
+  EXPECT_NO_THROW(f.cts.tree.validate(1));
+  EXPECT_EQ(f.cts.tree.count(netlist::NodeKind::kSink), 1);
+}
+
+TEST(Synthesize, TwoSinks) {
+  const test::Flow f = test::small_flow(2);
+  EXPECT_NO_THROW(f.cts.tree.validate(2));
+  EXPECT_EQ(f.nets.size(), f.cts.buffers + 1);
+}
+
+TEST(Synthesize, EmptyDesignThrows) {
+  netlist::Design d;
+  EXPECT_THROW(synthesize(d, tech::Technology::make_default_45nm()),
+               std::invalid_argument);
+}
+
+TEST(Synthesize, Deterministic) {
+  const test::Flow a = test::small_flow(40, 9);
+  const test::Flow b = test::small_flow(40, 9);
+  ASSERT_EQ(a.cts.tree.size(), b.cts.tree.size());
+  EXPECT_DOUBLE_EQ(a.cts.wirelength, b.cts.wirelength);
+  for (int i = 0; i < a.cts.tree.size(); ++i) {
+    EXPECT_TRUE(geom::almost_equal(a.cts.tree.loc(i), b.cts.tree.loc(i)));
+  }
+}
+
+TEST(Synthesize, ElongationIsBounded) {
+  // Stage alignment keeps snaking modest (< 25% of total wire).
+  const test::Flow f = test::small_flow(256, 17);
+  EXPECT_LT(f.cts.elongation, 0.25 * f.cts.wirelength);
+}
+
+TEST(Synthesize, RespectsCapBudget) {
+  const test::Flow f = test::small_flow(128, 5);
+  const CtsOptions opt;  // defaults used by small_flow.
+  const extract::Extractor ex(f.tech, f.design);
+  for (const auto& net : f.nets.nets) {
+    const auto par = ex.extract_net(f.cts.tree, net,
+                                    f.tech.rules.blanket_rule());
+    // Planned with the blanket rule: the threshold is checked per merge,
+    // so a net can gain up to one more merge level of wire and sibling cap
+    // before its buffer lands - bounded by ~2x the budget.
+    EXPECT_LT(par.switched_cap(1.0), 2.0 * opt.max_unbuffered_cap);
+  }
+}
+
+TEST(Synthesize, EveryBufferDepthEqualPerSink) {
+  // Stage alignment: every source->sink path crosses the same number of
+  // buffers (this is what keeps skew small under rule changes).
+  const test::Flow f = test::small_flow(96, 11);
+  int expected = -1;
+  for (int id = 0; id < f.cts.tree.size(); ++id) {
+    if (f.cts.tree.node(id).kind != netlist::NodeKind::kSink) continue;
+    const int depth = f.cts.tree.buffer_depth(id);
+    if (expected < 0) expected = depth;
+    EXPECT_EQ(depth, expected);
+  }
+  EXPECT_GT(expected, 0);
+}
+
+class SkewAcrossSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(SkewAcrossSizes, MeetsBudget) {
+  const test::Flow f = test::small_flow(GetParam(), 29);
+  const extract::Extractor ex(f.tech, f.design);
+  const auto par = ex.extract_all(
+      f.cts.tree, f.nets,
+      std::vector<int>(f.nets.size(), f.tech.rules.blanket_index()));
+  const auto rep =
+      timing::analyze(f.cts.tree, f.design, f.tech, f.nets, par);
+  EXPECT_LE(rep.skew(), f.design.constraints.max_skew)
+      << "sinks=" << GetParam();
+  // Latency sane: under 2 ns for these sizes.
+  EXPECT_LT(rep.max_latency, 2000 * ps);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SkewAcrossSizes,
+                         ::testing::Values(8, 32, 128, 512, 1024));
+
+TEST(HybridTopology, LeavesMatchSinks) {
+  const netlist::Design d = test::small_design(100, 7);
+  const Topology topo = build_topology_hybrid(d.sinks, d.core, 5);
+  EXPECT_EQ(topo.leaf_count(), 100);
+  EXPECT_EQ(topo.size(), 2 * 100 - 1);
+  std::vector<int> seen(100, 0);
+  for (const TopoNode& n : topo.nodes) {
+    if (n.is_leaf()) ++seen[n.sink];
+  }
+  for (const int c : seen) EXPECT_EQ(c, 1);
+}
+
+TEST(HybridTopology, ZeroLevelsEqualsMmm) {
+  const netlist::Design d = test::small_design(64, 9);
+  const Topology a = build_topology_hybrid(d.sinks, d.core, 0);
+  const Topology b = build_topology_mmm(d.sinks);
+  EXPECT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.leaf_count(), b.leaf_count());
+}
+
+TEST(HybridTopology, DegenerateClusterStillBalanced) {
+  // Every sink in one corner: center cuts all degenerate, median fallback
+  // must keep the recursion finite and the tree complete.
+  std::vector<netlist::Sink> sinks;
+  for (int i = 0; i < 33; ++i) {
+    sinks.push_back({"s", {1.0 + 0.001 * i, 1.0}, 2e-15});
+  }
+  const Topology topo =
+      build_topology_hybrid(sinks, geom::BBox(0, 0, 1000, 1000), 8);
+  EXPECT_EQ(topo.leaf_count(), 33);
+}
+
+TEST(HybridTopology, EmptyThrows) {
+  EXPECT_THROW(build_topology_hybrid({}, geom::BBox(0, 0, 1, 1), 4),
+               std::invalid_argument);
+}
+
+TEST(HybridTopology, FullFlowFeasible) {
+  const netlist::Design d = test::small_design(256, 17);
+  const tech::Technology t = tech::Technology::make_default_45nm();
+  CtsOptions opt;
+  opt.topology = TopologyMode::kHybridHtree;
+  const CtsResult r = synthesize(d, t, opt);
+  EXPECT_NO_THROW(r.tree.validate(256));
+  const auto nets = netlist::build_nets(r.tree);
+  const extract::Extractor ex(t, d);
+  const auto par = ex.extract_all(
+      r.tree, nets, std::vector<int>(nets.size(), t.rules.blanket_index()));
+  const auto rep = timing::analyze(r.tree, d, t, nets, par);
+  EXPECT_LE(rep.skew(), d.constraints.max_skew);
+}
+
+TEST(Synthesize, PlanningRuleOverride) {
+  const netlist::Design d = test::small_design(64);
+  const tech::Technology t = tech::Technology::make_default_45nm();
+  CtsOptions opt;
+  opt.planning_rule = 0;  // plan at 1W1S instead of the blanket.
+  const CtsResult r = synthesize(d, t, opt);
+  EXPECT_NO_THROW(r.tree.validate(64));
+}
+
+TEST(Synthesize, NoRootBufferOption) {
+  const netlist::Design d = test::small_design(4);
+  const tech::Technology t = tech::Technology::make_default_45nm();
+  CtsOptions opt;
+  opt.buffer_root = false;
+  const CtsResult r = synthesize(d, t, opt);
+  EXPECT_NO_THROW(r.tree.validate(4));
+}
+
+}  // namespace
+}  // namespace sndr::cts

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/design_io.hpp"
+#include "tech/units.hpp"
+#include "test_util.hpp"
+#include "workload/generator.hpp"
+
+namespace sndr::io {
+namespace {
+
+using units::ps;
+
+TEST(DesignIo, RoundTripPreservesEverything) {
+  netlist::Design d = test::small_design(40, 11);
+  workload::attach_useful_skew(d, 0.4, 8.0, 25.0);
+  std::ostringstream os;
+  write_design(os, d);
+  std::istringstream is(os.str());
+  const netlist::Design e = read_design(is);
+
+  EXPECT_EQ(e.name, d.name);
+  EXPECT_NEAR(e.core.width(), d.core.width(), 1e-6);
+  EXPECT_TRUE(geom::almost_equal(e.clock_root, d.clock_root, 1e-6));
+  EXPECT_NEAR(e.constraints.clock_freq, d.constraints.clock_freq, 1.0);
+  EXPECT_NEAR(e.constraints.max_slew, d.constraints.max_slew, 1e-15);
+  EXPECT_NEAR(e.constraints.max_skew, d.constraints.max_skew, 1e-15);
+  ASSERT_EQ(e.sinks.size(), d.sinks.size());
+  for (std::size_t i = 0; i < d.sinks.size(); ++i) {
+    EXPECT_EQ(e.sinks[i].name, d.sinks[i].name);
+    EXPECT_TRUE(geom::almost_equal(e.sinks[i].loc, d.sinks[i].loc, 1e-6));
+    EXPECT_NEAR(e.sinks[i].pin_cap, d.sinks[i].pin_cap, 1e-20);
+  }
+  ASSERT_TRUE(e.useful_skew.enabled());
+  for (std::size_t i = 0; i < d.sinks.size(); ++i) {
+    EXPECT_NEAR(e.useful_skew.lo[i], d.useful_skew.lo[i], 1e-16);
+    EXPECT_NEAR(e.useful_skew.hi[i], d.useful_skew.hi[i], 1e-16);
+  }
+  // Congestion grid and occupancies survive.
+  ASSERT_TRUE(e.congestion.valid());
+  EXPECT_EQ(e.congestion.nx(), d.congestion.nx());
+  for (int i = 0; i < d.congestion.cell_count(); ++i) {
+    EXPECT_NEAR(e.congestion.occupancy_cell(i),
+                d.congestion.occupancy_cell(i), 1e-9);
+  }
+}
+
+TEST(DesignIo, MinimalDesignDerivesCore) {
+  std::istringstream is(
+      "design tiny\n"
+      "clock_root 0 0\n"
+      "sink a 10 10 2.0\n"
+      "sink b 30 20 2.5\n");
+  const netlist::Design d = read_design(is);
+  EXPECT_EQ(d.sinks.size(), 2u);
+  EXPECT_TRUE(d.core.contains({10, 10}));
+  EXPECT_TRUE(d.core.contains({30, 20}));
+  EXPECT_TRUE(d.core.contains({0, 0}));
+  EXPECT_FALSE(d.useful_skew.enabled());
+  EXPECT_DOUBLE_EQ(d.sinks[1].pin_cap, 2.5e-15);
+}
+
+TEST(DesignIo, CommentsAndBlanksIgnored) {
+  std::istringstream is(
+      "# header comment\n"
+      "\n"
+      "design x  # trailing\n"
+      "clock_root 0 0\n"
+      "sink a 1 1 2\n");
+  EXPECT_NO_THROW(read_design(is));
+}
+
+TEST(DesignIo, ErrorsAreDiagnosed) {
+  std::istringstream unknown("frobnicate 1 2\n");
+  EXPECT_THROW(read_design(unknown), std::runtime_error);
+  std::istringstream bad_sink("sink a 1\n");
+  EXPECT_THROW(read_design(bad_sink), std::runtime_error);
+  std::istringstream bad_window("sink a 1 1 2\nwindow 5 -1 1\n");
+  EXPECT_THROW(read_design(bad_window), std::runtime_error);
+  EXPECT_THROW(read_design_file("/no/such/file.txt"), std::runtime_error);
+}
+
+TEST(DesignIo, RoundTripRunsThroughFlow) {
+  const netlist::Design d = test::small_design(24, 3);
+  std::ostringstream os;
+  write_design(os, d);
+  std::istringstream is(os.str());
+  netlist::Design e = read_design(is);
+  const tech::Technology tech = tech::Technology::make_default_45nm();
+  const cts::CtsResult cts = cts::synthesize(e, tech);
+  EXPECT_NO_THROW(cts.tree.validate(static_cast<int>(e.sinks.size())));
+}
+
+}  // namespace
+}  // namespace sndr::io

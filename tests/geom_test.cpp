@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include "geom/point.hpp"
+#include "geom/rect.hpp"
+#include "geom/segment.hpp"
+
+namespace sndr::geom {
+namespace {
+
+TEST(Point, Arithmetic) {
+  const Point a{1.0, 2.0};
+  const Point b{3.0, 5.0};
+  EXPECT_EQ((a + b), (Point{4.0, 7.0}));
+  EXPECT_EQ((b - a), (Point{2.0, 3.0}));
+  EXPECT_EQ((a * 2.0), (Point{2.0, 4.0}));
+  EXPECT_EQ((2.0 * a), (Point{2.0, 4.0}));
+}
+
+TEST(Point, ManhattanDistance) {
+  EXPECT_DOUBLE_EQ(manhattan({0, 0}, {3, 4}), 7.0);
+  EXPECT_DOUBLE_EQ(manhattan({3, 4}, {0, 0}), 7.0);
+  EXPECT_DOUBLE_EQ(manhattan({-1, -1}, {1, 1}), 4.0);
+  EXPECT_DOUBLE_EQ(manhattan({5, 5}, {5, 5}), 0.0);
+}
+
+TEST(Point, EuclideanDistance) {
+  EXPECT_DOUBLE_EQ(euclidean({0, 0}, {3, 4}), 5.0);
+}
+
+TEST(Point, Lerp) {
+  const Point a{0, 0};
+  const Point b{10, 20};
+  EXPECT_EQ(lerp(a, b, 0.0), a);
+  EXPECT_EQ(lerp(a, b, 1.0), b);
+  EXPECT_EQ(lerp(a, b, 0.5), (Point{5, 10}));
+  EXPECT_EQ(midpoint(a, b), (Point{5, 10}));
+}
+
+TEST(Point, AlmostEqual) {
+  EXPECT_TRUE(almost_equal({1, 1}, {1 + 1e-12, 1}));
+  EXPECT_FALSE(almost_equal({1, 1}, {1.1, 1}));
+  EXPECT_TRUE(almost_equal({1, 1}, {1.05, 1}, 0.1));
+}
+
+TEST(BBox, EmptyByDefault) {
+  BBox b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_DOUBLE_EQ(b.width(), 0.0);
+  EXPECT_DOUBLE_EQ(b.area(), 0.0);
+}
+
+TEST(BBox, ExtendPoint) {
+  BBox b;
+  b.extend({1, 2});
+  EXPECT_FALSE(b.empty());
+  EXPECT_DOUBLE_EQ(b.area(), 0.0);
+  b.extend({4, 6});
+  EXPECT_DOUBLE_EQ(b.width(), 3.0);
+  EXPECT_DOUBLE_EQ(b.height(), 4.0);
+  EXPECT_DOUBLE_EQ(b.area(), 12.0);
+  EXPECT_DOUBLE_EQ(b.half_perimeter(), 7.0);
+}
+
+TEST(BBox, NormalizesCorners) {
+  const BBox b(5, 7, 1, 2);
+  EXPECT_EQ(b.lo(), (Point{1, 2}));
+  EXPECT_EQ(b.hi(), (Point{5, 7}));
+}
+
+TEST(BBox, ContainsAndClamp) {
+  const BBox b(0, 0, 10, 10);
+  EXPECT_TRUE(b.contains({5, 5}));
+  EXPECT_TRUE(b.contains({0, 0}));
+  EXPECT_TRUE(b.contains({10, 10}));
+  EXPECT_FALSE(b.contains({10.01, 5}));
+  EXPECT_EQ(b.clamp({-5, 5}), (Point{0, 5}));
+  EXPECT_EQ(b.clamp({5, 15}), (Point{5, 10}));
+  EXPECT_EQ(b.clamp({3, 4}), (Point{3, 4}));
+}
+
+TEST(BBox, Intersects) {
+  const BBox a(0, 0, 10, 10);
+  EXPECT_TRUE(a.intersects(BBox(5, 5, 15, 15)));
+  EXPECT_TRUE(a.intersects(BBox(10, 10, 20, 20)));  // touching counts.
+  EXPECT_FALSE(a.intersects(BBox(11, 11, 20, 20)));
+  EXPECT_FALSE(a.intersects(BBox{}));
+}
+
+TEST(BBox, ExtendBoxAndInflate) {
+  BBox a(0, 0, 1, 1);
+  a.extend(BBox(5, 5, 6, 6));
+  EXPECT_EQ(a.hi(), (Point{6, 6}));
+  a.inflate(1.0);
+  EXPECT_EQ(a.lo(), (Point{-1, -1}));
+  EXPECT_EQ(a.hi(), (Point{7, 7}));
+}
+
+TEST(Segment, Classification) {
+  EXPECT_TRUE((Segment{{0, 0}, {5, 0}}).horizontal());
+  EXPECT_TRUE((Segment{{0, 0}, {0, 5}}).vertical());
+  EXPECT_FALSE((Segment{{0, 0}, {5, 5}}).axis_parallel());
+  EXPECT_TRUE((Segment{{1, 1}, {1, 1}}).degenerate());
+}
+
+TEST(Path, Length) {
+  EXPECT_DOUBLE_EQ(path_length({}), 0.0);
+  EXPECT_DOUBLE_EQ(path_length({{0, 0}}), 0.0);
+  EXPECT_DOUBLE_EQ(path_length({{0, 0}, {3, 0}, {3, 4}}), 7.0);
+}
+
+TEST(Path, SegmentsDropDegenerate) {
+  const auto segs = path_segments({{0, 0}, {0, 0}, {3, 0}, {3, 0}, {3, 4}});
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_TRUE(segs[0].horizontal());
+  EXPECT_TRUE(segs[1].vertical());
+}
+
+TEST(Path, SegmentsDecomposeDiagonal) {
+  const auto segs = path_segments({{0, 0}, {3, 4}});
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_DOUBLE_EQ(segs[0].length() + segs[1].length(), 7.0);
+}
+
+TEST(Path, LPath) {
+  const auto hv = l_path({0, 0}, {3, 4}, true);
+  ASSERT_EQ(hv.size(), 3u);
+  EXPECT_EQ(hv[1], (Point{3, 0}));
+  const auto vh = l_path({0, 0}, {3, 4}, false);
+  EXPECT_EQ(vh[1], (Point{0, 4}));
+  // Collinear: straight two-point path either way.
+  EXPECT_EQ(l_path({0, 0}, {0, 7}, true).size(), 2u);
+}
+
+TEST(Path, PointAt) {
+  const Path p{{0, 0}, {10, 0}, {10, 10}};
+  EXPECT_EQ(point_at(p, 0.0), (Point{0, 0}));
+  EXPECT_EQ(point_at(p, 5.0), (Point{5, 0}));
+  EXPECT_EQ(point_at(p, 10.0), (Point{10, 0}));
+  EXPECT_EQ(point_at(p, 15.0), (Point{10, 5}));
+  EXPECT_EQ(point_at(p, 100.0), (Point{10, 10}));  // clamped.
+  EXPECT_EQ(point_at(p, -3.0), (Point{0, 0}));     // clamped.
+}
+
+TEST(Path, SplitAtMiddle) {
+  const Path p{{0, 0}, {10, 0}, {10, 10}};
+  const auto [head, tail] = split_at(p, 12.0);
+  EXPECT_DOUBLE_EQ(path_length(head), 12.0);
+  EXPECT_DOUBLE_EQ(path_length(tail), 8.0);
+  EXPECT_EQ(head.back(), (Point{10, 2}));
+  EXPECT_EQ(tail.front(), (Point{10, 2}));
+  EXPECT_EQ(tail.back(), (Point{10, 10}));
+}
+
+TEST(Path, SplitAtVertex) {
+  const Path p{{0, 0}, {10, 0}, {10, 10}};
+  const auto [head, tail] = split_at(p, 10.0);
+  EXPECT_DOUBLE_EQ(path_length(head), 10.0);
+  EXPECT_DOUBLE_EQ(path_length(tail), 10.0);
+}
+
+TEST(Path, SplitAtEnds) {
+  const Path p{{0, 0}, {10, 0}};
+  const auto [h0, t0] = split_at(p, 0.0);
+  EXPECT_DOUBLE_EQ(path_length(h0), 0.0);
+  EXPECT_DOUBLE_EQ(path_length(t0), 10.0);
+  const auto [h1, t1] = split_at(p, 10.0);
+  EXPECT_DOUBLE_EQ(path_length(h1), 10.0);
+  EXPECT_DOUBLE_EQ(path_length(t1), 0.0);
+}
+
+TEST(Path, Reversed) {
+  const Path p{{0, 0}, {10, 0}, {10, 10}};
+  const Path r = reversed(p);
+  EXPECT_EQ(r.front(), (Point{10, 10}));
+  EXPECT_EQ(r.back(), (Point{0, 0}));
+  EXPECT_DOUBLE_EQ(path_length(r), path_length(p));
+}
+
+TEST(Path, DetourNoExtraIsLPath) {
+  const Path p = detour_path({0, 0}, {3, 4}, 7.0, true);
+  EXPECT_DOUBLE_EQ(path_length(p), 7.0);
+}
+
+class DetourLength : public ::testing::TestWithParam<double> {};
+
+TEST_P(DetourLength, ProducesExactLength) {
+  const double target = GetParam();
+  const Path p = detour_path({0, 0}, {30, 40}, target, true);
+  EXPECT_NEAR(path_length(p), target, 1e-9);
+  EXPECT_EQ(p.front(), (Point{0, 0}));
+  EXPECT_EQ(p.back(), (Point{30, 40}));
+  for (const Segment& s : path_segments(p)) {
+    EXPECT_TRUE(s.axis_parallel());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DetourLength,
+                         ::testing::Values(70.0, 71.0, 80.0, 100.0, 250.0,
+                                           1234.5));
+
+TEST(Path, DetourVerticalBase) {
+  // Force the midpoint onto a vertical segment.
+  const Path p = detour_path({0, 0}, {0, 40}, 60.0, true);
+  EXPECT_NEAR(path_length(p), 60.0, 1e-9);
+  EXPECT_EQ(p.back(), (Point{0, 40}));
+}
+
+}  // namespace
+}  // namespace sndr::geom

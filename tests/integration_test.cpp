@@ -1,0 +1,166 @@
+// End-to-end flow tests: workload -> CTS -> route -> smart NDR -> signoff,
+// across benchmark families. These pin down the paper's qualitative claims
+// as executable assertions.
+#include <gtest/gtest.h>
+
+#include "ndr/smart_ndr.hpp"
+#include "route/congestion_route.hpp"
+#include "tech/units.hpp"
+#include "test_util.hpp"
+
+namespace sndr {
+namespace {
+
+struct FullFlow {
+  netlist::Design design;
+  tech::Technology tech;
+  cts::CtsResult cts;
+  netlist::NetList nets;
+  ndr::FlowEvaluation all_default;
+  ndr::FlowEvaluation blanket;
+  ndr::SmartNdrResult smart;
+};
+
+FullFlow run_flow(const workload::DesignSpec& spec) {
+  FullFlow f;
+  f.design = workload::make_design(spec);
+  f.tech = tech::Technology::make_default_45nm();
+  f.cts = cts::synthesize(f.design, f.tech);
+  route::reroute_for_congestion(f.cts.tree, f.design.congestion);
+  f.nets = netlist::build_nets(f.cts.tree);
+  f.all_default = ndr::evaluate(f.cts.tree, f.design, f.tech, f.nets,
+                                ndr::assign_all(f.nets, 0));
+  f.blanket = ndr::evaluate(
+      f.cts.tree, f.design, f.tech, f.nets,
+      ndr::assign_all(f.nets, f.tech.rules.blanket_index()));
+  f.smart = ndr::optimize_smart_ndr(f.cts.tree, f.design, f.tech, f.nets);
+  return f;
+}
+
+class BenchmarkFlow : public ::testing::TestWithParam<int> {
+ protected:
+  static const FullFlow& flow(int idx) {
+    static std::map<int, FullFlow> cache;
+    auto it = cache.find(idx);
+    if (it == cache.end()) {
+      auto specs = workload::paper_benchmarks();
+      it = cache.emplace(idx, run_flow(specs.at(idx))).first;
+    }
+    return it->second;
+  }
+};
+
+TEST_P(BenchmarkFlow, TreeIsValid) {
+  const FullFlow& f = flow(GetParam());
+  EXPECT_NO_THROW(
+      f.cts.tree.validate(static_cast<int>(f.design.sinks.size())));
+}
+
+TEST_P(BenchmarkFlow, BlanketIsFeasible) {
+  const FullFlow& f = flow(GetParam());
+  EXPECT_TRUE(f.blanket.feasible())
+      << "skew=" << units::to_ps(f.blanket.timing.skew())
+      << " slew=" << units::to_ps(f.blanket.timing.max_slew)
+      << " unc=" << units::to_ps(f.blanket.variation.max_uncertainty)
+      << " em=" << f.blanket.em_violations
+      << " overflow=" << f.blanket.overflow_cells;
+}
+
+TEST_P(BenchmarkFlow, AllDefaultViolatesRobustness) {
+  // The reason blanket NDR exists: default rules break slew/uncertainty on
+  // production-size trees. The smallest block can squeak by (small cores
+  // have short runs), but robustness must still be strictly worse than the
+  // blanket implementation.
+  const FullFlow& f = flow(GetParam());
+  if (f.design.sinks.size() >= 2000) {
+    EXPECT_FALSE(f.all_default.feasible());
+  }
+  EXPECT_GT(f.all_default.timing.max_slew, f.blanket.timing.max_slew);
+  EXPECT_GT(f.all_default.variation.max_uncertainty,
+            f.blanket.variation.max_uncertainty);
+  EXPECT_GT(f.all_default.timing.skew(), f.blanket.timing.skew());
+}
+
+TEST_P(BenchmarkFlow, SmartIsFeasibleAndSaves) {
+  const FullFlow& f = flow(GetParam());
+  ASSERT_TRUE(f.smart.final_eval.feasible());
+  const double saving = 1.0 - f.smart.final_eval.power.total_power /
+                                  f.blanket.power.total_power;
+  // The paper's headline: meaningful clock power reduction vs blanket NDR.
+  EXPECT_GT(saving, 0.04) << "saving=" << saving;
+  EXPECT_LT(saving, 0.50);
+  // And the smart result is within reach of the all-default power floor.
+  EXPECT_LE(f.smart.final_eval.power.total_power,
+            1.05 * f.all_default.power.total_power);
+}
+
+TEST_P(BenchmarkFlow, SmartUsesMixedRules) {
+  const FullFlow& f = flow(GetParam());
+  int used = 0;
+  for (const int c : f.smart.rule_histogram) {
+    if (c > 0) ++used;
+  }
+  EXPECT_GE(used, 2);  // per-net choice, not another blanket.
+}
+
+// Only the two smallest benchmarks run in unit-test time; the full set is
+// exercised by the bench binaries.
+INSTANTIATE_TEST_SUITE_P(SmallBenchmarks, BenchmarkFlow,
+                         ::testing::Values(0, 1));
+
+TEST(GoldenRegression, QuickstartNumbers) {
+  // Golden values for the fixed-seed quickstart design; update only when a
+  // deliberate model change shifts them (document in EXPERIMENTS.md).
+  const FullFlow f = run_flow(workload::quickstart_spec());
+  EXPECT_EQ(static_cast<int>(f.design.sinks.size()), 200);
+  EXPECT_TRUE(f.smart.final_eval.feasible());
+  // Loose golden windows (20%) guard against silent model drift.
+  EXPECT_NEAR(units::to_mm(f.cts.wirelength), 7.96, 1.6);
+  EXPECT_NEAR(f.blanket.power.total_power * 1e3, 4.24, 0.9);
+  EXPECT_LE(f.smart.final_eval.power.total_power,
+            f.blanket.power.total_power);
+}
+
+TEST(Robustness, OneSinkFullFlow) {
+  workload::DesignSpec spec;
+  spec.num_sinks = 1;
+  spec.seed = 2;
+  const FullFlow f = run_flow(spec);
+  EXPECT_TRUE(f.smart.final_eval.feasible());
+  EXPECT_DOUBLE_EQ(f.smart.final_eval.timing.skew(), 0.0);
+}
+
+TEST(Robustness, TinyDesignsAcrossSeeds) {
+  for (const std::uint64_t seed : {1ULL, 7ULL, 99ULL}) {
+    workload::DesignSpec spec;
+    spec.num_sinks = 17;
+    spec.seed = seed;
+    const FullFlow f = run_flow(spec);
+    EXPECT_TRUE(f.smart.final_eval.feasible()) << "seed " << seed;
+  }
+}
+
+TEST(Robustness, CustomTechnologyFlow) {
+  // A user-defined stack: coarser metal, only two rules.
+  tech::Technology t = tech::Technology::from_text(
+      "name = custom\n"
+      "vdd = 0.9\n"
+      "layer.min_width = 0.2\n"
+      "layer.min_space = 0.2\n"
+      "layer.r_sheet = 0.15\n"
+      "rule = 1W1S 1 1\n"
+      "rule = 2W2S 2 2\n"
+      "blanket_rule = 2W2S\n");
+  workload::DesignSpec spec;
+  spec.num_sinks = 64;
+  spec.seed = 4;
+  netlist::Design design = workload::make_design(spec);
+  const auto cts = cts::synthesize(design, t);
+  const auto nets = netlist::build_nets(cts.tree);
+  const auto smart = ndr::optimize_smart_ndr(cts.tree, design, t, nets);
+  EXPECT_EQ(static_cast<int>(smart.rule_histogram.size()), 2);
+  EXPECT_TRUE(smart.final_eval.feasible());
+}
+
+}  // namespace
+}  // namespace sndr

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "extract/extractor.hpp"
+#include "io/spef.hpp"
+#include "io/svg.hpp"
+#include "test_util.hpp"
+
+namespace sndr::io {
+namespace {
+
+class IoFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    flow_ = test::small_flow(48, 9);
+    assignment_.assign(flow_.nets.size(), flow_.tech.rules.blanket_index());
+    const extract::Extractor ex(flow_.tech, flow_.design);
+    parasitics_ = ex.extract_all(flow_.cts.tree, flow_.nets, assignment_);
+  }
+
+  test::Flow flow_;
+  std::vector<int> assignment_;
+  std::vector<extract::NetParasitics> parasitics_;
+};
+
+TEST_F(IoFixture, SpefRoundTripPreservesTotals) {
+  std::ostringstream os;
+  write_spef(os, flow_.cts.tree, flow_.design, flow_.nets, parasitics_);
+  std::istringstream is(os.str());
+  const SpefFile spef = read_spef(is);
+
+  EXPECT_EQ(spef.design_name, flow_.design.name);
+  ASSERT_EQ(static_cast<int>(spef.nets.size()), flow_.nets.size());
+  for (const auto& net : flow_.nets.nets) {
+    const SpefNet* sn = spef.find("clk_net_" + std::to_string(net.id));
+    ASSERT_NE(sn, nullptr);
+    const extract::NetParasitics& par = parasitics_[net.id];
+    // Header total and the sum of *CAP entries both match the extraction.
+    EXPECT_NEAR(sn->total_cap, par.switched_cap(1.0),
+                1e-5 * par.switched_cap(1.0) + 1e-18);
+    EXPECT_NEAR(sn->cap_sum(), par.switched_cap(1.0),
+                1e-4 * par.switched_cap(1.0) + 1e-17);
+    // One resistor per non-driver RC node.
+    EXPECT_EQ(static_cast<int>(sn->resistors.size()), par.rc.size() - 1);
+    double res_total = 0.0;
+    for (const auto& r : sn->resistors) res_total += r.ohm;
+    double expected_res = 0.0;
+    for (int i = 1; i < par.rc.size(); ++i) {
+      expected_res += par.rc.node(i).res;
+    }
+    EXPECT_NEAR(res_total, expected_res, 1e-4 * expected_res + 1e-9);
+  }
+}
+
+TEST_F(IoFixture, SpefHeaderContents) {
+  std::ostringstream os;
+  write_spef(os, flow_.cts.tree, flow_.design, flow_.nets, parasitics_);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("*SPEF \"IEEE 1481-1998\""), std::string::npos);
+  EXPECT_NE(text.find("*C_UNIT 1 FF"), std::string::npos);
+  EXPECT_NE(text.find("*P src:Z O"), std::string::npos);
+  EXPECT_NE(text.find("sink_0:CK"), std::string::npos);
+}
+
+TEST_F(IoFixture, SpefFileIo) {
+  const std::string path = "/tmp/sndr_io_test.spef";
+  write_spef_file(path, flow_.cts.tree, flow_.design, flow_.nets,
+                  parasitics_);
+  const SpefFile spef = read_spef_file(path);
+  EXPECT_EQ(static_cast<int>(spef.nets.size()), flow_.nets.size());
+  std::remove(path.c_str());
+  EXPECT_THROW(read_spef_file("/nonexistent/file.spef"),
+               std::runtime_error);
+  EXPECT_THROW(write_spef_file("/nonexistent_dir/file.spef", flow_.cts.tree,
+                               flow_.design, flow_.nets, parasitics_),
+               std::runtime_error);
+}
+
+TEST_F(IoFixture, SpefUnitScaling) {
+  const char* text =
+      "*DESIGN \"d\"\n"
+      "*T_UNIT 1 NS\n*C_UNIT 1 PF\n*R_UNIT 1 KOHM\n"
+      "*D_NET n1 2.0\n"
+      "*CAP\n1 n1:1 1.5\n"
+      "*RES\n1 n1:0 n1:1 0.25\n"
+      "*END\n";
+  std::istringstream is(text);
+  const SpefFile spef = read_spef(is);
+  ASSERT_EQ(spef.nets.size(), 1u);
+  EXPECT_DOUBLE_EQ(spef.nets[0].total_cap, 2.0e-12);
+  EXPECT_DOUBLE_EQ(spef.nets[0].caps[0].second, 1.5e-12);
+  EXPECT_DOUBLE_EQ(spef.nets[0].resistors[0].ohm, 250.0);
+}
+
+TEST_F(IoFixture, SpefParseErrors) {
+  std::istringstream bad_unit("*T_UNIT 1 PARSEC\n");
+  EXPECT_THROW(read_spef(bad_unit), std::runtime_error);
+  std::istringstream bad_cap("*D_NET n 1\n*CAP\nnot_an_entry\n*END\n");
+  EXPECT_THROW(read_spef(bad_cap), std::runtime_error);
+  std::istringstream bad_res("*D_NET n 1\n*RES\n1 a b\n*END\n");
+  EXPECT_THROW(read_spef(bad_res), std::runtime_error);
+}
+
+TEST_F(IoFixture, SpefSizeMismatchThrows) {
+  parasitics_.pop_back();
+  std::ostringstream os;
+  EXPECT_THROW(write_spef(os, flow_.cts.tree, flow_.design, flow_.nets,
+                          parasitics_),
+               std::invalid_argument);
+}
+
+TEST_F(IoFixture, SvgWellFormed) {
+  const std::string svg = render_svg(flow_.cts.tree, flow_.design,
+                                     flow_.tech, flow_.nets, assignment_);
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // One polyline per non-root edge.
+  std::size_t polylines = 0;
+  for (std::size_t pos = svg.find("<polyline"); pos != std::string::npos;
+       pos = svg.find("<polyline", pos + 1)) {
+    ++polylines;
+  }
+  EXPECT_EQ(polylines, static_cast<std::size_t>(flow_.cts.tree.size() - 1));
+  // Legend mentions every rule name.
+  for (const tech::RoutingRule& r : flow_.tech.rules) {
+    EXPECT_NE(svg.find(">" + r.name + "<"), std::string::npos) << r.name;
+  }
+  // Sinks and buffers drawn.
+  EXPECT_NE(svg.find("<circle"), std::string::npos);
+  EXPECT_NE(svg.find("fill=\"#d62728\""), std::string::npos);
+}
+
+TEST_F(IoFixture, SvgOptionsRespected) {
+  SvgOptions opt;
+  opt.draw_sinks = false;
+  opt.draw_buffers = false;
+  opt.draw_congestion = false;
+  opt.draw_legend = false;
+  const std::string svg = render_svg(flow_.cts.tree, flow_.design,
+                                     flow_.tech, flow_.nets, assignment_,
+                                     opt);
+  EXPECT_EQ(svg.find("<circle"), std::string::npos);
+  EXPECT_EQ(svg.find("#d62728"), std::string::npos);
+  EXPECT_EQ(svg.find("font-family"), std::string::npos);
+}
+
+TEST_F(IoFixture, SvgAssignmentMismatchThrows) {
+  EXPECT_THROW(render_svg(flow_.cts.tree, flow_.design, flow_.tech,
+                          flow_.nets, {0}),
+               std::invalid_argument);
+}
+
+TEST_F(IoFixture, SvgFileIo) {
+  const std::string path = "/tmp/sndr_io_test.svg";
+  write_svg_file(path, flow_.cts.tree, flow_.design, flow_.tech, flow_.nets,
+                 assignment_);
+  std::ifstream f(path);
+  EXPECT_TRUE(f.good());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sndr::io

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "cts/refine.hpp"
+#include "extract/extractor.hpp"
+#include "ndr/evaluation.hpp"
+#include "tech/units.hpp"
+#include "test_util.hpp"
+
+namespace sndr::cts {
+namespace {
+
+using units::ps;
+
+double measured_skew(const test::Flow& f, const netlist::ClockTree& tree) {
+  const netlist::NetList nets = netlist::build_nets(tree);
+  const extract::Extractor ex(f.tech, f.design);
+  const auto par = ex.extract_all(
+      tree, nets,
+      std::vector<int>(nets.size(), f.tech.rules.blanket_index()));
+  return timing::analyze(tree, f.design, f.tech, nets, par).skew();
+}
+
+TEST(RefineSkew, NeverDegradesBeyondBudgetAndUsuallyImproves) {
+  for (const int sinks : {256, 1024}) {
+    test::Flow f = test::small_flow(sinks, 29);
+    const double before = measured_skew(f, f.cts.tree);
+    const RefineResult r = refine_skew(f.cts.tree, f.design, f.tech);
+    const double after = measured_skew(f, f.cts.tree);
+    EXPECT_NEAR(r.final_skew, after, 1e-15);
+    EXPECT_NEAR(r.initial_skew, before, 1e-15);
+    EXPECT_LE(after, std::max(before, f.design.constraints.max_skew))
+        << "sinks=" << sinks;
+  }
+}
+
+TEST(RefineSkew, LargeTreeSkewHalvedOrBetter) {
+  // The pass exists for big trees where planning error accumulates; on a
+  // 2048-sink clustered design it should remove most of the skew or already
+  // find the goal met.
+  workload::DesignSpec spec;
+  spec.num_sinks = 2048;
+  spec.dist = workload::SinkDistribution::kClustered;
+  spec.seed = 53;
+  test::Flow f;
+  f.design = workload::make_design(spec);
+  f.tech = tech::Technology::make_default_45nm();
+  f.cts = synthesize(f.design, f.tech);
+  const RefineResult r = refine_skew(f.cts.tree, f.design, f.tech);
+  const double goal = 0.6 * f.design.constraints.max_skew;
+  EXPECT_TRUE(r.final_skew <= goal || r.final_skew <= 0.6 * r.initial_skew)
+      << "initial=" << units::to_ps(r.initial_skew)
+      << " final=" << units::to_ps(r.final_skew);
+}
+
+TEST(RefineSkew, PreservesTreeStructure) {
+  test::Flow f = test::small_flow(512, 7);
+  const int nodes_before = f.cts.tree.size();
+  const double wl_before = f.cts.tree.total_wirelength();
+  refine_skew(f.cts.tree, f.design, f.tech);
+  EXPECT_EQ(f.cts.tree.size(), nodes_before);
+  EXPECT_DOUBLE_EQ(f.cts.tree.total_wirelength(), wl_before);
+  EXPECT_NO_THROW(
+      f.cts.tree.validate(static_cast<int>(f.design.sinks.size())));
+}
+
+TEST(RefineSkew, RespectsSlewCeiling) {
+  test::Flow f = test::small_flow(512, 7);
+  RefineOptions opt;
+  refine_skew(f.cts.tree, f.design, f.tech, opt);
+  const netlist::NetList nets = netlist::build_nets(f.cts.tree);
+  const extract::Extractor ex(f.tech, f.design);
+  const auto par = ex.extract_all(
+      f.cts.tree, nets,
+      std::vector<int>(nets.size(), f.tech.rules.blanket_index()));
+  const auto rep = timing::analyze(f.cts.tree, f.design, f.tech, nets, par);
+  EXPECT_LE(rep.max_slew, f.design.constraints.max_slew);
+}
+
+TEST(RefineSkew, Deterministic) {
+  test::Flow a = test::small_flow(512, 11);
+  test::Flow b = test::small_flow(512, 11);
+  refine_skew(a.cts.tree, a.design, a.tech);
+  refine_skew(b.cts.tree, b.design, b.tech);
+  for (int i = 0; i < a.cts.tree.size(); ++i) {
+    EXPECT_EQ(a.cts.tree.node(i).cell, b.cts.tree.node(i).cell);
+  }
+}
+
+TEST(RefineSkew, SingleSinkNoop) {
+  test::Flow f = test::small_flow(1);
+  const RefineResult r = refine_skew(f.cts.tree, f.design, f.tech);
+  EXPECT_DOUBLE_EQ(r.final_skew, 0.0);
+  EXPECT_EQ(r.resizes, 0);
+}
+
+}  // namespace
+}  // namespace sndr::cts

@@ -1,0 +1,38 @@
+// Shared fixtures/helpers for the test suite.
+#pragma once
+
+#include "cts/embedding.hpp"
+#include "netlist/clock_nets.hpp"
+#include "netlist/design.hpp"
+#include "tech/technology.hpp"
+#include "workload/generator.hpp"
+
+namespace sndr::test {
+
+/// A small deterministic design for fast tests.
+inline netlist::Design small_design(int sinks = 64, std::uint64_t seed = 3) {
+  workload::DesignSpec spec;
+  spec.name = "test";
+  spec.num_sinks = sinks;
+  spec.seed = seed;
+  return workload::make_design(spec);
+}
+
+/// Synthesized tree + nets for a small design.
+struct Flow {
+  netlist::Design design;
+  tech::Technology tech;
+  cts::CtsResult cts;
+  netlist::NetList nets;
+};
+
+inline Flow small_flow(int sinks = 64, std::uint64_t seed = 3) {
+  Flow f;
+  f.design = small_design(sinks, seed);
+  f.tech = tech::Technology::make_default_45nm();
+  f.cts = cts::synthesize(f.design, f.tech);
+  f.nets = netlist::build_nets(f.cts.tree);
+  return f;
+}
+
+}  // namespace sndr::test

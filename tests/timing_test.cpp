@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ndr/evaluation.hpp"
+#include "tech/units.hpp"
+#include "test_util.hpp"
+#include "timing/delay_metrics.hpp"
+#include "timing/tree_timing.hpp"
+#include "timing/variation.hpp"
+
+namespace sndr::timing {
+namespace {
+
+using units::fF;
+using units::ps;
+
+TEST(DelayMetrics, SinglePoleConsistency) {
+  // One pole with tau: m1 = tau, circuit m2 = tau^2.
+  const double tau = 50 * ps;
+  const double m1 = tau;
+  const double m2 = tau * tau;
+  EXPECT_DOUBLE_EQ(delay_elmore(m1), tau);
+  // D2M is exact for one pole: the 50% point ln2 * tau.
+  EXPECT_NEAR(delay_d2m(m1, m2), 0.69315 * tau, 1e-15);
+  // Slew is exact for one pole: ln9 * tau.
+  EXPECT_NEAR(step_slew(m1, m2), 2.19722 * tau, 1e-15);
+}
+
+TEST(DelayMetrics, D2mNeverExceedsElmore) {
+  // For RC trees the circuit m2 >= m1^2 (Cauchy-Schwarz over the shared-
+  // resistance kernel), which makes D2M <= ln2^{-1}-free Elmore bound.
+  for (const double ratio : {1.0, 1.5, 2.0, 3.0, 10.0}) {
+    const double m1 = 10 * ps;
+    const double m2 = ratio * m1 * m1;
+    EXPECT_LE(delay_d2m(m1, m2), delay_elmore(m1) + 1e-18);
+  }
+}
+
+TEST(DelayMetrics, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(delay_d2m(1e-12, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(step_slew(1e-12, 0.4e-24), 0.0);  // 2*m2 < m1^2 clamps.
+}
+
+TEST(DelayMetrics, PeriSlewCombination) {
+  EXPECT_DOUBLE_EQ(peri_slew(30 * ps, 40 * ps), 50 * ps);
+  EXPECT_DOUBLE_EQ(peri_slew(0.0, 40 * ps), 40 * ps);
+  EXPECT_GE(peri_slew(30 * ps, 40 * ps), 40 * ps);  // never improves.
+}
+
+class TimingFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    flow_ = test::small_flow(48);
+    assignment_.assign(flow_.nets.size(), flow_.tech.rules.blanket_index());
+    const extract::Extractor ex(flow_.tech, flow_.design);
+    parasitics_ = ex.extract_all(flow_.cts.tree, flow_.nets, assignment_);
+  }
+
+  test::Flow flow_;
+  std::vector<int> assignment_;
+  std::vector<extract::NetParasitics> parasitics_;
+};
+
+TEST_F(TimingFixture, AllSinksTimed) {
+  const TimingReport rep = analyze(flow_.cts.tree, flow_.design, flow_.tech,
+                                   flow_.nets, parasitics_);
+  ASSERT_EQ(rep.sink_arrival.size(), flow_.design.sinks.size());
+  for (const double a : rep.sink_arrival) {
+    EXPECT_GT(a, 0.0);
+    EXPECT_LT(a, 5'000 * ps);
+  }
+  EXPECT_GE(rep.max_latency, rep.min_latency);
+  EXPECT_GE(rep.skew(), 0.0);
+  EXPECT_GT(rep.max_slew, 0.0);
+}
+
+TEST_F(TimingFixture, CtsTreeIsWellBalanced) {
+  const TimingReport rep = analyze(flow_.cts.tree, flow_.design, flow_.tech,
+                                   flow_.nets, parasitics_);
+  // The embedder balances Elmore; D2M timing should stay within the design
+  // skew budget with margin.
+  EXPECT_LE(rep.skew(), flow_.design.constraints.max_skew);
+}
+
+TEST_F(TimingFixture, ElmoreLatencyExceedsD2m) {
+  AnalysisOptions d2m;
+  AnalysisOptions elm;
+  elm.use_d2m = false;
+  const TimingReport a = analyze(flow_.cts.tree, flow_.design, flow_.tech,
+                                 flow_.nets, parasitics_, d2m);
+  const TimingReport b = analyze(flow_.cts.tree, flow_.design, flow_.tech,
+                                 flow_.nets, parasitics_, elm);
+  for (std::size_t s = 0; s < a.sink_arrival.size(); ++s) {
+    EXPECT_LE(a.sink_arrival[s], b.sink_arrival[s] + 1e-18);
+  }
+}
+
+TEST_F(TimingFixture, MillerFactorSlowsNets) {
+  AnalysisOptions base;
+  AnalysisOptions miller;
+  miller.timing_miller = 2.0;
+  const TimingReport a = analyze(flow_.cts.tree, flow_.design, flow_.tech,
+                                 flow_.nets, parasitics_, base);
+  const TimingReport b = analyze(flow_.cts.tree, flow_.design, flow_.tech,
+                                 flow_.nets, parasitics_, miller);
+  EXPECT_GT(b.max_latency, a.max_latency);
+}
+
+TEST_F(TimingFixture, SlewViolationCounting) {
+  const TimingReport rep = analyze(flow_.cts.tree, flow_.design, flow_.tech,
+                                   flow_.nets, parasitics_);
+  EXPECT_EQ(rep.slew_violations(1.0), 0);             // 1 second limit.
+  EXPECT_EQ(rep.slew_violations(0.0), flow_.nets.size());
+}
+
+TEST_F(TimingFixture, SizeMismatchThrows) {
+  parasitics_.pop_back();
+  EXPECT_THROW(analyze(flow_.cts.tree, flow_.design, flow_.tech, flow_.nets,
+                       parasitics_),
+               std::invalid_argument);
+}
+
+// Rule-monotonicity properties of the variation engine, swept over nets.
+class VariationProps : public ::testing::TestWithParam<int> {
+ protected:
+  static test::Flow& flow() {
+    static test::Flow f = test::small_flow(48);
+    return f;
+  }
+};
+
+// Builds hand-made parasitics for a straight line of `pieces` x `piece_um`
+// routed with `rule`, terminated by a small pin, consistent with the layer
+// model (so net_variation's perturbation math applies exactly).
+extract::NetParasitics line_parasitics(const tech::Technology& t,
+                                       const tech::RoutingRule& rule,
+                                       int pieces, double piece_um) {
+  extract::NetParasitics par;
+  const double res = tech::wire_res_per_um(t.clock_layer, rule) * piece_um;
+  const double cap =
+      tech::wire_cap_gnd_per_um(t.clock_layer, rule) * piece_um;
+  int cur = 0;
+  for (int i = 0; i < pieces; ++i) {
+    cur = par.rc.add_node(cur, res, cap, 0.0);
+    par.rc.node(cur).wire_len = piece_um;
+    par.wirelength += piece_um;
+    par.wire_cap_gnd += cap;
+  }
+  par.rc.node(cur).cap_gnd += 2e-15;
+  par.load_cap = 2e-15;
+  par.load_rc_index = {cur};
+  return par;
+}
+
+TEST_P(VariationProps, WiderRuleShrinksSigmaOnResistanceDominatedNets) {
+  // The paper's claim "wider wires -> smaller delay sigma" holds where wire
+  // resistance dominates (long nets, weak upstream R). On short, driver-
+  // dominated nets the cap-variation term (same driver R, larger dC) can
+  // win, which is exactly why smart NDR narrows such nets. Test the claim
+  // in its regime: a long line with a modest driver.
+  const tech::Technology t = [] {
+    tech::Technology t = tech::Technology::make_default_45nm();
+    t.clock_layer.sigma_thickness = 0.0;  // isolate width variation.
+    return t;
+  }();
+  const int pieces = 5 + GetParam();
+  const auto par_1w = line_parasitics(t, t.rules[0], pieces, 100.0);
+  const auto par_2w = line_parasitics(t, t.rules[2], pieces, 100.0);
+  const auto v1 = net_variation(par_1w, t, t.rules[0], 100.0);
+  const auto v2 = net_variation(par_2w, t, t.rules[2], 100.0);
+  EXPECT_LT(v2.worst_sigma(), v1.worst_sigma());
+}
+
+TEST_P(VariationProps, WiderSpacingShrinksCrosstalk) {
+  test::Flow& f = flow();
+  const int net_id = GetParam() % f.nets.size();
+  const extract::Extractor ex(f.tech, f.design);
+  const AnalysisOptions opt;
+  const double rdrv = net_driver_res(f.cts.tree, f.tech, f.nets[net_id], opt);
+
+  const auto par_1s = ex.extract_net(f.cts.tree, f.nets[net_id],
+                                     f.tech.rules[0]);  // 1W1S
+  const auto par_2s = ex.extract_net(f.cts.tree, f.nets[net_id],
+                                     f.tech.rules[1]);  // 1W2S
+  const auto v1 = net_variation(par_1s, f.tech, f.tech.rules[0], rdrv);
+  const auto v2 = net_variation(par_2s, f.tech, f.tech.rules[1], rdrv);
+  EXPECT_LE(v2.worst_xtalk(), v1.worst_xtalk() + 1e-18);
+}
+
+INSTANTIATE_TEST_SUITE_P(Nets, VariationProps, ::testing::Range(0, 12));
+
+TEST_F(TimingFixture, VariationReportStructure) {
+  const VariationReport rep =
+      analyze_variation(flow_.cts.tree, flow_.design, flow_.tech, flow_.nets,
+                        parasitics_, assignment_);
+  ASSERT_EQ(rep.sink_uncertainty.size(), flow_.design.sinks.size());
+  for (std::size_t s = 0; s < rep.sink_uncertainty.size(); ++s) {
+    EXPECT_NEAR(rep.sink_uncertainty[s],
+                3.0 * rep.sink_sigma[s] + rep.sink_xtalk[s], 1e-18);
+    EXPECT_GE(rep.sink_xtalk[s], 0.0);
+    EXPECT_GE(rep.sink_sigma[s], 0.0);
+  }
+  EXPECT_GT(rep.max_uncertainty, 0.0);
+  EXPECT_EQ(rep.violations(1.0), 0);
+  EXPECT_EQ(rep.violations(0.0),
+            static_cast<int>(flow_.design.sinks.size()));
+}
+
+TEST_F(TimingFixture, DefaultRulesHaveMoreUncertaintyThanBlanket) {
+  const auto blanket =
+      analyze_variation(flow_.cts.tree, flow_.design, flow_.tech, flow_.nets,
+                        parasitics_, assignment_);
+  const std::vector<int> def(assignment_.size(), 0);
+  const extract::Extractor ex(flow_.tech, flow_.design);
+  const auto par_def = ex.extract_all(flow_.cts.tree, flow_.nets, def);
+  const auto all_def = analyze_variation(flow_.cts.tree, flow_.design,
+                                         flow_.tech, flow_.nets, par_def,
+                                         def);
+  EXPECT_GT(all_def.max_uncertainty, blanket.max_uncertainty);
+}
+
+TEST_F(TimingFixture, AggressorActivityScalesXtalk) {
+  tech::Technology quiet = flow_.tech;
+  quiet.aggressor_activity = 0.0;
+  const auto rep = analyze_variation(flow_.cts.tree, flow_.design, quiet,
+                                     flow_.nets, parasitics_, assignment_);
+  for (const double x : rep.sink_xtalk) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+TEST(NetDriverRes, SourceVsBuffer) {
+  test::Flow f = test::small_flow(16);
+  AnalysisOptions opt;
+  opt.source_drive_res = 123.0;
+  EXPECT_DOUBLE_EQ(net_driver_res(f.cts.tree, f.tech, f.nets[0], opt), 123.0);
+  // Any deeper net is buffer-driven.
+  const auto& deep = f.nets[f.nets.size() - 1];
+  const auto& drv = f.cts.tree.node(deep.driver);
+  ASSERT_EQ(drv.kind, netlist::NodeKind::kBuffer);
+  EXPECT_DOUBLE_EQ(net_driver_res(f.cts.tree, f.tech, deep, opt),
+                   f.tech.buffers[drv.cell].drive_res);
+}
+
+}  // namespace
+}  // namespace sndr::timing

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "ndr/smart_ndr.hpp"
+#include "tech/units.hpp"
+#include "test_util.hpp"
+
+namespace sndr {
+namespace {
+
+using units::ps;
+
+std::vector<double> blanket_offsets(const test::Flow& f) {
+  const auto ev = ndr::evaluate(
+      f.cts.tree, f.design, f.tech, f.nets,
+      ndr::assign_all(f.nets, f.tech.rules.blanket_index()));
+  std::vector<double> off = ev.timing.sink_arrival;
+  const double mean =
+      std::accumulate(off.begin(), off.end(), 0.0) / off.size();
+  for (double& a : off) a -= mean;
+  return off;
+}
+
+TEST(UsefulSkew, DisabledByDefault) {
+  const netlist::Design d = test::small_design(8);
+  EXPECT_FALSE(d.useful_skew.enabled());
+}
+
+TEST(UsefulSkew, AttachShapes) {
+  netlist::Design d = test::small_design(100, 5);
+  workload::attach_useful_skew(d, 0.3, 10.0, 40.0);
+  ASSERT_TRUE(d.useful_skew.enabled());
+  ASSERT_EQ(d.useful_skew.lo.size(), 100u);
+  int tight = 0;
+  for (std::size_t s = 0; s < 100; ++s) {
+    EXPECT_LT(d.useful_skew.lo[s], d.useful_skew.hi[s]);
+    const double half =
+        0.5 * (d.useful_skew.hi[s] - d.useful_skew.lo[s]);
+    EXPECT_TRUE(std::abs(half - 10 * ps) < 1e-15 ||
+                std::abs(half - 40 * ps) < 1e-15);
+    if (std::abs(half - 10 * ps) < 1e-15) ++tight;
+  }
+  // ~30% tight, loose statistical bound.
+  EXPECT_GT(tight, 10);
+  EXPECT_LT(tight, 55);
+}
+
+TEST(UsefulSkew, AttachIsDeterministic) {
+  netlist::Design a = test::small_design(50, 5);
+  netlist::Design b = test::small_design(50, 5);
+  workload::attach_useful_skew(a, 0.5, 10.0, 40.0);
+  workload::attach_useful_skew(b, 0.5, 10.0, 40.0);
+  EXPECT_EQ(a.useful_skew.lo, b.useful_skew.lo);
+  EXPECT_EQ(a.useful_skew.hi, b.useful_skew.hi);
+}
+
+TEST(UsefulSkew, CentersShiftWindows) {
+  netlist::Design d = test::small_design(4, 5);
+  workload::attach_useful_skew(d, 0.0, 10.0, 20.0,
+                               {1 * ps, -2 * ps, 0.0, 3 * ps});
+  EXPECT_DOUBLE_EQ(d.useful_skew.lo[1], -2 * ps - 20 * ps);
+  EXPECT_DOUBLE_EQ(d.useful_skew.hi[3], 3 * ps + 20 * ps);
+}
+
+TEST(UsefulSkew, EvaluationCountsWindowViolations) {
+  test::Flow f = test::small_flow(64, 13);
+  const std::vector<double> off = blanket_offsets(f);
+  // Impossible windows: everything violates.
+  f.design.useful_skew.lo.assign(f.design.sinks.size(), 1.0);
+  f.design.useful_skew.hi.assign(f.design.sinks.size(), 2.0);
+  auto ev = ndr::evaluate(
+      f.cts.tree, f.design, f.tech, f.nets,
+      ndr::assign_all(f.nets, f.tech.rules.blanket_index()));
+  EXPECT_EQ(ev.window_violations,
+            static_cast<int>(f.design.sinks.size()));
+  EXPECT_FALSE(ev.feasible());
+
+  // Windows centered on the blanket offsets: all clean.
+  workload::attach_useful_skew(f.design, 0.5, 5.0, 30.0, off);
+  ev = ndr::evaluate(f.cts.tree, f.design, f.tech, f.nets,
+                     ndr::assign_all(f.nets, f.tech.rules.blanket_index()));
+  EXPECT_EQ(ev.window_violations, 0);
+}
+
+TEST(UsefulSkew, OptimizerRespectsWindows) {
+  test::Flow f = test::small_flow(256, 31);
+  const std::vector<double> off = blanket_offsets(f);
+  workload::attach_useful_skew(f.design, 0.3, 6.0, 60.0, off);
+  const ndr::SmartNdrResult smart =
+      ndr::optimize_smart_ndr(f.cts.tree, f.design, f.tech, f.nets);
+  EXPECT_TRUE(smart.final_eval.feasible());
+  EXPECT_EQ(smart.final_eval.window_violations, 0);
+  // Still saves power versus blanket.
+  const auto blanket = ndr::evaluate(
+      f.cts.tree, f.design, f.tech, f.nets,
+      ndr::assign_all(f.nets, f.tech.rules.blanket_index()));
+  EXPECT_LT(smart.final_eval.power.total_power, blanket.power.total_power);
+}
+
+TEST(UsefulSkew, LooserWindowsNeverHurt) {
+  test::Flow f = test::small_flow(256, 31);
+  const std::vector<double> off = blanket_offsets(f);
+
+  workload::attach_useful_skew(f.design, 1.0, 4.0, 4.0, off);
+  const ndr::SmartNdrResult tight =
+      ndr::optimize_smart_ndr(f.cts.tree, f.design, f.tech, f.nets);
+
+  workload::attach_useful_skew(f.design, 1.0, 80.0, 80.0, off);
+  const ndr::SmartNdrResult loose =
+      ndr::optimize_smart_ndr(f.cts.tree, f.design, f.tech, f.nets);
+
+  EXPECT_LE(loose.final_eval.power.total_power,
+            tight.final_eval.power.total_power + 1e-9);
+}
+
+}  // namespace
+}  // namespace sndr

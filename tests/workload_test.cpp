@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "tech/units.hpp"
+#include "workload/generator.hpp"
+#include "workload/rng.hpp"
+
+namespace sndr::workload {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = rng.uniform(5.0, 6.0);
+    EXPECT_GE(v, 5.0);
+    EXPECT_LT(v, 6.0);
+  }
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_LT(rng.uniform_int(7), 7u);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Generator, Deterministic) {
+  DesignSpec spec;
+  spec.num_sinks = 77;
+  spec.seed = 3;
+  const netlist::Design a = make_design(spec);
+  const netlist::Design b = make_design(spec);
+  ASSERT_EQ(a.sinks.size(), b.sinks.size());
+  for (std::size_t i = 0; i < a.sinks.size(); ++i) {
+    EXPECT_TRUE(geom::almost_equal(a.sinks[i].loc, b.sinks[i].loc));
+    EXPECT_DOUBLE_EQ(a.sinks[i].pin_cap, b.sinks[i].pin_cap);
+  }
+}
+
+TEST(Generator, SeedChangesLayout) {
+  DesignSpec spec;
+  spec.num_sinks = 50;
+  spec.seed = 1;
+  const netlist::Design a = make_design(spec);
+  spec.seed = 2;
+  const netlist::Design b = make_design(spec);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.sinks.size(); ++i) {
+    if (!geom::almost_equal(a.sinks[i].loc, b.sinks[i].loc)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Generator, SinksInsideCore) {
+  for (const auto dist : {SinkDistribution::kUniform,
+                          SinkDistribution::kClustered,
+                          SinkDistribution::kMixed}) {
+    DesignSpec spec;
+    spec.num_sinks = 200;
+    spec.dist = dist;
+    const netlist::Design d = make_design(spec);
+    EXPECT_EQ(d.sinks.size(), 200u);
+    for (const auto& s : d.sinks) {
+      EXPECT_TRUE(d.core.contains(s.loc)) << to_string(dist);
+      EXPECT_GE(s.pin_cap, spec.pin_cap_lo);
+      EXPECT_LE(s.pin_cap, spec.pin_cap_hi);
+    }
+  }
+}
+
+TEST(Generator, AreaTracksDensity) {
+  DesignSpec spec;
+  spec.num_sinks = 2000;
+  spec.sink_density = 2000.0;  // => 1 mm^2.
+  const netlist::Design d = make_design(spec);
+  EXPECT_NEAR(d.core.area(), 1e6, 1.0);  // um^2.
+}
+
+TEST(Generator, ClusteredIsMoreConcentratedThanUniform) {
+  DesignSpec spec;
+  spec.num_sinks = 500;
+  spec.clusters = 4;
+  spec.dist = SinkDistribution::kClustered;
+  const netlist::Design c = make_design(spec);
+  spec.dist = SinkDistribution::kUniform;
+  const netlist::Design u = make_design(spec);
+  // Mean nearest-cluster... cheap proxy: variance of x coordinate is lower
+  // for clustered placements.
+  const auto var_x = [](const netlist::Design& d) {
+    double m = 0.0;
+    for (const auto& s : d.sinks) m += s.loc.x;
+    m /= d.sinks.size();
+    double v = 0.0;
+    for (const auto& s : d.sinks) v += (s.loc.x - m) * (s.loc.x - m);
+    return v / d.sinks.size();
+  };
+  EXPECT_LT(var_x(c), var_x(u));
+}
+
+TEST(Generator, OccupancyWithinBounds) {
+  DesignSpec spec;
+  spec.num_sinks = 300;
+  const netlist::Design d = make_design(spec);
+  ASSERT_TRUE(d.congestion.valid());
+  for (int i = 0; i < d.congestion.cell_count(); ++i) {
+    EXPECT_GE(d.congestion.occupancy_cell(i), 0.05);
+    EXPECT_LE(d.congestion.occupancy_cell(i), 0.95);
+    EXPECT_GT(d.congestion.capacity_cell(i), 0.0);
+  }
+}
+
+TEST(Generator, ConstraintScalingMonotone) {
+  DesignSpec small;
+  small.num_sinks = 512;
+  DesignSpec big;
+  big.num_sinks = 16384;
+  const auto ds = make_design(small);
+  const auto db = make_design(big);
+  EXPECT_LT(ds.constraints.max_skew, db.constraints.max_skew);
+  EXPECT_LT(ds.constraints.max_uncertainty, db.constraints.max_uncertainty);
+}
+
+TEST(Generator, ConstraintScalingCanBeDisabled) {
+  DesignSpec spec;
+  spec.num_sinks = 16384;
+  spec.scale_constraints = false;
+  const auto d = make_design(spec);
+  EXPECT_DOUBLE_EQ(d.constraints.max_skew, spec.constraints.max_skew);
+}
+
+TEST(Generator, InvalidSinkCountThrows) {
+  DesignSpec spec;
+  spec.num_sinks = 0;
+  EXPECT_THROW(make_design(spec), std::invalid_argument);
+}
+
+TEST(Generator, PaperBenchmarksWellFormed) {
+  const auto specs = paper_benchmarks();
+  ASSERT_EQ(specs.size(), 6u);
+  int prev = 0;
+  for (const auto& s : specs) {
+    EXPECT_GT(s.num_sinks, prev);  // sorted by size.
+    prev = s.num_sinks;
+    EXPECT_FALSE(s.name.empty());
+  }
+}
+
+TEST(Generator, ClockRootOnCoreBoundary) {
+  const netlist::Design d = make_design(quickstart_spec());
+  EXPECT_DOUBLE_EQ(d.clock_root.y, d.core.lo().y);
+  EXPECT_NEAR(d.clock_root.x, d.core.center().x, 1e-9);
+}
+
+}  // namespace
+}  // namespace sndr::workload

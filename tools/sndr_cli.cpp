@@ -1,0 +1,223 @@
+// sndr — command-line driver for the smart-NDR clock power flow.
+//
+//   sndr generate --sinks N [--dist uniform|clustered|mixed] [--seed S]
+//                 --out design.txt
+//       Emit a synthetic design file.
+//
+//   sndr run --design design.txt [--tech tech.txt] [--spef out.spef]
+//            [--svg out.svg] [--csv out.csv] [--no-smart]
+//       Full flow: CTS + refinement + baselines + smart NDR + signoff
+//       report; optional artifact exports.
+//
+//   sndr eval --design design.txt --rule 2W2S [--tech tech.txt]
+//       Evaluate one uniform rule assignment (no optimization).
+//
+// Exit code 0 on success (and a feasible smart result for `run`), 1 on
+// infeasible results, 2 on usage/input errors.
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "cts/embedding.hpp"
+#include "cts/refine.hpp"
+#include "io/design_io.hpp"
+#include "io/spef.hpp"
+#include "io/svg.hpp"
+#include "ndr/smart_ndr.hpp"
+#include "report/table.hpp"
+#include "route/congestion_route.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace sndr;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+  bool flag(const std::string& name) const {
+    return options.count(name) > 0;
+  }
+  std::string get(const std::string& name,
+                  const std::string& fallback = "") const {
+    const auto it = options.find(name);
+    return it == options.end() ? fallback : it->second;
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--", 0) != 0) {
+      throw std::runtime_error("unexpected argument '" + a + "'");
+    }
+    a = a.substr(2);
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      args.options[a] = argv[++i];
+    } else {
+      args.options[a] = "";
+    }
+  }
+  return args;
+}
+
+int usage() {
+  std::cerr <<
+      "usage:\n"
+      "  sndr generate --sinks N [--dist uniform|clustered|mixed]\n"
+      "                [--seed S] --out design.txt\n"
+      "  sndr run  --design design.txt [--tech tech.txt] [--spef f]\n"
+      "            [--svg f] [--csv f] [--no-smart]\n"
+      "  sndr eval --design design.txt --rule NAME [--tech tech.txt]\n";
+  return 2;
+}
+
+tech::Technology load_tech(const Args& args) {
+  const std::string path = args.get("tech");
+  if (path.empty()) return tech::Technology::make_default_45nm();
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open tech file " + path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return tech::Technology::from_text(ss.str());
+}
+
+int cmd_generate(const Args& args) {
+  workload::DesignSpec spec;
+  spec.num_sinks = std::stoi(args.get("sinks", "1024"));
+  spec.seed = std::stoull(args.get("seed", "1"));
+  const std::string dist = args.get("dist", "uniform");
+  if (dist == "clustered") {
+    spec.dist = workload::SinkDistribution::kClustered;
+  } else if (dist == "mixed") {
+    spec.dist = workload::SinkDistribution::kMixed;
+  } else if (dist != "uniform") {
+    throw std::runtime_error("unknown --dist '" + dist + "'");
+  }
+  spec.name = args.get("name", "generated");
+  const std::string out = args.get("out");
+  if (out.empty()) throw std::runtime_error("generate needs --out");
+  io::write_design_file(out, workload::make_design(spec));
+  std::cout << "wrote " << out << " (" << spec.num_sinks << " sinks, "
+            << dist << ")\n";
+  return 0;
+}
+
+struct BuiltFlow {
+  netlist::Design design;
+  tech::Technology tech;
+  cts::CtsResult cts;
+  netlist::NetList nets;
+};
+
+BuiltFlow build(const Args& args) {
+  BuiltFlow f;
+  const std::string path = args.get("design");
+  if (path.empty()) throw std::runtime_error("missing --design");
+  f.design = io::read_design_file(path);
+  if (f.design.sinks.empty()) {
+    throw std::runtime_error("design has no sinks");
+  }
+  f.tech = load_tech(args);
+  f.cts = cts::synthesize(f.design, f.tech);
+  route::reroute_for_congestion(f.cts.tree, f.design.congestion);
+  cts::refine_skew(f.cts.tree, f.design, f.tech);
+  f.nets = netlist::build_nets(f.cts.tree);
+  return f;
+}
+
+void add_eval_row(report::Table& t, const std::string& name,
+                  const ndr::FlowEvaluation& ev) {
+  t.add_row({name, report::fmt(units::to_mW(ev.power.total_power), 3),
+             report::fmt(units::to_fF(ev.power.switched_cap), 0),
+             report::fmt(units::to_ps(ev.timing.skew()), 1),
+             report::fmt(units::to_ps(ev.timing.max_slew), 1),
+             std::to_string(ev.slew_violations) + "/" +
+                 std::to_string(ev.em_violations) + "/" +
+                 std::to_string(ev.uncertainty_violations),
+             ev.feasible() ? "yes" : "NO"});
+}
+
+int cmd_run(const Args& args) {
+  BuiltFlow f = build(args);
+  std::cout << f.design.name << ": " << f.design.sinks.size() << " sinks, "
+            << f.cts.buffers << " buffers, " << f.nets.size() << " nets, "
+            << units::to_mm(f.cts.wirelength) << " mm clock wire\n\n";
+
+  report::Table t({"flow", "P (mW)", "sw cap (fF)", "skew (ps)",
+                   "slew (ps)", "viol s/e/u", "feasible"});
+  add_eval_row(t, "all-default",
+               ndr::evaluate(f.cts.tree, f.design, f.tech, f.nets,
+                             ndr::assign_all(f.nets, 0)));
+  const auto blanket =
+      ndr::evaluate(f.cts.tree, f.design, f.tech, f.nets,
+                    ndr::assign_all(f.nets, f.tech.rules.blanket_index()));
+  add_eval_row(t, "blanket-NDR", blanket);
+
+  bool ok = true;
+  if (!args.flag("no-smart")) {
+    const ndr::SmartNdrResult smart =
+        ndr::optimize_smart_ndr(f.cts.tree, f.design, f.tech, f.nets);
+    add_eval_row(t, "smart-NDR", smart.final_eval);
+    ok = smart.final_eval.feasible();
+    t.print(std::cout);
+    std::cout << "\nsmart vs blanket: "
+              << report::fmt_pct(smart.final_eval.power.total_power /
+                                     blanket.power.total_power -
+                                 1.0)
+              << " power, " << smart.stats.commits << " rule changes\n";
+
+    if (!args.get("spef").empty()) {
+      io::write_spef_file(args.get("spef"), f.cts.tree, f.design, f.nets,
+                          smart.final_eval.parasitics);
+      std::cout << "wrote " << args.get("spef") << "\n";
+    }
+    if (!args.get("svg").empty()) {
+      io::write_svg_file(args.get("svg"), f.cts.tree, f.design, f.tech,
+                         f.nets, smart.assignment);
+      std::cout << "wrote " << args.get("svg") << "\n";
+    }
+    if (!args.get("csv").empty()) {
+      t.write_csv(args.get("csv"));
+      std::cout << "wrote " << args.get("csv") << "\n";
+    }
+  } else {
+    t.print(std::cout);
+  }
+  return ok ? 0 : 1;
+}
+
+int cmd_eval(const Args& args) {
+  BuiltFlow f = build(args);
+  const std::string rule_name = args.get("rule");
+  const int rule = f.tech.rules.find(rule_name);
+  if (rule < 0) {
+    throw std::runtime_error("unknown rule '" + rule_name + "'");
+  }
+  const auto ev = ndr::evaluate(f.cts.tree, f.design, f.tech, f.nets,
+                                ndr::assign_all(f.nets, rule));
+  report::Table t({"flow", "P (mW)", "sw cap (fF)", "skew (ps)",
+                   "slew (ps)", "viol s/e/u", "feasible"});
+  add_eval_row(t, rule_name, ev);
+  t.print(std::cout);
+  return ev.feasible() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse_args(argc, argv);
+    if (args.command == "generate") return cmd_generate(args);
+    if (args.command == "run") return cmd_run(args);
+    if (args.command == "eval") return cmd_eval(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
