@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_abl_annealing.cpp" "bench/CMakeFiles/bench_abl_annealing.dir/bench_abl_annealing.cpp.o" "gcc" "bench/CMakeFiles/bench_abl_annealing.dir/bench_abl_annealing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cts/CMakeFiles/sndr_cts.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/sndr_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/ndr/CMakeFiles/sndr_ndr.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/sndr_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/sndr_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/sndr_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/extract/CMakeFiles/sndr_extract.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sndr_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/sndr_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/sndr_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/sndr_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/sndr_report.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

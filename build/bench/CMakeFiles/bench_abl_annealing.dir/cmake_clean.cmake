@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_annealing.dir/bench_abl_annealing.cpp.o"
+  "CMakeFiles/bench_abl_annealing.dir/bench_abl_annealing.cpp.o.d"
+  "bench_abl_annealing"
+  "bench_abl_annealing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_annealing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_capacity.dir/bench_abl_capacity.cpp.o"
+  "CMakeFiles/bench_abl_capacity.dir/bench_abl_capacity.cpp.o.d"
+  "bench_abl_capacity"
+  "bench_abl_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_guardbands.dir/bench_abl_guardbands.cpp.o"
+  "CMakeFiles/bench_abl_guardbands.dir/bench_abl_guardbands.cpp.o.d"
+  "bench_abl_guardbands"
+  "bench_abl_guardbands.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_guardbands.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

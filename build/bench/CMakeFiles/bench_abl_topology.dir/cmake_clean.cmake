@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_topology.dir/bench_abl_topology.cpp.o"
+  "CMakeFiles/bench_abl_topology.dir/bench_abl_topology.cpp.o.d"
+  "bench_abl_topology"
+  "bench_abl_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

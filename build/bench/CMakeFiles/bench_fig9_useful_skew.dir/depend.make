@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig9_useful_skew.
+# This may be replaced when dependencies are built.

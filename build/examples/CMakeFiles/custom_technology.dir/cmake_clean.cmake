@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_technology.dir/custom_technology.cpp.o"
+  "CMakeFiles/custom_technology.dir/custom_technology.cpp.o.d"
+  "custom_technology"
+  "custom_technology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_technology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

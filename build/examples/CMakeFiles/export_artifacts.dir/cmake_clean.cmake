@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_artifacts.dir/export_artifacts.cpp.o"
+  "CMakeFiles/export_artifacts.dir/export_artifacts.cpp.o.d"
+  "export_artifacts"
+  "export_artifacts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_artifacts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

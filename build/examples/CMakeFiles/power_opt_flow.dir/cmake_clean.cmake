@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_opt_flow.dir/power_opt_flow.cpp.o"
+  "CMakeFiles/power_opt_flow.dir/power_opt_flow.cpp.o.d"
+  "power_opt_flow"
+  "power_opt_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_opt_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

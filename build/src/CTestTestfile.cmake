@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("geom")
+subdirs("tech")
+subdirs("netlist")
+subdirs("cts")
+subdirs("route")
+subdirs("extract")
+subdirs("io")
+subdirs("timing")
+subdirs("power")
+subdirs("ndr")
+subdirs("workload")
+subdirs("report")

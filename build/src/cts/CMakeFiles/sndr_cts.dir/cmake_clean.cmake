@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sndr_cts.dir/embedding.cpp.o"
+  "CMakeFiles/sndr_cts.dir/embedding.cpp.o.d"
+  "CMakeFiles/sndr_cts.dir/refine.cpp.o"
+  "CMakeFiles/sndr_cts.dir/refine.cpp.o.d"
+  "CMakeFiles/sndr_cts.dir/topology.cpp.o"
+  "CMakeFiles/sndr_cts.dir/topology.cpp.o.d"
+  "libsndr_cts.a"
+  "libsndr_cts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sndr_cts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

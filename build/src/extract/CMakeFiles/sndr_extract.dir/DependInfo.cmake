@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/extract/extractor.cpp" "src/extract/CMakeFiles/sndr_extract.dir/extractor.cpp.o" "gcc" "src/extract/CMakeFiles/sndr_extract.dir/extractor.cpp.o.d"
+  "/root/repo/src/extract/rc_tree.cpp" "src/extract/CMakeFiles/sndr_extract.dir/rc_tree.cpp.o" "gcc" "src/extract/CMakeFiles/sndr_extract.dir/rc_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/sndr_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/sndr_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/sndr_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sndr_extract.dir/extractor.cpp.o"
+  "CMakeFiles/sndr_extract.dir/extractor.cpp.o.d"
+  "CMakeFiles/sndr_extract.dir/rc_tree.cpp.o"
+  "CMakeFiles/sndr_extract.dir/rc_tree.cpp.o.d"
+  "libsndr_extract.a"
+  "libsndr_extract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sndr_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

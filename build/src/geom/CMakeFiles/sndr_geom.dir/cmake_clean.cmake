@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sndr_geom.dir/segment.cpp.o"
+  "CMakeFiles/sndr_geom.dir/segment.cpp.o.d"
+  "libsndr_geom.a"
+  "libsndr_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sndr_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

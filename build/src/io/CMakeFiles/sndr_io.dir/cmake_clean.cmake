@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sndr_io.dir/design_io.cpp.o"
+  "CMakeFiles/sndr_io.dir/design_io.cpp.o.d"
+  "CMakeFiles/sndr_io.dir/spef.cpp.o"
+  "CMakeFiles/sndr_io.dir/spef.cpp.o.d"
+  "CMakeFiles/sndr_io.dir/svg.cpp.o"
+  "CMakeFiles/sndr_io.dir/svg.cpp.o.d"
+  "libsndr_io.a"
+  "libsndr_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sndr_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ndr/annealer.cpp" "src/ndr/CMakeFiles/sndr_ndr.dir/annealer.cpp.o" "gcc" "src/ndr/CMakeFiles/sndr_ndr.dir/annealer.cpp.o.d"
+  "/root/repo/src/ndr/assignment_state.cpp" "src/ndr/CMakeFiles/sndr_ndr.dir/assignment_state.cpp.o" "gcc" "src/ndr/CMakeFiles/sndr_ndr.dir/assignment_state.cpp.o.d"
+  "/root/repo/src/ndr/corner_eval.cpp" "src/ndr/CMakeFiles/sndr_ndr.dir/corner_eval.cpp.o" "gcc" "src/ndr/CMakeFiles/sndr_ndr.dir/corner_eval.cpp.o.d"
+  "/root/repo/src/ndr/evaluation.cpp" "src/ndr/CMakeFiles/sndr_ndr.dir/evaluation.cpp.o" "gcc" "src/ndr/CMakeFiles/sndr_ndr.dir/evaluation.cpp.o.d"
+  "/root/repo/src/ndr/linear_model.cpp" "src/ndr/CMakeFiles/sndr_ndr.dir/linear_model.cpp.o" "gcc" "src/ndr/CMakeFiles/sndr_ndr.dir/linear_model.cpp.o.d"
+  "/root/repo/src/ndr/net_eval.cpp" "src/ndr/CMakeFiles/sndr_ndr.dir/net_eval.cpp.o" "gcc" "src/ndr/CMakeFiles/sndr_ndr.dir/net_eval.cpp.o.d"
+  "/root/repo/src/ndr/optimizer.cpp" "src/ndr/CMakeFiles/sndr_ndr.dir/optimizer.cpp.o" "gcc" "src/ndr/CMakeFiles/sndr_ndr.dir/optimizer.cpp.o.d"
+  "/root/repo/src/ndr/predictor.cpp" "src/ndr/CMakeFiles/sndr_ndr.dir/predictor.cpp.o" "gcc" "src/ndr/CMakeFiles/sndr_ndr.dir/predictor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/extract/CMakeFiles/sndr_extract.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/sndr_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/sndr_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/sndr_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/sndr_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/sndr_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sndr_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/sndr_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

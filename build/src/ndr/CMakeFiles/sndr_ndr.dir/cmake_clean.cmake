@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sndr_ndr.dir/annealer.cpp.o"
+  "CMakeFiles/sndr_ndr.dir/annealer.cpp.o.d"
+  "CMakeFiles/sndr_ndr.dir/assignment_state.cpp.o"
+  "CMakeFiles/sndr_ndr.dir/assignment_state.cpp.o.d"
+  "CMakeFiles/sndr_ndr.dir/corner_eval.cpp.o"
+  "CMakeFiles/sndr_ndr.dir/corner_eval.cpp.o.d"
+  "CMakeFiles/sndr_ndr.dir/evaluation.cpp.o"
+  "CMakeFiles/sndr_ndr.dir/evaluation.cpp.o.d"
+  "CMakeFiles/sndr_ndr.dir/linear_model.cpp.o"
+  "CMakeFiles/sndr_ndr.dir/linear_model.cpp.o.d"
+  "CMakeFiles/sndr_ndr.dir/net_eval.cpp.o"
+  "CMakeFiles/sndr_ndr.dir/net_eval.cpp.o.d"
+  "CMakeFiles/sndr_ndr.dir/optimizer.cpp.o"
+  "CMakeFiles/sndr_ndr.dir/optimizer.cpp.o.d"
+  "CMakeFiles/sndr_ndr.dir/predictor.cpp.o"
+  "CMakeFiles/sndr_ndr.dir/predictor.cpp.o.d"
+  "libsndr_ndr.a"
+  "libsndr_ndr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sndr_ndr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsndr_ndr.a"
+)

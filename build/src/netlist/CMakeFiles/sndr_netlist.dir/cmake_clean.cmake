@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sndr_netlist.dir/clock_nets.cpp.o"
+  "CMakeFiles/sndr_netlist.dir/clock_nets.cpp.o.d"
+  "CMakeFiles/sndr_netlist.dir/clock_tree.cpp.o"
+  "CMakeFiles/sndr_netlist.dir/clock_tree.cpp.o.d"
+  "CMakeFiles/sndr_netlist.dir/congestion.cpp.o"
+  "CMakeFiles/sndr_netlist.dir/congestion.cpp.o.d"
+  "libsndr_netlist.a"
+  "libsndr_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sndr_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sndr_power.dir/clock_power.cpp.o"
+  "CMakeFiles/sndr_power.dir/clock_power.cpp.o.d"
+  "CMakeFiles/sndr_power.dir/em.cpp.o"
+  "CMakeFiles/sndr_power.dir/em.cpp.o.d"
+  "libsndr_power.a"
+  "libsndr_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sndr_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sndr_report.dir/table.cpp.o"
+  "CMakeFiles/sndr_report.dir/table.cpp.o.d"
+  "libsndr_report.a"
+  "libsndr_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sndr_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sndr_route.dir/congestion_route.cpp.o"
+  "CMakeFiles/sndr_route.dir/congestion_route.cpp.o.d"
+  "CMakeFiles/sndr_route.dir/steiner.cpp.o"
+  "CMakeFiles/sndr_route.dir/steiner.cpp.o.d"
+  "libsndr_route.a"
+  "libsndr_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sndr_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

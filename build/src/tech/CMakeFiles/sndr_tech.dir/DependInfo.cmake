@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tech/buffer_lib.cpp" "src/tech/CMakeFiles/sndr_tech.dir/buffer_lib.cpp.o" "gcc" "src/tech/CMakeFiles/sndr_tech.dir/buffer_lib.cpp.o.d"
+  "/root/repo/src/tech/corners.cpp" "src/tech/CMakeFiles/sndr_tech.dir/corners.cpp.o" "gcc" "src/tech/CMakeFiles/sndr_tech.dir/corners.cpp.o.d"
+  "/root/repo/src/tech/technology.cpp" "src/tech/CMakeFiles/sndr_tech.dir/technology.cpp.o" "gcc" "src/tech/CMakeFiles/sndr_tech.dir/technology.cpp.o.d"
+  "/root/repo/src/tech/wire_model.cpp" "src/tech/CMakeFiles/sndr_tech.dir/wire_model.cpp.o" "gcc" "src/tech/CMakeFiles/sndr_tech.dir/wire_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/sndr_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sndr_tech.dir/buffer_lib.cpp.o"
+  "CMakeFiles/sndr_tech.dir/buffer_lib.cpp.o.d"
+  "CMakeFiles/sndr_tech.dir/corners.cpp.o"
+  "CMakeFiles/sndr_tech.dir/corners.cpp.o.d"
+  "CMakeFiles/sndr_tech.dir/technology.cpp.o"
+  "CMakeFiles/sndr_tech.dir/technology.cpp.o.d"
+  "CMakeFiles/sndr_tech.dir/wire_model.cpp.o"
+  "CMakeFiles/sndr_tech.dir/wire_model.cpp.o.d"
+  "libsndr_tech.a"
+  "libsndr_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sndr_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timing/tree_timing.cpp" "src/timing/CMakeFiles/sndr_timing.dir/tree_timing.cpp.o" "gcc" "src/timing/CMakeFiles/sndr_timing.dir/tree_timing.cpp.o.d"
+  "/root/repo/src/timing/variation.cpp" "src/timing/CMakeFiles/sndr_timing.dir/variation.cpp.o" "gcc" "src/timing/CMakeFiles/sndr_timing.dir/variation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/extract/CMakeFiles/sndr_extract.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/sndr_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/sndr_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/sndr_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sndr_timing.dir/tree_timing.cpp.o"
+  "CMakeFiles/sndr_timing.dir/tree_timing.cpp.o.d"
+  "CMakeFiles/sndr_timing.dir/variation.cpp.o"
+  "CMakeFiles/sndr_timing.dir/variation.cpp.o.d"
+  "libsndr_timing.a"
+  "libsndr_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sndr_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

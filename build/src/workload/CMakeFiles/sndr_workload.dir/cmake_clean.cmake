@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sndr_workload.dir/generator.cpp.o"
+  "CMakeFiles/sndr_workload.dir/generator.cpp.o.d"
+  "libsndr_workload.a"
+  "libsndr_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sndr_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corners_test.dir/corners_test.cpp.o"
+  "CMakeFiles/corners_test.dir/corners_test.cpp.o.d"
+  "corners_test"
+  "corners_test.pdb"
+  "corners_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corners_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndr_test.dir/ndr_test.cpp.o"
+  "CMakeFiles/ndr_test.dir/ndr_test.cpp.o.d"
+  "ndr_test"
+  "ndr_test.pdb"
+  "ndr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

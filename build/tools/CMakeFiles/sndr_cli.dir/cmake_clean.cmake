@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sndr_cli.dir/sndr_cli.cpp.o"
+  "CMakeFiles/sndr_cli.dir/sndr_cli.cpp.o.d"
+  "sndr"
+  "sndr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sndr_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
