@@ -16,7 +16,7 @@ int main() {
   using Clock = std::chrono::steady_clock;
 
   report::Table t({"design", "flow", "P (mW)", "saving", "accepted",
-                   "uphill", "time (s)", "feasible"});
+                   "uphill", "cache hit", "time (s)", "feasible"});
   for (int idx : {0, 1, 2}) {
     const workload::DesignSpec spec = workload::paper_benchmarks()[idx];
     const Flow f = build_flow(spec);
@@ -36,7 +36,8 @@ int main() {
                report::fmt(units::to_mW(greedy.final_eval.power.total_power),
                            3),
                pct(greedy.final_eval), std::to_string(greedy.stats.commits),
-               "-", report::fmt(greedy_s, 2),
+               "-", report::fmt_pct(greedy.stats.exact_cache_hit_rate()),
+               report::fmt(greedy_s, 2),
                greedy.final_eval.feasible() ? "yes" : "NO"});
 
     t0 = Clock::now();
@@ -47,7 +48,9 @@ int main() {
     t.add_row({spec.name, "greedy+SA",
                report::fmt(units::to_mW(sa.final_eval.power.total_power), 3),
                pct(sa.final_eval), std::to_string(sa.accepted),
-               std::to_string(sa.uphill_accepted), report::fmt(sa_s, 2),
+               std::to_string(sa.uphill_accepted),
+               report::fmt_pct(sa.exact_cache_hit_rate()),
+               report::fmt(sa_s, 2),
                sa.final_eval.feasible() ? "yes" : "NO"});
   }
   finish(t, "Ablation D: greedy vs greedy+annealing",

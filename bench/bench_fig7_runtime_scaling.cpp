@@ -9,14 +9,37 @@
 // Expected shape: all three land on (nearly) the same power; full-STA
 // runtime explodes quadratically and is orders of magnitude slower than the
 // model-guided flow, whose cost is dominated by the one-time training.
+//
+// A second section measures the parallel evaluation engine: wall time of
+// evaluate() and 5-corner evaluate_corners() at 1/2/4/N threads (results
+// are bit-identical at every point of the ladder), plus the exact-eval
+// cache hit-rate of the optimizer. Everything lands in BENCH_runtime.json.
 #include <chrono>
 
 #include "common.hpp"
+#include "tech/corners.hpp"
+
+namespace {
+
+using namespace sndr;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Five-corner signoff set: the standard three plus two derate extremes.
+std::vector<tech::Corner> five_corners() {
+  std::vector<tech::Corner> corners = tech::standard_corners();
+  corners.push_back({"slow_hot", 1.25, 1.12, 0.88, 1.30});
+  corners.push_back({"fast_cold", 0.80, 0.92, 1.10, 0.78});
+  return corners;
+}
+
+}  // namespace
 
 int main() {
-  using namespace sndr;
   using namespace sndr::bench;
-  using Clock = std::chrono::steady_clock;
 
   report::Table t({"sinks", "mode", "P (mW)", "saving", "net evals",
                    "full evals", "train (s)", "total (s)"});
@@ -42,8 +65,7 @@ int main() {
       const auto t0 = Clock::now();
       const ndr::SmartNdrResult smart =
           ndr::optimize_smart_ndr(f.cts.tree, f.design, f.tech, f.nets, opt);
-      const double total =
-          std::chrono::duration<double>(Clock::now() - t0).count();
+      const double total = seconds_since(t0);
       const char* name = mode == ndr::Scoring::kModels ? "models"
                          : mode == ndr::Scoring::kExactNet ? "exact-net"
                                                            : "full-STA";
@@ -61,5 +83,66 @@ int main() {
   }
   finish(t, "Fig. 7: scaling and scoring-mode runtime comparison",
          "fig7_runtime_scaling.csv");
+
+  // --- Parallel evaluation engine: thread-scaling + cache hit-rate ------
+  std::vector<RuntimeRecord> records;
+  {
+    workload::DesignSpec spec;
+    spec.name = "threads_4096";
+    spec.num_sinks = 4096;
+    spec.dist = workload::SinkDistribution::kMixed;
+    spec.seed = 77;
+    const Flow f = build_flow(spec);
+    const ndr::RuleAssignment blanket =
+        ndr::assign_all(f.nets, f.tech.rules.blanket_index());
+    const std::vector<tech::Corner> corners = five_corners();
+
+    report::Table ts({"stage", "threads", "time (s)", "speedup"});
+    double eval_serial = 0.0;
+    double corners_serial = 0.0;
+    for (const int threads : thread_ladder()) {
+      common::set_thread_count(threads);
+      auto t0 = Clock::now();
+      ndr::evaluate(f.cts.tree, f.design, f.tech, f.nets, blanket);
+      const double eval_s = seconds_since(t0);
+      t0 = Clock::now();
+      ndr::evaluate_corners(f.cts.tree, f.design, f.tech, f.nets, blanket,
+                            corners);
+      const double corners_s = seconds_since(t0);
+      if (threads == 1) {
+        eval_serial = eval_s;
+        corners_serial = corners_s;
+      }
+      ts.add_row({"evaluate", std::to_string(threads),
+                  report::fmt(eval_s, 3),
+                  report::fmt(eval_serial / eval_s, 2) + "x"});
+      ts.add_row({"evaluate_corners_x5", std::to_string(threads),
+                  report::fmt(corners_s, 3),
+                  report::fmt(corners_serial / corners_s, 2) + "x"});
+      records.push_back({"evaluate", threads, eval_s, -1.0});
+      records.push_back({"evaluate_corners_x5", threads, corners_s, -1.0});
+    }
+    common::set_thread_count(-1);
+
+    // Exact-eval cache hit-rate of the exact-scoring optimizer (the memo
+    // cache's prime consumer together with the annealer).
+    ndr::OptimizerOptions opt;
+    opt.scoring = ndr::Scoring::kExactNet;
+    const auto t0 = Clock::now();
+    const ndr::SmartNdrResult smart =
+        ndr::optimize_smart_ndr(f.cts.tree, f.design, f.tech, f.nets, opt);
+    records.push_back({"optimize_exact_net", smart.stats.threads_used,
+                       seconds_since(t0),
+                       smart.stats.exact_cache_hit_rate()});
+    ts.add_row({"optimize_exact_net (cache " +
+                    report::fmt_pct(smart.stats.exact_cache_hit_rate()) +
+                    " hit)",
+                std::to_string(smart.stats.threads_used),
+                report::fmt(seconds_since(t0), 3), "-"});
+    std::cout << "\n";
+    finish(ts, "Fig. 7b: evaluation-engine thread scaling (4096 sinks)",
+           "fig7_thread_scaling.csv");
+  }
+  write_runtime_json("fig7_runtime_scaling", records);
   return 0;
 }

@@ -5,7 +5,11 @@
 // full-tree timing, and whole-flow building blocks.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "common.hpp"
+#include "ndr/assignment_state.hpp"
+#include "ndr/predictor.hpp"
 #include "timing/tree_timing.hpp"
 #include "timing/variation.hpp"
 
@@ -104,6 +108,69 @@ void BM_SmartNdrEndToEnd(benchmark::State& state) {
 }
 BENCHMARK(BM_SmartNdrEndToEnd);
 
+void BM_ExactEvalCached(benchmark::State& state) {
+  // Steady-state cost of a memoized exact_eval (all hits after the first
+  // sweep) — the path greedy/annealing re-score moves through.
+  const bench::Flow& f = flow_1k();
+  const timing::AnalysisOptions aopt;
+  ndr::AssignmentState st(f.cts.tree, f.design, f.tech, f.nets, aopt);
+  const auto blanket = ndr::assign_all(f.nets, f.tech.rules.blanket_index());
+  st.rebuild(blanket, ndr::evaluate(f.cts.tree, f.design, f.tech, f.nets,
+                                    blanket, aopt));
+  int net = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(st.exact_eval(net, 1));
+    net = (net + 1) % f.nets.size();
+  }
+}
+BENCHMARK(BM_ExactEvalCached);
+
+/// Wall time of the parallelized kernels at each rung of the thread ladder,
+/// recorded into BENCH_runtime.json before the google-benchmark run.
+void record_thread_ladder() {
+  using Clock = std::chrono::steady_clock;
+  const bench::Flow& f = flow_1k();
+  const extract::Extractor ex(f.tech, f.design);
+  const std::vector<int> rules(f.nets.size(), f.tech.rules.blanket_index());
+  const auto par = ex.extract_all(f.cts.tree, f.nets, rules);
+
+  std::vector<bench::RuntimeRecord> records;
+  const auto time_stage = [&](const char* stage, int threads, auto&& fn) {
+    // One warm-up, then best-of-3 to keep single-shot noise out of the JSON.
+    fn();
+    double best = 1e30;
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto t0 = Clock::now();
+      fn();
+      best = std::min(
+          best, std::chrono::duration<double>(Clock::now() - t0).count());
+    }
+    records.push_back({stage, threads, best, -1.0});
+  };
+  for (const int threads : bench::thread_ladder()) {
+    common::set_thread_count(threads);
+    time_stage("extract_all", threads,
+               [&] { ex.extract_all(f.cts.tree, f.nets, rules); });
+    time_stage("analyze_variation", threads, [&] {
+      timing::analyze_variation(f.cts.tree, f.design, f.tech, f.nets, par,
+                                rules);
+    });
+    time_stage("predictor_train", threads, [&] {
+      ndr::RuleImpactPredictor::train(f.cts.tree, f.design, f.tech, f.nets,
+                                      timing::AnalysisOptions{});
+    });
+  }
+  common::set_thread_count(-1);
+  bench::write_runtime_json("micro_kernels", records);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  record_thread_ladder();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -5,9 +5,13 @@
 // binary is invoked), so results can be re-plotted.
 #pragma once
 
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
+#include "common/thread_pool.hpp"
 #include "cts/embedding.hpp"
 #include "cts/refine.hpp"
 #include "ndr/smart_ndr.hpp"
@@ -49,6 +53,76 @@ inline void finish(report::Table& table, const std::string& title,
   table.print(std::cout);
   table.write_csv(csv_name);
   std::cout << "\n[csv: " << csv_name << "]\n";
+}
+
+// --- Machine-readable runtime tracking (BENCH_runtime.json) ---------------
+//
+// Perf-sensitive benches record wall time per stage at several thread
+// counts (plus cache hit-rates where applicable) into one shared JSON file,
+// so the perf trajectory is diffable across PRs. The file is a JSON array
+// with one record object per line; merging replaces the records of the
+// bench being rerun and keeps everything else.
+
+struct RuntimeRecord {
+  std::string stage;
+  int threads = 0;
+  double seconds = 0.0;
+  double cache_hit_rate = -1.0;  ///< < 0 = not applicable (emitted null).
+};
+
+inline void write_runtime_json(const std::string& bench,
+                               const std::vector<RuntimeRecord>& records,
+                               const std::string& path = "BENCH_runtime.json") {
+  // Keep other benches' records (one object per line, see format above).
+  std::vector<std::string> kept;
+  {
+    std::ifstream in(path);
+    const std::string mine = "\"bench\":\"" + bench + "\"";
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.rfind("{", 0) == 0 &&
+          line.find(mine) == std::string::npos) {
+        if (line.back() == ',') line.pop_back();
+        kept.push_back(line);
+      }
+    }
+  }
+  std::ostringstream out;
+  for (const RuntimeRecord& r : records) {
+    std::ostringstream rec;
+    rec << "{\"bench\":\"" << bench << "\",\"stage\":\"" << r.stage
+        << "\",\"threads\":" << r.threads << ",\"seconds\":" << r.seconds
+        << ",\"cache_hit_rate\":";
+    if (r.cache_hit_rate < 0.0) {
+      rec << "null";
+    } else {
+      rec << r.cache_hit_rate;
+    }
+    rec << "}";
+    kept.push_back(rec.str());
+  }
+  std::ofstream f(path);
+  f << "[\n";
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    f << kept[i] << (i + 1 < kept.size() ? ",\n" : "\n");
+  }
+  f << "]\n";
+  std::cout << "[json: " << path << "]\n";
+}
+
+/// The 1/2/4/N thread ladder (deduplicated, N = hardware concurrency).
+inline std::vector<int> thread_ladder() {
+  std::vector<int> ladder = {1, 2, 4};
+  const int hw = []() {
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<int>(n);
+  }();
+  if (hw > 4) ladder.push_back(hw);
+  std::vector<int> out;
+  for (const int t : ladder) {
+    if (t <= hw || t <= 8) out.push_back(t);  // keep the ladder comparable
+  }                                           // even on small machines.
+  return out;
 }
 
 }  // namespace sndr::bench

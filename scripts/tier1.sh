@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 gate: plain build + full test suite, then a ThreadSanitizer build
+# running the parallel-subsystem tests. Run from anywhere inside the repo.
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+jobs="${JOBS:-$(nproc)}"
+
+echo "== tier1: plain build + ctest =="
+cmake -B "$repo/build" -S "$repo" >/dev/null
+cmake --build "$repo/build" -j "$jobs"
+ctest --test-dir "$repo/build" -j "$jobs" --output-on-failure
+
+echo "== tier1: ThreadSanitizer build + parallel tests =="
+cmake -B "$repo/build-tsan" -S "$repo" -DSNDR_SANITIZE=thread >/dev/null
+cmake --build "$repo/build-tsan" -j "$jobs" --target parallel_test
+"$repo/build-tsan/tests/parallel_test"
+
+echo "tier1: OK"

@@ -1,0 +1,75 @@
+// Deterministic parallel loop / task primitives over the shared pool.
+//
+// Chunk boundaries depend only on (n, grain), never on the thread count, and
+// combination always happens in chunk order — so every primitive here is
+// bit-identical at threads=1 and threads=N. See thread_pool.hpp for the
+// pool lifecycle and the nested-call (serial fallback) rule.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace sndr::common {
+
+/// Calls fn(i) for every i in [0, n). fn must only write state owned by
+/// index i (its own output slot); iteration order across chunks is
+/// unspecified, but any given i always runs exactly once.
+template <typename Fn>
+void parallel_for(std::int64_t n, std::int64_t grain, Fn&& fn) {
+  if (n <= 0) return;
+  grain = std::max<std::int64_t>(1, grain);
+  const std::int64_t chunks = (n + grain - 1) / grain;
+  ThreadPool* pool = global_pool();
+  if (!pool || chunks <= 1 || ThreadPool::on_worker_thread()) {
+    for (std::int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  pool->run(static_cast<int>(chunks), [&](int c) {
+    const std::int64_t lo = static_cast<std::int64_t>(c) * grain;
+    const std::int64_t hi = std::min(n, lo + grain);
+    for (std::int64_t i = lo; i < hi; ++i) fn(i);
+  });
+}
+
+/// Deterministic chunked reduction: combine(partial_of_chunk_0, ...,
+/// partial_of_chunk_k) in chunk order, where each chunk accumulates
+/// combine(acc, map(i)) in index order — the same association at any
+/// thread count (the serial path reduces through the same chunking).
+template <typename T, typename Map, typename Combine>
+T parallel_reduce(std::int64_t n, std::int64_t grain, T identity, Map&& map,
+                  Combine&& combine) {
+  if (n <= 0) return identity;
+  grain = std::max<std::int64_t>(1, grain);
+  const std::int64_t chunks = (n + grain - 1) / grain;
+  std::vector<T> partial(static_cast<std::size_t>(chunks), identity);
+  parallel_for(chunks, 1, [&](std::int64_t c) {
+    const std::int64_t lo = c * grain;
+    const std::int64_t hi = std::min(n, lo + grain);
+    T acc = identity;
+    for (std::int64_t i = lo; i < hi; ++i) acc = combine(acc, map(i));
+    partial[static_cast<std::size_t>(c)] = acc;
+  });
+  T total = identity;
+  for (const T& p : partial) total = combine(total, p);
+  return total;
+}
+
+/// Runs the given thunks concurrently; returns when all have finished.
+template <typename... Fns>
+void parallel_invoke(Fns&&... fns) {
+  std::function<void()> tasks[] = {
+      std::function<void()>(std::forward<Fns>(fns))...};
+  constexpr int kCount = static_cast<int>(sizeof...(Fns));
+  ThreadPool* pool = global_pool();
+  if (!pool || kCount <= 1 || ThreadPool::on_worker_thread()) {
+    for (auto& t : tasks) t();
+    return;
+  }
+  pool->run(kCount, [&](int i) { tasks[i](); });
+}
+
+}  // namespace sndr::common

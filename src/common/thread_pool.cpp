@@ -1,0 +1,142 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace sndr::common {
+
+namespace {
+
+thread_local bool t_on_worker = false;
+
+/// RAII flag marking the current thread as executing pool chunks.
+struct WorkerScope {
+  bool prev;
+  WorkerScope() : prev(t_on_worker) { t_on_worker = true; }
+  ~WorkerScope() { t_on_worker = prev; }
+};
+
+}  // namespace
+
+bool ThreadPool::on_worker_thread() { return t_on_worker; }
+
+ThreadPool::ThreadPool(int threads) {
+  const int workers = std::max(0, threads - 1);
+  workers_.reserve(workers);
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::work_on(const std::shared_ptr<Job>& job) {
+  WorkerScope scope;
+  for (;;) {
+    int chunk;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (job->next >= job->chunks) return;
+      chunk = job->next++;
+      if (job->next >= job->chunks && job_ == job) {
+        job_.reset();  // fully claimed: let idle workers sleep again.
+      }
+    }
+    try {
+      (*job->fn)(chunk);
+    } catch (...) {
+      job->errors[chunk] = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (++job->done >= job->chunks) done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stop_ || job_ != nullptr; });
+      if (stop_) return;
+      job = job_;
+    }
+    work_on(job);
+  }
+}
+
+void ThreadPool::run(int chunks, const std::function<void(int)>& chunk_fn) {
+  if (chunks <= 0) return;
+  if (workers_.empty() || on_worker_thread()) {
+    // Serial / nested fallback: same chunk order, same results.
+    for (int c = 0; c < chunks; ++c) chunk_fn(c);
+    return;
+  }
+  std::lock_guard<std::mutex> run_lock(run_mutex_);
+  auto job = std::make_shared<Job>();
+  job->fn = &chunk_fn;
+  job->chunks = chunks;
+  job->errors.assign(static_cast<std::size_t>(chunks), nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = job;
+  }
+  wake_.notify_all();
+  work_on(job);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [&job] { return job->done >= job->chunks; });
+  }
+  for (const std::exception_ptr& e : job->errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+namespace {
+
+std::mutex g_pool_mutex;
+int g_thread_count = -1;  ///< unresolved; -1 = hardware concurrency.
+std::unique_ptr<ThreadPool> g_pool;
+bool g_pool_built = false;
+
+int resolve(int n) {
+  if (n >= 1) return n;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace
+
+void set_thread_count(int n) {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  const int resolved = n < 0 ? -1 : std::max(1, n);
+  if (resolved == g_thread_count && g_pool_built) return;
+  g_thread_count = resolved;
+  g_pool.reset();
+  g_pool_built = false;
+}
+
+int thread_count() {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  return resolve(g_thread_count);
+}
+
+ThreadPool* global_pool() {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (!g_pool_built) {
+    const int n = resolve(g_thread_count);
+    if (n > 1) g_pool = std::make_unique<ThreadPool>(n);
+    g_pool_built = true;
+  }
+  return g_pool.get();
+}
+
+}  // namespace sndr::common

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/parallel.hpp"
+
 namespace sndr::extract {
 
 using netlist::ClockTree;
@@ -100,12 +102,13 @@ std::vector<NetParasitics> Extractor::extract_all(
     throw std::invalid_argument(
         "Extractor::extract_all: rule assignment size mismatch");
   }
-  std::vector<NetParasitics> out;
-  out.reserve(nets.size());
-  for (const Net& net : nets.nets) {
-    out.push_back(
-        extract_net(tree, net, tech_->rules[rule_of_net[net.id]]));
-  }
+  // Each net extracts independently into its own slot, so the parallel
+  // loop is bit-identical to the serial one at any thread count.
+  std::vector<NetParasitics> out(nets.size());
+  common::parallel_for(nets.size(), /*grain=*/16, [&](std::int64_t i) {
+    const Net& net = nets.nets[static_cast<std::size_t>(i)];
+    out[i] = extract_net(tree, net, tech_->rules[rule_of_net[net.id]]);
+  });
   return out;
 }
 

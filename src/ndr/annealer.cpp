@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/thread_pool.hpp"
 #include "ndr/assignment_state.hpp"
 #include "workload/rng.hpp"
 
@@ -16,6 +17,7 @@ AnnealResult anneal_rules(const netlist::ClockTree& tree,
   AnnealResult result;
   result.assignment = start;
 
+  if (options.threads >= 0) common::set_thread_count(options.threads);
   AssignmentState state(tree, design, tech, nets, options.analysis);
   FlowEvaluation ev =
       evaluate(tree, design, tech, nets, start, options.analysis);
@@ -97,6 +99,8 @@ AnnealResult anneal_rules(const netlist::ClockTree& tree,
         evaluate(tree, design, tech, nets, start, options.analysis);
   }
   result.end_cap = result.final_eval.power.switched_cap;
+  result.exact_cache_hits = state.exact_cache_hits();
+  result.exact_cache_misses = state.exact_cache_misses();
   return result;
 }
 

@@ -34,6 +34,8 @@ struct AnnealOptions {
   double uncertainty_margin = 0.05;
   double em_margin = 0.05;
   double skew_margin = 0.10;
+  /// Same semantics as OptimizerOptions::threads (-1 inherits global).
+  int threads = -1;
   timing::AnalysisOptions analysis;
 };
 
@@ -45,6 +47,16 @@ struct AnnealResult {
   int uphill_accepted = 0;
   double start_cap = 0.0;  ///< F, switched cap of the input assignment.
   double end_cap = 0.0;    ///< F.
+
+  /// exact_eval memo-cache counters (the annealer's dominant cost).
+  std::int64_t exact_cache_hits = 0;
+  std::int64_t exact_cache_misses = 0;
+  double exact_cache_hit_rate() const {
+    const std::int64_t total = exact_cache_hits + exact_cache_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(exact_cache_hits) /
+                            static_cast<double>(total);
+  }
 };
 
 /// Refines `start` (typically the greedy optimizer's assignment). The

@@ -53,6 +53,11 @@ AssignmentState::AssignmentState(const netlist::ClockTree& tree,
     }
   }
 
+  n_rules_ = tech.rules.size();
+  exact_cache_.resize(static_cast<std::size_t>(n_nets) *
+                      static_cast<std::size_t>(n_rules_));
+  ctx_gen_.assign(n_nets, 1);
+
   nets_state_.resize(n_nets);
   for (const netlist::Net& net : nets.nets) {
     NetState& st = nets_state_[net.id];
@@ -100,6 +105,13 @@ void AssignmentState::rebuild(const RuleAssignment& assignment,
     const extract::NetParasitics& par = ev.parasitics[net.id];
     const double driver_res =
         timing::net_driver_res(*tree_, *tech_, net, analysis_);
+    // The exact_eval memo is keyed on the net's electrical context; a
+    // resync only invalidates a net's cached row when that context really
+    // changed (exact results are otherwise independent of the assignment).
+    if (driver_res != st.summary.driver_res) {
+      st.summary.driver_res = driver_res;
+      ++ctx_gen_[net.id];
+    }
     const std::vector<double> m1 =
         par.rc.elmore_delay(driver_res, analysis_.timing_miller);
     const std::vector<double> m2 =
@@ -188,6 +200,19 @@ void AssignmentState::apply_move(int net_id, int rule_idx,
     sink_xtalk_[s] = std::max(0.0, sink_xtalk_[s] + d_xtalk);
   }
 
+  // A move changes no input of evaluate_net_exact — the rule is part of
+  // the memo key and coupling reads the static occupancy field, not
+  // neighbor rules — so the net's cached row stays valid. If moves ever
+  // start mutating per-net electrical context, advance ctx_gen_[net_id]
+  // here (the rebuild() driver_res check is the model to follow). The
+  // caller's `exact` is by contract the net's evaluation under the new
+  // rule, so memoize it in case it was produced out-of-band.
+  ExactCacheEntry& e =
+      exact_cache_[static_cast<std::size_t>(net_id) * n_rules_ + rule_idx];
+  e.exact = exact;
+  e.exact.par = extract::NetParasitics{};
+  e.gen = ctx_gen_[net_id];
+
   assignment_[net_id] = rule_idx;
   total_cap_ += exact.cap_switched - st.cap;
   st.cap = exact.cap_switched;
@@ -197,10 +222,21 @@ void AssignmentState::apply_move(int net_id, int rule_idx,
 }
 
 NetExact AssignmentState::exact_eval(int net_id, int rule_idx) const {
-  return evaluate_net_exact(*tree_, *design_, *tech_, (*nets_)[net_id],
-                            tech_->rules[rule_idx],
-                            nets_state_[net_id].summary.driver_res,
-                            design_->constraints.clock_freq);
+  ExactCacheEntry& e =
+      exact_cache_[static_cast<std::size_t>(net_id) * n_rules_ + rule_idx];
+  if (e.gen == ctx_gen_[net_id]) {
+    ++cache_hits_;
+    return e.exact;
+  }
+  ++cache_misses_;
+  NetExact out = evaluate_net_exact(*tree_, *design_, *tech_,
+                                    (*nets_)[net_id], tech_->rules[rule_idx],
+                                    nets_state_[net_id].summary.driver_res,
+                                    design_->constraints.clock_freq);
+  e.exact = out;
+  e.exact.par = extract::NetParasitics{};
+  e.gen = ctx_gen_[net_id];
+  return out;
 }
 
 }  // namespace sndr::ndr

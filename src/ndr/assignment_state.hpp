@@ -8,6 +8,8 @@
 // callers periodically re-synchronize against a full evaluation.
 #pragma once
 
+#include <cstdint>
+
 #include "ndr/evaluation.hpp"
 #include "ndr/net_eval.hpp"
 #include "ndr/predictor.hpp"
@@ -58,7 +60,29 @@ class AssignmentState {
   void apply_move(int net_id, int rule_idx, const NetExact& exact);
 
   /// Exact per-net evaluation of a candidate rule (driver model included).
+  ///
+  /// Results are memoized per (net, rule) under a per-net context stamp
+  /// keyed on what actually feeds evaluate_net_exact. The candidate rule is
+  /// part of the key, so the only mutable input is the net's electrical
+  /// context (today: its driver resistance). apply_move() and rebuild()
+  /// are the invalidation points: each advances a net's stamp (dropping
+  /// its cached row) iff that input changed — rebuild() re-derives the
+  /// context per net; a move changes no exact-eval input, so the cache
+  /// survives both in the common case. A cache hit
+  /// returns the same scalar metrics as a fresh evaluation but with `par`
+  /// left empty (no caller consumes the parasitics, and dropping them keeps
+  /// the cache a few doubles per entry instead of a full RC tree).
   NetExact exact_eval(int net_id, int rule_idx) const;
+
+  /// exact_eval cache counters since construction.
+  std::int64_t exact_cache_hits() const { return cache_hits_; }
+  std::int64_t exact_cache_misses() const { return cache_misses_; }
+  double exact_cache_hit_rate() const {
+    const std::int64_t total = cache_hits_ + cache_misses_;
+    return total == 0 ? 0.0
+                      : static_cast<double>(cache_hits_) /
+                            static_cast<double>(total);
+  }
 
   const netlist::ClockTree& tree() const { return *tree_; }
   const netlist::Design& design() const { return *design_; }
@@ -94,8 +118,20 @@ class AssignmentState {
   const netlist::NetList* nets_;
   timing::AnalysisOptions analysis_;
 
+  /// Memo slot for exact_eval; valid iff gen == ctx_gen_[net] (gen 0 is
+  /// never valid: context stamps start at 1 and only grow).
+  struct ExactCacheEntry {
+    std::uint64_t gen = 0;
+    NetExact exact;  ///< scalars only; par is cleared before caching.
+  };
+
   RuleAssignment assignment_;
   std::vector<NetState> nets_state_;
+  int n_rules_ = 0;
+  mutable std::vector<ExactCacheEntry> exact_cache_;  ///< [net][rule] flat.
+  std::vector<std::uint64_t> ctx_gen_;  ///< per-net exact-eval context stamp.
+  mutable std::int64_t cache_hits_ = 0;
+  mutable std::int64_t cache_misses_ = 0;
   std::vector<std::vector<int>> sinks_under_;
   std::vector<std::vector<int>> nets_on_path_;
   std::vector<double> sink_latency_;

@@ -1,5 +1,7 @@
 #include "ndr/corner_eval.hpp"
 
+#include "common/parallel.hpp"
+
 namespace sndr::ndr {
 
 namespace {
@@ -50,15 +52,22 @@ MultiCornerReport evaluate_corners(
     const RuleAssignment& assignment,
     const std::vector<tech::Corner>& corners,
     const timing::AnalysisOptions& options) {
+  // One task per corner; each task clones the technology with its corner
+  // folded in, so corners share nothing mutable. Nested parallel loops
+  // inside evaluate() degrade to serial on pool workers (see
+  // common/thread_pool.hpp), which is the right shape here: corners are
+  // the coarsest independent unit of signoff work.
   MultiCornerReport rep;
-  rep.corners.reserve(corners.size());
-  for (const tech::Corner& corner : corners) {
-    const tech::Technology cornered = tech::apply_corner(tech, corner);
-    CornerResult r;
-    r.corner = corner;
-    r.eval = evaluate(tree, design, cornered, nets, assignment, options);
-    rep.corners.push_back(std::move(r));
-  }
+  rep.corners.resize(corners.size());
+  common::parallel_for(
+      static_cast<std::int64_t>(corners.size()), /*grain=*/1,
+      [&](std::int64_t i) {
+        const tech::Corner& corner = corners[static_cast<std::size_t>(i)];
+        const tech::Technology cornered = tech::apply_corner(tech, corner);
+        rep.corners[i].corner = corner;
+        rep.corners[i].eval =
+            evaluate(tree, design, cornered, nets, assignment, options);
+      });
   return rep;
 }
 

@@ -3,6 +3,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "common/parallel.hpp"
 #include "route/congestion_route.hpp"
 
 namespace sndr::ndr {
@@ -40,11 +41,22 @@ FlowEvaluation evaluate(const netlist::ClockTree& tree,
   ev.variation = timing::analyze_variation(tree, design, tech, nets,
                                            ev.parasitics, assignment,
                                            options);
-  ev.power = power::analyze_power(tree, design, tech, nets, ev.parasitics);
-  ev.em = power::analyze_em(design, tech, nets, ev.parasitics, assignment);
-
-  const netlist::RoutingUsage usage = route::compute_usage(
-      tree, nets, assignment, tech, design.congestion);
+  // Power, EM, and routing usage read only the (now frozen) parasitics and
+  // assignment; they write disjoint reports, so they can run concurrently.
+  netlist::RoutingUsage usage(&design.congestion);
+  common::parallel_invoke(
+      [&] {
+        ev.power =
+            power::analyze_power(tree, design, tech, nets, ev.parasitics);
+      },
+      [&] {
+        ev.em =
+            power::analyze_em(design, tech, nets, ev.parasitics, assignment);
+      },
+      [&] {
+        usage = route::compute_usage(tree, nets, assignment, tech,
+                                     design.congestion);
+      });
   ev.max_track_util = usage.max_utilization();
   ev.overflow_cells = usage.overflow_cells();
 

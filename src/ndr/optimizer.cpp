@@ -7,6 +7,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "common/thread_pool.hpp"
 #include "ndr/assignment_state.hpp"
 #include "route/congestion_route.hpp"
 #include "timing/delay_metrics.hpp"
@@ -102,33 +103,40 @@ bool Optimizer::improve_net(int net_id) {
 
   for (const auto& [cap_new, r] : cands) {
     ++stats_.candidates_scored;
-    NetImpact impact;
     if (scoring_ == Scoring::kModels && predictor_ready_) {
-      impact = predictor_.predict(summary, r);
-    } else {
+      const NetImpact impact = predictor_.predict(summary, r);
+      if (!state_.check_move(net_id, r, impact, margins_)) continue;
+      // Validate the winning candidate with the exact per-net engines.
       const NetExact exact = state_.exact_eval(net_id, r);
       ++stats_.exact_net_evals;
+      NetImpact verified;
+      verified.step_slew = exact.step_slew_worst;
+      verified.sigma = exact.sigma_worst;
+      verified.xtalk = exact.xtalk_worst;
+      verified.delay = exact.wire_delay_worst;
+      if (exact.em_peak >
+          tech_.clock_layer.em_jmax * (1.0 - margins_.em)) {
+        continue;
+      }
+      if (!state_.check_move(net_id, r, verified, margins_)) continue;
+      commit(net_id, r, exact);
+    } else {
+      // Exact scoring already is the validation: evaluate once and reuse
+      // the result for both the feasibility check and the commit.
+      const NetExact exact = state_.exact_eval(net_id, r);
+      ++stats_.exact_net_evals;
+      NetImpact impact;
       impact.step_slew = exact.step_slew_worst;
       impact.sigma = exact.sigma_worst;
       impact.xtalk = exact.xtalk_worst;
       impact.delay = exact.wire_delay_worst;
+      if (exact.em_peak >
+          tech_.clock_layer.em_jmax * (1.0 - margins_.em)) {
+        continue;
+      }
+      if (!state_.check_move(net_id, r, impact, margins_)) continue;
+      commit(net_id, r, exact);
     }
-    if (!state_.check_move(net_id, r, impact, margins_)) continue;
-
-    // Validate the winning candidate with the exact per-net engines.
-    const NetExact exact = state_.exact_eval(net_id, r);
-    ++stats_.exact_net_evals;
-    NetImpact verified;
-    verified.step_slew = exact.step_slew_worst;
-    verified.sigma = exact.sigma_worst;
-    verified.xtalk = exact.xtalk_worst;
-    verified.delay = exact.wire_delay_worst;
-    if (exact.em_peak >
-        tech_.clock_layer.em_jmax * (1.0 - margins_.em)) {
-      continue;
-    }
-    if (!state_.check_move(net_id, r, verified, margins_)) continue;
-    commit(net_id, r, exact);
     return true;
   }
   return false;
@@ -277,6 +285,8 @@ void Optimizer::repair(FlowEvaluation& ev) {
 }
 
 SmartNdrResult Optimizer::run() {
+  if (opt_.threads >= 0) common::set_thread_count(opt_.threads);
+  stats_.threads_used = common::thread_count();
   if (!opt_.initial_assignment.empty()) {
     if (opt_.initial_assignment.size() !=
         static_cast<std::size_t>(nets_.size())) {
@@ -341,6 +351,9 @@ SmartNdrResult Optimizer::run() {
     state_.rebuild(assignment_, ev);
     repair(ev);
   }
+
+  stats_.exact_cache_hits = state_.exact_cache_hits();
+  stats_.exact_cache_misses = state_.exact_cache_misses();
 
   SmartNdrResult result;
   result.assignment = assignment_;

@@ -20,6 +20,8 @@
 // which is the slow flow the paper compares against.
 #pragma once
 
+#include <cstdint>
+
 #include "ndr/evaluation.hpp"
 #include "ndr/net_eval.hpp"
 #include "ndr/predictor.hpp"
@@ -38,6 +40,12 @@ struct OptimizerOptions {
   Scoring scoring = Scoring::kModels;
   bool use_models = true;  ///< legacy alias; false selects kExactNet.
   int training_samples = 400;
+
+  /// Parallelism for the evaluation engine: -1 inherits the process-wide
+  /// setting (default: hardware concurrency), 0/1 force the serial
+  /// fallback, N uses N lanes. Applied via common::set_thread_count at
+  /// flow entry. Results are bit-identical at any value.
+  int threads = -1;
 
   // Guard bands, as fractions of each constraint kept in reserve by the
   // estimate-driven loop (the final exact verification uses the raw limits).
@@ -64,12 +72,23 @@ struct OptimizerOptions {
 struct OptimizerStats {
   int commits = 0;
   int candidates_scored = 0;
-  int exact_net_evals = 0;
+  int exact_net_evals = 0;  ///< exact_eval calls (cache hits included).
   int full_evals = 0;
   int repair_upgrades = 0;
   int passes = 0;
   double train_seconds = 0.0;
   double optimize_seconds = 0.0;
+
+  /// exact_eval memo-cache counters (AssignmentState).
+  std::int64_t exact_cache_hits = 0;
+  std::int64_t exact_cache_misses = 0;
+  double exact_cache_hit_rate() const {
+    const std::int64_t total = exact_cache_hits + exact_cache_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(exact_cache_hits) /
+                            static_cast<double>(total);
+  }
+  int threads_used = 0;  ///< resolved lane count the flow ran with.
 };
 
 struct SmartNdrResult {

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdint>
 
+#include "common/parallel.hpp"
+
 namespace sndr::ndr {
 
 std::vector<double> net_feature_vector(const NetSummary& s) {
@@ -66,16 +68,17 @@ RuleImpactPredictor RuleImpactPredictor::train(
   const int n_train = std::max(
       1, static_cast<int>(sample_ids.size()) - n_holdout);
 
-  // Features are rule-independent: compute once per sampled net.
-  std::vector<std::vector<double>> features;
-  std::vector<NetSummary> summaries;
-  features.reserve(sample_ids.size());
-  for (const int id : sample_ids) {
-    const NetSummary s =
-        summarize_net(tree, design, tech, nets[id], options);
-    features.push_back(net_feature_vector(s));
-    summaries.push_back(s);
-  }
+  // Features are rule-independent: compute once per sampled net. Each
+  // sample fills its own slot, so the loop parallelizes deterministically.
+  std::vector<std::vector<double>> features(sample_ids.size());
+  std::vector<NetSummary> summaries(sample_ids.size());
+  common::parallel_for(
+      static_cast<std::int64_t>(sample_ids.size()), /*grain=*/16,
+      [&](std::int64_t i) {
+        summaries[i] = summarize_net(tree, design, tech,
+                                     nets[sample_ids[i]], options);
+        features[i] = net_feature_vector(summaries[i]);
+      });
 
   pred.models_.resize(n_rules);
   pred.report_.quality.resize(n_rules);
@@ -85,15 +88,19 @@ RuleImpactPredictor RuleImpactPredictor::train(
 
   for (int r = 0; r < n_rules; ++r) {
     const tech::RoutingRule& rule = tech.rules[r];
-    // Exact labels for every sampled net under this rule.
+    // Exact labels for every sampled net under this rule: the dominant
+    // training cost (a fresh per-net extraction + variation solve per
+    // sample), fanned out across the pool.
     std::vector<std::array<double, 4>> labels(sample_ids.size());
-    for (std::size_t i = 0; i < sample_ids.size(); ++i) {
-      const NetExact exact =
-          evaluate_net_exact(tree, design, tech, nets[sample_ids[i]], rule,
-                             summaries[i].driver_res, freq);
-      labels[i] = {exact.step_slew_worst, exact.sigma_worst,
-                   exact.xtalk_worst, exact.wire_delay_worst};
-    }
+    common::parallel_for(
+        static_cast<std::int64_t>(sample_ids.size()), /*grain=*/4,
+        [&](std::int64_t i) {
+          const NetExact exact =
+              evaluate_net_exact(tree, design, tech, nets[sample_ids[i]],
+                                 rule, summaries[i].driver_res, freq);
+          labels[i] = {exact.step_slew_worst, exact.sigma_worst,
+                       exact.xtalk_worst, exact.wire_delay_worst};
+        });
 
     for (int m = 0; m < 4; ++m) {
       std::vector<std::vector<double>> x_train(features.begin(),

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/parallel.hpp"
+
 namespace sndr::timing {
 
 using netlist::NodeKind;
@@ -118,11 +120,20 @@ VariationReport analyze_variation(
   std::vector<double> node_var(tree.size(), 0.0);
   std::vector<double> node_xtalk(tree.size(), 0.0);
 
+  // The heavy part — three perturbed RC solves per net — is independent
+  // per net; compute details into per-net slots in parallel. The cheap
+  // root-to-sink accumulation below stays sequential (it walks nets in
+  // root-first order), so the result is identical at any thread count.
+  std::vector<NetVariationDetail> details(nets.size());
+  common::parallel_for(nets.size(), /*grain=*/8, [&](std::int64_t i) {
+    const netlist::Net& net = nets.nets[static_cast<std::size_t>(i)];
+    details[i] = net_variation(parasitics[net.id], tech,
+                               tech.rules[rule_of_net[net.id]],
+                               net_driver_res(tree, tech, net, options));
+  });
+
   for (const netlist::Net& net : nets.nets) {
-    const double driver_res = net_driver_res(tree, tech, net, options);
-    const NetVariationDetail detail = net_variation(
-        parasitics[net.id], tech, tech.rules[rule_of_net[net.id]],
-        driver_res);
+    const NetVariationDetail& detail = details[net.id];
     rep.net_sigma[net.id] = detail.worst_sigma();
     rep.net_xtalk[net.id] = detail.worst_xtalk();
 

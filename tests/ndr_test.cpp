@@ -289,8 +289,12 @@ TEST_F(OptimizerFixture, ExactModeMatchesModelModeClosely) {
   EXPECT_NEAR(m.final_eval.power.total_power,
               e.final_eval.power.total_power,
               0.03 * e.final_eval.power.total_power);
-  // Exact mode does many more exact evaluations.
-  EXPECT_GT(e.stats.exact_net_evals, m.stats.exact_net_evals);
+  // Exact mode evaluates every candidate it scores; model mode only
+  // validates predicted winners. (Not strictly greater on tiny designs:
+  // exact scoring reuses its scoring evaluation for the commit, so both
+  // modes can land on one evaluation per committed move.)
+  EXPECT_GE(e.stats.exact_net_evals, m.stats.exact_net_evals);
+  EXPECT_GE(e.stats.candidates_scored, m.stats.commits);
 }
 
 TEST_F(OptimizerFixture, FullStaScoringAgreesOnSmallDesign) {

@@ -1,0 +1,271 @@
+// Determinism and cache-correctness contract of the parallel subsystem:
+// every parallel primitive and every parallelized flow stage must be
+// bit-identical at threads=1 and threads=N, and a cached exact_eval must
+// match a fresh evaluation after arbitrary move/rebuild sequences.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "ndr/assignment_state.hpp"
+#include "ndr/smart_ndr.hpp"
+#include "tech/corners.hpp"
+#include "test_util.hpp"
+
+namespace sndr {
+namespace {
+
+/// Restores the global thread budget on scope exit so tests stay isolated.
+struct ThreadGuard {
+  ~ThreadGuard() { common::set_thread_count(-1); }
+};
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadGuard guard;
+  common::set_thread_count(8);
+  std::vector<std::atomic<int>> hits(1000);
+  common::parallel_for(1000, 7, [&](std::int64_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, SerialFallbackAndZeroLength) {
+  ThreadGuard guard;
+  common::set_thread_count(0);  // 0 = serial fallback.
+  EXPECT_EQ(common::thread_count(), 1);
+  int calls = 0;
+  common::parallel_for(5, 2, [&](std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 5);
+  common::parallel_for(0, 2, [&](std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 5);
+}
+
+TEST(ParallelFor, PropagatesLowestChunkException) {
+  ThreadGuard guard;
+  common::set_thread_count(4);
+  try {
+    common::parallel_for(100, 1, [&](std::int64_t i) {
+      if (i >= 40) throw std::runtime_error("chunk " + std::to_string(i));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()), "chunk 40");
+  }
+}
+
+TEST(ParallelReduce, BitIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  // Floating-point sums depend on association; the chunked reduction must
+  // associate identically at any thread count.
+  const auto run = [] {
+    return common::parallel_reduce(
+        100000, 64, 0.0,
+        [](std::int64_t i) { return 1.0 / (1.0 + static_cast<double>(i)); },
+        [](double a, double b) { return a + b; });
+  };
+  common::set_thread_count(1);
+  const double serial = run();
+  for (const int threads : {2, 3, 8}) {
+    common::set_thread_count(threads);
+    EXPECT_EQ(serial, run()) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelInvoke, RunsAllTasks) {
+  ThreadGuard guard;
+  common::set_thread_count(4);
+  std::atomic<int> mask{0};
+  common::parallel_invoke([&] { mask |= 1; }, [&] { mask |= 2; },
+                          [&] { mask |= 4; });
+  EXPECT_EQ(mask.load(), 7);
+}
+
+class ParallelFlowFixture : public ::testing::Test {
+ protected:
+  test::Flow f = test::small_flow(192, 11);
+  ndr::RuleAssignment blanket =
+      ndr::assign_all(f.nets, f.tech.rules.blanket_index());
+  ThreadGuard guard;
+};
+
+/// Exact (bitwise) equality of two full evaluations.
+void expect_identical(const ndr::FlowEvaluation& a,
+                      const ndr::FlowEvaluation& b) {
+  ASSERT_EQ(a.timing.sink_arrival.size(), b.timing.sink_arrival.size());
+  for (std::size_t i = 0; i < a.timing.sink_arrival.size(); ++i) {
+    EXPECT_EQ(a.timing.sink_arrival[i], b.timing.sink_arrival[i]);
+    EXPECT_EQ(a.timing.sink_slew[i], b.timing.sink_slew[i]);
+  }
+  ASSERT_EQ(a.variation.net_sigma.size(), b.variation.net_sigma.size());
+  for (std::size_t i = 0; i < a.variation.net_sigma.size(); ++i) {
+    EXPECT_EQ(a.variation.net_sigma[i], b.variation.net_sigma[i]);
+    EXPECT_EQ(a.variation.net_xtalk[i], b.variation.net_xtalk[i]);
+  }
+  EXPECT_EQ(a.variation.max_uncertainty, b.variation.max_uncertainty);
+  EXPECT_EQ(a.power.total_power, b.power.total_power);
+  EXPECT_EQ(a.power.switched_cap, b.power.switched_cap);
+  EXPECT_EQ(a.em.worst_density, b.em.worst_density);
+  EXPECT_EQ(a.timing.max_slew, b.timing.max_slew);
+  EXPECT_EQ(a.timing.skew(), b.timing.skew());
+  EXPECT_EQ(a.max_track_util, b.max_track_util);
+  ASSERT_EQ(a.parasitics.size(), b.parasitics.size());
+  for (std::size_t i = 0; i < a.parasitics.size(); ++i) {
+    EXPECT_EQ(a.parasitics[i].wirelength, b.parasitics[i].wirelength);
+    EXPECT_EQ(a.parasitics[i].wire_cap_gnd, b.parasitics[i].wire_cap_gnd);
+    EXPECT_EQ(a.parasitics[i].wire_cap_cpl, b.parasitics[i].wire_cap_cpl);
+  }
+}
+
+TEST_F(ParallelFlowFixture, EvaluateBitIdenticalAtOneAndEightThreads) {
+  common::set_thread_count(1);
+  const ndr::FlowEvaluation serial =
+      ndr::evaluate(f.cts.tree, f.design, f.tech, f.nets, blanket);
+  common::set_thread_count(8);
+  const ndr::FlowEvaluation parallel =
+      ndr::evaluate(f.cts.tree, f.design, f.tech, f.nets, blanket);
+  expect_identical(serial, parallel);
+}
+
+TEST_F(ParallelFlowFixture, CornersBitIdenticalAtOneAndEightThreads) {
+  common::set_thread_count(1);
+  const ndr::MultiCornerReport serial =
+      ndr::evaluate_corners(f.cts.tree, f.design, f.tech, f.nets, blanket);
+  common::set_thread_count(8);
+  const ndr::MultiCornerReport parallel =
+      ndr::evaluate_corners(f.cts.tree, f.design, f.tech, f.nets, blanket);
+  ASSERT_EQ(serial.corners.size(), parallel.corners.size());
+  for (std::size_t c = 0; c < serial.corners.size(); ++c) {
+    EXPECT_EQ(serial.corners[c].corner.name, parallel.corners[c].corner.name);
+    expect_identical(serial.corners[c].eval, parallel.corners[c].eval);
+  }
+  EXPECT_EQ(serial.worst_slew_corner(), parallel.worst_slew_corner());
+  EXPECT_EQ(serial.worst_power_corner(), parallel.worst_power_corner());
+}
+
+TEST_F(ParallelFlowFixture, SmartNdrBitIdenticalAcrossThreadCounts) {
+  // End-to-end determinism: training, scoring, and signoff all run through
+  // the parallel engine, and the committed assignment must not depend on
+  // the thread count.
+  ndr::OptimizerOptions opt;
+  opt.threads = 1;
+  const ndr::SmartNdrResult serial =
+      ndr::optimize_smart_ndr(f.cts.tree, f.design, f.tech, f.nets, opt);
+  opt.threads = 8;
+  const ndr::SmartNdrResult parallel =
+      ndr::optimize_smart_ndr(f.cts.tree, f.design, f.tech, f.nets, opt);
+  EXPECT_EQ(serial.assignment, parallel.assignment);
+  EXPECT_EQ(serial.final_eval.power.total_power,
+            parallel.final_eval.power.total_power);
+  EXPECT_EQ(parallel.stats.threads_used, 8);
+}
+
+class ExactCacheFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    f = test::small_flow(96, 23);
+    blanket = ndr::assign_all(f.nets, f.tech.rules.blanket_index());
+    state = std::make_unique<ndr::AssignmentState>(f.cts.tree, f.design,
+                                                   f.tech, f.nets, aopt);
+    ev = ndr::evaluate(f.cts.tree, f.design, f.tech, f.nets, blanket, aopt);
+    state->rebuild(blanket, ev);
+  }
+
+  /// Fresh (uncached) reference evaluation of (net, rule).
+  ndr::NetExact fresh(int net_id, int rule) const {
+    return ndr::evaluate_net_exact(
+        f.cts.tree, f.design, f.tech, f.nets[net_id], f.tech.rules[rule],
+        state->summary(net_id).driver_res, f.design.constraints.clock_freq);
+  }
+
+  static void expect_scalars_equal(const ndr::NetExact& a,
+                                   const ndr::NetExact& b) {
+    EXPECT_EQ(a.cap_switched, b.cap_switched);
+    EXPECT_EQ(a.step_slew_worst, b.step_slew_worst);
+    EXPECT_EQ(a.sigma_worst, b.sigma_worst);
+    EXPECT_EQ(a.xtalk_worst, b.xtalk_worst);
+    EXPECT_EQ(a.em_peak, b.em_peak);
+    EXPECT_EQ(a.wire_delay_mean, b.wire_delay_mean);
+    EXPECT_EQ(a.wire_delay_worst, b.wire_delay_worst);
+  }
+
+  test::Flow f;
+  timing::AnalysisOptions aopt;
+  ndr::RuleAssignment blanket;
+  std::unique_ptr<ndr::AssignmentState> state;
+  ndr::FlowEvaluation ev;
+};
+
+TEST_F(ExactCacheFixture, SecondCallHitsAndMatches) {
+  const int net = f.nets.size() / 2;
+  const ndr::NetExact first = state->exact_eval(net, 1);
+  const auto misses = state->exact_cache_misses();
+  const ndr::NetExact second = state->exact_eval(net, 1);
+  EXPECT_EQ(state->exact_cache_misses(), misses);  // no new miss.
+  EXPECT_GE(state->exact_cache_hits(), 1);
+  expect_scalars_equal(first, second);
+  expect_scalars_equal(second, fresh(net, 1));
+}
+
+TEST_F(ExactCacheFixture, CachedMatchesFreshAfterMovesAndRebuild) {
+  // Warm the cache broadly, then churn the state with moves and a rebuild;
+  // every subsequent cached answer must equal a from-scratch evaluation.
+  for (int net = 0; net < f.nets.size(); net += 3) {
+    for (int r = 0; r < f.tech.rules.size(); ++r) state->exact_eval(net, r);
+  }
+  ndr::RuleAssignment a = blanket;
+  for (const int net : {1, f.nets.size() / 3, f.nets.size() - 1}) {
+    const ndr::NetExact exact = state->exact_eval(net, 1);
+    state->apply_move(net, 1, exact);
+    a[net] = 1;
+  }
+  for (const int net : {0, 1, f.nets.size() / 3, f.nets.size() - 1}) {
+    for (int r = 0; r < f.tech.rules.size(); ++r) {
+      expect_scalars_equal(state->exact_eval(net, r), fresh(net, r));
+    }
+  }
+
+  const ndr::FlowEvaluation ev2 =
+      ndr::evaluate(f.cts.tree, f.design, f.tech, f.nets, a, aopt);
+  state->rebuild(a, ev2);
+  for (const int net : {0, f.nets.size() / 2}) {
+    for (int r = 0; r < f.tech.rules.size(); ++r) {
+      expect_scalars_equal(state->exact_eval(net, r), fresh(net, r));
+    }
+  }
+}
+
+TEST_F(ExactCacheFixture, ApplyMoveKeepsCacheWarmAndConsistent) {
+  // A move changes no exact_eval input (the rule is part of the key), so
+  // the whole cache survives it — and every surviving entry must still
+  // agree with a from-scratch evaluation.
+  const int moved = 2;
+  const int other = f.nets.size() - 1;
+  state->exact_eval(moved, 0);
+  state->exact_eval(other, 1);
+  const ndr::NetExact exact = state->exact_eval(moved, 1);
+  const auto misses_before = state->exact_cache_misses();
+
+  state->apply_move(moved, 1, exact);
+
+  expect_scalars_equal(state->exact_eval(other, 1), fresh(other, 1));
+  expect_scalars_equal(state->exact_eval(moved, 0), fresh(moved, 0));
+  expect_scalars_equal(state->exact_eval(moved, 1), fresh(moved, 1));
+  EXPECT_EQ(state->exact_cache_misses(), misses_before);  // all hits.
+}
+
+TEST_F(ExactCacheFixture, RebuildKeepsEntriesWithUnchangedContext) {
+  // exact_eval is keyed on the net's electrical context (driver_res); a
+  // resync that does not change it must keep the memoized rows warm — this
+  // is what lets the cache survive the optimizer/annealer refresh cadence.
+  state->exact_eval(0, 1);
+  state->rebuild(blanket, ev);
+  const auto misses_before = state->exact_cache_misses();
+  const ndr::NetExact cached = state->exact_eval(0, 1);
+  EXPECT_EQ(state->exact_cache_misses(), misses_before);
+  EXPECT_GE(state->exact_cache_hits(), 1);
+  expect_scalars_equal(cached, fresh(0, 1));
+}
+
+}  // namespace
+}  // namespace sndr

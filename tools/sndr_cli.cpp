@@ -20,6 +20,7 @@
 #include <sstream>
 #include <string>
 
+#include "common/thread_pool.hpp"
 #include "cts/embedding.hpp"
 #include "cts/refine.hpp"
 #include "io/design_io.hpp"
@@ -71,8 +72,13 @@ int usage() {
       "  sndr generate --sinks N [--dist uniform|clustered|mixed]\n"
       "                [--seed S] --out design.txt\n"
       "  sndr run  --design design.txt [--tech tech.txt] [--spef f]\n"
-      "            [--svg f] [--csv f] [--no-smart]\n"
-      "  sndr eval --design design.txt --rule NAME [--tech tech.txt]\n";
+      "            [--svg f] [--csv f] [--no-smart] [--threads N]\n"
+      "  sndr eval --design design.txt --rule NAME [--tech tech.txt]\n"
+      "            [--threads N]\n"
+      "\n"
+      "  --threads N: evaluation-engine parallelism (default: hardware\n"
+      "               concurrency; 0 = serial). Results are identical at\n"
+      "               any thread count.\n";
   return 2;
 }
 
@@ -212,6 +218,13 @@ int cmd_eval(const Args& args) {
 int main(int argc, char** argv) {
   try {
     const Args args = parse_args(argc, argv);
+    const std::string threads = args.get("threads", "-1");
+    try {
+      common::set_thread_count(std::stoi(threads));
+    } catch (const std::exception&) {
+      throw std::runtime_error("--threads expects an integer, got '" +
+                               threads + "'");
+    }
     if (args.command == "generate") return cmd_generate(args);
     if (args.command == "run") return cmd_run(args);
     if (args.command == "eval") return cmd_eval(args);
