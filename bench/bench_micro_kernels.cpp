@@ -6,8 +6,10 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdio>
 
 #include "common.hpp"
+#include "extract/net_geometry.hpp"
 #include "ndr/assignment_state.hpp"
 #include "ndr/predictor.hpp"
 #include "timing/tree_timing.hpp"
@@ -16,6 +18,52 @@
 namespace {
 
 using namespace sndr;
+
+// ---------------------------------------------------------------------------
+// Pre-fusion kernel baseline, reproduced verbatim from the original
+// RcTree entry points. The library versions are now thin wrappers over the
+// fused rc_moments kernel, so keeping honest before/after records in
+// BENCH_runtime.json requires the historical algorithms here: three separate
+// entry points whose internal recomputation costs five full tree passes and
+// five vector allocations per exact evaluation.
+// ---------------------------------------------------------------------------
+
+std::vector<double> legacy_downstream(const extract::RcTree& rc,
+                                      double miller) {
+  std::vector<double> down(rc.size(), 0.0);
+  for (int i = rc.size() - 1; i >= 0; --i) {
+    down[i] += rc.node(i).cap_total(miller);
+    if (rc.node(i).parent >= 0) down[rc.node(i).parent] += down[i];
+  }
+  return down;
+}
+
+std::vector<double> legacy_elmore(const extract::RcTree& rc,
+                                  double driver_res, double miller) {
+  const std::vector<double> down = legacy_downstream(rc, miller);
+  std::vector<double> delay(rc.size(), 0.0);
+  delay[0] = driver_res * down[0];
+  for (int i = 1; i < rc.size(); ++i) {
+    delay[i] = delay[rc.node(i).parent] + rc.node(i).res * down[i];
+  }
+  return delay;
+}
+
+std::vector<double> legacy_second_moment(const extract::RcTree& rc,
+                                         double driver_res, double miller) {
+  const std::vector<double> m1 = legacy_elmore(rc, driver_res, miller);
+  std::vector<double> weighted(rc.size(), 0.0);
+  for (int i = rc.size() - 1; i >= 0; --i) {
+    weighted[i] += rc.node(i).cap_total(miller) * m1[i];
+    if (rc.node(i).parent >= 0) weighted[rc.node(i).parent] += weighted[i];
+  }
+  std::vector<double> m2(rc.size(), 0.0);
+  m2[0] = driver_res * weighted[0];
+  for (int i = 1; i < rc.size(); ++i) {
+    m2[i] = m2[rc.node(i).parent] + rc.node(i).res * weighted[i];
+  }
+  return m2;
+}
 
 const bench::Flow& flow_1k() {
   static bench::Flow f = [] {
@@ -60,6 +108,36 @@ void BM_ElmoreAndMoments(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ElmoreAndMoments);
+
+void BM_MaterializeNet(benchmark::State& state) {
+  // Per-(net, rule) cost of the cached two-phase path: electrical fill of a
+  // pre-built NetGeometry into a warm parasitics buffer.
+  const bench::Flow& f = flow_1k();
+  const extract::GeometryCache cache(f.cts.tree, f.design, f.nets);
+  const auto& net = f.nets[f.nets.size() / 2];
+  extract::NetParasitics par;
+  for (auto _ : state) {
+    extract::materialize(cache.geometry(net.id), f.tech,
+                         f.tech.rules.blanket_rule(), par);
+    benchmark::DoNotOptimize(par);
+  }
+}
+BENCHMARK(BM_MaterializeNet);
+
+void BM_MomentsFused(benchmark::State& state) {
+  // Fused down-cap + m1 + m2 in two passes into caller scratch; compare
+  // against BM_ElmoreAndMoments (the legacy multi-entry-point equivalent).
+  const bench::Flow& f = flow_1k();
+  const extract::Extractor ex(f.tech, f.design);
+  const auto par = ex.extract_net(f.cts.tree, f.nets[0],
+                                  f.tech.rules.blanket_rule());
+  extract::RcMoments scratch;
+  for (auto _ : state) {
+    par.rc.moments(100.0, 1.0, scratch);
+    benchmark::DoNotOptimize(scratch);
+  }
+}
+BENCHMARK(BM_MomentsFused);
 
 void BM_FullTreeTiming(benchmark::State& state) {
   const bench::Flow& f = flow_1k();
@@ -125,6 +203,121 @@ void BM_ExactEvalCached(benchmark::State& state) {
 }
 BENCHMARK(BM_ExactEvalCached);
 
+/// Before/after records for the two-phase extraction refactor: the legacy
+/// per-(net, rule) path (fresh extraction + the three separate moment entry
+/// points) against the cached path (materialize from shared geometry + the
+/// fused moments kernel into warm scratch), swept over every (net, rule)
+/// pair single-threaded. Also records the geometry build cost and the
+/// exact-eval memo hit rate so cache effectiveness lands in the JSON.
+void record_two_phase_kernels(std::vector<bench::RuntimeRecord>& records) {
+  using Clock = std::chrono::steady_clock;
+  const bench::Flow& f = flow_1k();
+  common::set_thread_count(1);
+  const extract::Extractor ex(f.tech, f.design);
+  const double driver_res = 120.0;
+  const double miller = f.tech.miller_delay;
+
+  const auto best_of_3 = [](auto&& fn) {
+    fn();  // warm-up
+    double best = 1e30;
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto t0 = Clock::now();
+      fn();
+      best = std::min(
+          best, std::chrono::duration<double>(Clock::now() - t0).count());
+    }
+    return best;
+  };
+
+  // Geometry build: the one-time rule-independent phase.
+  const auto t0 = Clock::now();
+  const extract::GeometryCache cache(f.cts.tree, f.design, f.nets);
+  const double build_s =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  records.push_back({"geometry_build_all", 1, build_s, -1.0});
+
+  const double old_s = best_of_3([&] {
+    for (const netlist::Net& net : f.nets.nets) {
+      for (const tech::RoutingRule& rule : f.tech.rules) {
+        const extract::NetParasitics par =
+            ex.extract_net(f.cts.tree, net, rule);
+        benchmark::DoNotOptimize(legacy_downstream(par.rc, miller));
+        benchmark::DoNotOptimize(legacy_elmore(par.rc, driver_res, miller));
+        benchmark::DoNotOptimize(
+            legacy_second_moment(par.rc, driver_res, miller));
+      }
+    }
+  });
+  records.push_back({"extract_3pass_per_net_rule_old", 1, old_s, -1.0});
+
+  extract::NetParasitics warm;
+  extract::RcMoments scratch;
+  const double new_s = best_of_3([&] {
+    for (const netlist::Net& net : f.nets.nets) {
+      for (const tech::RoutingRule& rule : f.tech.rules) {
+        extract::materialize(cache.geometry(net.id), f.tech, rule, warm);
+        warm.rc.moments(driver_res, miller, scratch);
+        benchmark::DoNotOptimize(scratch);
+      }
+    }
+  });
+  records.push_back({"materialize_moments_per_net_rule_new", 1, new_s, -1.0});
+
+  // Kernel-only pair on one representative parasitics (largest trunk net).
+  const extract::NetParasitics par =
+      ex.extract_net(f.cts.tree, f.nets[0], f.tech.rules.blanket_rule());
+  const int reps = 2000;
+  const double m_old = best_of_3([&] {
+    for (int r = 0; r < reps; ++r) {
+      benchmark::DoNotOptimize(legacy_downstream(par.rc, miller));
+      benchmark::DoNotOptimize(legacy_elmore(par.rc, driver_res, miller));
+      benchmark::DoNotOptimize(
+          legacy_second_moment(par.rc, driver_res, miller));
+    }
+  });
+  records.push_back({"moments_3pass_old", 1, m_old, -1.0});
+  const double m_new = best_of_3([&] {
+    for (int r = 0; r < reps; ++r) {
+      par.rc.moments(driver_res, miller, scratch);
+      benchmark::DoNotOptimize(scratch);
+    }
+  });
+  records.push_back({"moments_fused_new", 1, m_new, -1.0});
+
+  // Cache counters: geometry builds per net (exactly 1.0 when no churn
+  // happened) and the exact-eval memo hit rate over a double sweep.
+  records.push_back({"geometry_builds_per_net", 1,
+                     static_cast<double>(cache.builds()) /
+                         static_cast<double>(cache.net_count()),
+                     -1.0});
+  {
+    const timing::AnalysisOptions aopt;
+    ndr::AssignmentState st(f.cts.tree, f.design, f.tech, f.nets, aopt);
+    const auto blanket =
+        ndr::assign_all(f.nets, f.tech.rules.blanket_index());
+    st.rebuild(blanket, ndr::evaluate(f.cts.tree, f.design, f.tech, f.nets,
+                                      blanket, aopt,
+                                      &st.geometry_cache()));
+    const auto s0 = Clock::now();
+    for (int sweep = 0; sweep < 2; ++sweep) {
+      for (int n = 0; n < f.nets.size(); ++n) {
+        for (int r = 0; r < f.tech.rules.size(); ++r) {
+          benchmark::DoNotOptimize(st.exact_eval(n, r));
+        }
+      }
+    }
+    const double sweep_s =
+        std::chrono::duration<double>(Clock::now() - s0).count();
+    records.push_back({"exact_eval_double_sweep", 1, sweep_s,
+                       st.exact_cache_hit_rate()});
+  }
+
+  std::printf("two-phase extraction: %.2fx per-(net,rule) "
+              "(old %.4fs -> new %.4fs), moments kernel %.2fx\n",
+              old_s / new_s, old_s, new_s, m_old / m_new);
+  common::set_thread_count(-1);
+}
+
 /// Wall time of the parallelized kernels at each rung of the thread ladder,
 /// recorded into BENCH_runtime.json before the google-benchmark run.
 void record_thread_ladder() {
@@ -135,6 +328,7 @@ void record_thread_ladder() {
   const auto par = ex.extract_all(f.cts.tree, f.nets, rules);
 
   std::vector<bench::RuntimeRecord> records;
+  record_two_phase_kernels(records);
   const auto time_stage = [&](const char* stage, int threads, auto&& fn) {
     // One warm-up, then best-of-3 to keep single-shot noise out of the JSON.
     fn();

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Kernel-regression gate: re-times the two-phase extraction kernels and
+# fails if the cached materialize+moments sweep or the fused moments kernel
+# runs >15% slower than the committed BENCH_runtime.json baseline.
+#
+# The benchmark writes its runtime records before the google-benchmark
+# suites start, so the run below filters out every suite ('$^' matches
+# nothing) and only emits the JSON. It runs in a scratch directory so the
+# committed baseline at the repo root is never overwritten; refresh the
+# baseline deliberately by running bench_micro_kernels from the repo root.
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+jobs="${JOBS:-$(nproc)}"
+tolerance="${BENCH_TOLERANCE:-1.15}"
+baseline="$repo/BENCH_runtime.json"
+
+[[ -f "$baseline" ]] || { echo "bench_check: missing baseline $baseline" >&2; exit 1; }
+
+cmake -B "$repo/build" -S "$repo" >/dev/null
+cmake --build "$repo/build" -j "$jobs" --target bench_micro_kernels
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+(cd "$workdir" && "$repo/build/bench/bench_micro_kernels" --benchmark_filter='$^' >/dev/null)
+fresh="$workdir/BENCH_runtime.json"
+
+# Pulls the seconds field of a stage's threads=1 record from a runtime JSON
+# (one record per line, written by bench::write_runtime_json).
+stage_seconds() {  # <file> <stage>
+  awk -v stage="$2" '
+    index($0, "\"stage\":\"" stage "\"") && index($0, "\"threads\":1,") {
+      if (split($0, parts, /"seconds":/) > 1) {
+        split(parts[2], v, /[,}]/)
+        print v[1]
+        exit
+      }
+    }' "$1"
+}
+
+status=0
+for stage in materialize_moments_per_net_rule_new moments_fused_new; do
+  base_s="$(stage_seconds "$baseline" "$stage")"
+  fresh_s="$(stage_seconds "$fresh" "$stage")"
+  if [[ -z "$base_s" || -z "$fresh_s" ]]; then
+    echo "bench_check: FAIL  $stage missing (baseline='$base_s' fresh='$fresh_s')"
+    status=1
+    continue
+  fi
+  verdict="$(awk -v b="$base_s" -v f="$fresh_s" -v tol="$tolerance" \
+    'BEGIN { printf "%.2f %s", f / b, (f <= b * tol) ? "OK" : "FAIL" }')"
+  ratio="${verdict% *}"
+  ok="${verdict#* }"
+  echo "bench_check: $ok   $stage  baseline=${base_s}s fresh=${fresh_s}s ratio=${ratio}"
+  [[ "$ok" == "OK" ]] || status=1
+done
+
+if [[ "$status" -ne 0 ]]; then
+  echo "bench_check: kernel regression beyond ${tolerance}x tolerance" >&2
+fi
+exit "$status"

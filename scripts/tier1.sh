@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 gate: plain build + full test suite, then a ThreadSanitizer build
-# running the parallel-subsystem tests. Run from anywhere inside the repo.
+# running the parallel-subsystem tests, then an AddressSanitizer build
+# running the extraction tests (the zero-alloc scratch kernels and the
+# geometry cache lean hard on buffer reuse — ASan guards their bounds).
+# Run from anywhere inside the repo.
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -15,5 +18,12 @@ echo "== tier1: ThreadSanitizer build + parallel tests =="
 cmake -B "$repo/build-tsan" -S "$repo" -DSNDR_SANITIZE=thread >/dev/null
 cmake --build "$repo/build-tsan" -j "$jobs" --target parallel_test
 "$repo/build-tsan/tests/parallel_test"
+
+echo "== tier1: AddressSanitizer build + extraction tests =="
+cmake -B "$repo/build-asan" -S "$repo" -DSNDR_SANITIZE=address >/dev/null
+cmake --build "$repo/build-asan" -j "$jobs" --target extract_test \
+  --target extract_cache_test
+"$repo/build-asan/tests/extract_test"
+"$repo/build-asan/tests/extract_cache_test"
 
 echo "tier1: OK"

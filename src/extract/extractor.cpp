@@ -1,10 +1,9 @@
 #include "extract/extractor.hpp"
 
-#include <algorithm>
-#include <cmath>
 #include <stdexcept>
 
 #include "common/parallel.hpp"
+#include "extract/net_geometry.hpp"
 
 namespace sndr::extract {
 
@@ -27,87 +26,37 @@ double load_pin_cap(const ClockTree& tree, const netlist::Design& design,
 
 NetParasitics Extractor::extract_net(const ClockTree& tree, const Net& net,
                                      const tech::RoutingRule& rule) const {
+  // Fresh extraction is the two phases run back to back: the geometry walk
+  // and the electrical materialization share all arithmetic with the cached
+  // path, which is what makes cache hits bit-identical.
+  const NetGeometry geom = build_net_geometry(tree, *design_, net, options_);
   NetParasitics out;
-  out.rc_index_of_tree_node.assign(tree.size(), -1);
-  out.rc_index_of_tree_node[net.driver] = 0;
-
-  const tech::MetalLayer& layer = tech_->clock_layer;
-  const double res_per_um = tech::wire_res_per_um(layer, rule);
-  const double cgnd_per_um = tech::wire_cap_gnd_per_um(layer, rule);
-  const double ccpl_side_per_um = tech::wire_cap_couple_per_um(layer, rule);
-  const netlist::CongestionMap& cong = design_->congestion;
-
-  // net.wires is root-first, so a wire's parent tree node is already mapped.
-  for (const int v : net.wires) {
-    const netlist::TreeNode& n = tree.node(v);
-    const int parent_rc = out.rc_index_of_tree_node.at(n.parent);
-    if (parent_rc < 0) {
-      throw std::logic_error("Extractor: net wires not in root-first order");
-    }
-    geom::Path path = n.path;
-    if (path.size() < 2) path = {tree.loc(n.parent), n.loc};
-
-    int cur = parent_rc;
-    const auto segments = geom::path_segments(path);
-    for (const geom::Segment& seg : segments) {
-      const double len = seg.length();
-      if (len <= 0.0) continue;
-      const int pieces = std::max(
-          1, static_cast<int>(std::ceil(len / options_.max_seg_um)));
-      const double piece_len = len / pieces;
-      for (int i = 0; i < pieces; ++i) {
-        const geom::Point mid =
-            geom::lerp(seg.a, seg.b, (i + 0.5) / pieces);
-        const double occ =
-            cong.valid() ? cong.occupancy_at(mid) : 0.0;
-        const double cg = cgnd_per_um * piece_len;
-        const double cc = 2.0 * occ * ccpl_side_per_um * piece_len;
-        // Pi split: half the piece cap at the near node, half at the far.
-        out.rc.node(cur).cap_gnd += 0.5 * cg;
-        out.rc.node(cur).cap_cpl += 0.5 * cc;
-        const int next = out.rc.add_node(cur, res_per_um * piece_len,
-                                         0.5 * cg, 0.5 * cc);
-        RcNode& added = out.rc.node(next);
-        added.wire_len = piece_len;
-        added.occupancy = occ;
-        cur = next;
-        out.wirelength += piece_len;
-        out.wire_cap_gnd += cg;
-        out.wire_cap_cpl += cc;
-      }
-    }
-    out.rc.node(cur).tree_node = v;
-    out.rc_index_of_tree_node[v] = cur;
-  }
-
-  // Attach load pin caps.
-  out.load_rc_index.reserve(net.loads.size());
-  for (const int load : net.loads) {
-    const int rc_idx = out.rc_index_of_tree_node.at(load);
-    if (rc_idx < 0) {
-      throw std::logic_error("Extractor: load not reached by net wires");
-    }
-    const double cap = load_pin_cap(tree, *design_, *tech_, load);
-    out.rc.node(rc_idx).cap_gnd += cap;
-    out.load_cap += cap;
-    out.load_rc_index.push_back(rc_idx);
-  }
+  materialize(geom, *tech_, rule, out);
   return out;
 }
 
 std::vector<NetParasitics> Extractor::extract_all(
     const ClockTree& tree, const netlist::NetList& nets,
-    const std::vector<int>& rule_of_net) const {
+    const std::vector<int>& rule_of_net, const GeometryCache* geometry) const {
   if (rule_of_net.size() != static_cast<std::size_t>(nets.size())) {
     throw std::invalid_argument(
         "Extractor::extract_all: rule assignment size mismatch");
+  }
+  if (geometry != nullptr && geometry->net_count() != nets.size()) {
+    throw std::invalid_argument(
+        "Extractor::extract_all: geometry cache covers a different net list");
   }
   // Each net extracts independently into its own slot, so the parallel
   // loop is bit-identical to the serial one at any thread count.
   std::vector<NetParasitics> out(nets.size());
   common::parallel_for(nets.size(), /*grain=*/16, [&](std::int64_t i) {
     const Net& net = nets.nets[static_cast<std::size_t>(i)];
-    out[i] = extract_net(tree, net, tech_->rules[rule_of_net[net.id]]);
+    const tech::RoutingRule& rule = tech_->rules[rule_of_net[net.id]];
+    if (geometry != nullptr) {
+      materialize(geometry->geometry(net.id), *tech_, rule, out[i]);
+    } else {
+      out[i] = extract_net(tree, net, rule);
+    }
   });
   return out;
 }

@@ -42,22 +42,29 @@ struct NetParasitics {
   }
 };
 
+class GeometryCache;  // net_geometry.hpp
+
 class Extractor {
  public:
   Extractor(const tech::Technology& tech, const netlist::Design& design,
             ExtractOptions options = {})
       : tech_(&tech), design_(&design), options_(options) {}
 
-  /// Extracts one net routed with `rule`.
+  /// Extracts one net routed with `rule`. Internally runs the two-phase
+  /// pipeline (build_net_geometry + materialize, see net_geometry.hpp), so
+  /// cached extraction is bit-identical by construction.
   NetParasitics extract_net(const netlist::ClockTree& tree,
                             const netlist::Net& net,
                             const tech::RoutingRule& rule) const;
 
   /// Extracts every net with its assigned rule (`rule_of_net[net.id]` is an
-  /// index into the technology rule set).
+  /// index into the technology rule set). When `geometry` is non-null it
+  /// must cover the same net list; extraction then skips the per-net
+  /// geometry walk and only materializes electricals.
   std::vector<NetParasitics> extract_all(
       const netlist::ClockTree& tree, const netlist::NetList& nets,
-      const std::vector<int>& rule_of_net) const;
+      const std::vector<int>& rule_of_net,
+      const GeometryCache* geometry = nullptr) const;
 
   const tech::Technology& tech() const { return *tech_; }
   const netlist::Design& design() const { return *design_; }

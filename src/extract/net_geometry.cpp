@@ -1,0 +1,185 @@
+#include "extract/net_geometry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/parallel.hpp"
+#include "geom/segment.hpp"
+
+namespace sndr::extract {
+
+using netlist::ClockTree;
+using netlist::Net;
+using netlist::NodeKind;
+
+NetGeometry build_net_geometry(const ClockTree& tree,
+                               const netlist::Design& design, const Net& net,
+                               const ExtractOptions& options) {
+  NetGeometry g;
+  g.rc_index_of_tree_node.assign(tree.size(), -1);
+  g.rc_index_of_tree_node[net.driver] = 0;
+  g.node_tree_node.push_back(-1);  // driver node, tagged like RcNode{}.
+
+  const netlist::CongestionMap& cong = design.congestion;
+  geom::Path fallback(2);  // reused buffer for pathless (direct) wires.
+
+  // net.wires is root-first, so a wire's parent tree node is already mapped.
+  for (const int v : net.wires) {
+    const netlist::TreeNode& n = tree.node(v);
+    const int parent_rc = g.rc_index_of_tree_node.at(n.parent);
+    if (parent_rc < 0) {
+      throw std::logic_error("extract: net wires not in root-first order");
+    }
+    const geom::Path* path = &n.path;
+    if (n.path.size() < 2) {
+      fallback[0] = tree.loc(n.parent);
+      fallback[1] = n.loc;
+      path = &fallback;
+    }
+
+    int cur = parent_rc;
+    // Walk consecutive point pairs with path_segments() semantics (skip
+    // degenerate links, decompose diagonals into an L, horizontal first)
+    // without materializing the segment vector.
+    for (std::size_t pi = 1; pi < path->size(); ++pi) {
+      const geom::Point a = (*path)[pi - 1];
+      const geom::Point b = (*path)[pi];
+      if (a == b) continue;
+      geom::Segment halves[2];
+      int n_halves = 1;
+      if (a.x == b.x || a.y == b.y) {
+        halves[0] = {a, b};
+      } else {
+        const geom::Point corner{b.x, a.y};
+        halves[0] = {a, corner};
+        halves[1] = {corner, b};
+        n_halves = 2;
+      }
+      for (int h = 0; h < n_halves; ++h) {
+        const geom::Segment& seg = halves[h];
+        const double len = seg.length();
+        if (len <= 0.0) continue;
+        const int pieces = std::max(
+            1, static_cast<int>(std::ceil(len / options.max_seg_um)));
+        const double piece_len = len / pieces;
+        for (int i = 0; i < pieces; ++i) {
+          const geom::Point mid = geom::lerp(seg.a, seg.b, (i + 0.5) / pieces);
+          const double occ = cong.valid() ? cong.occupancy_at(mid) : 0.0;
+          g.piece_parent.push_back(cur);
+          g.piece_len.push_back(piece_len);
+          g.piece_occ.push_back(occ);
+          cur = static_cast<int>(g.piece_len.size());  // new node = piece+1.
+          g.node_tree_node.push_back(-1);
+          g.wirelength += piece_len;
+        }
+      }
+    }
+    g.node_tree_node[cur] = v;
+    g.rc_index_of_tree_node[v] = cur;
+  }
+
+  g.loads.reserve(net.loads.size());
+  for (const int load : net.loads) {
+    const int rc_idx = g.rc_index_of_tree_node.at(load);
+    if (rc_idx < 0) {
+      throw std::logic_error("extract: load not reached by net wires");
+    }
+    NetGeometry::Load l;
+    l.rc_index = rc_idx;
+    const netlist::TreeNode& ln = tree.node(load);
+    switch (ln.kind) {
+      case NodeKind::kBuffer:
+        l.buffer_cell = ln.cell;
+        break;
+      case NodeKind::kSink:
+        l.sink_cap = design.sinks.at(ln.sink).pin_cap;
+        break;
+      default:
+        break;  // zero pin cap, like load_pin_cap().
+    }
+    g.loads.push_back(l);
+  }
+
+  g.postorder.resize(g.rc_size());
+  for (int i = 0; i < g.rc_size(); ++i) {
+    g.postorder[i] = g.rc_size() - 1 - i;  // parent-first build order.
+  }
+  return g;
+}
+
+void materialize(const NetGeometry& geom, const tech::Technology& tech,
+                 const tech::RoutingRule& rule, NetParasitics& out) {
+  const tech::MetalLayer& layer = tech.clock_layer;
+  const double res_per_um = tech::wire_res_per_um(layer, rule);
+  const double cgnd_per_um = tech::wire_cap_gnd_per_um(layer, rule);
+  const double ccpl_side_per_um = tech::wire_cap_couple_per_um(layer, rule);
+
+  const int n = geom.rc_size();
+  out.rc.reset(n);
+  RcNode* nodes = out.rc.data();
+  out.wirelength = 0.0;
+  out.wire_cap_gnd = 0.0;
+  out.wire_cap_cpl = 0.0;
+  out.load_cap = 0.0;
+
+  // Replay of extract_net's piece loop: same operations, same order, so the
+  // result is bit-identical to a fresh extraction.
+  for (int i = 0; i < geom.pieces(); ++i) {
+    const double piece_len = geom.piece_len[i];
+    const double occ = geom.piece_occ[i];
+    const double cg = cgnd_per_um * piece_len;
+    const double cc = 2.0 * occ * ccpl_side_per_um * piece_len;
+    const int parent = geom.piece_parent[i];
+    // Pi split: half the piece cap at the near node, half at the far.
+    nodes[parent].cap_gnd += 0.5 * cg;
+    nodes[parent].cap_cpl += 0.5 * cc;
+    RcNode& added = nodes[i + 1];
+    added.parent = parent;
+    added.res = res_per_um * piece_len;
+    added.cap_gnd += 0.5 * cg;
+    added.cap_cpl += 0.5 * cc;
+    added.wire_len = piece_len;
+    added.occupancy = occ;
+    out.wirelength += piece_len;
+    out.wire_cap_gnd += cg;
+    out.wire_cap_cpl += cc;
+  }
+  for (int i = 0; i < n; ++i) nodes[i].tree_node = geom.node_tree_node[i];
+
+  out.load_rc_index.resize(geom.loads.size());
+  for (std::size_t li = 0; li < geom.loads.size(); ++li) {
+    const NetGeometry::Load& l = geom.loads[li];
+    const double cap = l.buffer_cell >= 0
+                           ? tech.buffers[l.buffer_cell].input_cap
+                           : l.sink_cap;
+    nodes[l.rc_index].cap_gnd += cap;
+    out.load_cap += cap;
+    out.load_rc_index[li] = l.rc_index;
+  }
+  out.rc_index_of_tree_node.assign(geom.rc_index_of_tree_node.begin(),
+                                   geom.rc_index_of_tree_node.end());
+}
+
+GeometryCache::GeometryCache(const ClockTree& tree,
+                             const netlist::Design& design,
+                             const netlist::NetList& nets,
+                             ExtractOptions options)
+    : tree_(&tree), design_(&design), nets_(&nets), options_(options) {
+  build_all();
+}
+
+void GeometryCache::invalidate() { build_all(); }
+
+void GeometryCache::build_all() {
+  geoms_.resize(nets_->size());
+  // Same deterministic chunking as extract_all: per-slot writes only.
+  common::parallel_for(nets_->size(), /*grain=*/16, [&](std::int64_t i) {
+    geoms_[i] = build_net_geometry(*tree_, *design_,
+                                   nets_->nets[static_cast<std::size_t>(i)],
+                                   options_);
+  });
+  builds_ += nets_->size();
+}
+
+}  // namespace sndr::extract

@@ -1,0 +1,111 @@
+// Rule-independent geometry phase of two-phase RC extraction.
+//
+// Everything geometric about a net — the Steiner path walk, RC piece
+// subdivision, per-piece congestion occupancy, and load attach points —
+// depends only on the routed tree and the congestion map, never on the
+// routing rule or the process corner (corner derating scales electrical
+// coefficients only). NetGeometry captures that invariant part once, as
+// flattened SoA arrays; materialize() then produces NetParasitics for any
+// rule in O(pieces) with no path walking, no congestion queries, and no
+// heap allocation beyond warming up the caller's output buffers.
+//
+// Invalidation contract: a NetGeometry is stale after a tree edit (routing,
+// buffering, topology) or a congestion-map change. Rule changes and corner
+// derating do NOT invalidate it — one GeometryCache serves every rule and
+// every derated-technology clone. Results are bit-identical to fresh
+// Extractor::extract_net output (which itself runs build + materialize).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "extract/extractor.hpp"
+
+namespace sndr::extract {
+
+/// Flattened rule-independent geometry of one net. RC piece i becomes RC
+/// node i + 1 (node 0 is the driver), in the exact order extract_net
+/// created nodes, so index order stays topological.
+struct NetGeometry {
+  // Per RC piece (SoA).
+  std::vector<std::int32_t> piece_parent;  ///< upstream RC node index.
+  std::vector<double> piece_len;           ///< um.
+  std::vector<double> piece_occ;  ///< neighbor occupancy at the midpoint.
+
+  // Per RC node.
+  /// ClockTree node coinciding with each RC node, or -1 (matches the
+  /// RcNode::tree_node tagging of extract_net, overwrites included).
+  std::vector<std::int32_t> node_tree_node;
+  /// Children-before-parents traversal order. Nodes are created parent
+  /// first, so this is simply descending index order; it is materialized
+  /// here so kernels over the SoA arrays need no tree walk.
+  std::vector<std::int32_t> postorder;
+
+  /// Load attach point, parallel to Net::loads. Buffer pin caps are read
+  /// from the technology at materialize time (they move with corners);
+  /// sink pin caps are design constants captured at build time.
+  struct Load {
+    std::int32_t rc_index = -1;
+    std::int32_t buffer_cell = -1;  ///< tech.buffers index, or -1.
+    double sink_cap = 0.0;          ///< F, used when buffer_cell < 0.
+  };
+  std::vector<Load> loads;
+
+  /// RC node index of each tree node on the net (-1 elsewhere).
+  std::vector<int> rc_index_of_tree_node;
+
+  double wirelength = 0.0;  ///< um, sum of piece lengths.
+
+  int pieces() const { return static_cast<int>(piece_len.size()); }
+  int rc_size() const { return pieces() + 1; }
+};
+
+/// Geometry phase: walks the net's routed paths once (the single walker
+/// shared by cached and fresh extraction). Performs every congestion query
+/// and path decomposition extraction will ever need for this tree state.
+NetGeometry build_net_geometry(const netlist::ClockTree& tree,
+                               const netlist::Design& design,
+                               const netlist::Net& net,
+                               const ExtractOptions& options = {});
+
+/// Electrical phase: scales the captured geometry by the per-um coefficients
+/// of `rule` under `tech` (pass a derated clone for corner analysis) and
+/// writes the full NetParasitics into `out`, reusing its buffers. Exactly
+/// the arithmetic, in exactly the order, of the historical extract_net.
+void materialize(const NetGeometry& geom, const tech::Technology& tech,
+                 const tech::RoutingRule& rule, NetParasitics& out);
+
+/// Per-net geometry for a whole net list, built eagerly (in parallel, with
+/// the same deterministic chunking as extract_all) and immutable until
+/// invalidate(). Share one instance across rules, corners, and evaluation
+/// call sites; rebuild via invalidate() after a tree edit or congestion
+/// change. `builds()` counts per-net geometry walks since construction —
+/// exactly nets.size() per tree/congestion state when the cache is shared
+/// properly.
+class GeometryCache {
+ public:
+  GeometryCache(const netlist::ClockTree& tree, const netlist::Design& design,
+                const netlist::NetList& nets, ExtractOptions options = {});
+
+  const NetGeometry& geometry(int net_id) const { return geoms_.at(net_id); }
+  int net_count() const { return static_cast<int>(geoms_.size()); }
+  const ExtractOptions& options() const { return options_; }
+
+  /// Re-walks every net (call after a tree edit or congestion change).
+  void invalidate();
+
+  /// Total per-net geometry builds since construction.
+  std::int64_t builds() const { return builds_; }
+
+ private:
+  void build_all();
+
+  const netlist::ClockTree* tree_;
+  const netlist::Design* design_;
+  const netlist::NetList* nets_;
+  ExtractOptions options_;
+  std::vector<NetGeometry> geoms_;
+  std::int64_t builds_ = 0;
+};
+
+}  // namespace sndr::extract

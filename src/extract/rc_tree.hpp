@@ -26,6 +26,42 @@ struct RcNode {
   double cap_total(double miller) const { return cap_gnd + miller * cap_cpl; }
 };
 
+/// Reusable scratch + results of the fused moment kernel. Vectors are
+/// resized to the tree on every call; capacity persists across calls, so a
+/// long-lived instance makes repeated moment evaluation allocation-free.
+struct RcMoments {
+  std::vector<double> down;  ///< downstream cap (Miller-weighted).
+  std::vector<double> m1;    ///< Elmore delay per node.
+  std::vector<double> m2;    ///< circuit second moment per node.
+  /// Internal accumulator of the fused kernel: per-subtree cap-weighted
+  /// delay relative to the subtree root, T_i = sum_{k in sub(i)} C_k *
+  /// (m1_k - m1_i). Exposed only so the buffer can be reused.
+  std::vector<double> subtree;
+};
+
+// Array-form kernels shared by RcTree and the variation analysis (which
+// evaluates the same recurrences on perturbed copies of the node array).
+// `nodes` must be topologically ordered (parent index < child index), which
+// RcTree guarantees by construction. All output arrays hold `n` doubles.
+
+/// One descending sweep: down[i] = Miller-weighted cap downstream of (and
+/// including) node i.
+void rc_downstream(const RcNode* nodes, int n, double miller, double* down);
+
+/// Two sweeps: downstream cap + Elmore delay (m1). Identical arithmetic to
+/// the historical RcTree::elmore_delay.
+void rc_elmore(const RcNode* nodes, int n, double driver_res, double miller,
+               double* down, double* m1);
+
+/// Fused moment kernel: ONE descending sweep (down + the subtree accumulator
+/// T_i = sum_{k in sub(i)} C_k (m1_k - m1_i), via T_p += T_i + R_i*down_i^2)
+/// and ONE ascending sweep (m1 and m2 together, m2_i = m2_p +
+/// R_i * (T_i + m1_i * down_i)). down/m1 are bit-identical to the separate
+/// kernels; m2 is algebraically identical but associates differently than
+/// the historical three-pass algorithm.
+void rc_moments(const RcNode* nodes, int n, double driver_res, double miller,
+                double* down, double* subtree, double* m1, double* m2);
+
 class RcTree {
  public:
   RcTree() { nodes_.emplace_back(); }
@@ -56,8 +92,20 @@ class RcTree {
   /// Used by the D2M delay metric and the slew estimate.
   std::vector<double> second_moment(double driver_res, double miller) const;
 
+  /// Fused kernel: downstream cap, m1 and m2 for every node in two sweeps
+  /// total, written into caller-provided scratch (no allocation after the
+  /// scratch has warmed up). Equivalent to calling the three legacy entry
+  /// points above, which are now thin wrappers over this.
+  void moments(double driver_res, double miller, RcMoments& out) const;
+
+  /// Clears the tree to `size` >= 1 default nodes (node 0 the driver) so a
+  /// caller can bulk-fill it in place, reusing any existing capacity.
+  void reset(int size);
+
   /// Nodes are appended parent-first, so index order is topological.
   const std::vector<RcNode>& nodes() const { return nodes_; }
+  RcNode* data() { return nodes_.data(); }
+  const RcNode* data() const { return nodes_.data(); }
 
  private:
   std::vector<RcNode> nodes_;

@@ -19,8 +19,11 @@ AnnealResult anneal_rules(const netlist::ClockTree& tree,
 
   if (options.threads >= 0) common::set_thread_count(options.threads);
   AssignmentState state(tree, design, tech, nets, options.analysis);
-  FlowEvaluation ev =
-      evaluate(tree, design, tech, nets, start, options.analysis);
+  // Every full evaluation in this search shares the state's geometry cache:
+  // the tree and congestion map are fixed, only rules move.
+  const extract::GeometryCache* geometry = &state.geometry_cache();
+  FlowEvaluation ev = evaluate(tree, design, tech, nets, start,
+                               options.analysis, geometry);
   state.rebuild(start, ev);
   result.start_cap = state.total_cap();
   const bool start_feasible = ev.feasible();
@@ -82,21 +85,21 @@ AnnealResult anneal_rules(const netlist::ClockTree& tree,
     if (++accepted_since_refresh >= options.full_refresh_interval) {
       accepted_since_refresh = 0;
       ev = evaluate(tree, design, tech, nets, state.assignment(),
-                    options.analysis);
+                    options.analysis, geometry);
       state.rebuild(state.assignment(), ev);
     }
   }
 
   // Verify the best assignment exactly; fall back to the input if it does
   // not hold up (or if the input itself was infeasible, report honestly).
-  ev = evaluate(tree, design, tech, nets, best, options.analysis);
+  ev = evaluate(tree, design, tech, nets, best, options.analysis, geometry);
   if (ev.feasible() || !start_feasible) {
     result.assignment = best;
     result.final_eval = std::move(ev);
   } else {
     result.assignment = start;
-    result.final_eval =
-        evaluate(tree, design, tech, nets, start, options.analysis);
+    result.final_eval = evaluate(tree, design, tech, nets, start,
+                                 options.analysis, geometry);
   }
   result.end_cap = result.final_eval.power.switched_cap;
   result.exact_cache_hits = state.exact_cache_hits();

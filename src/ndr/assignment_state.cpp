@@ -19,6 +19,7 @@ AssignmentState::AssignmentState(const netlist::ClockTree& tree,
       tech_(&tech),
       nets_(&nets),
       analysis_(analysis),
+      geometry_(tree, design, nets),
       usage_(&design.congestion) {
   const int n_nets = nets.size();
   const int n_sinks = static_cast<int>(design.sinks.size());
@@ -96,6 +97,7 @@ void AssignmentState::rebuild(const RuleAssignment& assignment,
   }
 
   total_cap_ = 0.0;
+  extract::RcMoments moments;  // one warm scratch for every net below.
   for (const netlist::Net& net : nets_->nets) {
     NetState& st = nets_state_[net.id];
     st.cap = ev.power.net_switched_cap[net.id];
@@ -112,14 +114,11 @@ void AssignmentState::rebuild(const RuleAssignment& assignment,
       st.summary.driver_res = driver_res;
       ++ctx_gen_[net.id];
     }
-    const std::vector<double> m1 =
-        par.rc.elmore_delay(driver_res, analysis_.timing_miller);
-    const std::vector<double> m2 =
-        par.rc.second_moment(driver_res, analysis_.timing_miller);
+    par.rc.moments(driver_res, analysis_.timing_miller, moments);
     st.wire_delay = 0.0;
     for (const int rc : par.load_rc_index) {
-      st.wire_delay =
-          std::max(st.wire_delay, timing::delay_d2m(m1[rc], m2[rc]));
+      st.wire_delay = std::max(
+          st.wire_delay, timing::delay_d2m(moments.m1[rc], moments.m2[rc]));
     }
   }
 
@@ -229,12 +228,14 @@ NetExact AssignmentState::exact_eval(int net_id, int rule_idx) const {
     return e.exact;
   }
   ++cache_misses_;
-  NetExact out = evaluate_net_exact(*tree_, *design_, *tech_,
-                                    (*nets_)[net_id], tech_->rules[rule_idx],
-                                    nets_state_[net_id].summary.driver_res,
-                                    design_->constraints.clock_freq);
+  // Miss path: no geometry walk — materialize the cached geometry for the
+  // candidate rule and run the fused kernels in reusable scratch.
+  thread_local NetEvalScratch scratch;
+  const NetExact out = evaluate_net_exact(
+      geometry_.geometry(net_id), *tech_, tech_->rules[rule_idx],
+      nets_state_[net_id].summary.driver_res,
+      design_->constraints.clock_freq, scratch);
   e.exact = out;
-  e.exact.par = extract::NetParasitics{};
   e.gen = ctx_gen_[net_id];
   return out;
 }

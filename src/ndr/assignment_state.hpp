@@ -68,11 +68,19 @@ class AssignmentState {
   /// are the invalidation points: each advances a net's stamp (dropping
   /// its cached row) iff that input changed — rebuild() re-derives the
   /// context per net; a move changes no exact-eval input, so the cache
-  /// survives both in the common case. A cache hit
-  /// returns the same scalar metrics as a fresh evaluation but with `par`
-  /// left empty (no caller consumes the parasitics, and dropping them keeps
-  /// the cache a few doubles per entry instead of a full RC tree).
+  /// survives both in the common case. Both hits and misses return the
+  /// scalar metrics with `par` left empty (no caller consumes the
+  /// parasitics; misses materialize them into reusable scratch and the
+  /// cache stays a few doubles per entry instead of a full RC tree).
+  /// Misses run on the shared GeometryCache — no geometry walk, no
+  /// congestion query, no allocation.
   NetExact exact_eval(int net_id, int rule_idx) const;
+
+  /// Rule-independent net geometry shared by every evaluation this state
+  /// drives (exact_eval misses, full evaluate() resyncs, corner signoff).
+  /// Built once in the constructor; the tree and congestion map are fixed
+  /// for the lifetime of a search, so it is never invalidated here.
+  const extract::GeometryCache& geometry_cache() const { return geometry_; }
 
   /// exact_eval cache counters since construction.
   std::int64_t exact_cache_hits() const { return cache_hits_; }
@@ -117,6 +125,7 @@ class AssignmentState {
   const tech::Technology* tech_;
   const netlist::NetList* nets_;
   timing::AnalysisOptions analysis_;
+  extract::GeometryCache geometry_;
 
   /// Memo slot for exact_eval; valid iff gen == ctx_gen_[net] (gen 0 is
   /// never valid: context stamps start at 1 and only grow).

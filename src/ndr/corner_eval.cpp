@@ -1,5 +1,7 @@
 #include "ndr/corner_eval.hpp"
 
+#include <optional>
+
 #include "common/parallel.hpp"
 
 namespace sndr::ndr {
@@ -51,12 +53,21 @@ MultiCornerReport evaluate_corners(
     const tech::Technology& tech, const netlist::NetList& nets,
     const RuleAssignment& assignment,
     const std::vector<tech::Corner>& corners,
-    const timing::AnalysisOptions& options) {
+    const timing::AnalysisOptions& options,
+    const extract::GeometryCache* geometry) {
+  // Geometry is corner-invariant: derating touches electrical coefficients
+  // only, never routed paths or congestion. Build the cache once (unless
+  // the caller shares theirs) and every corner materializes from it.
+  std::optional<extract::GeometryCache> local;
+  if (geometry == nullptr) {
+    local.emplace(tree, design, nets);
+    geometry = &*local;
+  }
   // One task per corner; each task clones the technology with its corner
-  // folded in, so corners share nothing mutable. Nested parallel loops
-  // inside evaluate() degrade to serial on pool workers (see
-  // common/thread_pool.hpp), which is the right shape here: corners are
-  // the coarsest independent unit of signoff work.
+  // folded in, so corners share nothing mutable (the geometry cache is
+  // read-only here). Nested parallel loops inside evaluate() degrade to
+  // serial on pool workers (see common/thread_pool.hpp), which is the right
+  // shape here: corners are the coarsest independent unit of signoff work.
   MultiCornerReport rep;
   rep.corners.resize(corners.size());
   common::parallel_for(
@@ -65,8 +76,8 @@ MultiCornerReport evaluate_corners(
         const tech::Corner& corner = corners[static_cast<std::size_t>(i)];
         const tech::Technology cornered = tech::apply_corner(tech, corner);
         rep.corners[i].corner = corner;
-        rep.corners[i].eval =
-            evaluate(tree, design, cornered, nets, assignment, options);
+        rep.corners[i].eval = evaluate(tree, design, cornered, nets,
+                                       assignment, options, geometry);
       });
   return rep;
 }

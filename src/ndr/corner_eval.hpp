@@ -35,12 +35,17 @@ struct MultiCornerReport {
 };
 
 /// Runs evaluate() once per corner (buffer sizing and routing are fixed;
-/// only the electrical coefficients move).
+/// only the electrical coefficients move). Net geometry is corner-invariant
+/// — corner derating scales electrical coefficients only — so a single
+/// GeometryCache serves every derated technology clone: pass one in to
+/// reuse it, or leave `geometry` null and one is built here and shared
+/// across the corners.
 MultiCornerReport evaluate_corners(
     const netlist::ClockTree& tree, const netlist::Design& design,
     const tech::Technology& tech, const netlist::NetList& nets,
     const RuleAssignment& assignment,
     const std::vector<tech::Corner>& corners = tech::standard_corners(),
-    const timing::AnalysisOptions& options = {});
+    const timing::AnalysisOptions& options = {},
+    const extract::GeometryCache* geometry = nullptr);
 
 }  // namespace sndr::ndr

@@ -27,7 +27,8 @@ FlowEvaluation evaluate(const netlist::ClockTree& tree,
                         const tech::Technology& tech,
                         const netlist::NetList& nets,
                         const RuleAssignment& assignment,
-                        const timing::AnalysisOptions& options) {
+                        const timing::AnalysisOptions& options,
+                        const extract::GeometryCache* geometry) {
   if (assignment.size() != static_cast<std::size_t>(nets.size())) {
     throw std::invalid_argument("ndr::evaluate: assignment size mismatch");
   }
@@ -35,7 +36,7 @@ FlowEvaluation evaluate(const netlist::ClockTree& tree,
   ev.assignment = assignment;
 
   const extract::Extractor extractor(tech, design);
-  ev.parasitics = extractor.extract_all(tree, nets, assignment);
+  ev.parasitics = extractor.extract_all(tree, nets, assignment, geometry);
   ev.timing = timing::analyze(tree, design, tech, nets, ev.parasitics,
                               options);
   ev.variation = timing::analyze_variation(tree, design, tech, nets,

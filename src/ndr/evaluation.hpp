@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "extract/extractor.hpp"
+#include "extract/net_geometry.hpp"
 #include "netlist/clock_nets.hpp"
 #include "netlist/clock_tree.hpp"
 #include "netlist/design.hpp"
@@ -57,11 +58,16 @@ struct FlowEvaluation {
 };
 
 /// Runs the whole analysis stack. `nets` must come from build_nets(tree).
+/// Pass a `geometry` cache built for the same tree/congestion state to skip
+/// the per-net geometry walk during extraction (bit-identical results);
+/// geometry is corner-invariant, so the same cache serves derated `tech`
+/// clones too.
 FlowEvaluation evaluate(const netlist::ClockTree& tree,
                         const netlist::Design& design,
                         const tech::Technology& tech,
                         const netlist::NetList& nets,
                         const RuleAssignment& assignment,
-                        const timing::AnalysisOptions& options = {});
+                        const timing::AnalysisOptions& options = {},
+                        const extract::GeometryCache* geometry = nullptr);
 
 }  // namespace sndr::ndr

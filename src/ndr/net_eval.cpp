@@ -19,15 +19,20 @@ NetSummary summarize_net(const netlist::ClockTree& tree,
 
   // Per-node path length from the driver, along the tree.
   std::vector<double> dist(tree.size(), 0.0);
+  geom::Path fallback(2);  // reused buffer for pathless (direct) wires.
   for (const int v : net.wires) {
     const netlist::TreeNode& n = tree.node(v);
     const double len = tree.edge_length(v);
     dist[v] = dist[n.parent] + len;  // driver's dist is 0.
     s.wirelength += len;
-    geom::Path path = n.path;
-    if (path.size() < 2) path = {tree.loc(n.parent), n.loc};
+    const geom::Path* path = &n.path;
+    if (n.path.size() < 2) {
+      fallback[0] = tree.loc(n.parent);
+      fallback[1] = n.loc;
+      path = &fallback;
+    }
     s.occ_length += design.congestion.valid()
-                        ? design.congestion.avg_occupancy(path) * len
+                        ? design.congestion.avg_occupancy(*path) * len
                         : 0.0;
   }
   for (const int load : net.loads) {
@@ -53,22 +58,26 @@ double net_em_bound(const NetSummary& s, const tech::Technology& tech,
   return tech.em_crest_factor * freq * tech.vdd * cap / width;
 }
 
-NetExact evaluate_net_exact(const netlist::ClockTree& tree,
-                            const netlist::Design& design,
+NetExact evaluate_net_exact(const extract::NetGeometry& geom,
                             const tech::Technology& tech,
-                            const netlist::Net& net,
                             const tech::RoutingRule& rule, double driver_res,
-                            double freq) {
+                            double freq, NetEvalScratch& scratch) {
   NetExact out;
-  const extract::Extractor extractor(tech, design);
-  out.par = extractor.extract_net(tree, net, rule);
-  out.cap_switched = out.par.switched_cap(tech.miller_power);
-  out.em_peak = power::net_peak_current_density(out.par, tech, rule, freq);
+  extract::materialize(geom, tech, rule, scratch.par);
+  const extract::NetParasitics& par = scratch.par;
+  out.cap_switched = par.switched_cap(tech.miller_power);
 
-  const std::vector<double> m1 = out.par.rc.elmore_delay(driver_res, 1.0);
-  const std::vector<double> m2 = out.par.rc.second_moment(driver_res, 1.0);
+  scratch.down_power.resize(static_cast<std::size_t>(par.rc.size()));
+  extract::rc_downstream(par.rc.data(), par.rc.size(), tech.miller_power,
+                         scratch.down_power.data());
+  out.em_peak = power::net_peak_current_density(
+      par, scratch.down_power.data(), tech, rule, freq);
+
+  par.rc.moments(driver_res, 1.0, scratch.moments);
+  const std::vector<double>& m1 = scratch.moments.m1;
+  const std::vector<double>& m2 = scratch.moments.m2;
   double delay_sum = 0.0;
-  for (const int rc : out.par.load_rc_index) {
+  for (const int rc : par.load_rc_index) {
     out.step_slew_worst =
         std::max(out.step_slew_worst, timing::step_slew(m1[rc], m2[rc]));
     const double d = timing::delay_d2m(m1[rc], m2[rc]);
@@ -76,14 +85,31 @@ NetExact evaluate_net_exact(const netlist::ClockTree& tree,
     out.wire_delay_worst = std::max(out.wire_delay_worst, d);
   }
   out.wire_delay_mean =
-      out.par.load_rc_index.empty()
+      par.load_rc_index.empty()
           ? 0.0
-          : delay_sum / static_cast<double>(out.par.load_rc_index.size());
+          : delay_sum / static_cast<double>(par.load_rc_index.size());
 
-  const timing::NetVariationDetail var =
-      timing::net_variation(out.par, tech, rule, driver_res);
-  out.sigma_worst = var.worst_sigma();
-  out.xtalk_worst = var.worst_xtalk();
+  timing::net_variation(par, tech, rule, driver_res, scratch.variation,
+                        scratch.detail);
+  out.sigma_worst = scratch.detail.worst_sigma();
+  out.xtalk_worst = scratch.detail.worst_xtalk();
+  return out;
+}
+
+NetExact evaluate_net_exact(const netlist::ClockTree& tree,
+                            const netlist::Design& design,
+                            const tech::Technology& tech,
+                            const netlist::Net& net,
+                            const tech::RoutingRule& rule, double driver_res,
+                            double freq) {
+  // Fresh evaluation = geometry walk + the shared scratch-based kernels, so
+  // cached (GeometryCache) and fresh results agree bit for bit.
+  const extract::NetGeometry geom =
+      extract::build_net_geometry(tree, design, net);
+  NetEvalScratch scratch;
+  NetExact out = evaluate_net_exact(geom, tech, rule, driver_res, freq,
+                                    scratch);
+  out.par = std::move(scratch.par);
   return out;
 }
 

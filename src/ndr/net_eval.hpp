@@ -13,6 +13,7 @@
 #pragma once
 
 #include "extract/extractor.hpp"
+#include "extract/net_geometry.hpp"
 #include "netlist/clock_nets.hpp"
 #include "netlist/clock_tree.hpp"
 #include "netlist/design.hpp"
@@ -66,5 +67,27 @@ NetExact evaluate_net_exact(const netlist::ClockTree& tree,
                             const netlist::Net& net,
                             const tech::RoutingRule& rule, double driver_res,
                             double freq);
+
+/// Reusable buffers for the geometry-based evaluate_net_exact overload:
+/// the materialized parasitics, the fused moment scratch, the EM downstream
+/// sweep, and the variation scratch. One warm instance makes repeated
+/// per-(net, rule) exact evaluation allocation-free.
+struct NetEvalScratch {
+  extract::NetParasitics par;
+  extract::RcMoments moments;
+  std::vector<double> down_power;  ///< downstream cap at miller_power (EM).
+  timing::VariationScratch variation;
+  timing::NetVariationDetail detail;
+};
+
+/// Exact evaluation from pre-built rule-independent geometry: materializes
+/// parasitics for `rule` and runs the fused moment / variation / EM kernels
+/// entirely in `scratch`. Scalar results are bit-identical to the fresh
+/// overload above (which delegates here); `par` is left empty — the
+/// materialized parasitics stay in `scratch.par` for callers that want them.
+NetExact evaluate_net_exact(const extract::NetGeometry& geom,
+                            const tech::Technology& tech,
+                            const tech::RoutingRule& rule, double driver_res,
+                            double freq, NetEvalScratch& scratch);
 
 }  // namespace sndr::ndr

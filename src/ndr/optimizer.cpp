@@ -42,8 +42,10 @@ class Optimizer {
  private:
   FlowEvaluation full_eval(const RuleAssignment& assignment) {
     ++stats_.full_evals;
-    return evaluate(tree_, design_, tech_, nets_, assignment,
-                    opt_.analysis);
+    // Resyncs share the state's geometry cache: the tree and congestion
+    // map never change during a run, only the rule assignment does.
+    return evaluate(tree_, design_, tech_, nets_, assignment, opt_.analysis,
+                    &state_.geometry_cache());
   }
 
   void resync(const RuleAssignment& assignment) {
@@ -309,9 +311,9 @@ SmartNdrResult Optimizer::run() {
 
   if (scoring_ == Scoring::kModels) {
     const auto t0 = Clock::now();
-    predictor_ = RuleImpactPredictor::train(tree_, design_, tech_, nets_,
-                                            opt_.analysis,
-                                            opt_.training_samples);
+    predictor_ = RuleImpactPredictor::train(
+        tree_, design_, tech_, nets_, opt_.analysis, opt_.training_samples,
+        /*holdout_frac=*/0.2, &state_.geometry_cache());
     predictor_ready_ = true;
     stats_.train_seconds = seconds_since(t0);
   }

@@ -38,7 +38,7 @@ RuleImpactPredictor RuleImpactPredictor::train(
     const netlist::ClockTree& tree, const netlist::Design& design,
     const tech::Technology& tech, const netlist::NetList& nets,
     const timing::AnalysisOptions& options, int max_samples,
-    double holdout_frac) {
+    double holdout_frac, const extract::GeometryCache* geometry) {
   RuleImpactPredictor pred;
   const int n_rules = tech.rules.size();
   const double freq = design.constraints.clock_freq;
@@ -95,9 +95,19 @@ RuleImpactPredictor RuleImpactPredictor::train(
     common::parallel_for(
         static_cast<std::int64_t>(sample_ids.size()), /*grain=*/4,
         [&](std::int64_t i) {
-          const NetExact exact =
-              evaluate_net_exact(tree, design, tech, nets[sample_ids[i]],
-                                 rule, summaries[i].driver_res, freq);
+          NetExact exact;
+          if (geometry != nullptr) {
+            // Label from pre-built geometry: materialize + fused kernels
+            // in reusable per-worker scratch, no path walking.
+            thread_local NetEvalScratch scratch;
+            exact = evaluate_net_exact(geometry->geometry(sample_ids[i]),
+                                       tech, rule, summaries[i].driver_res,
+                                       freq, scratch);
+          } else {
+            exact =
+                evaluate_net_exact(tree, design, tech, nets[sample_ids[i]],
+                                   rule, summaries[i].driver_res, freq);
+          }
           labels[i] = {exact.step_slew_worst, exact.sigma_worst,
                        exact.xtalk_worst, exact.wire_delay_worst};
         });

@@ -53,13 +53,19 @@ class RuleImpactPredictor {
   /// Trains on up to `max_samples` nets of the given tree, stratified by
   /// net depth so root trunks and leaf nets are both represented.
   /// `holdout_frac` of samples are withheld for the accuracy report.
+  /// Labeling is the dominant cost — one exact per-(sample, rule)
+  /// evaluation each — so pass a `geometry` cache for the same tree to
+  /// label from pre-built geometry instead of re-walking every sample
+  /// (bit-identical labels either way).
   static RuleImpactPredictor train(const netlist::ClockTree& tree,
                                    const netlist::Design& design,
                                    const tech::Technology& tech,
                                    const netlist::NetList& nets,
                                    const timing::AnalysisOptions& options,
                                    int max_samples = 400,
-                                   double holdout_frac = 0.2);
+                                   double holdout_frac = 0.2,
+                                   const extract::GeometryCache* geometry =
+                                       nullptr);
 
   NetImpact predict(const NetSummary& s, int rule) const;
 

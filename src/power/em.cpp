@@ -8,9 +8,16 @@ namespace sndr::power {
 double net_peak_current_density(const extract::NetParasitics& par,
                                 const tech::Technology& tech,
                                 const tech::RoutingRule& rule, double freq) {
-  const double width = tech.clock_layer.min_width * rule.width_mult;
   const std::vector<double> down =
       par.rc.downstream_cap(tech.miller_power);
+  return net_peak_current_density(par, down.data(), tech, rule, freq);
+}
+
+double net_peak_current_density(const extract::NetParasitics& par,
+                                const double* down,
+                                const tech::Technology& tech,
+                                const tech::RoutingRule& rule, double freq) {
+  const double width = tech.clock_layer.min_width * rule.width_mult;
   double worst = 0.0;
   for (int i = 0; i < par.rc.size(); ++i) {
     const extract::RcNode& n = par.rc.node(i);

@@ -40,6 +40,14 @@ double net_peak_current_density(const extract::NetParasitics& par,
                                 const tech::Technology& tech,
                                 const tech::RoutingRule& rule, double freq);
 
+/// As above, with the miller_power-weighted downstream cap of every RC node
+/// already computed into `down` — the allocation-free hot path for callers
+/// that already ran a downstream sweep.
+double net_peak_current_density(const extract::NetParasitics& par,
+                                const double* down,
+                                const tech::Technology& tech,
+                                const tech::RoutingRule& rule, double freq);
+
 /// Whole-tree EM check at design.constraints.clock_freq.
 EmReport analyze_em(const netlist::Design& design,
                     const tech::Technology& tech,

@@ -30,15 +30,13 @@ TimingReport analyze(const netlist::ClockTree& tree,
   rep.max_latency = -std::numeric_limits<double>::infinity();
 
   // Nets are root-first, so the driver's input arrival/slew are final by the
-  // time its net is processed.
+  // time its net is processed. One moment scratch serves every net.
+  extract::RcMoments moments;
   for (const netlist::Net& net : nets.nets) {
     const extract::NetParasitics& par = parasitics[net.id];
     const netlist::TreeNode& drv = tree.node(net.driver);
 
     const double miller = options.timing_miller;
-    const std::vector<double> down = par.rc.downstream_cap(miller);
-    const double load_cap = down[0];
-    rep.net_driver_load[net.id] = load_cap;
 
     // Driver stage. The driver's resistive R*C contribution is carried by
     // the RC-tree moments (driver_res enters the Elmore recursion), so the
@@ -61,8 +59,11 @@ TimingReport analyze(const netlist::ClockTree& tree,
       out_slew = 0.4 * cell.intrinsic_delay;  // regenerated edge.
     }
 
-    const std::vector<double> m1 = par.rc.elmore_delay(driver_res, miller);
-    const std::vector<double> m2 = par.rc.second_moment(driver_res, miller);
+    // Fused kernel: down-cap, m1 and m2 in two sweeps, no allocation.
+    par.rc.moments(driver_res, miller, moments);
+    const std::vector<double>& m1 = moments.m1;
+    const std::vector<double>& m2 = moments.m2;
+    rep.net_driver_load[net.id] = moments.down[0];
 
     for (std::size_t li = 0; li < net.loads.size(); ++li) {
       const int load = net.loads[li];

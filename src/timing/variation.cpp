@@ -32,69 +32,82 @@ double net_driver_res(const netlist::ClockTree& tree,
 
 namespace {
 
-/// Elmore delay at each load of `par` for the given RC tree.
-std::vector<double> load_elmore(const extract::RcTree& rc,
-                                const std::vector<int>& load_rc_index,
-                                double driver_res, double miller) {
-  const std::vector<double> m1 = rc.elmore_delay(driver_res, miller);
-  std::vector<double> out(load_rc_index.size(), 0.0);
+/// Elmore delay at each load for the given node array, through the shared
+/// scratch kernels (no allocation once the scratch has warmed up).
+void load_elmore(const extract::RcNode* nodes, int n,
+                 const std::vector<int>& load_rc_index, double driver_res,
+                 double miller, VariationScratch& scratch,
+                 std::vector<double>& out) {
+  scratch.down.resize(static_cast<std::size_t>(n));
+  scratch.m1.resize(static_cast<std::size_t>(n));
+  extract::rc_elmore(nodes, n, driver_res, miller, scratch.down.data(),
+                     scratch.m1.data());
+  out.resize(load_rc_index.size());
   for (std::size_t i = 0; i < load_rc_index.size(); ++i) {
-    out[i] = m1[load_rc_index[i]];
+    out[i] = scratch.m1[load_rc_index[i]];
   }
-  return out;
 }
 
 }  // namespace
 
-NetVariationDetail net_variation(const extract::NetParasitics& par,
-                                 const tech::Technology& tech,
-                                 const tech::RoutingRule& rule,
-                                 double driver_res) {
+void net_variation(const extract::NetParasitics& par,
+                   const tech::Technology& tech,
+                   const tech::RoutingRule& rule, double driver_res,
+                   VariationScratch& scratch, NetVariationDetail& out) {
   const tech::MetalLayer& layer = tech.clock_layer;
   const double width = layer.min_width * rule.width_mult;
   const double d_w = layer.sigma_width;        // um, 1 sigma.
   const double d_t = layer.sigma_thickness;    // fraction, 1 sigma.
 
-  const std::vector<double> base =
-      load_elmore(par.rc, par.load_rc_index, driver_res, 1.0);
+  const extract::RcNode* nodes = par.rc.data();
+  const int n = par.rc.size();
+
+  load_elmore(nodes, n, par.load_rc_index, driver_res, 1.0, scratch,
+              scratch.base);
 
   // Width +1 sigma: R scales W/(W+dW); area cap grows by c_area*dW per um.
-  extract::RcTree width_rc = par.rc;
-  for (int i = 0; i < width_rc.size(); ++i) {
-    extract::RcNode& n = width_rc.node(i);
-    if (n.wire_len <= 0.0) continue;
-    n.res *= width / (width + d_w);
-    n.cap_gnd += layer.c_area * d_w * n.wire_len;
+  scratch.perturbed.assign(par.rc.nodes().begin(), par.rc.nodes().end());
+  for (extract::RcNode& pn : scratch.perturbed) {
+    if (pn.wire_len <= 0.0) continue;
+    pn.res *= width / (width + d_w);
+    pn.cap_gnd += layer.c_area * d_w * pn.wire_len;
   }
-  const std::vector<double> w_pert =
-      load_elmore(width_rc, par.load_rc_index, driver_res, 1.0);
+  load_elmore(scratch.perturbed.data(), n, par.load_rc_index, driver_res, 1.0,
+              scratch, scratch.w_pert);
 
   // Thickness +1 sigma: R scales 1/(1+dT); coupling scales (1+dT).
-  extract::RcTree thick_rc = par.rc;
-  for (int i = 0; i < thick_rc.size(); ++i) {
-    extract::RcNode& n = thick_rc.node(i);
-    if (n.wire_len <= 0.0) continue;
-    n.res /= 1.0 + d_t;
-    n.cap_cpl *= 1.0 + d_t;
+  scratch.perturbed.assign(par.rc.nodes().begin(), par.rc.nodes().end());
+  for (extract::RcNode& pn : scratch.perturbed) {
+    if (pn.wire_len <= 0.0) continue;
+    pn.res /= 1.0 + d_t;
+    pn.cap_cpl *= 1.0 + d_t;
   }
-  const std::vector<double> t_pert =
-      load_elmore(thick_rc, par.load_rc_index, driver_res, 1.0);
+  load_elmore(scratch.perturbed.data(), n, par.load_rc_index, driver_res, 1.0,
+              scratch, scratch.t_pert);
 
   // Crosstalk: extra Miller charge on coupling caps, weighted by the
   // probability that the neighbor actually switches against us.
-  const std::vector<double> x_pert = load_elmore(
-      par.rc, par.load_rc_index, driver_res, tech.miller_delay);
+  load_elmore(nodes, n, par.load_rc_index, driver_res, tech.miller_delay,
+              scratch, scratch.x_pert);
 
-  NetVariationDetail out;
-  out.load_sigma.resize(base.size());
-  out.load_xtalk.resize(base.size());
-  for (std::size_t i = 0; i < base.size(); ++i) {
-    const double dw = w_pert[i] - base[i];
-    const double dt = t_pert[i] - base[i];
+  out.load_sigma.resize(scratch.base.size());
+  out.load_xtalk.resize(scratch.base.size());
+  for (std::size_t i = 0; i < scratch.base.size(); ++i) {
+    const double dw = scratch.w_pert[i] - scratch.base[i];
+    const double dt = scratch.t_pert[i] - scratch.base[i];
     out.load_sigma[i] = std::sqrt(dw * dw + dt * dt);
-    out.load_xtalk[i] =
-        tech.aggressor_activity * std::max(0.0, x_pert[i] - base[i]);
+    out.load_xtalk[i] = tech.aggressor_activity *
+                        std::max(0.0, scratch.x_pert[i] - scratch.base[i]);
   }
+}
+
+NetVariationDetail net_variation(const extract::NetParasitics& par,
+                                 const tech::Technology& tech,
+                                 const tech::RoutingRule& rule,
+                                 double driver_res) {
+  VariationScratch scratch;
+  NetVariationDetail out;
+  net_variation(par, tech, rule, driver_res, scratch, out);
   return out;
 }
 
@@ -126,10 +139,11 @@ VariationReport analyze_variation(
   // root-first order), so the result is identical at any thread count.
   std::vector<NetVariationDetail> details(nets.size());
   common::parallel_for(nets.size(), /*grain=*/8, [&](std::int64_t i) {
+    thread_local VariationScratch scratch;  // reused across nets per worker.
     const netlist::Net& net = nets.nets[static_cast<std::size_t>(i)];
-    details[i] = net_variation(parasitics[net.id], tech,
-                               tech.rules[rule_of_net[net.id]],
-                               net_driver_res(tree, tech, net, options));
+    net_variation(parasitics[net.id], tech, tech.rules[rule_of_net[net.id]],
+                  net_driver_res(tree, tech, net, options), scratch,
+                  details[i]);
   });
 
   for (const netlist::Net& net : nets.nets) {

@@ -32,12 +32,34 @@ struct NetVariationDetail {
   double worst_xtalk() const;
 };
 
+/// Reusable buffers for the scratch-based net_variation overload: one
+/// perturbed copy of the node array (reused for both process corners), the
+/// Elmore kernel outputs, and the per-load delay responses. Warm buffers
+/// make repeated per-net variation analysis allocation-free.
+struct VariationScratch {
+  std::vector<extract::RcNode> perturbed;
+  std::vector<double> down;    ///< kernel scratch.
+  std::vector<double> m1;      ///< kernel scratch.
+  std::vector<double> base;    ///< per-load nominal Elmore delay.
+  std::vector<double> w_pert;  ///< per-load delay, width +1 sigma.
+  std::vector<double> t_pert;  ///< per-load delay, thickness +1 sigma.
+  std::vector<double> x_pert;  ///< per-load delay, aggressor Miller charge.
+};
+
 /// Variation of one extracted net routed with `rule`, given its driver's
 /// linearized resistance.
 NetVariationDetail net_variation(const extract::NetParasitics& par,
                                  const tech::Technology& tech,
                                  const tech::RoutingRule& rule,
                                  double driver_res);
+
+/// Scratch-based overload: identical arithmetic (bit-identical results),
+/// writing into `out` and reusing `scratch` instead of copying the RC tree
+/// and allocating result vectors on every call.
+void net_variation(const extract::NetParasitics& par,
+                   const tech::Technology& tech,
+                   const tech::RoutingRule& rule, double driver_res,
+                   VariationScratch& scratch, NetVariationDetail& out);
 
 struct VariationReport {
   // Per net id (worst load of the net).
