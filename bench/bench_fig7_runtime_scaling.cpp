@@ -143,6 +143,6 @@ int main() {
     finish(ts, "Fig. 7b: evaluation-engine thread scaling (4096 sinks)",
            "fig7_thread_scaling.csv");
   }
-  write_runtime_json("fig7_runtime_scaling", records);
+  publish_runtime("fig7_runtime_scaling", records);
   return 0;
 }

@@ -10,6 +10,7 @@
 
 #include "common.hpp"
 #include "extract/net_geometry.hpp"
+#include "obs/trace.hpp"
 #include "ndr/assignment_state.hpp"
 #include "ndr/predictor.hpp"
 #include "timing/tree_timing.hpp"
@@ -318,6 +319,97 @@ void record_two_phase_kernels(std::vector<bench::RuntimeRecord>& records) {
   common::set_thread_count(-1);
 }
 
+/// Observability overhead on the hot kernels: the cached materialize +
+/// fused-moments sweep and the memoized exact_eval sweep, timed with the
+/// obs layer enabled vs fully disabled. Both paths are deliberately free
+/// of per-call registry traffic (counters batch at boundaries, DESIGN.md
+/// §7), so the recorded fractions pin the <=2% instrumentation budget.
+void record_obs_overhead(std::vector<bench::RuntimeRecord>& records) {
+  using Clock = std::chrono::steady_clock;
+  const bench::Flow& f = flow_1k();
+  common::set_thread_count(1);
+  const double driver_res = 120.0;
+  const double miller = f.tech.miller_delay;
+
+  // One sweep is sub-millisecond, far below timer noise on a shared
+  // machine: repeat it until a single measurement is tens of
+  // milliseconds, and alternate enabled/disabled trials so clock drift
+  // hits both sides equally. Best-of keeps scheduler hiccups out.
+  const auto timed_both = [&](auto&& fn) {
+    fn();  // warm-up
+    const auto t0 = Clock::now();
+    fn();
+    const double once =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    const int reps =
+        std::max(1, static_cast<int>(0.1 / std::max(once, 1e-6)));
+    const auto measure = [&] {
+      const auto s = Clock::now();
+      for (int r = 0; r < reps; ++r) fn();
+      return std::chrono::duration<double>(Clock::now() - s).count() / reps;
+    };
+    double on = 1e30;
+    double off = 1e30;
+    const auto measure_mode = [&](bool enabled) {
+      obs::set_metrics_enabled(enabled);
+      obs::set_tracing_enabled(enabled);
+      double& best = enabled ? on : off;
+      best = std::min(best, measure());
+    };
+    for (int trial = 0; trial < 9; ++trial) {
+      // Alternate which mode runs first: within a trial the first
+      // measurement is systematically colder, and a fixed order would
+      // book that position bias as "overhead".
+      const bool first = (trial % 2) == 0;
+      measure_mode(first);
+      measure_mode(!first);
+    }
+    obs::set_metrics_enabled(true);
+    obs::set_tracing_enabled(true);
+    return std::pair<double, double>{on, off};
+  };
+
+  const extract::GeometryCache cache(f.cts.tree, f.design, f.nets);
+  extract::NetParasitics warm;
+  extract::RcMoments scratch;
+  const auto [mat_on, mat_off] = timed_both([&] {
+    for (const netlist::Net& net : f.nets.nets) {
+      for (const tech::RoutingRule& rule : f.tech.rules) {
+        extract::materialize(cache.geometry(net.id), f.tech, rule, warm);
+        warm.rc.moments(driver_res, miller, scratch);
+        benchmark::DoNotOptimize(scratch);
+      }
+    }
+  });
+  records.push_back({"materialize_moments_obs_on", 1, mat_on, -1.0});
+  records.push_back({"materialize_moments_obs_off", 1, mat_off, -1.0});
+  records.push_back({"obs_overhead_materialize_frac", 1,
+                     (mat_on - mat_off) / mat_off, -1.0});
+
+  const timing::AnalysisOptions aopt;
+  ndr::AssignmentState st(f.cts.tree, f.design, f.tech, f.nets, aopt);
+  const auto blanket = ndr::assign_all(f.nets, f.tech.rules.blanket_index());
+  st.rebuild(blanket, ndr::evaluate(f.cts.tree, f.design, f.tech, f.nets,
+                                    blanket, aopt, &st.geometry_cache()));
+  const auto [ee_on, ee_off] = timed_both([&] {
+    for (int n = 0; n < f.nets.size(); ++n) {
+      for (int r = 0; r < f.tech.rules.size(); ++r) {
+        benchmark::DoNotOptimize(st.exact_eval(n, r));
+      }
+    }
+  });
+  records.push_back({"exact_eval_sweep_obs_on", 1, ee_on, -1.0});
+  records.push_back({"exact_eval_sweep_obs_off", 1, ee_off, -1.0});
+  records.push_back({"obs_overhead_exact_eval_frac", 1,
+                     (ee_on - ee_off) / ee_off, -1.0});
+
+  std::printf("obs overhead: materialize+moments %+.2f%%, "
+              "exact_eval %+.2f%%\n",
+              100.0 * (mat_on - mat_off) / mat_off,
+              100.0 * (ee_on - ee_off) / ee_off);
+  common::set_thread_count(-1);
+}
+
 /// Wall time of the parallelized kernels at each rung of the thread ladder,
 /// recorded into BENCH_runtime.json before the google-benchmark run.
 void record_thread_ladder() {
@@ -329,6 +421,7 @@ void record_thread_ladder() {
 
   std::vector<bench::RuntimeRecord> records;
   record_two_phase_kernels(records);
+  record_obs_overhead(records);
   const auto time_stage = [&](const char* stage, int threads, auto&& fn) {
     // One warm-up, then best-of-3 to keep single-shot noise out of the JSON.
     fn();
@@ -355,7 +448,7 @@ void record_thread_ladder() {
     });
   }
   common::set_thread_count(-1);
-  bench::write_runtime_json("micro_kernels", records);
+  bench::publish_runtime("micro_kernels", records);
 }
 
 }  // namespace

@@ -13,6 +13,8 @@
 
 #include "common/thread_pool.hpp"
 #include "cts/embedding.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
 #include "cts/refine.hpp"
 #include "ndr/smart_ndr.hpp"
 #include "report/table.hpp"
@@ -108,6 +110,34 @@ inline void write_runtime_json(const std::string& bench,
   }
   f << "]\n";
   std::cout << "[json: " << path << "]\n";
+}
+
+/// Publishes bench timings through the observability layer: every record
+/// becomes a registry gauge `bench.<bench>.<stage>.t<threads>` (plus
+/// `.hit_rate` when applicable), then a run manifest for this bench goes
+/// to `BENCH_manifest.<bench>.json` — the file scripts/bench_check.sh
+/// reads — and the legacy merged BENCH_runtime.json is refreshed too so
+/// the cross-PR perf trajectory keeps one home.
+inline void publish_runtime(const std::string& bench,
+                            const std::vector<RuntimeRecord>& records) {
+  for (const RuntimeRecord& r : records) {
+    const std::string base =
+        "bench." + bench + "." + r.stage + ".t" + std::to_string(r.threads);
+    obs::MetricsRegistry::instance().set(
+        obs::MetricsRegistry::instance().gauge(base + ".seconds"), r.seconds);
+    if (r.cache_hit_rate >= 0.0) {
+      obs::MetricsRegistry::instance().set(
+          obs::MetricsRegistry::instance().gauge(base + ".hit_rate"),
+          r.cache_hit_rate);
+    }
+  }
+  obs::RunInfo info;
+  info.tool = "bench_" + bench;
+  info.command = bench;
+  info.threads = common::thread_count();
+  obs::write_run_manifest("BENCH_manifest." + bench + ".json", info);
+  std::cout << "[manifest: BENCH_manifest." << bench << ".json]\n";
+  write_runtime_json(bench, records);
 }
 
 /// The 1/2/4/N thread ladder (deduplicated, N = hardware concurrency).

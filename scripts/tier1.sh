@@ -14,16 +14,22 @@ cmake -B "$repo/build" -S "$repo" >/dev/null
 cmake --build "$repo/build" -j "$jobs"
 ctest --test-dir "$repo/build" -j "$jobs" --output-on-failure
 
-echo "== tier1: ThreadSanitizer build + parallel tests =="
+echo "== tier1: ThreadSanitizer build + parallel/obs tests =="
 cmake -B "$repo/build-tsan" -S "$repo" -DSNDR_SANITIZE=thread >/dev/null
-cmake --build "$repo/build-tsan" -j "$jobs" --target parallel_test
+cmake --build "$repo/build-tsan" -j "$jobs" --target parallel_test \
+  --target obs_test --target manifest_golden_test
 "$repo/build-tsan/tests/parallel_test"
+"$repo/build-tsan/tests/obs_test"
+"$repo/build-tsan/tests/manifest_golden_test"
 
-echo "== tier1: AddressSanitizer build + extraction tests =="
+echo "== tier1: AddressSanitizer build + extraction/obs tests =="
 cmake -B "$repo/build-asan" -S "$repo" -DSNDR_SANITIZE=address >/dev/null
 cmake --build "$repo/build-asan" -j "$jobs" --target extract_test \
-  --target extract_cache_test
+  --target extract_cache_test --target obs_test \
+  --target manifest_golden_test
 "$repo/build-asan/tests/extract_test"
 "$repo/build-asan/tests/extract_cache_test"
+"$repo/build-asan/tests/obs_test"
+"$repo/build-asan/tests/manifest_golden_test"
 
 echo "tier1: OK"

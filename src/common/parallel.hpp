@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
 
 namespace sndr::common {
 
@@ -25,9 +26,11 @@ void parallel_for(std::int64_t n, std::int64_t grain, Fn&& fn) {
   const std::int64_t chunks = (n + grain - 1) / grain;
   ThreadPool* pool = global_pool();
   if (!pool || chunks <= 1 || ThreadPool::on_worker_thread()) {
+    SNDR_COUNTER_ADD("pool.serial_calls", 1);
     for (std::int64_t i = 0; i < n; ++i) fn(i);
     return;
   }
+  SNDR_COUNTER_ADD("pool.parallel_calls", 1);
   pool->run(static_cast<int>(chunks), [&](int c) {
     const std::int64_t lo = static_cast<std::int64_t>(c) * grain;
     const std::int64_t hi = std::min(n, lo + grain);
@@ -66,9 +69,11 @@ void parallel_invoke(Fns&&... fns) {
   constexpr int kCount = static_cast<int>(sizeof...(Fns));
   ThreadPool* pool = global_pool();
   if (!pool || kCount <= 1 || ThreadPool::on_worker_thread()) {
+    SNDR_COUNTER_ADD("pool.serial_calls", 1);
     for (auto& t : tasks) t();
     return;
   }
+  SNDR_COUNTER_ADD("pool.parallel_calls", 1);
   pool->run(kCount, [&](int i) { tasks[i](); });
 }
 

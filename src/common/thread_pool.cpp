@@ -2,11 +2,14 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace sndr::common {
 
 namespace {
 
 thread_local bool t_on_worker = false;
+thread_local bool t_pool_worker_thread = false;  ///< set in worker_loop.
 
 /// RAII flag marking the current thread as executing pool chunks.
 struct WorkerScope {
@@ -25,6 +28,7 @@ ThreadPool::ThreadPool(int threads) {
   for (int i = 0; i < workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
+  SNDR_GAUGE_SET("pool.lanes", static_cast<double>(lanes()));
 }
 
 ThreadPool::~ThreadPool() {
@@ -38,11 +42,14 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::work_on(const std::shared_ptr<Job>& job) {
   WorkerScope scope;
+  // Chunks this lane executed, flushed to the registry once per job so the
+  // claim loop stays free of registry traffic.
+  int executed = 0;
   for (;;) {
     int chunk;
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      if (job->next >= job->chunks) return;
+      if (job->next >= job->chunks) break;
       chunk = job->next++;
       if (job->next >= job->chunks && job_ == job) {
         job_.reset();  // fully claimed: let idle workers sleep again.
@@ -53,14 +60,23 @@ void ThreadPool::work_on(const std::shared_ptr<Job>& job) {
     } catch (...) {
       job->errors[chunk] = std::current_exception();
     }
+    ++executed;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (++job->done >= job->chunks) done_.notify_all();
     }
   }
+  if (executed > 0) {
+    if (t_pool_worker_thread) {
+      SNDR_COUNTER_ADD("pool.chunks_on_workers", executed);
+    } else {
+      SNDR_COUNTER_ADD("pool.chunks_on_caller", executed);
+    }
+  }
 }
 
 void ThreadPool::worker_loop() {
+  t_pool_worker_thread = true;
   for (;;) {
     std::shared_ptr<Job> job;
     {
@@ -77,9 +93,12 @@ void ThreadPool::run(int chunks, const std::function<void(int)>& chunk_fn) {
   if (chunks <= 0) return;
   if (workers_.empty() || on_worker_thread()) {
     // Serial / nested fallback: same chunk order, same results.
+    SNDR_COUNTER_ADD("pool.nested_serial_runs", 1);
     for (int c = 0; c < chunks; ++c) chunk_fn(c);
     return;
   }
+  SNDR_COUNTER_ADD("pool.jobs", 1);
+  SNDR_COUNTER_ADD("pool.chunks", chunks);
   std::lock_guard<std::mutex> run_lock(run_mutex_);
   auto job = std::make_shared<Job>();
   job->fn = &chunk_fn;

@@ -4,6 +4,8 @@
 
 #include "common/parallel.hpp"
 #include "extract/net_geometry.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace sndr::extract {
 
@@ -45,6 +47,17 @@ std::vector<NetParasitics> Extractor::extract_all(
   if (geometry != nullptr && geometry->net_count() != nets.size()) {
     throw std::invalid_argument(
         "Extractor::extract_all: geometry cache covers a different net list");
+  }
+  SNDR_TRACE_SPAN("extract_all");
+  SNDR_COUNTER_ADD("extract.extract_all_calls", 1);
+  SNDR_COUNTER_ADD("extract.nets_extracted",
+                   static_cast<std::int64_t>(nets.size()));
+  if (geometry != nullptr) {
+    SNDR_COUNTER_ADD("extract.nets_materialized_from_cache",
+                     static_cast<std::int64_t>(nets.size()));
+  } else {
+    SNDR_COUNTER_ADD("extract.nets_fresh_walks",
+                     static_cast<std::int64_t>(nets.size()));
   }
   // Each net extracts independently into its own slot, so the parallel
   // loop is bit-identical to the serial one at any thread count.

@@ -6,6 +6,8 @@
 
 #include "common/parallel.hpp"
 #include "geom/segment.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace sndr::extract {
 
@@ -169,9 +171,13 @@ GeometryCache::GeometryCache(const ClockTree& tree,
   build_all();
 }
 
-void GeometryCache::invalidate() { build_all(); }
+void GeometryCache::invalidate() {
+  SNDR_COUNTER_ADD("extract.geometry.invalidations", 1);
+  build_all();
+}
 
 void GeometryCache::build_all() {
+  SNDR_TRACE_SPAN("geometry_build_all");
   geoms_.resize(nets_->size());
   // Same deterministic chunking as extract_all: per-slot writes only.
   common::parallel_for(nets_->size(), /*grain=*/16, [&](std::int64_t i) {
@@ -180,6 +186,14 @@ void GeometryCache::build_all() {
                                    options_);
   });
   builds_ += nets_->size();
+  SNDR_COUNTER_ADD("extract.geometry.builds",
+                   static_cast<std::int64_t>(nets_->size()));
+  if (obs::metrics_enabled()) {
+    for (const NetGeometry& g : geoms_) {
+      SNDR_HISTOGRAM_OBSERVE("extract.net_pieces",
+                             static_cast<double>(g.pieces()));
+    }
+  }
 }
 
 }  // namespace sndr::extract

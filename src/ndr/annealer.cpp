@@ -4,6 +4,7 @@
 
 #include "common/thread_pool.hpp"
 #include "ndr/assignment_state.hpp"
+#include "obs/trace.hpp"
 #include "workload/rng.hpp"
 
 namespace sndr::ndr {
@@ -14,6 +15,7 @@ AnnealResult anneal_rules(const netlist::ClockTree& tree,
                           const netlist::NetList& nets,
                           const RuleAssignment& start,
                           const AnnealOptions& options) {
+  SNDR_TRACE_SPAN("anneal");
   AnnealResult result;
   result.assignment = start;
 
@@ -47,9 +49,13 @@ AnnealResult anneal_rules(const netlist::ClockTree& tree,
   RuleAssignment best = start;
   double best_cap = state.total_cap();
 
+  SNDR_GAUGE_SET("anneal.t_start", t_start);
+  SNDR_GAUGE_SET("anneal.t_end", t_end);
+
   double temperature = t_start;
   int accepted_since_refresh = 0;
   for (int it = 0; it < options.iterations; ++it, temperature *= cooling) {
+    SNDR_HISTOGRAM_OBSERVE("anneal.temperature", temperature);
     const int net_id = static_cast<int>(rng.uniform_int(n_nets));
     int rule = static_cast<int>(rng.uniform_int(n_rules));
     if (rule == state.rule_of(net_id)) {
@@ -61,7 +67,10 @@ AnnealResult anneal_rules(const netlist::ClockTree& tree,
     const double d_cap = exact.cap_switched - state.net_cap(net_id);
     if (d_cap > 0.0) {
       const double p = std::exp(-d_cap / temperature);
-      if (rng.uniform() >= p) continue;
+      if (rng.uniform() >= p) {
+        ++result.rejected;
+        continue;
+      }
     }
     NetImpact impact;
     impact.step_slew = exact.step_slew_worst;
@@ -70,9 +79,13 @@ AnnealResult anneal_rules(const netlist::ClockTree& tree,
     impact.delay = exact.wire_delay_worst;
     if (exact.em_peak >
         tech.clock_layer.em_jmax * (1.0 - options.em_margin)) {
+      ++result.rejected;
       continue;
     }
-    if (!state.check_move(net_id, rule, impact, margins)) continue;
+    if (!state.check_move(net_id, rule, impact, margins)) {
+      ++result.rejected;
+      continue;
+    }
 
     state.apply_move(net_id, rule, exact);
     ++result.accepted;
@@ -104,6 +117,11 @@ AnnealResult anneal_rules(const netlist::ClockTree& tree,
   result.end_cap = result.final_eval.power.switched_cap;
   result.exact_cache_hits = state.exact_cache_hits();
   result.exact_cache_misses = state.exact_cache_misses();
+  state.flush_metrics();
+  SNDR_COUNTER_ADD("anneal.proposed", result.proposed);
+  SNDR_COUNTER_ADD("anneal.accepted", result.accepted);
+  SNDR_COUNTER_ADD("anneal.rejected", result.rejected);
+  SNDR_COUNTER_ADD("anneal.uphill_accepted", result.uphill_accepted);
   return result;
 }
 

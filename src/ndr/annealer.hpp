@@ -16,6 +16,7 @@
 
 #include "ndr/evaluation.hpp"
 #include "ndr/optimizer.hpp"
+#include "obs/metrics.hpp"
 
 namespace sndr::ndr {
 
@@ -44,6 +45,7 @@ struct AnnealResult {
   FlowEvaluation final_eval;
   int proposed = 0;
   int accepted = 0;
+  int rejected = 0;  ///< proposed == accepted + rejected, always.
   int uphill_accepted = 0;
   double start_cap = 0.0;  ///< F, switched cap of the input assignment.
   double end_cap = 0.0;    ///< F.
@@ -52,10 +54,8 @@ struct AnnealResult {
   std::int64_t exact_cache_hits = 0;
   std::int64_t exact_cache_misses = 0;
   double exact_cache_hit_rate() const {
-    const std::int64_t total = exact_cache_hits + exact_cache_misses;
-    return total == 0 ? 0.0
-                      : static_cast<double>(exact_cache_hits) /
-                            static_cast<double>(total);
+    return obs::safe_ratio(exact_cache_hits,
+                           exact_cache_hits + exact_cache_misses);
   }
 };
 

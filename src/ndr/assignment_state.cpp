@@ -79,8 +79,18 @@ AssignmentState::AssignmentState(const netlist::ClockTree& tree,
   }
 }
 
+void AssignmentState::flush_metrics() const {
+  const std::int64_t d_hits = cache_hits_ - flushed_hits_;
+  const std::int64_t d_misses = cache_misses_ - flushed_misses_;
+  if (d_hits > 0) SNDR_COUNTER_ADD("ndr.exact_cache.hits", d_hits);
+  if (d_misses > 0) SNDR_COUNTER_ADD("ndr.exact_cache.misses", d_misses);
+  flushed_hits_ = cache_hits_;
+  flushed_misses_ = cache_misses_;
+}
+
 void AssignmentState::rebuild(const RuleAssignment& assignment,
                               const FlowEvaluation& ev) {
+  flush_metrics();
   assignment_ = assignment;
   const int n_sinks = static_cast<int>(design_->sinks.size());
   sink_latency_ = ev.timing.sink_arrival;

@@ -13,6 +13,7 @@
 #include "ndr/evaluation.hpp"
 #include "ndr/net_eval.hpp"
 #include "ndr/predictor.hpp"
+#include "obs/metrics.hpp"
 
 namespace sndr::ndr {
 
@@ -86,11 +87,17 @@ class AssignmentState {
   std::int64_t exact_cache_hits() const { return cache_hits_; }
   std::int64_t exact_cache_misses() const { return cache_misses_; }
   double exact_cache_hit_rate() const {
-    const std::int64_t total = cache_hits_ + cache_misses_;
-    return total == 0 ? 0.0
-                      : static_cast<double>(cache_hits_) /
-                            static_cast<double>(total);
+    return obs::safe_ratio(cache_hits_, cache_hits_ + cache_misses_);
   }
+
+  /// Pushes the delta of hit/miss counts since the last flush into the
+  /// global registry (ndr.exact_cache.{hits,misses}). exact_eval itself
+  /// stays registry-free — it is the hottest path in the search — so the
+  /// counts reach the registry in batches: rebuild(), the destructor, and
+  /// flow ends all flush. Idempotent between new evals.
+  void flush_metrics() const;
+
+  ~AssignmentState() { flush_metrics(); }
 
   const netlist::ClockTree& tree() const { return *tree_; }
   const netlist::Design& design() const { return *design_; }
@@ -141,6 +148,8 @@ class AssignmentState {
   std::vector<std::uint64_t> ctx_gen_;  ///< per-net exact-eval context stamp.
   mutable std::int64_t cache_hits_ = 0;
   mutable std::int64_t cache_misses_ = 0;
+  mutable std::int64_t flushed_hits_ = 0;    ///< already in the registry.
+  mutable std::int64_t flushed_misses_ = 0;
   std::vector<std::vector<int>> sinks_under_;
   std::vector<std::vector<int>> nets_on_path_;
   std::vector<double> sink_latency_;

@@ -3,6 +3,8 @@
 #include <optional>
 
 #include "common/parallel.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace sndr::ndr {
 
@@ -55,6 +57,10 @@ MultiCornerReport evaluate_corners(
     const std::vector<tech::Corner>& corners,
     const timing::AnalysisOptions& options,
     const extract::GeometryCache* geometry) {
+  SNDR_TRACE_SPAN("evaluate_corners");
+  SNDR_COUNTER_ADD("ndr.corner_signoffs", 1);
+  SNDR_COUNTER_ADD("ndr.corners_evaluated",
+                   static_cast<std::int64_t>(corners.size()));
   // Geometry is corner-invariant: derating touches electrical coefficients
   // only, never routed paths or congestion. Build the cache once (unless
   // the caller shares theirs) and every corner materializes from it.

@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "common/parallel.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "route/congestion_route.hpp"
 
 namespace sndr::ndr {
@@ -32,6 +34,8 @@ FlowEvaluation evaluate(const netlist::ClockTree& tree,
   if (assignment.size() != static_cast<std::size_t>(nets.size())) {
     throw std::invalid_argument("ndr::evaluate: assignment size mismatch");
   }
+  SNDR_TRACE_SPAN("evaluate");
+  SNDR_COUNTER_ADD("ndr.evaluations", 1);
   FlowEvaluation ev;
   ev.assignment = assignment;
 

@@ -9,6 +9,7 @@
 
 #include "common/thread_pool.hpp"
 #include "ndr/assignment_state.hpp"
+#include "obs/trace.hpp"
 #include "route/congestion_route.hpp"
 #include "timing/delay_metrics.hpp"
 
@@ -287,8 +288,11 @@ void Optimizer::repair(FlowEvaluation& ev) {
 }
 
 SmartNdrResult Optimizer::run() {
+  SNDR_TRACE_SPAN("optimize_smart_ndr");
   if (opt_.threads >= 0) common::set_thread_count(opt_.threads);
   stats_.threads_used = common::thread_count();
+  SNDR_GAUGE_SET("optimizer.threads",
+                 static_cast<double>(stats_.threads_used));
   if (!opt_.initial_assignment.empty()) {
     if (opt_.initial_assignment.size() !=
         static_cast<std::size_t>(nets_.size())) {
@@ -338,13 +342,16 @@ SmartNdrResult Optimizer::run() {
   }
 
   const auto t1 = Clock::now();
-  for (int pass = 0; pass < opt_.max_passes; ++pass) {
-    ++stats_.passes;
-    int commits = 0;
-    for (const int id : sweep) {
-      if (improve_net(id)) ++commits;
+  {
+    SNDR_TRACE_SPAN("greedy_sweeps");
+    for (int pass = 0; pass < opt_.max_passes; ++pass) {
+      ++stats_.passes;
+      int commits = 0;
+      for (const int id : sweep) {
+        if (improve_net(id)) ++commits;
+      }
+      if (commits == 0) break;
     }
-    if (commits == 0) break;
   }
   stats_.optimize_seconds = seconds_since(t1);
 
@@ -356,6 +363,13 @@ SmartNdrResult Optimizer::run() {
 
   stats_.exact_cache_hits = state_.exact_cache_hits();
   stats_.exact_cache_misses = state_.exact_cache_misses();
+  state_.flush_metrics();
+  SNDR_COUNTER_ADD("optimizer.commits", stats_.commits);
+  SNDR_COUNTER_ADD("optimizer.candidates_scored", stats_.candidates_scored);
+  SNDR_COUNTER_ADD("optimizer.exact_net_evals", stats_.exact_net_evals);
+  SNDR_COUNTER_ADD("optimizer.full_evals", stats_.full_evals);
+  SNDR_COUNTER_ADD("optimizer.repair_upgrades", stats_.repair_upgrades);
+  SNDR_COUNTER_ADD("optimizer.passes", stats_.passes);
 
   SmartNdrResult result;
   result.assignment = assignment_;

@@ -25,6 +25,7 @@
 #include "ndr/evaluation.hpp"
 #include "ndr/net_eval.hpp"
 #include "ndr/predictor.hpp"
+#include "obs/metrics.hpp"
 
 namespace sndr::ndr {
 
@@ -83,10 +84,8 @@ struct OptimizerStats {
   std::int64_t exact_cache_hits = 0;
   std::int64_t exact_cache_misses = 0;
   double exact_cache_hit_rate() const {
-    const std::int64_t total = exact_cache_hits + exact_cache_misses;
-    return total == 0 ? 0.0
-                      : static_cast<double>(exact_cache_hits) /
-                            static_cast<double>(total);
+    return obs::safe_ratio(exact_cache_hits,
+                           exact_cache_hits + exact_cache_misses);
   }
   int threads_used = 0;  ///< resolved lane count the flow ran with.
 };

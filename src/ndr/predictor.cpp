@@ -5,6 +5,8 @@
 #include <cstdint>
 
 #include "common/parallel.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace sndr::ndr {
 
@@ -39,6 +41,7 @@ RuleImpactPredictor RuleImpactPredictor::train(
     const tech::Technology& tech, const netlist::NetList& nets,
     const timing::AnalysisOptions& options, int max_samples,
     double holdout_frac, const extract::GeometryCache* geometry) {
+  SNDR_TRACE_SPAN("predictor_train");
   RuleImpactPredictor pred;
   const int n_rules = tech.rules.size();
   const double freq = design.constraints.clock_freq;
@@ -85,6 +88,9 @@ RuleImpactPredictor RuleImpactPredictor::train(
   pred.report_.train_samples = n_train;
   pred.report_.holdout_samples =
       static_cast<int>(sample_ids.size()) - n_train;
+  SNDR_COUNTER_ADD("predictor.train_samples", pred.report_.train_samples);
+  SNDR_COUNTER_ADD("predictor.holdout_samples",
+                   pred.report_.holdout_samples);
 
   for (int r = 0; r < n_rules; ++r) {
     const tech::RoutingRule& rule = tech.rules[r];

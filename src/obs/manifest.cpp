@@ -1,0 +1,208 @@
+#include "obs/manifest.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace sndr::obs {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Shortest round-trippable decimal form, locale-independent.
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string detect_git_describe() {
+  std::string out;
+  if (FILE* p = popen("git describe --always --dirty 2>/dev/null", "r")) {
+    char buf[128];
+    while (std::fgets(buf, sizeof(buf), p) != nullptr) out += buf;
+    pclose(p);
+  }
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+    out.pop_back();
+  }
+  return out.empty() ? "unknown" : out;
+}
+
+std::string detect_host() {
+  char buf[256] = {0};
+  if (gethostname(buf, sizeof(buf) - 1) != 0) return "unknown";
+  return buf[0] ? buf : "unknown";
+}
+
+std::string utc_now_iso8601() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+/// Derived rates that only make sense as counter ratios; emitted when the
+/// underlying counters are registered.
+void append_derived(const MetricsRegistry::Snapshot& snap,
+                    std::vector<std::pair<std::string, double>>& out) {
+  const auto has = [&](const char* name) {
+    for (const auto& [n, v] : snap.counters) {
+      if (n == name) return true;
+    }
+    return false;
+  };
+  if (has("ndr.exact_cache.hits") || has("ndr.exact_cache.misses")) {
+    const std::int64_t hits = snap.counter("ndr.exact_cache.hits");
+    const std::int64_t misses = snap.counter("ndr.exact_cache.misses");
+    out.emplace_back("ndr.exact_cache.hit_rate",
+                     safe_ratio(hits, hits + misses));
+  }
+  if (has("anneal.proposed")) {
+    out.emplace_back("anneal.acceptance_rate",
+                     safe_ratio(snap.counter("anneal.accepted"),
+                                snap.counter("anneal.proposed")));
+  }
+  if (has("extract.geometry.builds") && has("ndr.evaluations")) {
+    // Builds per evaluation: ~0 when the geometry cache is shared well.
+    out.emplace_back("extract.geometry.builds_per_evaluation",
+                     safe_ratio(snap.counter("extract.geometry.builds"),
+                                snap.counter("ndr.evaluations")));
+  }
+}
+
+}  // namespace
+
+std::string run_manifest_json(const RunInfo& info) {
+  const MetricsRegistry::Snapshot snap =
+      MetricsRegistry::instance().snapshot();
+  const std::vector<TraceSink::SpanAggregate> spans =
+      TraceSink::instance().aggregate();
+  std::vector<std::pair<std::string, double>> derived;
+  append_derived(snap, derived);
+
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"schema\": \"" << kManifestSchema << "\",\n";
+  os << "  \"tool\": \"" << json_escape(info.tool) << "\",\n";
+  os << "  \"command\": \"" << json_escape(info.command) << "\",\n";
+  os << "  \"args\": [";
+  for (std::size_t i = 0; i < info.args.size(); ++i) {
+    os << (i ? ", " : "") << "\"" << json_escape(info.args[i]) << "\"";
+  }
+  os << "],\n";
+  os << "  \"git\": \"" << json_escape(detect_git_describe()) << "\",\n";
+  os << "  \"host\": \"" << json_escape(detect_host()) << "\",\n";
+  os << "  \"started_utc\": \"" << utc_now_iso8601() << "\",\n";
+  os << "  \"wall_seconds\": " << fmt_double(info.wall_seconds) << ",\n";
+  os << "  \"threads\": " << info.threads << ",\n";
+  os << "  \"seed\": " << info.seed << ",\n";
+
+  os << "  \"spans\": [";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const TraceSink::SpanAggregate& s = spans[i];
+    os << (i ? "," : "") << "\n    {\"name\": \"" << json_escape(s.name)
+       << "\", \"count\": " << s.count
+       << ", \"total_s\": " << fmt_double(s.total_s)
+       << ", \"mean_s\": "
+       << fmt_double(s.count > 0 ? s.total_s / static_cast<double>(s.count)
+                                 : 0.0)
+       << "}";
+  }
+  os << (spans.empty() ? "" : "\n  ") << "],\n";
+  os << "  \"spans_dropped\": " << TraceSink::instance().dropped() << ",\n";
+
+  os << "  \"counters\": {";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    os << (i ? "," : "") << "\n    \"" << json_escape(snap.counters[i].first)
+       << "\": " << snap.counters[i].second;
+  }
+  os << (snap.counters.empty() ? "" : "\n  ") << "},\n";
+
+  os << "  \"gauges\": {";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    os << (i ? "," : "") << "\n    \"" << json_escape(snap.gauges[i].first)
+       << "\": " << fmt_double(snap.gauges[i].second);
+  }
+  os << (snap.gauges.empty() ? "" : "\n  ") << "},\n";
+
+  os << "  \"histograms\": {";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const auto& [name, h] = snap.histograms[i];
+    os << (i ? "," : "") << "\n    \"" << json_escape(name)
+       << "\": {\"count\": " << h.count << ", \"sum\": " << fmt_double(h.sum)
+       << ", \"min\": " << fmt_double(h.count > 0 ? h.min : 0.0)
+       << ", \"max\": " << fmt_double(h.count > 0 ? h.max : 0.0)
+       << ", \"buckets\": [";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      os << (b ? ", " : "") << "[" << fmt_double(h.buckets[b].first) << ", "
+         << h.buckets[b].second << "]";
+    }
+    os << "]}";
+  }
+  os << (snap.histograms.empty() ? "" : "\n  ") << "},\n";
+
+  os << "  \"derived\": {";
+  for (std::size_t i = 0; i < derived.size(); ++i) {
+    os << (i ? "," : "") << "\n    \"" << json_escape(derived[i].first)
+       << "\": " << fmt_double(derived[i].second);
+  }
+  os << (derived.empty() ? "" : "\n  ") << "}\n";
+  os << "}\n";
+  return os.str();
+}
+
+void write_run_manifest(const std::string& path, const RunInfo& info) {
+  std::ofstream f(path);
+  if (!f) {
+    throw std::runtime_error("obs: cannot open manifest output " + path);
+  }
+  f << run_manifest_json(info);
+  if (!f.good()) {
+    throw std::runtime_error("obs: failed writing manifest " + path);
+  }
+}
+
+void write_chrome_trace_file(const std::string& path) {
+  std::ofstream f(path);
+  if (!f) {
+    throw std::runtime_error("obs: cannot open trace output " + path);
+  }
+  TraceSink::instance().write_chrome_trace(f);
+  if (!f.good()) {
+    throw std::runtime_error("obs: failed writing trace " + path);
+  }
+}
+
+}  // namespace sndr::obs

@@ -1,0 +1,47 @@
+// Run manifests: one schema-versioned JSON document per invocation.
+//
+// A manifest is the durable record of a run — what was run (tool,
+// command, args, git state, host), how (threads, seed), and what the
+// observability layer saw (per-stage span rollup, every registry
+// counter/gauge/histogram, derived rates). The CLI writes one per
+// invocation behind --metrics-out; bench binaries write one per run so
+// perf trajectory is a byproduct of observability
+// (scripts/bench_check.sh reads kernel numbers out of the bench
+// manifest instead of a hand-rolled format).
+//
+// Schema "sndr.run_manifest/1" — one key per line, keys in fixed order,
+// metric names sorted — so the document is diffable, greppable, and
+// golden-testable (tests/manifest_golden_test.cpp normalizes the
+// volatile fields: git, host, started_utc, wall_seconds, span times and
+// *.seconds gauges).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sndr::obs {
+
+inline constexpr const char* kManifestSchema = "sndr.run_manifest/1";
+
+struct RunInfo {
+  std::string tool;     ///< e.g. "sndr_cli", "bench_micro_kernels".
+  std::string command;  ///< e.g. "run", "micro_kernels".
+  std::vector<std::string> args;
+  int threads = 0;            ///< resolved lane count.
+  std::uint64_t seed = 0;
+  double wall_seconds = -1.0;  ///< whole-run wall time; < 0 = unknown.
+};
+
+/// The manifest document for the current process state (full registry
+/// snapshot + span rollup + derived rates).
+std::string run_manifest_json(const RunInfo& info);
+
+/// Writes run_manifest_json to `path` (throws std::runtime_error on I/O
+/// failure).
+void write_run_manifest(const std::string& path, const RunInfo& info);
+
+/// Writes the Chrome-trace JSON of every recorded span to `path`.
+void write_chrome_trace_file(const std::string& path);
+
+}  // namespace sndr::obs

@@ -1,0 +1,302 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+namespace sndr::obs {
+
+namespace {
+
+std::atomic<bool> g_metrics_enabled{true};
+
+/// Relaxed add for atomic<double> via CAS (portable across libstdc++
+/// versions that predate floating fetch_add).
+void atomic_add(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+bool metrics_enabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void set_metrics_enabled(bool on) {
+  g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+/// One thread's lock-free slice of every metric. All slots are atomics so
+/// snapshot() may read them from another thread; the owning thread is the
+/// only writer (except reset(), which is test-only by contract).
+struct MetricsRegistry::Shard {
+  std::array<std::atomic<std::int64_t>, kMaxCounters> counters{};
+  struct Hist {
+    std::atomic<std::int64_t> count{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> min{std::numeric_limits<double>::infinity()};
+    std::atomic<double> max{-std::numeric_limits<double>::infinity()};
+    std::array<std::atomic<std::int64_t>, kHistBuckets> buckets{};
+  };
+  std::array<Hist, kMaxHistograms> hists;
+
+  void zero() {
+    for (auto& c : counters) c.store(0, std::memory_order_relaxed);
+    for (auto& h : hists) {
+      h.count.store(0, std::memory_order_relaxed);
+      h.sum.store(0.0, std::memory_order_relaxed);
+      h.min.store(std::numeric_limits<double>::infinity(),
+                  std::memory_order_relaxed);
+      h.max.store(-std::numeric_limits<double>::infinity(),
+                  std::memory_order_relaxed);
+      for (auto& b : h.buckets) b.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  /// Folds this shard into `into` (relaxed adds; used on thread retire).
+  void merge_into(Shard& into) const {
+    for (int i = 0; i < kMaxCounters; ++i) {
+      const std::int64_t v = counters[i].load(std::memory_order_relaxed);
+      if (v != 0) into.counters[i].fetch_add(v, std::memory_order_relaxed);
+    }
+    for (int i = 0; i < kMaxHistograms; ++i) {
+      const Hist& h = hists[i];
+      const std::int64_t n = h.count.load(std::memory_order_relaxed);
+      if (n == 0) continue;
+      into.hists[i].count.fetch_add(n, std::memory_order_relaxed);
+      atomic_add(into.hists[i].sum, h.sum.load(std::memory_order_relaxed));
+      atomic_min(into.hists[i].min, h.min.load(std::memory_order_relaxed));
+      atomic_max(into.hists[i].max, h.max.load(std::memory_order_relaxed));
+      for (int b = 0; b < kHistBuckets; ++b) {
+        const std::int64_t c = h.buckets[b].load(std::memory_order_relaxed);
+        if (c != 0) {
+          into.hists[i].buckets[b].fetch_add(c, std::memory_order_relaxed);
+        }
+      }
+    }
+  }
+};
+
+namespace {
+
+/// Registry internals live in one leaked block so thread-exit hooks can
+/// run at any point of static destruction.
+struct State {
+  std::mutex mutex;  ///< registration, shard list, snapshot, reset.
+  std::map<std::string, int> counter_ids;
+  std::map<std::string, int> gauge_ids;
+  std::map<std::string, int> hist_ids;
+  std::vector<std::string> counter_names;
+  std::vector<std::string> gauge_names;
+  std::vector<std::string> hist_names;
+  std::array<std::atomic<double>, MetricsRegistry::kMaxGauges> gauges{};
+  std::vector<MetricsRegistry::Shard*> live_shards;
+  MetricsRegistry::Shard retired;  ///< totals of exited threads.
+};
+
+State& state() {
+  static State* s = new State();  // leaked: see comment above.
+  return *s;
+}
+
+int register_name(std::map<std::string, int>& ids,
+                  std::vector<std::string>& names, const std::string& name,
+                  int cap, const char* kind, const State& st) {
+  // One name, one type: collisions across kinds are programming errors.
+  const int in_others = (st.counter_ids.count(name) ? 1 : 0) +
+                        (st.gauge_ids.count(name) ? 1 : 0) +
+                        (st.hist_ids.count(name) ? 1 : 0);
+  const auto it = ids.find(name);
+  if (it != ids.end()) return it->second;
+  if (in_others > 0) {
+    throw std::logic_error("obs: metric '" + name +
+                           "' already registered with another type");
+  }
+  if (static_cast<int>(names.size()) >= cap) {
+    throw std::runtime_error(std::string("obs: too many ") + kind +
+                             " metrics (cap reached)");
+  }
+  const int id = static_cast<int>(names.size());
+  names.push_back(name);
+  ids.emplace(name, id);
+  return id;
+}
+
+}  // namespace
+
+/// Thread-local shard holder: registers on first metric write from a
+/// thread, merges into the retired accumulator on thread exit.
+struct MetricsRegistry::ThreadShard {
+  Shard* shard = nullptr;
+  ThreadShard() {
+    shard = new Shard();
+    State& st = state();
+    std::lock_guard<std::mutex> lock(st.mutex);
+    st.live_shards.push_back(shard);
+  }
+  ~ThreadShard() {
+    State& st = state();
+    std::lock_guard<std::mutex> lock(st.mutex);
+    shard->merge_into(st.retired);
+    st.live_shards.erase(
+        std::find(st.live_shards.begin(), st.live_shards.end(), shard));
+    delete shard;
+  }
+};
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry* inst = new MetricsRegistry();  // leaked.
+  return *inst;
+}
+
+MetricsRegistry::Shard* MetricsRegistry::local_shard() {
+  thread_local ThreadShard tls;
+  return tls.shard;
+}
+
+int MetricsRegistry::counter(const std::string& name) {
+  State& st = state();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  return register_name(st.counter_ids, st.counter_names, name, kMaxCounters,
+                       "counter", st);
+}
+
+int MetricsRegistry::gauge(const std::string& name) {
+  State& st = state();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  return register_name(st.gauge_ids, st.gauge_names, name, kMaxGauges,
+                       "gauge", st);
+}
+
+int MetricsRegistry::histogram(const std::string& name) {
+  State& st = state();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  return register_name(st.hist_ids, st.hist_names, name, kMaxHistograms,
+                       "histogram", st);
+}
+
+void MetricsRegistry::add(int counter_id, std::int64_t delta) {
+  if (!metrics_enabled()) return;
+  if (counter_id < 0 || counter_id >= kMaxCounters) return;
+  local_shard()->counters[counter_id].fetch_add(delta,
+                                                std::memory_order_relaxed);
+}
+
+void MetricsRegistry::set(int gauge_id, double value) {
+  if (!metrics_enabled()) return;
+  if (gauge_id < 0 || gauge_id >= kMaxGauges) return;
+  state().gauges[gauge_id].store(value, std::memory_order_relaxed);
+}
+
+double MetricsRegistry::bucket_lower_bound(int i) {
+  return std::ldexp(1.0, i - kBucketBias);
+}
+
+void MetricsRegistry::observe(int histogram_id, double value) {
+  if (!metrics_enabled()) return;
+  if (histogram_id < 0 || histogram_id >= kMaxHistograms) return;
+  Shard::Hist& h = local_shard()->hists[histogram_id];
+  h.count.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(h.sum, value);
+  atomic_min(h.min, value);
+  atomic_max(h.max, value);
+  int bucket = 0;  // zero / negative / underflow land in bucket 0.
+  if (value > 0.0 && std::isfinite(value)) {
+    bucket = std::clamp(std::ilogb(value) + kBucketBias, 0,
+                        kHistBuckets - 1);
+  }
+  h.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::int64_t MetricsRegistry::Snapshot::counter(
+    const std::string& name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+double MetricsRegistry::Snapshot::gauge(const std::string& name) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return 0.0;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  State& st = state();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  Snapshot out;
+
+  // std::map iteration gives name order directly.
+  for (const auto& [name, id] : st.counter_ids) {
+    std::int64_t total =
+        st.retired.counters[id].load(std::memory_order_relaxed);
+    for (const Shard* s : st.live_shards) {
+      total += s->counters[id].load(std::memory_order_relaxed);
+    }
+    out.counters.emplace_back(name, total);
+  }
+  for (const auto& [name, id] : st.gauge_ids) {
+    out.gauges.emplace_back(name,
+                            st.gauges[id].load(std::memory_order_relaxed));
+  }
+  for (const auto& [name, id] : st.hist_ids) {
+    HistogramSnapshot hs;
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    std::array<std::int64_t, kHistBuckets> buckets{};
+    const auto fold = [&](const Shard& s) {
+      const Shard::Hist& h = s.hists[id];
+      hs.count += h.count.load(std::memory_order_relaxed);
+      hs.sum += h.sum.load(std::memory_order_relaxed);
+      lo = std::min(lo, h.min.load(std::memory_order_relaxed));
+      hi = std::max(hi, h.max.load(std::memory_order_relaxed));
+      for (int b = 0; b < kHistBuckets; ++b) {
+        buckets[b] += h.buckets[b].load(std::memory_order_relaxed);
+      }
+    };
+    fold(st.retired);
+    for (const Shard* s : st.live_shards) fold(*s);
+    if (hs.count > 0) {
+      hs.min = lo;
+      hs.max = hi;
+    }
+    for (int b = 0; b < kHistBuckets; ++b) {
+      if (buckets[b] != 0) {
+        hs.buckets.emplace_back(bucket_lower_bound(b), buckets[b]);
+      }
+    }
+    out.histograms.emplace_back(name, std::move(hs));
+  }
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  State& st = state();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  st.retired.zero();
+  for (Shard* s : st.live_shards) s->zero();
+  for (auto& g : st.gauges) g.store(0.0, std::memory_order_relaxed);
+}
+
+}  // namespace sndr::obs

@@ -1,0 +1,145 @@
+// Process-global metrics: typed counters, gauges, and histograms.
+//
+// The registry is the single sink for every quantitative observation the
+// library makes about itself (cache hits, nets extracted, anneal moves,
+// pool jobs...). Design constraints, in order:
+//
+//   * Hot-path writes are lock-free: counter/histogram updates land in a
+//     per-thread shard (plain relaxed atomics the owning thread never
+//     contends on); snapshot() merges the shards. Shards of exited
+//     threads are folded into a retired accumulator, so no observation is
+//     ever lost.
+//   * Zero overhead when disabled: every instrumentation macro first
+//     reads one atomic flag and touches nothing else — no clock, no
+//     registration, no thread-local setup, no allocation
+//     (tests/obs_test.cpp pins the no-allocation guarantee).
+//   * Fixed capacity: metric slots are preallocated arrays, so shard
+//     updates never race a container growth. Exceeding a capacity throws
+//     at registration time (a programming error, not a runtime state).
+//
+// Naming convention (DESIGN.md §7): lowercase dotted paths, subsystem
+// first — "extract.geometry.builds", "ndr.exact_cache.hits",
+// "anneal.proposed", "pool.jobs". Hot loops that cannot afford even a
+// relaxed atomic per event keep a local plain counter and flush the
+// delta at a natural boundary (see AssignmentState::flush_metrics).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sndr::obs {
+
+/// Global metrics switch (default: on). Disabling makes every macro and
+/// registry write below a single relaxed load + branch.
+bool metrics_enabled();
+void set_metrics_enabled(bool on);
+
+/// hits/total-style ratio that reports 0.0 instead of dividing by zero
+/// (greedy models-mode flows legitimately make zero exact evals).
+inline double safe_ratio(std::int64_t num, std::int64_t den) {
+  return den == 0 ? 0.0
+                  : static_cast<double>(num) / static_cast<double>(den);
+}
+
+class MetricsRegistry {
+ public:
+  // Capacities are deliberate hard caps: shards are fixed arrays so the
+  // lock-free write path never races a resize.
+  static constexpr int kMaxCounters = 256;
+  static constexpr int kMaxGauges = 128;
+  static constexpr int kMaxHistograms = 64;
+  /// Power-of-two histogram buckets: bucket i spans [2^(i-kBucketBias),
+  /// 2^(i+1-kBucketBias)); index 0 also absorbs zero/negative/underflow.
+  static constexpr int kHistBuckets = 96;
+  static constexpr int kBucketBias = 80;
+
+  static MetricsRegistry& instance();
+
+  /// Register-or-lookup by name; returns a stable id for the write calls.
+  /// A name is bound to one type — reusing it with another type throws.
+  int counter(const std::string& name);
+  int gauge(const std::string& name);
+  int histogram(const std::string& name);
+
+  void add(int counter_id, std::int64_t delta);
+  void set(int gauge_id, double value);
+  void observe(int histogram_id, double value);
+
+  struct HistogramSnapshot {
+    std::int64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;  ///< meaningful only when count > 0.
+    double max = 0.0;
+    /// Sparse nonzero buckets as (lower bound, count), ascending.
+    std::vector<std::pair<double, std::int64_t>> buckets;
+  };
+
+  /// A merged, name-sorted view of every registered metric.
+  struct Snapshot {
+    std::vector<std::pair<std::string, std::int64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+    /// Counter value by name (0 when absent) — convenient for tests.
+    std::int64_t counter(const std::string& name) const;
+    double gauge(const std::string& name) const;
+  };
+  Snapshot snapshot() const;
+
+  /// Zeroes every value (registrations survive). Testing / run isolation
+  /// only; concurrent writers may leak observations into the new epoch.
+  void reset();
+
+  /// Inclusive lower bound of histogram bucket `i`.
+  static double bucket_lower_bound(int i);
+
+  // Implementation detail (defined in metrics.cpp); public only so the
+  // file-local registry state can hold Shard pointers.
+  struct Shard;
+
+ private:
+  MetricsRegistry() = default;
+  struct ThreadShard;
+  Shard* local_shard();
+};
+
+}  // namespace sndr::obs
+
+// Instrumentation macros. `name` must be a string literal (or otherwise
+// live forever); the registry id resolves once per call site.
+#define SNDR_OBS_CONCAT2(a, b) a##b
+#define SNDR_OBS_CONCAT(a, b) SNDR_OBS_CONCAT2(a, b)
+
+#define SNDR_COUNTER_ADD(name, delta)                                     \
+  do {                                                                    \
+    if (::sndr::obs::metrics_enabled()) {                                 \
+      static const int SNDR_OBS_CONCAT(sndr_obs_id_, __LINE__) =          \
+          ::sndr::obs::MetricsRegistry::instance().counter(name);         \
+      ::sndr::obs::MetricsRegistry::instance().add(                       \
+          SNDR_OBS_CONCAT(sndr_obs_id_, __LINE__), (delta));              \
+    }                                                                     \
+  } while (0)
+
+#define SNDR_GAUGE_SET(name, value)                                       \
+  do {                                                                    \
+    if (::sndr::obs::metrics_enabled()) {                                 \
+      static const int SNDR_OBS_CONCAT(sndr_obs_id_, __LINE__) =          \
+          ::sndr::obs::MetricsRegistry::instance().gauge(name);           \
+      ::sndr::obs::MetricsRegistry::instance().set(                       \
+          SNDR_OBS_CONCAT(sndr_obs_id_, __LINE__), (value));              \
+    }                                                                     \
+  } while (0)
+
+#define SNDR_HISTOGRAM_OBSERVE(name, value)                               \
+  do {                                                                    \
+    if (::sndr::obs::metrics_enabled()) {                                 \
+      static const int SNDR_OBS_CONCAT(sndr_obs_id_, __LINE__) =          \
+          ::sndr::obs::MetricsRegistry::instance().histogram(name);       \
+      ::sndr::obs::MetricsRegistry::instance().observe(                   \
+          SNDR_OBS_CONCAT(sndr_obs_id_, __LINE__), (value));              \
+    }                                                                     \
+  } while (0)

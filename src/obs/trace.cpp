@@ -1,0 +1,143 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <ostream>
+
+namespace sndr::obs {
+
+namespace {
+
+std::atomic<bool> g_tracing_enabled{true};
+
+struct SinkState {
+  mutable std::mutex mutex;
+  std::vector<SpanRecord> records;
+  std::int64_t dropped = 0;
+};
+
+SinkState& sink_state() {
+  static SinkState* s = new SinkState();  // leaked: thread-exit safe.
+  return *s;
+}
+
+std::atomic<std::int32_t> g_next_tid{0};
+
+std::int32_t local_tid() {
+  thread_local std::int32_t tid =
+      g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+thread_local std::int32_t t_depth = 0;
+
+}  // namespace
+
+bool tracing_enabled() {
+  return g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+void set_tracing_enabled(bool on) {
+  g_tracing_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::int64_t trace_now_ns() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point base = Clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              base)
+      .count();
+}
+
+TraceSink& TraceSink::instance() {
+  static TraceSink* inst = new TraceSink();  // leaked.
+  return *inst;
+}
+
+void TraceSink::append(const SpanRecord& r) {
+  SinkState& st = sink_state();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  if (st.records.size() >= kMaxRecords) {
+    ++st.dropped;
+    return;
+  }
+  st.records.push_back(r);
+}
+
+std::vector<SpanRecord> TraceSink::records() const {
+  SinkState& st = sink_state();
+  std::vector<SpanRecord> out;
+  {
+    std::lock_guard<std::mutex> lock(st.mutex);
+    out = st.records;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.tid < b.tid;
+            });
+  return out;
+}
+
+std::vector<TraceSink::SpanAggregate> TraceSink::aggregate() const {
+  std::map<std::string, SpanAggregate> by_name;
+  for (const SpanRecord& r : records()) {
+    SpanAggregate& agg = by_name[r.name];
+    agg.name = r.name;
+    ++agg.count;
+    agg.total_s += static_cast<double>(r.dur_ns) * 1e-9;
+  }
+  std::vector<SpanAggregate> out;
+  out.reserve(by_name.size());
+  for (auto& [name, agg] : by_name) out.push_back(std::move(agg));
+  return out;
+}
+
+std::int64_t TraceSink::dropped() const {
+  SinkState& st = sink_state();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  return st.dropped;
+}
+
+void TraceSink::reset() {
+  SinkState& st = sink_state();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  st.records.clear();
+  st.dropped = 0;
+}
+
+void TraceSink::write_chrome_trace(std::ostream& os) const {
+  const std::vector<SpanRecord> recs = records();
+  const auto old_precision = os.precision(15);
+  os << "[\n";
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    const SpanRecord& r = recs[i];
+    os << "{\"name\":\"" << r.name << "\",\"cat\":\"sndr\",\"ph\":\"X\""
+       << ",\"ts\":" << static_cast<double>(r.start_ns) * 1e-3
+       << ",\"dur\":" << static_cast<double>(r.dur_ns) * 1e-3
+       << ",\"pid\":1,\"tid\":" << r.tid << "}"
+       << (i + 1 < recs.size() ? ",\n" : "\n");
+  }
+  os << "]\n";
+  os.precision(old_precision);
+}
+
+TraceSpan::TraceSpan(const char* name) : name_(name) {
+  if (!tracing_enabled()) return;
+  active_ = true;
+  ++t_depth;
+  start_ns_ = trace_now_ns();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  const std::int64_t end_ns = trace_now_ns();
+  const std::int32_t depth = --t_depth;
+  TraceSink::instance().append(
+      {name_, start_ns_, end_ns - start_ns_, depth, local_tid()});
+}
+
+}  // namespace sndr::obs

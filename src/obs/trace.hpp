@@ -1,0 +1,93 @@
+// Hierarchical trace spans over a monotonic clock.
+//
+// SNDR_TRACE_SPAN("stage") opens an RAII span: construction notes the
+// steady-clock time and nesting depth, destruction appends one SpanRecord
+// to the process-global TraceSink. Spans are *stage-grained* by
+// convention (extract_all, evaluate, anneal, predictor_train...) — never
+// per-net or per-RC-piece — so a full CLI run produces hundreds of
+// records, not millions; a fixed cap (with a drop counter) bounds memory
+// regardless.
+//
+// Thread ids are obs-local: the first thread to trace is tid 0, the next
+// tid 1, ... (pool workers pick up stable ids the first time they trace).
+// Disabled mode (set_tracing_enabled(false)) reduces the macro to one
+// relaxed atomic load — no clock read, no lock, no allocation.
+//
+// Exports: TraceSink::aggregate() feeds the per-stage span table of the
+// run manifest (manifest.hpp); write_chrome_trace() emits the JSON that
+// chrome://tracing / Perfetto load directly.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sndr::obs {
+
+/// Global tracing switch (default: on).
+bool tracing_enabled();
+void set_tracing_enabled(bool on);
+
+struct SpanRecord {
+  const char* name = nullptr;  ///< static string (macro passes literals).
+  std::int64_t start_ns = 0;   ///< steady clock, relative to process base.
+  std::int64_t dur_ns = 0;
+  std::int32_t depth = 0;  ///< nesting level on the recording thread.
+  std::int32_t tid = 0;    ///< obs-local thread id.
+};
+
+class TraceSink {
+ public:
+  /// Records kept before further spans are counted as dropped.
+  static constexpr std::size_t kMaxRecords = 1u << 18;
+
+  static TraceSink& instance();
+
+  /// All finished spans, ordered by (start_ns, tid).
+  std::vector<SpanRecord> records() const;
+
+  struct SpanAggregate {
+    std::string name;
+    std::int64_t count = 0;
+    double total_s = 0.0;  ///< sum of durations (nested spans overlap).
+  };
+  /// Per-name rollup, name-sorted — the manifest's span table.
+  std::vector<SpanAggregate> aggregate() const;
+
+  std::int64_t dropped() const;
+  void reset();
+
+  /// Chrome-trace JSON (chrome://tracing, Perfetto): one complete ("ph":
+  /// "X") event per span, timestamps in microseconds.
+  void write_chrome_trace(std::ostream& os) const;
+
+  void append(const SpanRecord& r);  ///< TraceSpan internal use.
+
+ private:
+  TraceSink() = default;
+};
+
+/// RAII span; prefer the SNDR_TRACE_SPAN macro.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  std::int64_t start_ns_ = 0;
+  bool active_ = false;
+};
+
+/// Nanoseconds since the process's trace epoch (first use).
+std::int64_t trace_now_ns();
+
+}  // namespace sndr::obs
+
+#define SNDR_OBS_CONCAT2_TRACE(a, b) a##b
+#define SNDR_OBS_CONCAT_TRACE(a, b) SNDR_OBS_CONCAT2_TRACE(a, b)
+#define SNDR_TRACE_SPAN(name) \
+  ::sndr::obs::TraceSpan SNDR_OBS_CONCAT_TRACE(sndr_trace_span_, __LINE__)(name)

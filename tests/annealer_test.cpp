@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "ndr/smart_ndr.hpp"
 #include "test_util.hpp"
 
@@ -77,6 +79,40 @@ TEST_F(AnnealerFixture, ZeroIterationsIsIdentity) {
       anneal_rules(f.cts.tree, f.design, f.tech, f.nets, blanket, opt);
   EXPECT_EQ(sa.assignment, blanket);
   EXPECT_EQ(sa.proposed, 0);
+}
+
+TEST_F(AnnealerFixture, AcceptedPlusRejectedEqualsProposed) {
+  // Every proposed move is decided exactly once, whichever of the three
+  // rejection gates (Metropolis, EM bound, incremental constraint check)
+  // fires — across seeds so all gates get exercised.
+  const RuleAssignment blanket =
+      assign_all(f.nets, f.tech.rules.blanket_index());
+  for (const std::uint64_t seed : {1u, 7u, 23u, 101u}) {
+    AnnealOptions opt;
+    opt.iterations = 1500;
+    opt.seed = seed;
+    const AnnealResult sa =
+        anneal_rules(f.cts.tree, f.design, f.tech, f.nets, blanket, opt);
+    EXPECT_EQ(sa.proposed, opt.iterations) << "seed " << seed;
+    EXPECT_EQ(sa.accepted + sa.rejected, sa.proposed) << "seed " << seed;
+    EXPECT_GE(sa.rejected, 0) << "seed " << seed;
+  }
+}
+
+TEST_F(AnnealerFixture, ZeroEvalHitRateIsZeroNotNaN) {
+  // Regression: with zero exact evals the hit rate must report 0.0
+  // (hits/total used to be an unguarded division).
+  AnnealOptions opt;
+  opt.iterations = 0;
+  const RuleAssignment blanket =
+      assign_all(f.nets, f.tech.rules.blanket_index());
+  const AnnealResult sa =
+      anneal_rules(f.cts.tree, f.design, f.tech, f.nets, blanket, opt);
+  EXPECT_EQ(sa.exact_cache_hits + sa.exact_cache_misses, 0);
+  EXPECT_EQ(sa.exact_cache_hit_rate(), 0.0);
+  EXPECT_FALSE(std::isnan(sa.exact_cache_hit_rate()));
+  EXPECT_EQ(AnnealResult{}.exact_cache_hit_rate(), 0.0);
+  EXPECT_EQ(OptimizerStats{}.exact_cache_hit_rate(), 0.0);
 }
 
 }  // namespace

@@ -1,0 +1,154 @@
+// Golden-file test for the run manifest (schema sndr.run_manifest/1).
+//
+// Runs a small deterministic flow single-threaded, renders the manifest,
+// normalizes the volatile fields (git state, host, timestamps, every wall
+// time), and compares line-by-line against tests/golden/
+// run_manifest_small.json. Counters, histogram contents, derived rates,
+// span names/counts, and the key order are all pinned exactly — a schema
+// drift or a counter regression shows up as a readable diff.
+//
+// Refresh after an intentional change:
+//   SNDR_UPDATE_GOLDEN=1 ./build/tests/manifest_golden_test
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "ndr/smart_ndr.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "test_util.hpp"
+
+namespace sndr {
+namespace {
+
+const char* kGoldenPath =
+    SNDR_TEST_SOURCE_DIR "/golden/run_manifest_small.json";
+
+/// Replaces the value part of `"key": ...` with a placeholder.
+void normalize_value(std::string& line, const std::string& key,
+                     const char* placeholder) {
+  const std::string tag = "\"" + key + "\": ";
+  const std::size_t at = line.find(tag);
+  if (at == std::string::npos) return;
+  const std::size_t start = at + tag.size();
+  // Value ends at the next comma or closing brace at this level; manifest
+  // scalars never contain either, strings never contain escaped quotes of
+  // their own here.
+  std::size_t end = start;
+  if (line[start] == '"') {
+    end = line.find('"', start + 1) + 1;
+  } else {
+    end = line.find_first_of(",}", start);
+    if (end == std::string::npos) end = line.size();
+  }
+  line.replace(start, end - start, placeholder);
+}
+
+std::string normalize(const std::string& manifest) {
+  std::istringstream in(manifest);
+  std::ostringstream out;
+  std::string line;
+  while (std::getline(in, line)) {
+    normalize_value(line, "git", "\"<git>\"");
+    normalize_value(line, "host", "\"<host>\"");
+    normalize_value(line, "started_utc", "\"<utc>\"");
+    normalize_value(line, "wall_seconds", "<s>");
+    normalize_value(line, "total_s", "<s>");
+    normalize_value(line, "mean_s", "<s>");
+    out << line << "\n";
+  }
+  return out.str();
+}
+
+std::string run_small_flow_manifest() {
+  obs::MetricsRegistry::instance().reset();
+  obs::TraceSink::instance().reset();
+  common::set_thread_count(1);
+
+  test::Flow f = test::small_flow(64, 3);
+  const ndr::RuleAssignment blanket =
+      ndr::assign_all(f.nets, f.tech.rules.blanket_index());
+  (void)ndr::evaluate(f.cts.tree, f.design, f.tech, f.nets, blanket);
+  (void)ndr::evaluate_corners(f.cts.tree, f.design, f.tech, f.nets, blanket);
+  ndr::AnnealOptions aopt;
+  aopt.iterations = 200;
+  (void)ndr::anneal_rules(f.cts.tree, f.design, f.tech, f.nets, blanket,
+                          aopt);
+  common::set_thread_count(-1);
+
+  obs::RunInfo info;
+  info.tool = "manifest_golden_test";
+  info.command = "small_flow";
+  info.args = {"--sinks", "64", "--seed", "3"};
+  info.threads = 1;
+  info.seed = 3;
+  info.wall_seconds = 0.5;  // normalized away; any value works.
+  return obs::run_manifest_json(info);
+}
+
+TEST(ManifestGolden, SmallFlowMatchesGolden) {
+  const std::string got = normalize(run_small_flow_manifest());
+
+  if (std::getenv("SNDR_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(kGoldenPath);
+    ASSERT_TRUE(out.good()) << "cannot write " << kGoldenPath;
+    out << got;
+    GTEST_SKIP() << "golden refreshed: " << kGoldenPath;
+  }
+
+  std::ifstream in(kGoldenPath);
+  ASSERT_TRUE(in.good())
+      << "missing golden " << kGoldenPath
+      << " — generate with SNDR_UPDATE_GOLDEN=1";
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string want = ss.str();
+
+  if (got == want) return;
+  // Readable diff: first divergent line with context.
+  std::istringstream gi(got), wi(want);
+  std::string gl, wl;
+  int line_no = 0;
+  std::string msg;
+  while (true) {
+    const bool gok = static_cast<bool>(std::getline(gi, gl));
+    const bool wok = static_cast<bool>(std::getline(wi, wl));
+    ++line_no;
+    if (!gok && !wok) break;
+    if (gok != wok || gl != wl) {
+      msg = "first difference at line " + std::to_string(line_no) +
+            "\n  golden: " + (wok ? wl : "<eof>") +
+            "\n  got:    " + (gok ? gl : "<eof>");
+      break;
+    }
+  }
+  FAIL() << "manifest drifted from golden (refresh intentionally with "
+            "SNDR_UPDATE_GOLDEN=1)\n"
+         << msg;
+}
+
+TEST(ManifestGolden, ManifestIsStableAcrossRepeatedRenders) {
+  // Rendering twice without new observations must be byte-identical
+  // (snapshot and aggregation are deterministic, names sorted).
+  obs::MetricsRegistry::instance().reset();
+  obs::TraceSink::instance().reset();
+  SNDR_COUNTER_ADD("test.golden_stable", 7);
+  obs::RunInfo info;
+  info.tool = "t";
+  info.command = "c";
+  const std::string a = normalize(obs::run_manifest_json(info));
+  const std::string b = normalize(obs::run_manifest_json(info));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"test.golden_stable\": 7"), std::string::npos);
+  EXPECT_NE(a.find("\"schema\": \"sndr.run_manifest/1\""),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace sndr

@@ -1,0 +1,297 @@
+// Observability layer: spans, sharded metrics, and the guarantees the
+// instrumented flow depends on (bit-identical counters at any thread
+// count, zero allocation when disabled, hit rates that never divide by
+// zero).
+//
+// Each TEST runs in its own process (gtest_discover_tests), so registry /
+// sink resets here cannot leak into other suites.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "extract/net_geometry.hpp"
+#include "ndr/smart_ndr.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "tech/corners.hpp"
+#include "test_util.hpp"
+
+// --- Global allocation counter (DisabledModeMakesNoAllocations) -----------
+
+namespace {
+std::atomic<bool> g_count_allocs{false};
+std::atomic<std::int64_t> g_alloc_count{0};
+}  // namespace
+
+// Both operators are replaced as a matched malloc/free pair; GCC's
+// heuristic cannot see that and flags the free.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void* operator new(std::size_t size) {
+  if (g_count_allocs.load(std::memory_order_relaxed)) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
+
+namespace sndr {
+namespace {
+
+using obs::MetricsRegistry;
+using obs::TraceSink;
+
+TEST(Trace, SpanNestingAndTimingMonotonicity) {
+  TraceSink::instance().reset();
+  {
+    SNDR_TRACE_SPAN("outer");
+    {
+      SNDR_TRACE_SPAN("inner");
+      // Make the inner span measurably non-empty on the monotonic clock.
+      volatile double sink = 0.0;
+      for (int i = 0; i < 50000; ++i) sink = sink + std::sqrt(double(i));
+    }
+  }
+  const std::vector<obs::SpanRecord> recs = TraceSink::instance().records();
+  ASSERT_EQ(recs.size(), 2u);
+  // records() orders by start time: outer opened first.
+  EXPECT_STREQ(recs[0].name, "outer");
+  EXPECT_STREQ(recs[1].name, "inner");
+  EXPECT_EQ(recs[0].depth, 0);
+  EXPECT_EQ(recs[1].depth, 1);
+  EXPECT_GE(recs[1].start_ns, recs[0].start_ns);
+  EXPECT_GE(recs[0].dur_ns, recs[1].dur_ns);
+  EXPECT_GT(recs[1].dur_ns, 0);
+  // The inner span finished before (or exactly when) the outer closed.
+  EXPECT_LE(recs[1].start_ns + recs[1].dur_ns,
+            recs[0].start_ns + recs[0].dur_ns);
+
+  const auto agg = TraceSink::instance().aggregate();
+  ASSERT_EQ(agg.size(), 2u);  // name-sorted: inner < outer.
+  EXPECT_EQ(agg[0].name, "inner");
+  EXPECT_EQ(agg[0].count, 1);
+  EXPECT_EQ(agg[1].name, "outer");
+  EXPECT_GE(agg[1].total_s, agg[0].total_s);
+  EXPECT_EQ(TraceSink::instance().dropped(), 0);
+}
+
+TEST(Trace, DisabledRecordsNothing) {
+  TraceSink::instance().reset();
+  obs::set_tracing_enabled(false);
+  {
+    SNDR_TRACE_SPAN("invisible");
+  }
+  obs::set_tracing_enabled(true);
+  EXPECT_TRUE(TraceSink::instance().records().empty());
+}
+
+TEST(Metrics, PerThreadShardsMergeExactly) {
+  MetricsRegistry& reg = MetricsRegistry::instance();
+  reg.reset();
+  const int id = reg.counter("test.shard_merge");
+  const int hist = reg.histogram("test.shard_hist");
+  constexpr int kThreads = 8;
+  constexpr int kAdds = 10000;
+  // Threads join before the snapshot, so every shard lands in the retired
+  // accumulator: the merge must lose nothing.
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kAdds; ++i) {
+        reg.add(id, 1);
+        reg.observe(hist, 2.0);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // This thread contributes from a live (unretired) shard.
+  reg.add(id, 5);
+  const MetricsRegistry::Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("test.shard_merge"),
+            std::int64_t(kThreads) * kAdds + 5);
+  for (const auto& [name, h] : snap.histograms) {
+    if (name != "test.shard_hist") continue;
+    EXPECT_EQ(h.count, std::int64_t(kThreads) * kAdds);
+    EXPECT_DOUBLE_EQ(h.sum, 2.0 * kThreads * kAdds);
+    EXPECT_DOUBLE_EQ(h.min, 2.0);
+    EXPECT_DOUBLE_EQ(h.max, 2.0);
+  }
+}
+
+TEST(Metrics, HistogramBucketInvariants) {
+  MetricsRegistry& reg = MetricsRegistry::instance();
+  reg.reset();
+  const int id = reg.histogram("test.buckets");
+  const std::vector<double> values = {0.0,  -3.5, 1e-40, 0.75,
+                                      1.0,  2.5,  1e6,   1e20};
+  double sum = 0.0;
+  for (const double v : values) {
+    reg.observe(id, v);
+    sum += v;
+  }
+  const MetricsRegistry::Snapshot snap = reg.snapshot();
+  const MetricsRegistry::HistogramSnapshot* found = nullptr;
+  for (const auto& [name, hs] : snap.histograms) {
+    if (name == "test.buckets") found = &hs;
+  }
+  ASSERT_NE(found, nullptr);
+  const MetricsRegistry::HistogramSnapshot& h = *found;
+  EXPECT_EQ(h.count, static_cast<std::int64_t>(values.size()));
+  EXPECT_DOUBLE_EQ(h.sum, sum);
+  EXPECT_DOUBLE_EQ(h.min, -3.5);
+  EXPECT_DOUBLE_EQ(h.max, 1e20);
+  // Bucket counts cover every observation; lower bounds strictly ascend.
+  std::int64_t bucket_total = 0;
+  double prev = -1.0;
+  for (const auto& [lo, n] : h.buckets) {
+    EXPECT_GT(n, 0);
+    EXPECT_GT(lo, prev);
+    prev = lo;
+    bucket_total += n;
+  }
+  EXPECT_EQ(bucket_total, h.count);
+  // Zero / negative / underflow all land in bucket 0.
+  ASSERT_FALSE(h.buckets.empty());
+  EXPECT_DOUBLE_EQ(h.buckets.front().first,
+                   MetricsRegistry::bucket_lower_bound(0));
+  EXPECT_EQ(h.buckets.front().second, 3);
+  // 1.0 buckets at exactly 2^0.
+  EXPECT_DOUBLE_EQ(
+      MetricsRegistry::bucket_lower_bound(MetricsRegistry::kBucketBias),
+      1.0);
+}
+
+TEST(Metrics, NameBoundToOneType) {
+  MetricsRegistry& reg = MetricsRegistry::instance();
+  reg.counter("test.type_bound");
+  EXPECT_THROW(reg.gauge("test.type_bound"), std::exception);
+  EXPECT_THROW(reg.histogram("test.type_bound"), std::exception);
+  EXPECT_EQ(reg.counter("test.type_bound"),
+            reg.counter("test.type_bound"));  // idempotent lookup.
+}
+
+TEST(Metrics, SafeRatioNeverDividesByZero) {
+  EXPECT_EQ(obs::safe_ratio(0, 0), 0.0);
+  EXPECT_EQ(obs::safe_ratio(5, 0), 0.0);
+  EXPECT_DOUBLE_EQ(obs::safe_ratio(1, 4), 0.25);
+  // The flow-facing hit-rate accessors route through safe_ratio: a flow
+  // that made zero exact evals must report 0.0, not NaN.
+  EXPECT_EQ(ndr::OptimizerStats{}.exact_cache_hit_rate(), 0.0);
+  EXPECT_EQ(ndr::AnnealResult{}.exact_cache_hit_rate(), 0.0);
+}
+
+/// Runs the instrumented flow once and returns the counter snapshot.
+MetricsRegistry::Snapshot run_flow_counters(int threads) {
+  MetricsRegistry::instance().reset();
+  common::set_thread_count(threads);
+  test::Flow f = test::small_flow(64, 3);
+  const ndr::RuleAssignment blanket =
+      ndr::assign_all(f.nets, f.tech.rules.blanket_index());
+  (void)ndr::evaluate(f.cts.tree, f.design, f.tech, f.nets, blanket);
+  (void)ndr::evaluate_corners(f.cts.tree, f.design, f.tech, f.nets, blanket);
+  ndr::AnnealOptions aopt;
+  aopt.iterations = 300;
+  (void)ndr::anneal_rules(f.cts.tree, f.design, f.tech, f.nets, blanket,
+                          aopt);
+  common::set_thread_count(-1);
+  return MetricsRegistry::instance().snapshot();
+}
+
+TEST(Metrics, FlowCountersBitIdenticalAcrossThreadCounts) {
+  // The evaluation engine promises bit-identical *results* at any thread
+  // count; the obs layer extends that to every flow counter. Only pool.*
+  // may differ (scheduling is genuinely thread-count-dependent).
+  const MetricsRegistry::Snapshot one = run_flow_counters(1);
+  const MetricsRegistry::Snapshot eight = run_flow_counters(8);
+  ASSERT_FALSE(one.counters.empty());
+  for (const auto& [name, value] : one.counters) {
+    if (name.rfind("pool.", 0) == 0) continue;
+    EXPECT_EQ(value, eight.counter(name)) << "counter " << name;
+  }
+  for (const auto& [name, value] : eight.counters) {
+    if (name.rfind("pool.", 0) == 0) continue;
+    EXPECT_EQ(value, one.counter(name)) << "counter " << name;
+  }
+}
+
+TEST(Metrics, EvaluateCornersEqualsSummedPerCornerEvaluations) {
+  // A multi-corner signoff is exactly the sum of its per-corner parts in
+  // the registry (minus the corner bookkeeping counters themselves).
+  MetricsRegistry& reg = MetricsRegistry::instance();
+  common::set_thread_count(1);
+  test::Flow f = test::small_flow(64, 7);
+  const ndr::RuleAssignment blanket =
+      ndr::assign_all(f.nets, f.tech.rules.blanket_index());
+  const std::vector<tech::Corner> corners = tech::standard_corners();
+  const extract::GeometryCache geometry(f.cts.tree, f.design, f.nets);
+
+  reg.reset();
+  (void)ndr::evaluate_corners(f.cts.tree, f.design, f.tech, f.nets, blanket,
+                              corners, timing::AnalysisOptions{}, &geometry);
+  const MetricsRegistry::Snapshot grouped = reg.snapshot();
+
+  reg.reset();
+  for (const tech::Corner& c : corners) {
+    const tech::Technology cornered = tech::apply_corner(f.tech, c);
+    (void)ndr::evaluate(f.cts.tree, f.design, cornered, f.nets, blanket,
+                        timing::AnalysisOptions{}, &geometry);
+  }
+  const MetricsRegistry::Snapshot summed = reg.snapshot();
+  common::set_thread_count(-1);
+
+  const std::int64_t n = static_cast<std::int64_t>(corners.size());
+  EXPECT_EQ(grouped.counter("ndr.corner_signoffs"), 1);
+  EXPECT_EQ(grouped.counter("ndr.corners_evaluated"), n);
+  for (const char* name :
+       {"ndr.evaluations", "extract.extract_all_calls",
+        "extract.nets_extracted", "extract.nets_materialized_from_cache"}) {
+    EXPECT_EQ(grouped.counter(name), summed.counter(name)) << name;
+  }
+  EXPECT_EQ(grouped.counter("ndr.evaluations"), n);
+  EXPECT_EQ(grouped.counter("extract.nets_extracted"),
+            n * static_cast<std::int64_t>(f.nets.size()));
+}
+
+TEST(Obs, DisabledModeMakesNoAllocations) {
+  // The zero-overhead contract: with both switches off, the macros reduce
+  // to a relaxed load + branch — no registration, no clock, no allocation.
+  obs::set_metrics_enabled(false);
+  obs::set_tracing_enabled(false);
+
+  g_alloc_count.store(0, std::memory_order_relaxed);
+  g_count_allocs.store(true, std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    SNDR_TRACE_SPAN("disabled_span");
+    SNDR_COUNTER_ADD("test.disabled_counter", 1);
+    SNDR_GAUGE_SET("test.disabled_gauge", static_cast<double>(i));
+    SNDR_HISTOGRAM_OBSERVE("test.disabled_hist", static_cast<double>(i));
+  }
+  g_count_allocs.store(false, std::memory_order_relaxed);
+  const std::int64_t allocs = g_alloc_count.load(std::memory_order_relaxed);
+
+  obs::set_metrics_enabled(true);
+  obs::set_tracing_enabled(true);
+  EXPECT_EQ(allocs, 0);
+  // Nothing was registered either: the names must not exist afterwards.
+  const MetricsRegistry::Snapshot snap =
+      MetricsRegistry::instance().snapshot();
+  for (const auto& [name, value] : snap.counters) {
+    EXPECT_NE(name, "test.disabled_counter");
+  }
+}
+
+}  // namespace
+}  // namespace sndr

@@ -14,6 +14,7 @@
 //
 // Exit code 0 on success (and a feasible smart result for `run`), 1 on
 // infeasible results, 2 on usage/input errors.
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -21,6 +22,7 @@
 #include <string>
 
 #include "common/thread_pool.hpp"
+#include "obs/manifest.hpp"
 #include "cts/embedding.hpp"
 #include "cts/refine.hpp"
 #include "io/design_io.hpp"
@@ -72,13 +74,21 @@ int usage() {
       "  sndr generate --sinks N [--dist uniform|clustered|mixed]\n"
       "                [--seed S] --out design.txt\n"
       "  sndr run  --design design.txt [--tech tech.txt] [--spef f]\n"
-      "            [--svg f] [--csv f] [--no-smart] [--threads N]\n"
+      "            [--svg f] [--csv f] [--no-smart] [--anneal N]\n"
+      "            [--seed S] [--threads N]\n"
       "  sndr eval --design design.txt --rule NAME [--tech tech.txt]\n"
       "            [--threads N]\n"
       "\n"
+      "  --anneal N:  refine the smart-NDR assignment with N iterations of\n"
+      "               simulated annealing (--seed S seeds it; default off).\n"
       "  --threads N: evaluation-engine parallelism (default: hardware\n"
       "               concurrency; 0 = serial). Results are identical at\n"
-      "               any thread count.\n";
+      "               any thread count.\n"
+      "  --metrics-out f: write a run manifest (sndr.run_manifest/1 JSON:\n"
+      "               per-stage spans, all counters/gauges/histograms,\n"
+      "               derived rates) after the command finishes.\n"
+      "  --trace-out f: write the stage spans as Chrome trace JSON\n"
+      "               (load in chrome://tracing or Perfetto).\n";
   return 2;
 }
 
@@ -166,9 +176,20 @@ int cmd_run(const Args& args) {
 
   bool ok = true;
   if (!args.flag("no-smart")) {
-    const ndr::SmartNdrResult smart =
+    ndr::SmartNdrResult smart =
         ndr::optimize_smart_ndr(f.cts.tree, f.design, f.tech, f.nets);
     add_eval_row(t, "smart-NDR", smart.final_eval);
+    const int anneal_iters = std::stoi(args.get("anneal", "0"));
+    if (anneal_iters > 0) {
+      ndr::AnnealOptions aopt;
+      aopt.iterations = anneal_iters;
+      aopt.seed = std::stoull(args.get("seed", "1"));
+      const ndr::AnnealResult sa = ndr::anneal_rules(
+          f.cts.tree, f.design, f.tech, f.nets, smart.assignment, aopt);
+      smart.assignment = sa.assignment;
+      smart.final_eval = sa.final_eval;
+      add_eval_row(t, "smart+anneal", smart.final_eval);
+    }
     ok = smart.final_eval.feasible();
     t.print(std::cout);
     std::cout << "\nsmart vs blanket: "
@@ -216,6 +237,7 @@ int cmd_eval(const Args& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const auto t0 = std::chrono::steady_clock::now();
   try {
     const Args args = parse_args(argc, argv);
     const std::string threads = args.get("threads", "-1");
@@ -225,10 +247,38 @@ int main(int argc, char** argv) {
       throw std::runtime_error("--threads expects an integer, got '" +
                                threads + "'");
     }
-    if (args.command == "generate") return cmd_generate(args);
-    if (args.command == "run") return cmd_run(args);
-    if (args.command == "eval") return cmd_eval(args);
-    return usage();
+
+    int rc;
+    if (args.command == "generate") {
+      rc = cmd_generate(args);
+    } else if (args.command == "run") {
+      rc = cmd_run(args);
+    } else if (args.command == "eval") {
+      rc = cmd_eval(args);
+    } else {
+      return usage();
+    }
+
+    const std::string metrics_out = args.get("metrics-out");
+    const std::string trace_out = args.get("trace-out");
+    if (!metrics_out.empty()) {
+      obs::RunInfo info;
+      info.tool = "sndr_cli";
+      info.command = args.command;
+      for (int i = 2; i < argc; ++i) info.args.emplace_back(argv[i]);
+      info.threads = common::thread_count();
+      info.seed = std::stoull(args.get("seed", "0"));
+      info.wall_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      obs::write_run_manifest(metrics_out, info);
+      std::cout << "wrote " << metrics_out << "\n";
+    }
+    if (!trace_out.empty()) {
+      obs::write_chrome_trace_file(trace_out);
+      std::cout << "wrote " << trace_out << "\n";
+    }
+    return rc;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;
