@@ -1,10 +1,13 @@
 // Shared flow driver for the paper-reproduction bench binaries.
 //
 // Every bench binary prints the table/series it reproduces to stdout and
-// writes the same rows as CSV into the working directory (next to where the
-// binary is invoked), so results can be re-plotted.
+// writes the same rows as CSV under results/ (relative to where the binary
+// is invoked; override with SNDR_RESULTS_DIR), so results can be
+// re-plotted without littering the repository root.
 #pragma once
 
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -49,12 +52,21 @@ inline ndr::FlowEvaluation eval_uniform(const Flow& f, int rule) {
                        ndr::assign_all(f.nets, rule));
 }
 
+/// Where result CSVs go: $SNDR_RESULTS_DIR or ./results (created on use).
+inline std::string results_path(const std::string& name) {
+  const char* env = std::getenv("SNDR_RESULTS_DIR");
+  const std::string dir = env != nullptr && env[0] != '\0' ? env : "results";
+  std::filesystem::create_directories(dir);
+  return dir + "/" + name;
+}
+
 inline void finish(report::Table& table, const std::string& title,
                    const std::string& csv_name) {
   std::cout << "== " << title << " ==\n\n";
   table.print(std::cout);
-  table.write_csv(csv_name);
-  std::cout << "\n[csv: " << csv_name << "]\n";
+  const std::string path = results_path(csv_name);
+  table.write_csv(path);
+  std::cout << "\n[csv: " << path << "]\n";
 }
 
 // --- Machine-readable runtime tracking (BENCH_runtime.json) ---------------

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 gate: plain build + full test suite, then a ThreadSanitizer build
-# running the parallel-subsystem tests, then an AddressSanitizer build
-# running the extraction tests (the zero-alloc scratch kernels and the
-# geometry cache lean hard on buffer reuse — ASan guards their bounds).
+# running the parallel-subsystem tests plus the concurrent two-session flow
+# test, then an AddressSanitizer build running the extraction tests (the
+# zero-alloc scratch kernels and the geometry cache lean hard on buffer
+# reuse — ASan guards their bounds), then an UndefinedBehaviorSanitizer
+# build running the flow/io layers (parsers and typed error boundaries).
 # Run from anywhere inside the repo.
 set -euo pipefail
 
@@ -14,13 +16,15 @@ cmake -B "$repo/build" -S "$repo" >/dev/null
 cmake --build "$repo/build" -j "$jobs"
 ctest --test-dir "$repo/build" -j "$jobs" --output-on-failure
 
-echo "== tier1: ThreadSanitizer build + parallel/obs tests =="
+echo "== tier1: ThreadSanitizer build + parallel/obs/flow tests =="
 cmake -B "$repo/build-tsan" -S "$repo" -DSNDR_SANITIZE=thread >/dev/null
 cmake --build "$repo/build-tsan" -j "$jobs" --target parallel_test \
-  --target obs_test --target manifest_golden_test
+  --target obs_test --target manifest_golden_test --target flow_test
 "$repo/build-tsan/tests/parallel_test"
 "$repo/build-tsan/tests/obs_test"
 "$repo/build-tsan/tests/manifest_golden_test"
+# Pins scope isolation under real concurrency (two sessions, two threads).
+"$repo/build-tsan/tests/flow_test"
 
 echo "== tier1: AddressSanitizer build + extraction/obs tests =="
 cmake -B "$repo/build-asan" -S "$repo" -DSNDR_SANITIZE=address >/dev/null
@@ -31,5 +35,13 @@ cmake --build "$repo/build-asan" -j "$jobs" --target extract_test \
 "$repo/build-asan/tests/extract_cache_test"
 "$repo/build-asan/tests/obs_test"
 "$repo/build-asan/tests/manifest_golden_test"
+
+echo "== tier1: UndefinedBehaviorSanitizer build + flow/io tests =="
+cmake -B "$repo/build-ubsan" -S "$repo" -DSNDR_SANITIZE=undefined >/dev/null
+cmake --build "$repo/build-ubsan" -j "$jobs" --target flow_test \
+  --target io_test --target design_io_test
+"$repo/build-ubsan/tests/flow_test"
+"$repo/build-ubsan/tests/io_test"
+"$repo/build-ubsan/tests/design_io_test"
 
 echo "tier1: OK"

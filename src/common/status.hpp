@@ -1,0 +1,144 @@
+// Typed errors for API boundaries: Status and Result<T>.
+//
+// The library's internals are free to throw (parsers, invariant checks);
+// the *boundaries* — file loaders, the flow runner, anything a service
+// front-end calls — return a Status / Result<T> instead, so callers can
+// branch on the error class without string-matching what() and the CLI can
+// map each class to a distinct exit code (see tools/sndr_cli.cpp).
+//
+// Contract (DESIGN.md §9): a boundary function never lets an exception
+// escape; it classifies what it catches. Internal code converting to the
+// boundary throws ParseError for malformed input so loaders can tell
+// "bad content" (kParseError) from "bad I/O" (kIoError) apart.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace sndr::common {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,  ///< caller error: bad flag, bad option value.
+  kNotFound,         ///< missing file / unknown name.
+  kParseError,       ///< malformed input content (path:line: message).
+  kIoError,          ///< open/read/write failure on an existing target.
+  kInternal,         ///< invariant violation; a bug, not a user error.
+};
+
+/// Short lowercase tag for logs and tests ("ok", "not_found", ...).
+const char* status_code_name(StatusCode code);
+
+/// Thrown by internal parsers at the point of a diagnosis; boundary
+/// loaders catch it and classify as StatusCode::kParseError.
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Status {
+ public:
+  Status() = default;  ///< ok.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "not_found: cannot open foo.txt" (or "ok").
+  std::string to_string() const {
+    if (ok()) return "ok";
+    return std::string(status_code_name(code_)) + ": " + message_;
+  }
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status ParseFailure(std::string m) {
+    return Status(StatusCode::kParseError, std::move(m));
+  }
+  static Status IoError(std::string m) {
+    return Status(StatusCode::kIoError, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid_argument";
+    case StatusCode::kNotFound: return "not_found";
+    case StatusCode::kParseError: return "parse_error";
+    case StatusCode::kIoError: return "io_error";
+    case StatusCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+/// A value or the Status explaining its absence. Minimal std::expected
+/// stand-in (the toolchain is C++20): implicit construction from either
+/// side, checked access.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT: implicit.
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from an ok Status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & { return checked(); }
+  const T& value() const& { return const_cast<Result*>(this)->checked(); }
+  T&& value() && { return std::move(checked()); }
+
+  T* operator->() { return &checked(); }
+  const T* operator->() const { return &const_cast<Result*>(this)->checked(); }
+
+ private:
+  T& checked() {
+    if (!value_.has_value()) {
+      throw std::logic_error("Result::value on error: " + status_.to_string());
+    }
+    return *value_;
+  }
+
+  Status status_;  ///< ok iff value_ holds.
+  std::optional<T> value_;
+};
+
+/// Classifies an in-flight exception from a boundary's catch block:
+/// ParseError -> kParseError, anything else -> `fallback`.
+inline Status classify_exception(StatusCode fallback = StatusCode::kIoError) {
+  try {
+    throw;
+  } catch (const ParseError& e) {
+    return Status::ParseFailure(e.what());
+  } catch (const std::exception& e) {
+    return Status(fallback, e.what());
+  } catch (...) {
+    return Status::Internal("unknown exception");
+  }
+}
+
+}  // namespace sndr::common

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/metrics.hpp"
+#include "obs/scope.hpp"
 
 namespace sndr::common {
 
@@ -42,6 +43,9 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::work_on(const std::shared_ptr<Job>& job) {
   WorkerScope scope;
+  // Observe into the submitting session's scope, not whatever this worker
+  // last saw: metrics/spans from a chunk belong to the run that issued it.
+  obs::ScopeBinding obs_binding(*job->scope);
   // Chunks this lane executed, flushed to the registry once per job so the
   // claim loop stays free of registry traffic.
   int executed = 0;
@@ -102,6 +106,7 @@ void ThreadPool::run(int chunks, const std::function<void(int)>& chunk_fn) {
   std::lock_guard<std::mutex> run_lock(run_mutex_);
   auto job = std::make_shared<Job>();
   job->fn = &chunk_fn;
+  job->scope = &obs::ObsScope::current();
   job->chunks = chunks;
   job->errors.assign(static_cast<std::size_t>(chunks), nullptr);
   {
@@ -110,11 +115,16 @@ void ThreadPool::run(int chunks, const std::function<void(int)>& chunk_fn) {
   }
   wake_.notify_all();
   work_on(job);
+  // Take the captured exceptions under the lock: once workers have moved
+  // on, their final shared_ptr<Job> release must not be the one destroying
+  // an exception object the caller is still rethrowing/reading.
+  std::vector<std::exception_ptr> errors;
   {
     std::unique_lock<std::mutex> lock(mutex_);
     done_.wait(lock, [&job] { return job->done >= job->chunks; });
+    errors.swap(job->errors);
   }
-  for (const std::exception_ptr& e : job->errors) {
+  for (const std::exception_ptr& e : errors) {
     if (e) std::rethrow_exception(e);
   }
 }

@@ -22,6 +22,10 @@
 #include <thread>
 #include <vector>
 
+namespace sndr::obs {
+class ObsScope;
+}
+
 namespace sndr::common {
 
 class ThreadPool {
@@ -47,6 +51,7 @@ class ThreadPool {
  private:
   struct Job {
     const std::function<void(int)>* fn = nullptr;
+    obs::ObsScope* scope = nullptr;  ///< caller's obs scope at submit time.
     int chunks = 0;
     int next = 0;           ///< next unclaimed chunk (under mutex).
     int done = 0;           ///< finished chunks (under mutex).
@@ -77,5 +82,31 @@ int thread_count();
 
 /// The shared pool sized to thread_count(), or nullptr in serial mode.
 ThreadPool* global_pool();
+
+/// A session's view of the process thread budget. The pool itself is a
+/// process-wide resource (rebuilding it mid-run would tear threads out
+/// from under concurrent sessions), so a budget only *forwards* an
+/// explicit request: apply() calls set_thread_count() when the session
+/// asked for a specific lane count and is a no-op otherwise — two
+/// sessions that both leave the budget at "default" never reset the
+/// shared pool against each other.
+class ThreadBudget {
+ public:
+  /// requested < 0 means "whatever the process default is"; 0/1 force the
+  /// serial fallback; N uses N lanes.
+  explicit ThreadBudget(int requested = -1) : requested_(requested) {}
+
+  int requested() const { return requested_; }
+
+  /// Forwards an explicit request to set_thread_count(); returns the
+  /// resolved process-wide lane count either way.
+  int apply() const {
+    if (requested_ >= 0) set_thread_count(requested_);
+    return thread_count();
+  }
+
+ private:
+  int requested_;
+};
 
 }  // namespace sndr::common

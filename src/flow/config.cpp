@@ -1,0 +1,248 @@
+#include "flow/config.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <sstream>
+
+namespace sndr::flow {
+
+namespace {
+
+bool parse_bool(const std::string& v, bool& out) {
+  if (v == "true" || v == "1" || v == "yes" || v.empty()) {
+    out = true;
+    return true;
+  }
+  if (v == "false" || v == "0" || v == "no") {
+    out = false;
+    return true;
+  }
+  return false;
+}
+
+bool parse_int(const std::string& v, int& out) {
+  std::istringstream is(v);
+  return static_cast<bool>(is >> out) && is.eof();
+}
+
+bool parse_u64(const std::string& v, std::uint64_t& out) {
+  std::istringstream is(v);
+  return static_cast<bool>(is >> out) && is.eof();
+}
+
+bool parse_double(const std::string& v, double& out) {
+  std::istringstream is(v);
+  return static_cast<bool>(is >> out) && is.eof();
+}
+
+/// One settable key: how to parse it into the config.
+using Setter =
+    std::function<bool(FlowConfig&, const std::string&)>;  // false = bad value.
+
+const std::map<std::string, Setter>& setters() {
+  static const std::map<std::string, Setter>* table = new std::map<
+      std::string, Setter>{
+      {"design", [](FlowConfig& c, const std::string& v) {
+         c.design_path = v;
+         return !v.empty();
+       }},
+      {"tech", [](FlowConfig& c, const std::string& v) {
+         c.tech_path = v;
+         return true;
+       }},
+      {"smart", [](FlowConfig& c, const std::string& v) {
+         return parse_bool(v, c.smart);
+       }},
+      {"anneal", [](FlowConfig& c, const std::string& v) {
+         return parse_int(v, c.anneal_iterations) && c.anneal_iterations >= 0;
+       }},
+      {"corners", [](FlowConfig& c, const std::string& v) {
+         return parse_bool(v, c.corners);
+       }},
+      {"seed", [](FlowConfig& c, const std::string& v) {
+         return parse_u64(v, c.seed);
+       }},
+      {"threads", [](FlowConfig& c, const std::string& v) {
+         return parse_int(v, c.threads);
+       }},
+      {"scoring", [](FlowConfig& c, const std::string& v) {
+         if (v != "models" && v != "exact_net" && v != "full_sta") {
+           return false;
+         }
+         c.scoring = v;
+         return true;
+       }},
+      {"training_samples", [](FlowConfig& c, const std::string& v) {
+         return parse_int(v, c.training_samples) && c.training_samples > 0;
+       }},
+      {"slew_margin", [](FlowConfig& c, const std::string& v) {
+         return parse_double(v, c.slew_margin);
+       }},
+      {"uncertainty_margin", [](FlowConfig& c, const std::string& v) {
+         return parse_double(v, c.uncertainty_margin);
+       }},
+      {"em_margin", [](FlowConfig& c, const std::string& v) {
+         return parse_double(v, c.em_margin);
+       }},
+      {"skew_margin", [](FlowConfig& c, const std::string& v) {
+         return parse_double(v, c.skew_margin);
+       }},
+      {"max_passes", [](FlowConfig& c, const std::string& v) {
+         return parse_int(v, c.max_passes) && c.max_passes > 0;
+       }},
+      {"full_refresh_interval", [](FlowConfig& c, const std::string& v) {
+         return parse_int(v, c.full_refresh_interval) &&
+                c.full_refresh_interval > 0;
+       }},
+      {"max_repair_rounds", [](FlowConfig& c, const std::string& v) {
+         return parse_int(v, c.max_repair_rounds) && c.max_repair_rounds >= 0;
+       }},
+      {"anneal_t_start_frac", [](FlowConfig& c, const std::string& v) {
+         return parse_double(v, c.anneal_t_start_frac);
+       }},
+      {"anneal_t_end_frac", [](FlowConfig& c, const std::string& v) {
+         return parse_double(v, c.anneal_t_end_frac);
+       }},
+      {"anneal_full_refresh_interval",
+       [](FlowConfig& c, const std::string& v) {
+         return parse_int(v, c.anneal_full_refresh_interval) &&
+                c.anneal_full_refresh_interval > 0;
+       }},
+      {"results_dir", [](FlowConfig& c, const std::string& v) {
+         c.results_dir = v;
+         return !v.empty();
+       }},
+      {"spef", [](FlowConfig& c, const std::string& v) {
+         c.spef_out = v;
+         return true;
+       }},
+      {"svg", [](FlowConfig& c, const std::string& v) {
+         c.svg_out = v;
+         return true;
+       }},
+      {"csv", [](FlowConfig& c, const std::string& v) {
+         c.csv_out = v;
+         return true;
+       }},
+      {"metrics_out", [](FlowConfig& c, const std::string& v) {
+         c.metrics_out = v;
+         return true;
+       }},
+      {"trace_out", [](FlowConfig& c, const std::string& v) {
+         c.trace_out = v;
+         return true;
+       }},
+  };
+  return *table;
+}
+
+}  // namespace
+
+common::Status FlowConfig::set(const std::string& key,
+                               const std::string& value) {
+  // Flag spelling and file spelling are the same key: --metrics-out and
+  // `metrics_out = ...` both land on "metrics_out".
+  std::string canonical = key;
+  std::replace(canonical.begin(), canonical.end(), '-', '_');
+  const auto it = setters().find(canonical);
+  if (it == setters().end()) {
+    return common::Status::InvalidArgument("unknown option '" + key + "'");
+  }
+  if (!it->second(*this, value)) {
+    return common::Status::InvalidArgument("bad value '" + value +
+                                           "' for option '" + key + "'");
+  }
+  return common::Status::Ok();
+}
+
+common::Status FlowConfig::from_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    return common::Status::NotFound("cannot open config file " + path);
+  }
+  std::string line;
+  int line_no = 0;
+  while (std::getline(f, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    const auto eq = line.find('=');
+    const std::string at = path + ":" + std::to_string(line_no) + ": ";
+    if (eq == std::string::npos) {
+      return common::Status::InvalidArgument(at + "expected 'key = value'");
+    }
+    std::istringstream key_is(line.substr(0, eq));
+    std::string key;
+    key_is >> key;
+    std::string tail;
+    if (key.empty() || (key_is >> tail)) {
+      return common::Status::InvalidArgument(at + "expected one key");
+    }
+    std::istringstream val_is(line.substr(eq + 1));
+    std::string value;
+    std::getline(val_is, value);
+    const auto b = value.find_first_not_of(" \t\r");
+    const auto e = value.find_last_not_of(" \t\r");
+    value = b == std::string::npos ? "" : value.substr(b, e - b + 1);
+    if (const common::Status s = set(key, value); !s.ok()) {
+      return common::Status::InvalidArgument(at + s.message());
+    }
+  }
+  return common::Status::Ok();
+}
+
+std::vector<std::string> FlowConfig::known_keys() {
+  std::vector<std::string> keys;
+  keys.reserve(setters().size());
+  for (const auto& [key, setter] : setters()) keys.push_back(key);
+  return keys;  // std::map iteration is already sorted.
+}
+
+ndr::OptimizerOptions FlowConfig::optimizer_options() const {
+  ndr::OptimizerOptions o;
+  if (scoring == "exact_net") {
+    o.scoring = ndr::Scoring::kExactNet;
+    o.use_models = false;
+  } else if (scoring == "full_sta") {
+    // use_models stays true: the optimizer maps use_models == false to
+    // kExactNet regardless of `scoring`.
+    o.scoring = ndr::Scoring::kFullSta;
+  }
+  o.training_samples = training_samples;
+  o.threads = threads;
+  o.slew_margin = slew_margin;
+  o.uncertainty_margin = uncertainty_margin;
+  o.em_margin = em_margin;
+  o.skew_margin = skew_margin;
+  o.max_passes = max_passes;
+  o.full_refresh_interval = full_refresh_interval;
+  o.max_repair_rounds = max_repair_rounds;
+  return o;
+}
+
+ndr::AnnealOptions FlowConfig::anneal_options() const {
+  ndr::AnnealOptions a;
+  a.iterations = anneal_iterations;
+  a.t_start_frac = anneal_t_start_frac;
+  a.t_end_frac = anneal_t_end_frac;
+  a.seed = seed;
+  a.full_refresh_interval = anneal_full_refresh_interval;
+  a.slew_margin = slew_margin;
+  a.uncertainty_margin = uncertainty_margin;
+  a.em_margin = em_margin;
+  a.skew_margin = skew_margin;
+  a.threads = threads;
+  return a;
+}
+
+std::string FlowConfig::output_path(const std::string& name) const {
+  if (name.empty() || name.front() == '/' || results_dir.empty()) {
+    return name;
+  }
+  return results_dir + "/" + name;
+}
+
+}  // namespace sndr::flow

@@ -1,0 +1,94 @@
+// Unified flow configuration: one struct, one `key = value` file format,
+// one precedence rule.
+//
+// FlowConfig subsumes the per-subsystem option structs (OptimizerOptions,
+// AnnealOptions, the --threads plumbing): every knob a full run needs is a
+// named key here, settable from a config file (`from_file`) or from CLI
+// flags (the CLI calls `set` per flag). Precedence is CLI > file >
+// defaults, implemented by ordering alone — load the file first, then
+// apply CLI overrides through the same set() path.
+//
+// set() is the single parse point: it validates the value and returns a
+// typed Status (kInvalidArgument names the key), so a typo in a config
+// file and a typo on the command line produce the same diagnostic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/thread_pool.hpp"
+#include "ndr/annealer.hpp"
+#include "ndr/optimizer.hpp"
+
+namespace sndr::flow {
+
+struct FlowConfig {
+  // Inputs.
+  std::string design_path;
+  std::string tech_path;  ///< empty = Technology::make_default_45nm().
+
+  // Stage selection.
+  bool smart = true;           ///< run the smart-NDR optimizer stage.
+  int anneal_iterations = 0;   ///< > 0 enables the anneal stage.
+  bool corners = false;        ///< multi-corner signoff stage.
+
+  std::uint64_t seed = 1;
+  int threads = -1;  ///< ThreadBudget semantics (-1 inherit, 0/1 serial).
+
+  // Optimizer knobs (ndr::OptimizerOptions).
+  std::string scoring = "models";  ///< models | exact_net | full_sta.
+  int training_samples = 400;
+  double slew_margin = 0.05;
+  double uncertainty_margin = 0.05;
+  double em_margin = 0.05;
+  double skew_margin = 0.10;
+  int max_passes = 4;
+  int full_refresh_interval = 256;
+  int max_repair_rounds = 8;
+
+  // Anneal knobs (ndr::AnnealOptions; margins above are shared).
+  double anneal_t_start_frac = 0.5;
+  double anneal_t_end_frac = 0.005;
+  int anneal_full_refresh_interval = 512;
+
+  // Outputs. Relative artifact paths resolve under results_dir.
+  std::string results_dir = "results";
+  std::string spef_out;
+  std::string svg_out;
+  std::string csv_out;
+  std::string metrics_out;  ///< run manifest (sndr.run_manifest/2 JSON).
+  std::string trace_out;    ///< Chrome-trace JSON of the stage spans.
+
+  // Manifest provenance. Not settable keys — the embedding tool fills
+  // these directly (the CLI records its own name, command, and argv).
+  std::string tool = "sndr";
+  std::string command = "flow";
+  std::vector<std::string> raw_args;
+
+  /// Sets one key (config-file and CLI flags share this path; hyphens
+  /// normalize to underscores, so --metrics-out and `metrics_out = ...`
+  /// are the same key). Returns kInvalidArgument for an unknown key or an
+  /// unparsable value.
+  common::Status set(const std::string& key, const std::string& value);
+
+  /// Applies every `key = value` line of `path` ('#' comments, blank
+  /// lines allowed). kNotFound when the file cannot be opened;
+  /// kInvalidArgument with a path:line prefix on a bad line.
+  common::Status from_file(const std::string& path);
+
+  /// The keys set() accepts, sorted — usage text and tests.
+  static std::vector<std::string> known_keys();
+
+  ndr::OptimizerOptions optimizer_options() const;
+  ndr::AnnealOptions anneal_options() const;
+  common::ThreadBudget thread_budget() const {
+    return common::ThreadBudget(threads);
+  }
+
+  /// `name` placed under results_dir (absolute paths pass through).
+  std::string output_path(const std::string& name) const;
+};
+
+}  // namespace sndr::flow

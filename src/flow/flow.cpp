@@ -1,0 +1,242 @@
+#include "flow/flow.hpp"
+
+#include <chrono>
+#include <filesystem>
+
+#include "cts/refine.hpp"
+#include "io/spef.hpp"
+#include "io/svg.hpp"
+#include "obs/trace.hpp"
+#include "route/congestion_route.hpp"
+#include "tech/units.hpp"
+
+namespace sndr::flow {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+void ensure_parent_dir(const std::string& path) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent);
+}
+
+}  // namespace
+
+report::Table make_eval_table() {
+  return report::Table({"flow", "P (mW)", "sw cap (fF)", "skew (ps)",
+                        "slew (ps)", "viol s/e/u", "feasible"});
+}
+
+void add_eval_row(report::Table& table, const std::string& name,
+                  const ndr::FlowEvaluation& eval) {
+  table.add_row(
+      {name, report::fmt(units::to_mW(eval.power.total_power), 3),
+       report::fmt(units::to_fF(eval.power.switched_cap), 0),
+       report::fmt(units::to_ps(eval.timing.skew()), 1),
+       report::fmt(units::to_ps(eval.timing.max_slew), 1),
+       std::to_string(eval.slew_violations) + "/" +
+           std::to_string(eval.em_violations) + "/" +
+           std::to_string(eval.uncertainty_violations),
+       eval.feasible() ? "yes" : "NO"});
+}
+
+const ndr::RuleAssignment* FlowResult::final_assignment() const {
+  if (anneal) return &anneal->assignment;
+  if (smart) return &smart->assignment;
+  return nullptr;
+}
+
+const ndr::FlowEvaluation& FlowResult::final_eval() const {
+  if (anneal) return anneal->final_eval;
+  if (smart) return smart->final_eval;
+  return blanket_eval;
+}
+
+common::Status Flow::stage(const char* name,
+                           const std::function<common::Status()>& body,
+                           common::StatusCode fallback) {
+  obs::ScopeBinding binding(session_.obs_scope());
+  const auto t0 = std::chrono::steady_clock::now();
+  common::Status status;
+  {
+    SNDR_TRACE_SPAN(name);
+    try {
+      status = body();
+    } catch (...) {
+      status = common::classify_exception(fallback);
+    }
+  }
+  stages_.push_back(
+      {name, seconds_since(t0), status.ok() ? "ok" : status.to_string()});
+  return status;
+}
+
+void Flow::skip_stage(const char* name) {
+  stages_.push_back({name, 0.0, "skipped"});
+}
+
+common::Status Flow::prepare() {
+  if (prepared_) return common::Status::Ok();
+  session_.thread_budget().apply();
+
+  common::Status s = stage("load", [this] { return session_.load(); });
+  if (!s.ok()) return s;
+
+  s = stage("cts", [this] {
+    session_.cts() =
+        cts::synthesize(session_.design(), session_.technology());
+    return common::Status::Ok();
+  });
+  if (!s.ok()) return s;
+
+  s = stage("route", [this] {
+    route::reroute_for_congestion(session_.cts().tree,
+                                  session_.design().congestion);
+    cts::refine_skew(session_.cts().tree, session_.design(),
+                     session_.technology());
+    return common::Status::Ok();
+  });
+  if (!s.ok()) return s;
+
+  s = stage("nets", [this] {
+    session_.nets() = netlist::build_nets(session_.cts().tree);
+    return common::Status::Ok();
+  });
+  if (!s.ok()) return s;
+
+  s = stage("extract", [this] {
+    session_.set_geometry(std::make_unique<extract::GeometryCache>(
+        session_.cts().tree, session_.design(), session_.nets()));
+    return common::Status::Ok();
+  });
+  if (!s.ok()) return s;
+
+  prepared_ = true;
+  return common::Status::Ok();
+}
+
+common::Result<FlowResult> Flow::run() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const FlowConfig& config = session_.config();
+  FlowResult result;
+  result.threads_used = session_.thread_budget().apply();
+
+  if (common::Status s = prepare(); !s.ok()) return s;
+
+  const netlist::ClockTree& tree = session_.cts().tree;
+  const netlist::Design& design = session_.design();
+  const tech::Technology& tech = session_.technology();
+  const netlist::NetList& nets = session_.nets();
+  const extract::GeometryCache* geometry = session_.geometry();
+
+  common::Status s = stage("optimize", [&] {
+    result.default_eval = ndr::evaluate(tree, design, tech, nets,
+                                        ndr::assign_all(nets, 0), {},
+                                        geometry);
+    add_eval_row(result.table, "all-default", result.default_eval);
+    result.blanket_eval = ndr::evaluate(
+        tree, design, tech, nets,
+        ndr::assign_all(nets, tech.rules.blanket_index()), {}, geometry);
+    add_eval_row(result.table, "blanket-NDR", result.blanket_eval);
+    if (config.smart) {
+      result.smart = ndr::optimize_smart_ndr(tree, design, tech, nets,
+                                             config.optimizer_options());
+      add_eval_row(result.table, "smart-NDR", result.smart->final_eval);
+    }
+    return common::Status::Ok();
+  });
+  if (!s.ok()) return s;
+
+  if (config.smart && config.anneal_iterations > 0) {
+    s = stage("anneal", [&] {
+      result.anneal =
+          ndr::anneal_rules(tree, design, tech, nets,
+                            result.smart->assignment,
+                            config.anneal_options());
+      add_eval_row(result.table, "smart+anneal", result.anneal->final_eval);
+      return common::Status::Ok();
+    });
+    if (!s.ok()) return s;
+  } else {
+    skip_stage("anneal");
+  }
+
+  if (config.corners) {
+    s = stage("corners", [&] {
+      const ndr::RuleAssignment* assignment = result.final_assignment();
+      result.corners = ndr::evaluate_corners(
+          tree, design, tech, nets,
+          assignment != nullptr
+              ? *assignment
+              : ndr::assign_all(nets, tech.rules.blanket_index()),
+          tech::standard_corners(), {}, geometry);
+      return common::Status::Ok();
+    });
+    if (!s.ok()) return s;
+  } else {
+    skip_stage("corners");
+  }
+
+  result.feasible = result.smart ? result.final_eval().feasible() : true;
+  result.wall_seconds = seconds_since(t0);
+
+  if (s = report(result); !s.ok()) return s;
+
+  result.wall_seconds = seconds_since(t0);
+  result.stages = stages_;
+  return result;
+}
+
+common::Status Flow::report(FlowResult& result) {
+  const FlowConfig& config = session_.config();
+  return stage(
+      "report",
+      [&] {
+        if (!config.spef_out.empty() && result.smart) {
+          const std::string path = config.output_path(config.spef_out);
+          ensure_parent_dir(path);
+          io::write_spef_file(path, session_.cts().tree, session_.design(),
+                              session_.nets(),
+                              result.final_eval().parasitics);
+        }
+        if (!config.svg_out.empty() && result.smart) {
+          const std::string path = config.output_path(config.svg_out);
+          ensure_parent_dir(path);
+          io::write_svg_file(path, session_.cts().tree, session_.design(),
+                             session_.technology(), session_.nets(),
+                             *result.final_assignment());
+        }
+        if (!config.csv_out.empty()) {
+          const std::string path = config.output_path(config.csv_out);
+          ensure_parent_dir(path);
+          result.table.write_csv(path);
+        }
+        if (!config.metrics_out.empty()) {
+          obs::RunInfo info;
+          info.tool = config.tool;
+          info.command = config.command;
+          info.args = config.raw_args;
+          info.threads = result.threads_used;
+          info.seed = config.seed;
+          info.wall_seconds = result.wall_seconds;
+          info.stages = stages_;
+          const std::string path = config.output_path(config.metrics_out);
+          ensure_parent_dir(path);
+          obs::write_run_manifest(path, info);
+        }
+        if (!config.trace_out.empty()) {
+          const std::string path = config.output_path(config.trace_out);
+          ensure_parent_dir(path);
+          obs::write_chrome_trace_file(path);
+        }
+        return common::Status::Ok();
+      },
+      common::StatusCode::kIoError);
+}
+
+}  // namespace sndr::flow

@@ -1,0 +1,44 @@
+#include "flow/session.hpp"
+
+#include <utility>
+
+#include "io/design_io.hpp"
+
+namespace sndr::flow {
+
+Session::Session(FlowConfig config)
+    : config_(std::move(config)), thread_budget_(config_.threads) {}
+
+common::Status Session::load() {
+  if (loaded_) return common::Status::Ok();
+  if (config_.design_path.empty()) {
+    return common::Status::InvalidArgument("no design configured");
+  }
+  common::Result<netlist::Design> design =
+      io::load_design_file(config_.design_path);
+  if (!design.ok()) return design.status();
+  if (design->sinks.empty()) {
+    return common::Status::InvalidArgument("design " + config_.design_path +
+                                           " has no sinks");
+  }
+  if (!config_.tech_path.empty()) {
+    common::Result<tech::Technology> tech =
+        tech::load_technology_file(config_.tech_path);
+    if (!tech.ok()) return tech.status();
+    tech_ = std::move(tech.value());
+  }
+  design_ = std::move(design.value());
+  loaded_ = true;
+  return common::Status::Ok();
+}
+
+void Session::set_design(netlist::Design design) {
+  design_ = std::move(design);
+  loaded_ = true;
+}
+
+void Session::set_technology(tech::Technology tech) {
+  tech_ = std::move(tech);
+}
+
+}  // namespace sndr::flow

@@ -1,0 +1,85 @@
+// Session: one run's world, owned in one object.
+//
+// A Session owns everything that used to live in process-globals or loose
+// locals of the CLI: the design and technology, the synthesized tree and
+// net list, the shared extraction GeometryCache, the thread-budget handle,
+// and — the point of the exercise — a private obs::ObsScope, so two
+// Sessions running concurrently in one process keep fully disjoint
+// metrics/trace state. Anything observing on behalf of a session must run
+// under `obs::ScopeBinding binding(session.obs_scope())`; flow::Flow does
+// this for every stage, and the thread pool re-binds the submitting
+// session's scope on its workers (common/thread_pool.cpp), so session code
+// rarely binds by hand.
+//
+// Loading goes through the typed boundaries (io::load_design_file,
+// tech::load_technology_file): load() returns a Status instead of
+// throwing, and the caller branches on the code (DESIGN.md §9).
+#pragma once
+
+#include <memory>
+
+#include "common/status.hpp"
+#include "common/thread_pool.hpp"
+#include "cts/embedding.hpp"
+#include "extract/net_geometry.hpp"
+#include "flow/config.hpp"
+#include "netlist/clock_nets.hpp"
+#include "netlist/design.hpp"
+#include "obs/scope.hpp"
+#include "tech/technology.hpp"
+
+namespace sndr::flow {
+
+class Session {
+ public:
+  explicit Session(FlowConfig config);
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  const FlowConfig& config() const { return config_; }
+  obs::ObsScope& obs_scope() { return scope_; }
+  common::ThreadBudget& thread_budget() { return thread_budget_; }
+
+  /// Loads the design (and technology, when configured) through the typed
+  /// boundaries. Idempotent; kInvalidArgument when no design is configured
+  /// or the design has no sinks.
+  common::Status load();
+  bool loaded() const { return loaded_; }
+
+  /// Hands the session a design directly (tests, library callers); the
+  /// technology stays at its current value until load()/set_technology.
+  void set_design(netlist::Design design);
+  void set_technology(tech::Technology tech);
+
+  // State owned by the session; tree/nets/geometry are populated by the
+  // flow's build stages (Flow::prepare).
+  netlist::Design& design() { return design_; }
+  const netlist::Design& design() const { return design_; }
+  tech::Technology& technology() { return tech_; }
+  const tech::Technology& technology() const { return tech_; }
+  cts::CtsResult& cts() { return cts_; }
+  const cts::CtsResult& cts() const { return cts_; }
+  netlist::NetList& nets() { return nets_; }
+  const netlist::NetList& nets() const { return nets_; }
+
+  /// The shared per-session geometry cache; built by Flow's extract stage
+  /// (null before that). Reset to cover tree/congestion edits.
+  const extract::GeometryCache* geometry() const { return geometry_.get(); }
+  void set_geometry(std::unique_ptr<extract::GeometryCache> geometry) {
+    geometry_ = std::move(geometry);
+  }
+
+ private:
+  FlowConfig config_;
+  obs::ObsScope scope_;
+  common::ThreadBudget thread_budget_;
+  bool loaded_ = false;
+
+  netlist::Design design_;
+  tech::Technology tech_ = tech::Technology::make_default_45nm();
+  cts::CtsResult cts_;
+  netlist::NetList nets_;
+  std::unique_ptr<extract::GeometryCache> geometry_;
+};
+
+}  // namespace sndr::flow

@@ -53,14 +53,15 @@ void write_design_file(const std::string& path,
 
 namespace {
 
-[[noreturn]] void design_error(int line_no, const std::string& what) {
-  throw std::runtime_error("read_design: line " + std::to_string(line_no) +
-                           ": " + what);
+[[noreturn]] void design_error(const std::string& source, int line_no,
+                               const std::string& what) {
+  throw common::ParseError(source + ":" + std::to_string(line_no) + ": " +
+                           what);
 }
 
 }  // namespace
 
-netlist::Design read_design(std::istream& is) {
+netlist::Design read_design(std::istream& is, const std::string& source) {
   netlist::Design d;
   bool have_core = false;
   int cong_nx = 0;
@@ -84,53 +85,53 @@ netlist::Design read_design(std::istream& is) {
       ls >> d.name;
     } else if (key == "core") {
       double x0, y0, x1, y1;
-      if (!(ls >> x0 >> y0 >> x1 >> y1)) design_error(line_no, "bad core");
+      if (!(ls >> x0 >> y0 >> x1 >> y1)) design_error(source, line_no, "bad core");
       d.core = geom::BBox(x0, y0, x1, y1);
       have_core = true;
     } else if (key == "clock_root") {
       if (!(ls >> d.clock_root.x >> d.clock_root.y)) {
-        design_error(line_no, "bad clock_root");
+        design_error(source, line_no, "bad clock_root");
       }
     } else if (key == "clock_freq_ghz") {
       double v;
-      if (!(ls >> v)) design_error(line_no, "bad clock_freq_ghz");
+      if (!(ls >> v)) design_error(source, line_no, "bad clock_freq_ghz");
       d.constraints.clock_freq = v * units::GHz;
     } else if (key == "max_slew_ps") {
       double v;
-      if (!(ls >> v)) design_error(line_no, "bad max_slew_ps");
+      if (!(ls >> v)) design_error(source, line_no, "bad max_slew_ps");
       d.constraints.max_slew = v * units::ps;
     } else if (key == "max_skew_ps") {
       double v;
-      if (!(ls >> v)) design_error(line_no, "bad max_skew_ps");
+      if (!(ls >> v)) design_error(source, line_no, "bad max_skew_ps");
       d.constraints.max_skew = v * units::ps;
     } else if (key == "max_uncertainty_ps") {
       double v;
-      if (!(ls >> v)) design_error(line_no, "bad max_uncertainty_ps");
+      if (!(ls >> v)) design_error(source, line_no, "bad max_uncertainty_ps");
       d.constraints.max_uncertainty = v * units::ps;
     } else if (key == "congestion") {
       if (!(ls >> cong_nx >> cong_ny >> cong_occ >> cong_cap)) {
-        design_error(line_no, "bad congestion");
+        design_error(source, line_no, "bad congestion");
       }
     } else if (key == "occupancy_cell") {
       int idx;
       double v;
-      if (!(ls >> idx >> v)) design_error(line_no, "bad occupancy_cell");
+      if (!(ls >> idx >> v)) design_error(source, line_no, "bad occupancy_cell");
       occ_cells.emplace_back(idx, v);
     } else if (key == "sink") {
       netlist::Sink s;
       double cap_ff;
       if (!(ls >> s.name >> s.loc.x >> s.loc.y >> cap_ff)) {
-        design_error(line_no, "bad sink");
+        design_error(source, line_no, "bad sink");
       }
       s.pin_cap = cap_ff * units::fF;
       d.sinks.push_back(std::move(s));
     } else if (key == "window") {
       int idx;
       double lo, hi;
-      if (!(ls >> idx >> lo >> hi)) design_error(line_no, "bad window");
+      if (!(ls >> idx >> lo >> hi)) design_error(source, line_no, "bad window");
       windows.emplace_back(idx, lo * units::ps, hi * units::ps);
     } else {
-      design_error(line_no, "unknown key '" + key + "'");
+      design_error(source, line_no, "unknown key '" + key + "'");
     }
   }
 
@@ -147,8 +148,8 @@ netlist::Design read_design(std::istream& is) {
         netlist::CongestionMap(d.core, cong_nx, cong_ny, cong_occ, cong_cap);
     for (const auto& [idx, v] : occ_cells) {
       if (idx < 0 || idx >= d.congestion.cell_count()) {
-        throw std::runtime_error(
-            "read_design: occupancy_cell index out of range");
+        throw common::ParseError(source +
+                                 ": occupancy_cell index out of range");
       }
       d.congestion.set_occupancy_cell(idx, v);
     }
@@ -158,7 +159,7 @@ netlist::Design read_design(std::istream& is) {
     d.useful_skew.hi.assign(d.sinks.size(), d.constraints.max_skew / 2);
     for (const auto& [idx, lo, hi] : windows) {
       if (idx < 0 || idx >= static_cast<int>(d.sinks.size())) {
-        throw std::runtime_error("read_design: window index out of range");
+        throw common::ParseError(source + ": window index out of range");
       }
       d.useful_skew.lo[idx] = lo;
       d.useful_skew.hi[idx] = hi;
@@ -172,7 +173,19 @@ netlist::Design read_design_file(const std::string& path) {
   if (!f) {
     throw std::runtime_error("read_design_file: cannot open " + path);
   }
-  return read_design(f);
+  return read_design(f, path);
+}
+
+common::Result<netlist::Design> load_design_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    return common::Status::NotFound("cannot open design file " + path);
+  }
+  try {
+    return read_design(f, path);
+  } catch (...) {
+    return common::classify_exception(common::StatusCode::kIoError);
+  }
 }
 
 }  // namespace sndr::io

@@ -18,6 +18,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "common/status.hpp"
 #include "netlist/design.hpp"
 
 namespace sndr::io {
@@ -26,8 +27,16 @@ void write_design(std::ostream& os, const netlist::Design& design);
 void write_design_file(const std::string& path,
                        const netlist::Design& design);
 
-/// Throws std::runtime_error with a line diagnostic on malformed input.
-netlist::Design read_design(std::istream& is);
+/// Throws common::ParseError with a "<source>:<line>: message" diagnostic
+/// on malformed input; `source` names the stream in that diagnostic
+/// (pass the file path when reading a file).
+netlist::Design read_design(std::istream& is,
+                            const std::string& source = "<stream>");
 netlist::Design read_design_file(const std::string& path);
+
+/// Error-boundary variant of read_design_file: kNotFound when the file
+/// cannot be opened, kParseError with a path:line diagnostic on malformed
+/// input; never throws.
+common::Result<netlist::Design> load_design_file(const std::string& path);
 
 }  // namespace sndr::io

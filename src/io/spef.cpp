@@ -120,13 +120,14 @@ const SpefNet* SpefFile::find(const std::string& name) const {
 
 namespace {
 
-[[noreturn]] void spef_error(int line_no, const std::string& what) {
-  throw std::runtime_error("read_spef: line " + std::to_string(line_no) +
-                           ": " + what);
+[[noreturn]] void spef_error(const std::string& source, int line_no,
+                             const std::string& what) {
+  throw common::ParseError(source + ":" + std::to_string(line_no) + ": " +
+                           what);
 }
 
-double unit_scale(const std::string& mult, const std::string& unit,
-                  int line_no) {
+double unit_scale(const std::string& source, const std::string& mult,
+                  const std::string& unit, int line_no) {
   const double m = std::stod(mult);
   if (unit == "PS") return m * 1e-12;
   if (unit == "NS") return m * 1e-9;
@@ -135,12 +136,12 @@ double unit_scale(const std::string& mult, const std::string& unit,
   if (unit == "OHM") return m;
   if (unit == "KOHM") return m * 1e3;
   if (unit == "HENRY") return m;
-  spef_error(line_no, "unknown unit '" + unit + "'");
+  spef_error(source, line_no, "unknown unit '" + unit + "'");
 }
 
 }  // namespace
 
-SpefFile read_spef(std::istream& is) {
+SpefFile read_spef(std::istream& is, const std::string& source) {
   SpefFile out;
   std::string line;
   int line_no = 0;
@@ -165,15 +166,19 @@ SpefFile read_spef(std::istream& is) {
     } else if (tok == "*T_UNIT" || tok == "*C_UNIT" || tok == "*R_UNIT") {
       std::string mult;
       std::string unit;
-      if (!(ls >> mult >> unit)) spef_error(line_no, "bad unit line");
-      const double scale = unit_scale(mult, unit, line_no);
+      if (!(ls >> mult >> unit)) {
+        spef_error(source, line_no, "bad unit line");
+      }
+      const double scale = unit_scale(source, mult, unit, line_no);
       if (tok == "*T_UNIT") out.time_unit = scale;
       if (tok == "*C_UNIT") out.cap_unit = scale;
       if (tok == "*R_UNIT") out.res_unit = scale;
     } else if (tok == "*D_NET") {
       SpefNet net;
       double total = 0.0;
-      if (!(ls >> net.name >> total)) spef_error(line_no, "bad *D_NET");
+      if (!(ls >> net.name >> total)) {
+        spef_error(source, line_no, "bad *D_NET");
+      }
       net.total_cap = total;  // scaled after units are final, below.
       out.nets.push_back(std::move(net));
       current = &out.nets.back();
@@ -197,7 +202,7 @@ SpefFile read_spef(std::istream& is) {
       double cap = 0.0;
       std::istringstream entry(line);
       if (!(entry >> idx >> node >> cap)) {
-        spef_error(line_no, "bad *CAP entry");
+        spef_error(source, line_no, "bad *CAP entry");
       }
       current->caps.emplace_back(node, cap * out.cap_unit);
     } else if (current != nullptr && section == Section::kRes) {
@@ -207,7 +212,7 @@ SpefFile read_spef(std::istream& is) {
       double ohm = 0.0;
       std::istringstream entry(line);
       if (!(entry >> idx >> r.a >> r.b >> ohm)) {
-        spef_error(line_no, "bad *RES entry");
+        spef_error(source, line_no, "bad *RES entry");
       }
       r.ohm = ohm * out.res_unit;
       current->resistors.push_back(std::move(r));
@@ -220,7 +225,19 @@ SpefFile read_spef(std::istream& is) {
 SpefFile read_spef_file(const std::string& path) {
   std::ifstream f(path);
   if (!f) throw std::runtime_error("read_spef_file: cannot open " + path);
-  return read_spef(f);
+  return read_spef(f, path);
+}
+
+common::Result<SpefFile> load_spef_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    return common::Status::NotFound("cannot open SPEF file " + path);
+  }
+  try {
+    return read_spef(f, path);
+  } catch (...) {
+    return common::classify_exception(common::StatusCode::kIoError);
+  }
 }
 
 }  // namespace sndr::io

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.hpp"
 #include "extract/extractor.hpp"
 #include "netlist/clock_nets.hpp"
 #include "netlist/clock_tree.hpp"
@@ -72,9 +73,14 @@ struct SpefFile {
   const SpefNet* find(const std::string& name) const;
 };
 
-/// Parses the subset written by write_spef. Throws std::runtime_error with
-/// a line diagnostic on malformed input.
-SpefFile read_spef(std::istream& is);
+/// Parses the subset written by write_spef. Throws common::ParseError with
+/// a "<source>:<line>: message" diagnostic on malformed input.
+SpefFile read_spef(std::istream& is, const std::string& source = "<stream>");
 SpefFile read_spef_file(const std::string& path);
+
+/// Error-boundary variant of read_spef_file: kNotFound when the file
+/// cannot be opened, kParseError with a path:line diagnostic on malformed
+/// input; never throws.
+common::Result<SpefFile> load_spef_file(const std::string& path);
 
 }  // namespace sndr::io

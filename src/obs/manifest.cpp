@@ -129,6 +129,15 @@ std::string run_manifest_json(const RunInfo& info) {
   os << "  \"threads\": " << info.threads << ",\n";
   os << "  \"seed\": " << info.seed << ",\n";
 
+  os << "  \"stages\": [";
+  for (std::size_t i = 0; i < info.stages.size(); ++i) {
+    const StageInfo& s = info.stages[i];
+    os << (i ? "," : "") << "\n    {\"name\": \"" << json_escape(s.name)
+       << "\", \"seconds\": " << fmt_double(s.seconds) << ", \"status\": \""
+       << json_escape(s.status) << "\"}";
+  }
+  os << (info.stages.empty() ? "" : "\n  ") << "],\n";
+
   os << "  \"spans\": [";
   for (std::size_t i = 0; i < spans.size(); ++i) {
     const TraceSink::SpanAggregate& s = spans[i];

@@ -9,11 +9,14 @@
 // (scripts/bench_check.sh reads kernel numbers out of the bench
 // manifest instead of a hand-rolled format).
 //
-// Schema "sndr.run_manifest/1" — one key per line, keys in fixed order,
+// Schema "sndr.run_manifest/2" — one key per line, keys in fixed order,
 // metric names sorted — so the document is diffable, greppable, and
 // golden-testable (tests/manifest_golden_test.cpp normalizes the
 // volatile fields: git, host, started_utc, wall_seconds, span times and
-// *.seconds gauges).
+// *.seconds gauges). /2 added the "stages" array: the flow runner
+// (src/flow) records one entry per pipeline stage (name, wall seconds,
+// ok/skipped/error), so every run's manifest doubles as a stage-by-stage
+// execution record.
 #pragma once
 
 #include <cstdint>
@@ -22,7 +25,14 @@
 
 namespace sndr::obs {
 
-inline constexpr const char* kManifestSchema = "sndr.run_manifest/1";
+inline constexpr const char* kManifestSchema = "sndr.run_manifest/2";
+
+/// One pipeline stage as executed (flow::Flow fills these).
+struct StageInfo {
+  std::string name;       ///< e.g. "load", "cts", "optimize".
+  double seconds = -1.0;  ///< stage wall time; < 0 = unknown.
+  std::string status = "ok";  ///< "ok", "skipped", or an error summary.
+};
 
 struct RunInfo {
   std::string tool;     ///< e.g. "sndr_cli", "bench_micro_kernels".
@@ -31,6 +41,7 @@ struct RunInfo {
   int threads = 0;            ///< resolved lane count.
   std::uint64_t seed = 0;
   double wall_seconds = -1.0;  ///< whole-run wall time; < 0 = unknown.
+  std::vector<StageInfo> stages;  ///< empty for non-staged tools.
 };
 
 /// The manifest document for the current process state (full registry

@@ -4,8 +4,9 @@
 #include <cmath>
 #include <limits>
 #include <map>
-#include <mutex>
 #include <stdexcept>
+
+#include "obs/scope.hpp"
 
 namespace sndr::obs {
 
@@ -21,20 +22,6 @@ void atomic_add(std::atomic<double>& a, double v) {
   }
 }
 
-void atomic_min(std::atomic<double>& a, double v) {
-  double cur = a.load(std::memory_order_relaxed);
-  while (v < cur &&
-         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
-  }
-}
-
-void atomic_max(std::atomic<double>& a, double v) {
-  double cur = a.load(std::memory_order_relaxed);
-  while (v > cur &&
-         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
-  }
-}
-
 }  // namespace
 
 bool metrics_enabled() {
@@ -45,9 +32,10 @@ void set_metrics_enabled(bool on) {
   g_metrics_enabled.store(on, std::memory_order_relaxed);
 }
 
-/// One thread's lock-free slice of every metric. All slots are atomics so
-/// snapshot() may read them from another thread; the owning thread is the
-/// only writer (except reset(), which is test-only by contract).
+/// One thread's lock-free slice of every metric in one registry. All slots
+/// are atomics so snapshot() may read them from another thread; the owning
+/// thread is the only writer (except reset(), which is test-only by
+/// contract).
 struct MetricsRegistry::Shard {
   std::array<std::atomic<std::int64_t>, kMaxCounters> counters{};
   struct Hist {
@@ -71,127 +59,113 @@ struct MetricsRegistry::Shard {
       for (auto& b : h.buckets) b.store(0, std::memory_order_relaxed);
     }
   }
-
-  /// Folds this shard into `into` (relaxed adds; used on thread retire).
-  void merge_into(Shard& into) const {
-    for (int i = 0; i < kMaxCounters; ++i) {
-      const std::int64_t v = counters[i].load(std::memory_order_relaxed);
-      if (v != 0) into.counters[i].fetch_add(v, std::memory_order_relaxed);
-    }
-    for (int i = 0; i < kMaxHistograms; ++i) {
-      const Hist& h = hists[i];
-      const std::int64_t n = h.count.load(std::memory_order_relaxed);
-      if (n == 0) continue;
-      into.hists[i].count.fetch_add(n, std::memory_order_relaxed);
-      atomic_add(into.hists[i].sum, h.sum.load(std::memory_order_relaxed));
-      atomic_min(into.hists[i].min, h.min.load(std::memory_order_relaxed));
-      atomic_max(into.hists[i].max, h.max.load(std::memory_order_relaxed));
-      for (int b = 0; b < kHistBuckets; ++b) {
-        const std::int64_t c = h.buckets[b].load(std::memory_order_relaxed);
-        if (c != 0) {
-          into.hists[i].buckets[b].fetch_add(c, std::memory_order_relaxed);
-        }
-      }
-    }
-  }
 };
 
 namespace {
 
-/// Registry internals live in one leaked block so thread-exit hooks can
-/// run at any point of static destruction.
-struct State {
-  std::mutex mutex;  ///< registration, shard list, snapshot, reset.
+/// The process-global name table shared by every registry instance. Lives
+/// in one leaked block so registration can happen at any point of static
+/// construction/destruction.
+struct NameTable {
+  std::mutex mutex;
   std::map<std::string, int> counter_ids;
   std::map<std::string, int> gauge_ids;
   std::map<std::string, int> hist_ids;
   std::vector<std::string> counter_names;
   std::vector<std::string> gauge_names;
   std::vector<std::string> hist_names;
-  std::array<std::atomic<double>, MetricsRegistry::kMaxGauges> gauges{};
-  std::vector<MetricsRegistry::Shard*> live_shards;
-  MetricsRegistry::Shard retired;  ///< totals of exited threads.
 };
 
-State& state() {
-  static State* s = new State();  // leaked: see comment above.
-  return *s;
+NameTable& names() {
+  static NameTable* t = new NameTable();  // leaked: see comment above.
+  return *t;
 }
 
 int register_name(std::map<std::string, int>& ids,
-                  std::vector<std::string>& names, const std::string& name,
-                  int cap, const char* kind, const State& st) {
-  // One name, one type: collisions across kinds are programming errors.
-  const int in_others = (st.counter_ids.count(name) ? 1 : 0) +
-                        (st.gauge_ids.count(name) ? 1 : 0) +
-                        (st.hist_ids.count(name) ? 1 : 0);
+                  std::vector<std::string>& names_out,
+                  const std::string& name, int cap, const char* kind,
+                  const NameTable& table) {
   const auto it = ids.find(name);
   if (it != ids.end()) return it->second;
+  // One name, one type: collisions across kinds are programming errors.
+  const int in_others = (table.counter_ids.count(name) ? 1 : 0) +
+                        (table.gauge_ids.count(name) ? 1 : 0) +
+                        (table.hist_ids.count(name) ? 1 : 0);
   if (in_others > 0) {
     throw std::logic_error("obs: metric '" + name +
                            "' already registered with another type");
   }
-  if (static_cast<int>(names.size()) >= cap) {
+  if (static_cast<int>(names_out.size()) >= cap) {
     throw std::runtime_error(std::string("obs: too many ") + kind +
                              " metrics (cap reached)");
   }
-  const int id = static_cast<int>(names.size());
-  names.push_back(name);
+  const int id = static_cast<int>(names_out.size());
+  names_out.push_back(name);
   ids.emplace(name, id);
   return id;
 }
 
+std::atomic<std::uint64_t> g_next_registry_uid{1};
+
+/// One-entry per-thread cache of the last (registry, shard) pair this
+/// thread wrote to. Validated by registry uid (uids are never reused), so
+/// a stale entry for a destroyed registry can never be dereferenced. No
+/// destructor: shards are registry-owned, thread exit needs no hook.
+struct TlsShardCache {
+  std::uint64_t uid = 0;
+  MetricsRegistry::Shard* shard = nullptr;
+};
+thread_local TlsShardCache t_shard_cache;
+
 }  // namespace
 
-/// Thread-local shard holder: registers on first metric write from a
-/// thread, merges into the retired accumulator on thread exit.
-struct MetricsRegistry::ThreadShard {
-  Shard* shard = nullptr;
-  ThreadShard() {
-    shard = new Shard();
-    State& st = state();
-    std::lock_guard<std::mutex> lock(st.mutex);
-    st.live_shards.push_back(shard);
-  }
-  ~ThreadShard() {
-    State& st = state();
-    std::lock_guard<std::mutex> lock(st.mutex);
-    shard->merge_into(st.retired);
-    st.live_shards.erase(
-        std::find(st.live_shards.begin(), st.live_shards.end(), shard));
-    delete shard;
-  }
-};
+MetricsRegistry::MetricsRegistry()
+    : uid_(g_next_registry_uid.fetch_add(1, std::memory_order_relaxed)) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
 
 MetricsRegistry& MetricsRegistry::instance() {
-  static MetricsRegistry* inst = new MetricsRegistry();  // leaked.
-  return *inst;
+  return ObsScope::current().metrics();
 }
 
 MetricsRegistry::Shard* MetricsRegistry::local_shard() {
-  thread_local ThreadShard tls;
-  return tls.shard;
+  if (t_shard_cache.uid == uid_) return t_shard_cache.shard;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::thread::id tid = std::this_thread::get_id();
+  Shard* shard = nullptr;
+  for (const auto& [id, s] : shards_) {
+    if (id == tid) {
+      shard = s.get();
+      break;
+    }
+  }
+  if (shard == nullptr) {
+    shards_.emplace_back(tid, std::make_unique<Shard>());
+    shard = shards_.back().second.get();
+  }
+  t_shard_cache = {uid_, shard};
+  return shard;
 }
 
 int MetricsRegistry::counter(const std::string& name) {
-  State& st = state();
-  std::lock_guard<std::mutex> lock(st.mutex);
-  return register_name(st.counter_ids, st.counter_names, name, kMaxCounters,
-                       "counter", st);
+  NameTable& t = names();
+  std::lock_guard<std::mutex> lock(t.mutex);
+  return register_name(t.counter_ids, t.counter_names, name, kMaxCounters,
+                       "counter", t);
 }
 
 int MetricsRegistry::gauge(const std::string& name) {
-  State& st = state();
-  std::lock_guard<std::mutex> lock(st.mutex);
-  return register_name(st.gauge_ids, st.gauge_names, name, kMaxGauges,
-                       "gauge", st);
+  NameTable& t = names();
+  std::lock_guard<std::mutex> lock(t.mutex);
+  return register_name(t.gauge_ids, t.gauge_names, name, kMaxGauges, "gauge",
+                       t);
 }
 
 int MetricsRegistry::histogram(const std::string& name) {
-  State& st = state();
-  std::lock_guard<std::mutex> lock(st.mutex);
-  return register_name(st.hist_ids, st.hist_names, name, kMaxHistograms,
-                       "histogram", st);
+  NameTable& t = names();
+  std::lock_guard<std::mutex> lock(t.mutex);
+  return register_name(t.hist_ids, t.hist_names, name, kMaxHistograms,
+                       "histogram", t);
 }
 
 void MetricsRegistry::add(int counter_id, std::int64_t delta) {
@@ -204,7 +178,7 @@ void MetricsRegistry::add(int counter_id, std::int64_t delta) {
 void MetricsRegistry::set(int gauge_id, double value) {
   if (!metrics_enabled()) return;
   if (gauge_id < 0 || gauge_id >= kMaxGauges) return;
-  state().gauges[gauge_id].store(value, std::memory_order_relaxed);
+  gauges_[gauge_id].store(value, std::memory_order_relaxed);
 }
 
 double MetricsRegistry::bucket_lower_bound(int i) {
@@ -217,8 +191,13 @@ void MetricsRegistry::observe(int histogram_id, double value) {
   Shard::Hist& h = local_shard()->hists[histogram_id];
   h.count.fetch_add(1, std::memory_order_relaxed);
   atomic_add(h.sum, value);
-  atomic_min(h.min, value);
-  atomic_max(h.max, value);
+  // min/max: the owning thread is the only writer, plain RMW is safe.
+  if (value < h.min.load(std::memory_order_relaxed)) {
+    h.min.store(value, std::memory_order_relaxed);
+  }
+  if (value > h.max.load(std::memory_order_relaxed)) {
+    h.max.store(value, std::memory_order_relaxed);
+  }
   int bucket = 0;  // zero / negative / underflow land in bucket 0.
   if (value > 0.0 && std::isfinite(value)) {
     bucket = std::clamp(std::ilogb(value) + kBucketBias, 0,
@@ -243,30 +222,31 @@ double MetricsRegistry::Snapshot::gauge(const std::string& name) const {
 }
 
 MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
-  State& st = state();
-  std::lock_guard<std::mutex> lock(st.mutex);
+  NameTable& t = names();
+  // Lock order everywhere: name table, then registry.
+  std::lock_guard<std::mutex> names_lock(t.mutex);
+  std::lock_guard<std::mutex> lock(mutex_);
   Snapshot out;
 
   // std::map iteration gives name order directly.
-  for (const auto& [name, id] : st.counter_ids) {
-    std::int64_t total =
-        st.retired.counters[id].load(std::memory_order_relaxed);
-    for (const Shard* s : st.live_shards) {
+  for (const auto& [name, id] : t.counter_ids) {
+    std::int64_t total = 0;
+    for (const auto& [tid, s] : shards_) {
       total += s->counters[id].load(std::memory_order_relaxed);
     }
     out.counters.emplace_back(name, total);
   }
-  for (const auto& [name, id] : st.gauge_ids) {
+  for (const auto& [name, id] : t.gauge_ids) {
     out.gauges.emplace_back(name,
-                            st.gauges[id].load(std::memory_order_relaxed));
+                            gauges_[id].load(std::memory_order_relaxed));
   }
-  for (const auto& [name, id] : st.hist_ids) {
+  for (const auto& [name, id] : t.hist_ids) {
     HistogramSnapshot hs;
     double lo = std::numeric_limits<double>::infinity();
     double hi = -std::numeric_limits<double>::infinity();
     std::array<std::int64_t, kHistBuckets> buckets{};
-    const auto fold = [&](const Shard& s) {
-      const Shard::Hist& h = s.hists[id];
+    for (const auto& [tid, s] : shards_) {
+      const Shard::Hist& h = s->hists[id];
       hs.count += h.count.load(std::memory_order_relaxed);
       hs.sum += h.sum.load(std::memory_order_relaxed);
       lo = std::min(lo, h.min.load(std::memory_order_relaxed));
@@ -274,9 +254,7 @@ MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
       for (int b = 0; b < kHistBuckets; ++b) {
         buckets[b] += h.buckets[b].load(std::memory_order_relaxed);
       }
-    };
-    fold(st.retired);
-    for (const Shard* s : st.live_shards) fold(*s);
+    }
     if (hs.count > 0) {
       hs.min = lo;
       hs.max = hi;
@@ -292,11 +270,9 @@ MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
 }
 
 void MetricsRegistry::reset() {
-  State& st = state();
-  std::lock_guard<std::mutex> lock(st.mutex);
-  st.retired.zero();
-  for (Shard* s : st.live_shards) s->zero();
-  for (auto& g : st.gauges) g.store(0.0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [tid, s] : shards_) s->zero();
+  for (auto& g : gauges_) g.store(0.0, std::memory_order_relaxed);
 }
 
 }  // namespace sndr::obs

@@ -1,14 +1,21 @@
-// Process-global metrics: typed counters, gauges, and histograms.
+// Scoped metrics: typed counters, gauges, and histograms.
 //
-// The registry is the single sink for every quantitative observation the
-// library makes about itself (cache hits, nets extracted, anneal moves,
-// pool jobs...). Design constraints, in order:
+// A registry is the sink for every quantitative observation the library
+// makes about itself (cache hits, nets extracted, anneal moves, pool
+// jobs...). Registries are *instances* — one per ObsScope (obs/scope.hpp)
+// — so concurrent sessions in one process observe into disjoint stores;
+// `MetricsRegistry::instance()` resolves to the current scope's registry,
+// which for unscoped code is the process-wide default. Design
+// constraints, in order:
 //
 //   * Hot-path writes are lock-free: counter/histogram updates land in a
-//     per-thread shard (plain relaxed atomics the owning thread never
-//     contends on); snapshot() merges the shards. Shards of exited
-//     threads are folded into a retired accumulator, so no observation is
-//     ever lost.
+//     per-(thread, registry) shard (plain relaxed atomics the owning
+//     thread never contends on); snapshot() merges the shards. Shards are
+//     owned by the registry, so nothing is lost when a thread exits and
+//     everything is freed when the registry (its scope / session) dies.
+//   * Metric *names* live in one process-global name table shared by all
+//     registries: the per-call-site `static const int id` the macros
+//     cache is a name-table index, valid against any registry.
 //   * Zero overhead when disabled: every instrumentation macro first
 //     reads one atomic flag and touches nothing else — no clock, no
 //     registration, no thread-local setup, no allocation
@@ -27,7 +34,10 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -57,10 +67,18 @@ class MetricsRegistry {
   static constexpr int kHistBuckets = 96;
   static constexpr int kBucketBias = 80;
 
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The current scope's registry (ObsScope::current().metrics()); the
+  /// process-wide default when no scope is bound to this thread.
   static MetricsRegistry& instance();
 
-  /// Register-or-lookup by name; returns a stable id for the write calls.
-  /// A name is bound to one type — reusing it with another type throws.
+  /// Register-or-lookup by name in the process-global name table; returns
+  /// a stable id valid for the write calls on *any* registry instance. A
+  /// name is bound to one type — reusing it with another type throws.
   int counter(const std::string& name);
   int gauge(const std::string& name);
   int histogram(const std::string& name);
@@ -90,27 +108,33 @@ class MetricsRegistry {
   };
   Snapshot snapshot() const;
 
-  /// Zeroes every value (registrations survive). Testing / run isolation
-  /// only; concurrent writers may leak observations into the new epoch.
+  /// Zeroes every value in this registry (name registrations are global
+  /// and survive). Testing / run isolation only; concurrent writers may
+  /// leak observations into the new epoch.
   void reset();
 
   /// Inclusive lower bound of histogram bucket `i`.
   static double bucket_lower_bound(int i);
 
   // Implementation detail (defined in metrics.cpp); public only so the
-  // file-local registry state can hold Shard pointers.
+  // thread-local shard cache can hold Shard pointers.
   struct Shard;
 
  private:
-  MetricsRegistry() = default;
-  struct ThreadShard;
   Shard* local_shard();
+
+  const std::uint64_t uid_;  ///< process-unique, never reused.
+  mutable std::mutex mutex_;  ///< shard list, snapshot, reset.
+  /// One shard per writing thread, owned here (freed with the registry).
+  std::vector<std::pair<std::thread::id, std::unique_ptr<Shard>>> shards_;
+  std::array<std::atomic<double>, kMaxGauges> gauges_{};
 };
 
 }  // namespace sndr::obs
 
 // Instrumentation macros. `name` must be a string literal (or otherwise
-// live forever); the registry id resolves once per call site.
+// live forever); the registry id resolves once per call site and is valid
+// for every registry instance (global name table).
 #define SNDR_OBS_CONCAT2(a, b) a##b
 #define SNDR_OBS_CONCAT(a, b) SNDR_OBS_CONCAT2(a, b)
 

@@ -1,0 +1,29 @@
+#include "obs/scope.hpp"
+
+namespace sndr::obs {
+
+namespace {
+
+thread_local ObsScope* t_current_scope = nullptr;
+
+}  // namespace
+
+ObsScope& ObsScope::default_scope() {
+  // Leaked: unscoped observations may arrive during static destruction
+  // (thread-exit hooks, atexit I/O); the default scope must outlive all.
+  static ObsScope* scope = new ObsScope();
+  return *scope;
+}
+
+ObsScope& ObsScope::current() {
+  ObsScope* s = t_current_scope;
+  return s ? *s : default_scope();
+}
+
+ScopeBinding::ScopeBinding(ObsScope& scope) : prev_(t_current_scope) {
+  t_current_scope = &scope;
+}
+
+ScopeBinding::~ScopeBinding() { t_current_scope = prev_; }
+
+}  // namespace sndr::obs

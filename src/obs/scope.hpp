@@ -1,0 +1,67 @@
+// Observation scopes: a MetricsRegistry + TraceSink pair with a
+// thread-local "current scope" binding.
+//
+// Historically both were process-global singletons; a multi-session
+// process (flow::Session) needs each run's observations isolated. The
+// scheme that keeps every existing SNDR_METRIC_* / SNDR_TRACE_SPAN call
+// site compiling (and the disabled path at one load + branch):
+//
+//   * Metric *names* register in one process-global name table, so the
+//     per-call-site `static const int id` the macros cache stays valid
+//     against any registry instance (ids are name-table indices, values
+//     live per instance).
+//   * `MetricsRegistry::instance()` / `TraceSink::instance()` resolve to
+//     the *current scope*: a thread-local pointer, defaulting to the
+//     process-wide default scope — unscoped code behaves exactly as
+//     before.
+//   * `ScopeBinding` (RAII) binds a scope to the current thread;
+//     flow::Flow binds its Session's scope for the run. The thread pool
+//     captures the caller's scope per job and rebinds it on every worker
+//     chunk, so parallel loops observe into the session that issued them.
+//
+// Two sessions bound to two scopes on two threads therefore produce fully
+// disjoint snapshots (tests/flow_test.cpp pins this under TSan).
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace sndr::obs {
+
+class ObsScope {
+ public:
+  ObsScope() = default;
+  ObsScope(const ObsScope&) = delete;
+  ObsScope& operator=(const ObsScope&) = delete;
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  TraceSink& trace() { return trace_; }
+  const TraceSink& trace() const { return trace_; }
+
+  /// The process-wide scope unscoped code observes into (leaked; safe at
+  /// any point of thread/static destruction).
+  static ObsScope& default_scope();
+
+  /// The scope bound to the current thread (default_scope when none).
+  static ObsScope& current();
+
+ private:
+  MetricsRegistry metrics_;
+  TraceSink trace_;
+};
+
+/// RAII binding of `scope` to the current thread; restores the previous
+/// binding on destruction. Bindings nest.
+class ScopeBinding {
+ public:
+  explicit ScopeBinding(ObsScope& scope);
+  ~ScopeBinding();
+  ScopeBinding(const ScopeBinding&) = delete;
+  ScopeBinding& operator=(const ScopeBinding&) = delete;
+
+ private:
+  ObsScope* prev_;
+};
+
+}  // namespace sndr::obs

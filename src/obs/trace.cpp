@@ -4,25 +4,15 @@
 #include <atomic>
 #include <chrono>
 #include <map>
-#include <mutex>
 #include <ostream>
+
+#include "obs/scope.hpp"
 
 namespace sndr::obs {
 
 namespace {
 
 std::atomic<bool> g_tracing_enabled{true};
-
-struct SinkState {
-  mutable std::mutex mutex;
-  std::vector<SpanRecord> records;
-  std::int64_t dropped = 0;
-};
-
-SinkState& sink_state() {
-  static SinkState* s = new SinkState();  // leaked: thread-exit safe.
-  return *s;
-}
 
 std::atomic<std::int32_t> g_next_tid{0};
 
@@ -32,6 +22,8 @@ std::int32_t local_tid() {
   return tid;
 }
 
+// Nesting depth is a per-thread property independent of the scope the
+// span records into.
 thread_local std::int32_t t_depth = 0;
 
 }  // namespace
@@ -52,27 +44,22 @@ std::int64_t trace_now_ns() {
       .count();
 }
 
-TraceSink& TraceSink::instance() {
-  static TraceSink* inst = new TraceSink();  // leaked.
-  return *inst;
-}
+TraceSink& TraceSink::instance() { return ObsScope::current().trace(); }
 
 void TraceSink::append(const SpanRecord& r) {
-  SinkState& st = sink_state();
-  std::lock_guard<std::mutex> lock(st.mutex);
-  if (st.records.size() >= kMaxRecords) {
-    ++st.dropped;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (records_.size() >= kMaxRecords) {
+    ++dropped_;
     return;
   }
-  st.records.push_back(r);
+  records_.push_back(r);
 }
 
 std::vector<SpanRecord> TraceSink::records() const {
-  SinkState& st = sink_state();
   std::vector<SpanRecord> out;
   {
-    std::lock_guard<std::mutex> lock(st.mutex);
-    out = st.records;
+    std::lock_guard<std::mutex> lock(mutex_);
+    out = records_;
   }
   std::sort(out.begin(), out.end(),
             [](const SpanRecord& a, const SpanRecord& b) {
@@ -97,16 +84,14 @@ std::vector<TraceSink::SpanAggregate> TraceSink::aggregate() const {
 }
 
 std::int64_t TraceSink::dropped() const {
-  SinkState& st = sink_state();
-  std::lock_guard<std::mutex> lock(st.mutex);
-  return st.dropped;
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
 }
 
 void TraceSink::reset() {
-  SinkState& st = sink_state();
-  std::lock_guard<std::mutex> lock(st.mutex);
-  st.records.clear();
-  st.dropped = 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  records_.clear();
+  dropped_ = 0;
 }
 
 void TraceSink::write_chrome_trace(std::ostream& os) const {
@@ -127,17 +112,16 @@ void TraceSink::write_chrome_trace(std::ostream& os) const {
 
 TraceSpan::TraceSpan(const char* name) : name_(name) {
   if (!tracing_enabled()) return;
-  active_ = true;
+  sink_ = &TraceSink::instance();
   ++t_depth;
   start_ns_ = trace_now_ns();
 }
 
 TraceSpan::~TraceSpan() {
-  if (!active_) return;
+  if (sink_ == nullptr) return;
   const std::int64_t end_ns = trace_now_ns();
   const std::int32_t depth = --t_depth;
-  TraceSink::instance().append(
-      {name_, start_ns_, end_ns - start_ns_, depth, local_tid()});
+  sink_->append({name_, start_ns_, end_ns - start_ns_, depth, local_tid()});
 }
 
 }  // namespace sndr::obs

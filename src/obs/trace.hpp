@@ -2,11 +2,12 @@
 //
 // SNDR_TRACE_SPAN("stage") opens an RAII span: construction notes the
 // steady-clock time and nesting depth, destruction appends one SpanRecord
-// to the process-global TraceSink. Spans are *stage-grained* by
-// convention (extract_all, evaluate, anneal, predictor_train...) — never
-// per-net or per-RC-piece — so a full CLI run produces hundreds of
-// records, not millions; a fixed cap (with a drop counter) bounds memory
-// regardless.
+// to the current scope's TraceSink (obs/scope.hpp; the sink is captured at
+// construction so a span never splits across scopes). Spans are
+// *stage-grained* by convention (extract_all, evaluate, anneal,
+// predictor_train...) — never per-net or per-RC-piece — so a full CLI run
+// produces hundreds of records, not millions; a fixed cap (with a drop
+// counter) bounds memory regardless.
 //
 // Thread ids are obs-local: the first thread to trace is tid 0, the next
 // tid 1, ... (pool workers pick up stable ids the first time they trace).
@@ -20,6 +21,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -42,6 +44,12 @@ class TraceSink {
   /// Records kept before further spans are counted as dropped.
   static constexpr std::size_t kMaxRecords = 1u << 18;
 
+  TraceSink() = default;
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  /// The current scope's sink (ObsScope::current().trace()); the
+  /// process-wide default when no scope is bound to this thread.
   static TraceSink& instance();
 
   /// All finished spans, ordered by (start_ns, tid).
@@ -65,7 +73,9 @@ class TraceSink {
   void append(const SpanRecord& r);  ///< TraceSpan internal use.
 
  private:
-  TraceSink() = default;
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> records_;
+  std::int64_t dropped_ = 0;
 };
 
 /// RAII span; prefer the SNDR_TRACE_SPAN macro.
@@ -78,8 +88,8 @@ class TraceSpan {
 
  private:
   const char* name_;
+  TraceSink* sink_ = nullptr;  ///< captured at construction.
   std::int64_t start_ns_ = 0;
-  bool active_ = false;
 };
 
 /// Nanoseconds since the process's trace epoch (first use).

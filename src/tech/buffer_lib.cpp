@@ -1,6 +1,8 @@
 #include "tech/buffer_lib.hpp"
 
 #include <algorithm>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 #include "tech/units.hpp"
@@ -49,6 +51,42 @@ int BufferLibrary::find(const std::string& name) const {
     if (cells_[i].name == name) return i;
   }
   return -1;
+}
+
+common::Result<BufferLibrary> load_buffer_library_file(
+    const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    return common::Status::NotFound("cannot open buffer library file " +
+                                    path);
+  }
+  std::vector<BufferCell> cells;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(f, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::istringstream ls(line);
+    std::string key;
+    if (!(ls >> key)) continue;
+    const std::string at = path + ":" + std::to_string(line_no) + ": ";
+    std::string eq;
+    if (key != "buffer" || !(ls >> eq) || eq != "=") {
+      return common::Status::ParseFailure(
+          at + "expected 'buffer = NAME RES CAP TINTR EINT CMAX SSENS'");
+    }
+    BufferCell c;
+    if (!(ls >> c.name >> c.drive_res >> c.input_cap >> c.intrinsic_delay >>
+          c.internal_energy >> c.max_cap >> c.slew_sensitivity)) {
+      return common::Status::ParseFailure(at + "malformed buffer cell");
+    }
+    cells.push_back(std::move(c));
+  }
+  if (cells.empty()) {
+    return common::Status::ParseFailure(path + ": no buffer cells");
+  }
+  return BufferLibrary(std::move(cells));
 }
 
 }  // namespace sndr::tech

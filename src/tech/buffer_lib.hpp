@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "common/status.hpp"
+
 namespace sndr::tech {
 
 struct BufferCell {
@@ -64,5 +66,13 @@ class BufferLibrary {
  private:
   std::vector<BufferCell> cells_;  ///< sorted by increasing drive strength.
 };
+
+/// Error-boundary loader for a standalone buffer library file: the
+/// `buffer = NAME RES CAP TINTR EINT CMAX SSENS` lines of the technology
+/// text format ('#' comments, blank lines allowed). kNotFound when the
+/// file cannot be opened, kParseError with a path:line diagnostic on
+/// malformed input or an empty library; never throws.
+common::Result<BufferLibrary> load_buffer_library_file(
+    const std::string& path);
 
 }  // namespace sndr::tech

@@ -1,5 +1,6 @@
 #include "tech/technology.hpp"
 
+#include <fstream>
 #include <map>
 #include <sstream>
 #include <stdexcept>
@@ -51,17 +52,18 @@ std::string Technology::to_text() const {
 
 namespace {
 
-[[noreturn]] void parse_error(int line_no, const std::string& line,
+[[noreturn]] void parse_error(const std::string& source, int line_no,
+                              const std::string& line,
                               const std::string& what) {
   std::ostringstream os;
-  os << "Technology::from_text: line " << line_no << ": " << what << " in '"
-     << line << "'";
-  throw std::runtime_error(os.str());
+  os << source << ":" << line_no << ": " << what << " in '" << line << "'";
+  throw common::ParseError(os.str());
 }
 
 }  // namespace
 
-Technology Technology::from_text(const std::string& text) {
+Technology Technology::from_text(const std::string& text,
+                                 const std::string& source) {
   Technology t;
   std::vector<RoutingRule> rules;
   std::vector<BufferCell> buffers;
@@ -96,7 +98,7 @@ Technology Technology::from_text(const std::string& text) {
     if (eq == std::string::npos) {
       // Blank / comment-only line.
       if (line.find_first_not_of(" \t\r") != std::string::npos) {
-        parse_error(line_no, line, "missing '='");
+        parse_error(source, line_no, line, "missing '='");
       }
       continue;
     }
@@ -112,7 +114,7 @@ Technology Technology::from_text(const std::string& text) {
     } else if (key == "rule") {
       RoutingRule r;
       if (!(val_is >> r.name >> r.width_mult >> r.space_mult)) {
-        parse_error(line_no, line, "expected 'rule = NAME WMULT SMULT'");
+        parse_error(source, line_no, line, "expected 'rule = NAME WMULT SMULT'");
       }
       rules.push_back(r);
     } else if (key == "blanket_rule") {
@@ -122,16 +124,16 @@ Technology Technology::from_text(const std::string& text) {
       if (!(val_is >> c.name >> c.drive_res >> c.input_cap >>
             c.intrinsic_delay >> c.internal_energy >> c.max_cap >>
             c.slew_sensitivity)) {
-        parse_error(line_no, line,
+        parse_error(source, line_no, line,
                     "expected 'buffer = NAME RES CAP TINTR EINT CMAX SSENS'");
       }
       buffers.push_back(c);
     } else if (auto it = scalar_fields.find(key); it != scalar_fields.end()) {
       if (!(val_is >> *it->second)) {
-        parse_error(line_no, line, "expected a numeric value");
+        parse_error(source, line_no, line, "expected a numeric value");
       }
     } else {
-      parse_error(line_no, line, "unknown key '" + key + "'");
+      parse_error(source, line_no, line, "unknown key '" + key + "'");
     }
   }
 
@@ -142,15 +144,28 @@ Technology Technology::from_text(const std::string& text) {
         if (rules[i].name == blanket_name) blanket = i;
       }
       if (blanket < 0) {
-        throw std::runtime_error(
-            "Technology::from_text: blanket_rule '" + blanket_name +
-            "' does not name a parsed rule");
+        throw common::ParseError(source + ": blanket_rule '" + blanket_name +
+                                 "' does not name a parsed rule");
       }
     }
     t.rules = RuleSet(std::move(rules), blanket);
   }
   if (!buffers.empty()) t.buffers = BufferLibrary(std::move(buffers));
   return t;
+}
+
+common::Result<Technology> load_technology_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    return common::Status::NotFound("cannot open technology file " + path);
+  }
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  try {
+    return Technology::from_text(ss.str(), path);
+  } catch (...) {
+    return common::classify_exception(common::StatusCode::kIoError);
+  }
 }
 
 }  // namespace sndr::tech

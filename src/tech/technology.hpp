@@ -10,6 +10,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "common/status.hpp"
 #include "tech/buffer_lib.hpp"
 #include "tech/routing_rule.hpp"
 #include "tech/wire_model.hpp"
@@ -38,9 +39,16 @@ struct Technology {
   static Technology make_default_45nm();
 
   /// Serializes to / parses from the `key = value` text format. Parsing
-  /// throws std::runtime_error with a line diagnostic on malformed input.
+  /// throws common::ParseError with a line diagnostic on malformed input;
+  /// `source` names the input in that diagnostic.
   std::string to_text() const;
-  static Technology from_text(const std::string& text);
+  static Technology from_text(const std::string& text,
+                              const std::string& source = "<text>");
 };
+
+/// Error-boundary loader for the `key = value` technology format:
+/// kNotFound when the file cannot be opened, kParseError with a path:line
+/// diagnostic on malformed input; never throws.
+common::Result<Technology> load_technology_file(const std::string& path);
 
 }  // namespace sndr::tech

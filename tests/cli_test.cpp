@@ -1,0 +1,160 @@
+// End-to-end smoke test of the sndr CLI binary: real process invocations
+// pinned to the documented exit-code contract (0 ok, 2 usage, 3 missing
+// file, 4 parse error) and to the artifacts a run leaves behind (manifest
+// schema sndr.run_manifest/2 with a stages array, CSV under the results
+// dir). The binary path comes from the SNDR_CLI_PATH compile definition
+// (tests/CMakeLists.txt).
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A fresh scratch directory per test run.
+const fs::path& scratch_dir() {
+  static const fs::path dir = [] {
+    fs::path d = fs::temp_directory_path() / "sndr_cli_test";
+    fs::remove_all(d);
+    fs::create_directories(d);
+    return d;
+  }();
+  return dir;
+}
+
+std::string path_in_scratch(const std::string& name) {
+  return (scratch_dir() / name).string();
+}
+
+/// Runs `sndr <args>`, returns the exit code; captures stdout+stderr.
+int run_cli(const std::string& args, std::string* output = nullptr) {
+  const std::string log = path_in_scratch("last_run.log");
+  const std::string cmd =
+      std::string(SNDR_CLI_PATH) + " " + args + " > " + log + " 2>&1";
+  const int raw = std::system(cmd.c_str());
+  if (output != nullptr) {
+    std::ifstream f(log);
+    std::stringstream ss;
+    ss << f.rdbuf();
+    *output = ss.str();
+  }
+  return WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream f(path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+/// Generates the shared test design once; returns its path.
+const std::string& design_path() {
+  static const std::string path = [] {
+    const std::string p = path_in_scratch("design.txt");
+    EXPECT_EQ(run_cli("generate --sinks 64 --seed 3 --out " + p), 0);
+    return p;
+  }();
+  return path;
+}
+
+TEST(Cli, NoArgumentsPrintsUsage) {
+  std::string out;
+  EXPECT_EQ(run_cli("", &out), 2);
+  EXPECT_NE(out.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, UnknownFlagIsAUsageError) {
+  std::string out;
+  EXPECT_EQ(run_cli("run --design " + design_path() + " --bogus 1", &out), 2);
+  EXPECT_NE(out.find("--bogus"), std::string::npos);
+}
+
+TEST(Cli, MissingDesignFileExitsNotFound) {
+  std::string out;
+  EXPECT_EQ(run_cli("run --design " + path_in_scratch("absent.txt"), &out),
+            3);
+  EXPECT_NE(out.find("not_found"), std::string::npos);
+}
+
+TEST(Cli, MalformedDesignFileExitsParseError) {
+  const std::string bad = path_in_scratch("bad_design.txt");
+  std::ofstream(bad) << "garbage line\n";
+  std::string out;
+  EXPECT_EQ(run_cli("run --design " + bad, &out), 4);
+  // The diagnostic carries a path:line prefix.
+  EXPECT_NE(out.find("bad_design.txt:1:"), std::string::npos) << out;
+}
+
+TEST(Cli, MissingConfigFileExitsNotFound) {
+  EXPECT_EQ(run_cli("run --design " + design_path() + " --config " +
+                    path_in_scratch("absent.conf")),
+            3);
+}
+
+TEST(Cli, RunWithConfigFileWritesArtifactsAndManifest) {
+  const std::string results = path_in_scratch("results");
+  const std::string conf = path_in_scratch("flow.conf");
+  std::ofstream(conf) << "# e2e smoke config\n"
+                      << "threads = 1\n"
+                      << "training_samples = 60\n"
+                      << "results_dir = " << results << "\n"
+                      << "csv = run.csv\n"
+                      << "metrics_out = manifest.json\n";
+  std::string out;
+  ASSERT_EQ(run_cli("run --design " + design_path() + " --config " + conf,
+                    &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("smart vs blanket"), std::string::npos);
+  EXPECT_TRUE(fs::exists(results + "/run.csv"));
+
+  // The manifest is schema /2 with a per-stage record of this run.
+  const std::string manifest = read_file(results + "/manifest.json");
+  EXPECT_NE(manifest.find("\"schema\": \"sndr.run_manifest/2\""),
+            std::string::npos);
+  EXPECT_NE(manifest.find("\"stages\": ["), std::string::npos);
+  // Every stage that ran before the manifest was written appears (the
+  // report stage itself writes the manifest, so it can't self-record).
+  for (const char* stage :
+       {"load", "cts", "route", "nets", "extract", "optimize"}) {
+    EXPECT_NE(manifest.find("{\"name\": \"" + std::string(stage) + "\""),
+              std::string::npos)
+        << stage;
+  }
+  EXPECT_NE(manifest.find("\"status\": \"skipped\""), std::string::npos)
+      << "anneal/corners are off and must be recorded as skipped";
+}
+
+TEST(Cli, CliFlagsOverrideConfigFileValues) {
+  const std::string results = path_in_scratch("results_override");
+  const std::string conf = path_in_scratch("override.conf");
+  std::ofstream(conf) << "threads = 1\n"
+                      << "training_samples = 60\n"
+                      << "results_dir = " << results << "\n"
+                      << "csv = from_file.csv\n";
+  ASSERT_EQ(run_cli("run --design " + design_path() + " --config " + conf +
+                    " --csv from_cli.csv"),
+            0);
+  EXPECT_TRUE(fs::exists(results + "/from_cli.csv"));
+  EXPECT_FALSE(fs::exists(results + "/from_file.csv"));
+}
+
+TEST(Cli, EvalUniformRule) {
+  std::string out;
+  EXPECT_EQ(run_cli("eval --design " + design_path() +
+                        " --rule 2W2S --threads 1",
+                    &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("2W2S"), std::string::npos);
+  EXPECT_EQ(run_cli("eval --design " + design_path() + " --rule NOPE"), 2);
+}
+
+}  // namespace

@@ -1,0 +1,365 @@
+// Session/Flow architecture tests (DESIGN.md §9): unified FlowConfig
+// precedence (CLI > file > defaults), typed error boundaries at the file
+// loaders, the staged runner's stage records, and — the load-bearing one —
+// two Sessions running full flows on two threads producing bit-identical
+// results vs. serial runs with fully disjoint metrics snapshots. The
+// concurrent test also runs under TSan in scripts/tier1.sh.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "flow/config.hpp"
+#include "flow/flow.hpp"
+#include "flow/session.hpp"
+#include "io/design_io.hpp"
+#include "io/spef.hpp"
+#include "ndr/optimizer.hpp"
+#include "obs/scope.hpp"
+#include "tech/buffer_lib.hpp"
+#include "tech/technology.hpp"
+#include "test_util.hpp"
+
+namespace sndr {
+namespace {
+
+using common::Status;
+using common::StatusCode;
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string write_file(const std::string& name, const std::string& text) {
+  const std::string path = temp_path(name);
+  std::ofstream(path) << text;
+  return path;
+}
+
+// ---- FlowConfig -----------------------------------------------------------
+
+TEST(FlowConfig, PrecedenceIsCliOverFileOverDefaults) {
+  const std::string conf = write_file("flow_test_prec.conf",
+                                      "# comment\n"
+                                      "threads = 2\n"
+                                      "seed = 9\n"
+                                      "smart = false\n"
+                                      "\n"
+                                      "results_dir = out\n");
+  flow::FlowConfig config;
+  ASSERT_TRUE(config.from_file(conf).ok());
+  // File overrides defaults...
+  EXPECT_EQ(config.threads, 2);
+  EXPECT_EQ(config.seed, 9u);
+  EXPECT_FALSE(config.smart);
+  EXPECT_EQ(config.results_dir, "out");
+  // ...untouched keys keep their defaults...
+  EXPECT_EQ(config.max_passes, 4);
+  EXPECT_EQ(config.scoring, "models");
+  // ...and a later set() (the CLI path) overrides the file.
+  ASSERT_TRUE(config.set("threads", "4").ok());
+  ASSERT_TRUE(config.set("smart", "true").ok());
+  EXPECT_EQ(config.threads, 4);
+  EXPECT_TRUE(config.smart);
+  EXPECT_EQ(config.seed, 9u);  // file value survives unrelated overrides.
+}
+
+TEST(FlowConfig, RejectsUnknownKeysAndBadValues) {
+  flow::FlowConfig config;
+  Status s = config.set("bogus", "1");
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("bogus"), std::string::npos);
+  EXPECT_EQ(config.set("threads", "abc").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(config.set("scoring", "psychic").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(config.set("smart", "maybe").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FlowConfig, FromFileDiagnosticsCarryPathAndLine) {
+  flow::FlowConfig config;
+  EXPECT_EQ(config.from_file(temp_path("flow_test_missing.conf")).code(),
+            StatusCode::kNotFound);
+
+  const std::string conf =
+      write_file("flow_test_bad.conf", "threads = 2\nbogus = 1\n");
+  Status s = config.from_file(conf);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find(conf + ":2:"), std::string::npos) << s.message();
+}
+
+TEST(FlowConfig, KnownKeysRoundTripThroughSet) {
+  // Every advertised key must be settable — keeps usage text honest.
+  flow::FlowConfig config;
+  for (const std::string& key : flow::FlowConfig::known_keys()) {
+    // Values that parse for every key type (paths accept anything).
+    Status s = config.set(key, "1");
+    if (!s.ok()) s = config.set(key, "models");
+    EXPECT_TRUE(s.ok()) << key << ": " << s.to_string();
+  }
+}
+
+TEST(FlowConfig, OutputPathResolvesUnderResultsDir) {
+  flow::FlowConfig config;
+  config.results_dir = "results";
+  EXPECT_EQ(config.output_path("run.csv"), "results/run.csv");
+  EXPECT_EQ(config.output_path("/abs/run.csv"), "/abs/run.csv");
+  config.results_dir = "";
+  EXPECT_EQ(config.output_path("run.csv"), "run.csv");
+}
+
+TEST(FlowConfig, MapsToOptimizerAndAnnealOptions) {
+  flow::FlowConfig config;
+  config.scoring = "exact_net";
+  config.training_samples = 123;
+  config.slew_margin = 0.07;
+  config.threads = 1;
+  ndr::OptimizerOptions opt = config.optimizer_options();
+  EXPECT_EQ(opt.scoring, ndr::Scoring::kExactNet);
+  EXPECT_FALSE(opt.use_models);
+  EXPECT_EQ(opt.training_samples, 123);
+  EXPECT_DOUBLE_EQ(opt.slew_margin, 0.07);
+
+  config.scoring = "full_sta";
+  opt = config.optimizer_options();
+  EXPECT_EQ(opt.scoring, ndr::Scoring::kFullSta);
+  // The optimizer maps use_models==false to kExactNet regardless of
+  // `scoring`, so full_sta must keep use_models set.
+  EXPECT_TRUE(opt.use_models);
+
+  config.anneal_iterations = 500;
+  config.anneal_t_start_frac = 0.25;
+  ndr::AnnealOptions ann = config.anneal_options();
+  EXPECT_EQ(ann.iterations, 500);
+  EXPECT_DOUBLE_EQ(ann.t_start_frac, 0.25);
+  EXPECT_DOUBLE_EQ(ann.slew_margin, 0.07);  // shared margin flows through.
+}
+
+// ---- Typed loader boundaries ----------------------------------------------
+
+TEST(TypedBoundaries, DesignLoader) {
+  const std::string missing = temp_path("flow_test_no_such_design.txt");
+  auto r = io::load_design_file(missing);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(r.status().message().find(missing), std::string::npos);
+
+  const std::string bad = write_file("flow_test_bad_design.txt", "garbage\n");
+  r = io::load_design_file(bad);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find(bad + ":1:"), std::string::npos)
+      << r.status().message();
+
+  const std::string good = temp_path("flow_test_good_design.txt");
+  io::write_design_file(good, test::small_design(32, 5));
+  auto ok = io::load_design_file(good);
+  ASSERT_TRUE(ok.ok()) << ok.status().to_string();
+  EXPECT_EQ(ok->sinks.size(), 32u);
+}
+
+TEST(TypedBoundaries, TechnologyLoader) {
+  auto r = tech::load_technology_file(temp_path("flow_test_no_tech.txt"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+
+  const std::string bad =
+      write_file("flow_test_bad_tech.txt", "no equals sign here\n");
+  r = tech::load_technology_file(bad);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find(bad + ":1:"), std::string::npos)
+      << r.status().message();
+}
+
+TEST(TypedBoundaries, SpefLoader) {
+  auto r = io::load_spef_file(temp_path("flow_test_no_spef.spef"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+
+  const std::string bad = write_file("flow_test_bad.spef", "*D_NET\n");
+  r = io::load_spef_file(bad);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find(bad + ":1:"), std::string::npos)
+      << r.status().message();
+}
+
+TEST(TypedBoundaries, BufferLibraryLoader) {
+  auto r =
+      tech::load_buffer_library_file(temp_path("flow_test_no_bufs.txt"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+
+  const std::string bad = write_file("flow_test_bad_bufs.txt",
+                                     "# kit\nbuffer = BUFX2 not numbers\n");
+  r = tech::load_buffer_library_file(bad);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find(bad + ":2:"), std::string::npos)
+      << r.status().message();
+
+  const std::string empty = write_file("flow_test_empty_bufs.txt", "# kit\n");
+  r = tech::load_buffer_library_file(empty);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+
+  const std::string good = write_file(
+      "flow_test_good_bufs.txt",
+      "buffer = BUFX2 1200 4e-15 20e-12 1.2e-15 80e-15 0.6\n"
+      "buffer = BUFX8 400 9e-15 14e-12 2.8e-15 200e-15 0.5\n");
+  auto ok = tech::load_buffer_library_file(good);
+  ASSERT_TRUE(ok.ok()) << ok.status().to_string();
+  const tech::BufferLibrary& lib = ok.value();
+  ASSERT_EQ(lib.size(), 2);
+  // Sorted weakest-first (descending drive resistance).
+  EXPECT_GE(lib[0].drive_res, lib[1].drive_res);
+}
+
+// ---- Session / Flow -------------------------------------------------------
+
+TEST(Session, LoadRequiresADesign) {
+  flow::Session session((flow::FlowConfig()));
+  Status s = session.load();
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Session, LoadsDesignAndTechFromFilesIdempotently) {
+  flow::FlowConfig config;
+  config.design_path = temp_path("flow_test_session_design.txt");
+  io::write_design_file(config.design_path, test::small_design(48, 7));
+  flow::Session session(config);
+  ASSERT_TRUE(session.load().ok());
+  EXPECT_TRUE(session.loaded());
+  EXPECT_EQ(session.design().sinks.size(), 48u);
+  EXPECT_TRUE(session.load().ok());  // idempotent.
+}
+
+TEST(Flow, LoadFailureSurfacesAsTypedStatus) {
+  flow::FlowConfig config;
+  config.design_path = temp_path("flow_test_absent_design.txt");
+  flow::Session session(config);
+  flow::Flow f(session);
+  common::Result<flow::FlowResult> r = f.run();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  ASSERT_FALSE(f.stages().empty());
+  EXPECT_EQ(f.stages()[0].name, "load");
+  EXPECT_NE(f.stages()[0].status.find("not_found"), std::string::npos);
+}
+
+flow::FlowConfig small_run_config() {
+  flow::FlowConfig config;
+  config.smart = true;
+  config.training_samples = 60;  // keep the optimizer quick.
+  return config;
+}
+
+std::unique_ptr<flow::Session> run_small_flow(int sinks, std::uint64_t seed,
+                                              flow::FlowResult& out) {
+  auto session = std::make_unique<flow::Session>(small_run_config());
+  session->set_design(test::small_design(sinks, seed));
+  flow::Flow f(*session);
+  common::Result<flow::FlowResult> r = f.run();
+  EXPECT_TRUE(r.ok()) << r.status().to_string();
+  if (r.ok()) out = std::move(r.value());
+  return session;
+}
+
+void expect_bit_identical(const ndr::FlowEvaluation& a,
+                          const ndr::FlowEvaluation& b) {
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.power.total_power, b.power.total_power);
+  EXPECT_EQ(a.power.switched_cap, b.power.switched_cap);
+  EXPECT_EQ(a.timing.sink_arrival, b.timing.sink_arrival);
+  EXPECT_EQ(a.timing.sink_slew, b.timing.sink_slew);
+  EXPECT_EQ(a.slew_violations, b.slew_violations);
+  EXPECT_EQ(a.uncertainty_violations, b.uncertainty_violations);
+  EXPECT_EQ(a.em_violations, b.em_violations);
+  EXPECT_EQ(a.feasible(), b.feasible());
+}
+
+TEST(Flow, RunsAllStagesInOrder) {
+  flow::FlowResult result;
+  auto session = run_small_flow(48, 1, result);
+  const std::vector<std::string> expected = {
+      "load", "cts",      "route",  "nets",    "extract",
+      "optimize", "anneal", "corners", "report"};
+  ASSERT_EQ(result.stages.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(result.stages[i].name, expected[i]);
+  }
+  // anneal/corners are off by default -> recorded as skipped, not absent.
+  EXPECT_EQ(result.stages[5].status, "ok");
+  EXPECT_EQ(result.stages[6].status, "skipped");
+  EXPECT_EQ(result.stages[7].status, "skipped");
+  EXPECT_EQ(result.stages[8].status, "ok");
+  ASSERT_TRUE(result.smart.has_value());
+  EXPECT_EQ(result.final_assignment(), &result.smart->assignment);
+}
+
+// The headline isolation property: two sessions on two threads produce
+// bit-identical results to the same two sessions run serially, and their
+// metrics snapshots are fully disjoint (each scope saw only its own run).
+TEST(Flow, ConcurrentSessionsMatchSerialWithDisjointMetrics) {
+  // Serial reference runs.
+  flow::FlowResult serial_a, serial_b;
+  auto ref_a = run_small_flow(48, 1, serial_a);
+  auto ref_b = run_small_flow(64, 3, serial_b);
+  const auto ref_snap_a = ref_a->obs_scope().metrics().snapshot();
+  const auto ref_snap_b = ref_b->obs_scope().metrics().snapshot();
+
+  const auto default_before =
+      obs::ObsScope::default_scope().metrics().snapshot();
+
+  // The same two runs, concurrently.
+  flow::FlowResult par_a, par_b;
+  std::unique_ptr<flow::Session> sess_a, sess_b;
+  std::thread ta([&] { sess_a = run_small_flow(48, 1, par_a); });
+  std::thread tb([&] { sess_b = run_small_flow(64, 3, par_b); });
+  ta.join();
+  tb.join();
+
+  expect_bit_identical(serial_a.default_eval, par_a.default_eval);
+  expect_bit_identical(serial_a.blanket_eval, par_a.blanket_eval);
+  expect_bit_identical(serial_a.final_eval(), par_a.final_eval());
+  expect_bit_identical(serial_b.default_eval, par_b.default_eval);
+  expect_bit_identical(serial_b.blanket_eval, par_b.blanket_eval);
+  expect_bit_identical(serial_b.final_eval(), par_b.final_eval());
+
+  // Disjoint observation: each concurrent session's snapshot equals its
+  // serial twin's snapshot — nothing leaked across sessions in either
+  // direction (a leak would inflate one and deflate the other).
+  const auto snap_a = sess_a->obs_scope().metrics().snapshot();
+  const auto snap_b = sess_b->obs_scope().metrics().snapshot();
+  EXPECT_GT(snap_a.counter("ndr.evaluations"), 0);
+  EXPECT_GT(snap_b.counter("ndr.evaluations"), 0);
+  ASSERT_EQ(snap_a.counters.size(), ref_snap_a.counters.size());
+  for (std::size_t i = 0; i < snap_a.counters.size(); ++i) {
+    EXPECT_EQ(snap_a.counters[i].first, ref_snap_a.counters[i].first);
+    EXPECT_EQ(snap_a.counters[i].second, ref_snap_a.counters[i].second)
+        << snap_a.counters[i].first;
+  }
+  ASSERT_EQ(snap_b.counters.size(), ref_snap_b.counters.size());
+  for (std::size_t i = 0; i < snap_b.counters.size(); ++i) {
+    EXPECT_EQ(snap_b.counters[i].first, ref_snap_b.counters[i].first);
+    EXPECT_EQ(snap_b.counters[i].second, ref_snap_b.counters[i].second)
+        << snap_b.counters[i].first;
+  }
+
+  // And none of it went to the process default scope.
+  const auto default_after =
+      obs::ObsScope::default_scope().metrics().snapshot();
+  EXPECT_EQ(default_after.counter("ndr.evaluations"),
+            default_before.counter("ndr.evaluations"));
+}
+
+}  // namespace
+}  // namespace sndr

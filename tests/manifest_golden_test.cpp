@@ -1,4 +1,4 @@
-// Golden-file test for the run manifest (schema sndr.run_manifest/1).
+// Golden-file test for the run manifest (schema sndr.run_manifest/2).
 //
 // Runs a small deterministic flow single-threaded, renders the manifest,
 // normalizes the volatile fields (git state, host, timestamps, every wall
@@ -59,6 +59,7 @@ std::string normalize(const std::string& manifest) {
     normalize_value(line, "host", "\"<host>\"");
     normalize_value(line, "started_utc", "\"<utc>\"");
     normalize_value(line, "wall_seconds", "<s>");
+    normalize_value(line, "seconds", "<s>");  // stage entries.
     normalize_value(line, "total_s", "<s>");
     normalize_value(line, "mean_s", "<s>");
     out << line << "\n";
@@ -89,6 +90,8 @@ std::string run_small_flow_manifest() {
   info.threads = 1;
   info.seed = 3;
   info.wall_seconds = 0.5;  // normalized away; any value works.
+  info.stages = {{"load", 0.1, "ok"}, {"optimize", 0.3, "ok"},
+                 {"anneal", -1.0, "skipped"}};
   return obs::run_manifest_json(info);
 }
 
@@ -146,7 +149,7 @@ TEST(ManifestGolden, ManifestIsStableAcrossRepeatedRenders) {
   const std::string b = normalize(obs::run_manifest_json(info));
   EXPECT_EQ(a, b);
   EXPECT_NE(a.find("\"test.golden_stable\": 7"), std::string::npos);
-  EXPECT_NE(a.find("\"schema\": \"sndr.run_manifest/1\""),
+  EXPECT_NE(a.find("\"schema\": \"sndr.run_manifest/2\""),
             std::string::npos);
 }
 

@@ -4,33 +4,44 @@
 //                 --out design.txt
 //       Emit a synthetic design file.
 //
-//   sndr run --design design.txt [--tech tech.txt] [--spef out.spef]
-//            [--svg out.svg] [--csv out.csv] [--no-smart]
-//       Full flow: CTS + refinement + baselines + smart NDR + signoff
-//       report; optional artifact exports.
+//   sndr run [--config flow.conf] --design design.txt [--tech tech.txt]
+//            [--spef f] [--svg f] [--csv f] [--no-smart] [--anneal N]
+//            [--corners] [--seed S] [--threads N] [--results-dir d]
+//       Full staged flow (load, cts, route, nets, extract, optimize,
+//       anneal?, corners?, report) on a flow::Session; optional artifact
+//       exports land under --results-dir (default: results/).
 //
-//   sndr eval --design design.txt --rule 2W2S [--tech tech.txt]
+//   sndr eval [--config flow.conf] --design design.txt --rule 2W2S
+//             [--tech tech.txt] [--threads N]
 //       Evaluate one uniform rule assignment (no optimization).
 //
-// Exit code 0 on success (and a feasible smart result for `run`), 1 on
-// infeasible results, 2 on usage/input errors.
+// Every flow option is a config key: `--key value` on the command line and
+// `key = value` lines in the --config file set the same FlowConfig, with
+// CLI flags overriding file values overriding defaults.
+//
+// Exit codes map the typed error layer (common/status.hpp):
+//   0  success (and a feasible result for run/eval)
+//   1  infeasible result
+//   2  usage error / invalid argument
+//   3  missing file (design, tech, config)
+//   4  malformed input (parse error, with a path:line diagnostic)
+//   5  I/O failure writing an artifact
+//   6  internal error
+#include <algorithm>
 #include <chrono>
-#include <fstream>
+#include <filesystem>
 #include <iostream>
-#include <map>
-#include <sstream>
 #include <string>
+#include <vector>
 
+#include "common/status.hpp"
 #include "common/thread_pool.hpp"
-#include "obs/manifest.hpp"
-#include "cts/embedding.hpp"
-#include "cts/refine.hpp"
+#include "flow/flow.hpp"
+#include "flow/session.hpp"
 #include "io/design_io.hpp"
-#include "io/spef.hpp"
-#include "io/svg.hpp"
-#include "ndr/smart_ndr.hpp"
+#include "obs/manifest.hpp"
 #include "report/table.hpp"
-#include "route/congestion_route.hpp"
+#include "tech/units.hpp"
 #include "workload/generator.hpp"
 
 namespace {
@@ -39,14 +50,19 @@ using namespace sndr;
 
 struct Args {
   std::string command;
-  std::map<std::string, std::string> options;
+  std::vector<std::pair<std::string, std::string>> options;  ///< argv order.
   bool flag(const std::string& name) const {
-    return options.count(name) > 0;
+    for (const auto& [k, v] : options) {
+      if (k == name) return true;
+    }
+    return false;
   }
   std::string get(const std::string& name,
                   const std::string& fallback = "") const {
-    const auto it = options.find(name);
-    return it == options.end() ? fallback : it->second;
+    for (const auto& [k, v] : options) {
+      if (k == name) return v;
+    }
+    return fallback;
   }
 };
 
@@ -60,9 +76,9 @@ Args parse_args(int argc, char** argv) {
     }
     a = a.substr(2);
     if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      args.options[a] = argv[++i];
+      args.options.emplace_back(a, argv[++i]);
     } else {
-      args.options[a] = "";
+      args.options.emplace_back(a, "");
     }
   }
   return args;
@@ -72,34 +88,110 @@ int usage() {
   std::cerr <<
       "usage:\n"
       "  sndr generate --sinks N [--dist uniform|clustered|mixed]\n"
-      "                [--seed S] --out design.txt\n"
-      "  sndr run  --design design.txt [--tech tech.txt] [--spef f]\n"
-      "            [--svg f] [--csv f] [--no-smart] [--anneal N]\n"
-      "            [--seed S] [--threads N]\n"
-      "  sndr eval --design design.txt --rule NAME [--tech tech.txt]\n"
-      "            [--threads N]\n"
+      "                [--seed S] [--name NAME] --out design.txt\n"
+      "  sndr run  [--config f] --design design.txt [--tech tech.txt]\n"
+      "            [--spef f] [--svg f] [--csv f] [--no-smart]\n"
+      "            [--anneal N] [--corners] [--seed S] [--threads N]\n"
+      "            [--results-dir d]\n"
+      "  sndr eval [--config f] --design design.txt --rule NAME\n"
+      "            [--tech tech.txt] [--threads N]\n"
       "\n"
+      "  --config f:  read `key = value` flow options from f; command-line\n"
+      "               flags override file values (file overrides defaults).\n"
+      "               Keys: every long flag of `run` plus the optimizer\n"
+      "               knobs (scoring, training_samples, *_margin, ...).\n"
       "  --anneal N:  refine the smart-NDR assignment with N iterations of\n"
       "               simulated annealing (--seed S seeds it; default off).\n"
+      "  --corners:   add multi-corner signoff of the final assignment.\n"
       "  --threads N: evaluation-engine parallelism (default: hardware\n"
       "               concurrency; 0 = serial). Results are identical at\n"
       "               any thread count.\n"
-      "  --metrics-out f: write a run manifest (sndr.run_manifest/1 JSON:\n"
-      "               per-stage spans, all counters/gauges/histograms,\n"
-      "               derived rates) after the command finishes.\n"
+      "  --results-dir d: directory for generated artifacts (default\n"
+      "               `results`); relative --spef/--svg/--csv/--metrics-out\n"
+      "               /--trace-out paths resolve under it.\n"
+      "  --metrics-out f: write a run manifest (sndr.run_manifest/2 JSON:\n"
+      "               per-stage records and spans, all counters/gauges/\n"
+      "               histograms, derived rates).\n"
       "  --trace-out f: write the stage spans as Chrome trace JSON\n"
-      "               (load in chrome://tracing or Perfetto).\n";
+      "               (load in chrome://tracing or Perfetto).\n"
+      "\n"
+      "exit codes: 0 ok, 1 infeasible, 2 usage, 3 missing file,\n"
+      "            4 parse error, 5 io error, 6 internal\n";
   return 2;
 }
 
-tech::Technology load_tech(const Args& args) {
-  const std::string path = args.get("tech");
-  if (path.empty()) return tech::Technology::make_default_45nm();
-  std::ifstream f(path);
-  if (!f) throw std::runtime_error("cannot open tech file " + path);
-  std::stringstream ss;
-  ss << f.rdbuf();
-  return tech::Technology::from_text(ss.str());
+int exit_code(const common::Status& status) {
+  switch (status.code()) {
+    case common::StatusCode::kOk: return 0;
+    case common::StatusCode::kInvalidArgument: return 2;
+    case common::StatusCode::kNotFound: return 3;
+    case common::StatusCode::kParseError: return 4;
+    case common::StatusCode::kIoError: return 5;
+    case common::StatusCode::kInternal: return 6;
+  }
+  return 6;
+}
+
+int fail(const common::Status& status) {
+  std::cerr << "error: " << status.to_string() << "\n";
+  return exit_code(status);
+}
+
+/// Flags every command accepts on top of its own set.
+const std::vector<std::string>& common_flags() {
+  static const std::vector<std::string> flags = {
+      "config", "metrics-out", "trace-out", "seed", "threads"};
+  return flags;
+}
+
+common::Status check_known_flags(const Args& args,
+                                 std::vector<std::string> allowed) {
+  for (const std::string& f : common_flags()) allowed.push_back(f);
+  // Flags and config keys share spellings up to hyphen/underscore
+  // (FlowConfig::set normalizes the same way).
+  for (std::string& a : allowed) std::replace(a.begin(), a.end(), '-', '_');
+  for (const auto& [raw_key, value] : args.options) {
+    std::string key = raw_key;
+    std::replace(key.begin(), key.end(), '-', '_');
+    if (std::find(allowed.begin(), allowed.end(), key) == allowed.end()) {
+      return common::Status::InvalidArgument("unknown flag '--" + raw_key +
+                                             "' for '" + args.command + "'");
+    }
+  }
+  return common::Status::Ok();
+}
+
+/// FlowConfig from --config file (if any) then CLI flags, in that order —
+/// CLI wins. `extra_passthrough` names flags handled outside FlowConfig.
+common::Status build_config(const Args& args, int argc, char** argv,
+                            const std::vector<std::string>& passthrough,
+                            flow::FlowConfig& config) {
+  const std::string config_path = args.get("config");
+  if (!config_path.empty()) {
+    if (common::Status s = config.from_file(config_path); !s.ok()) return s;
+  }
+  for (const auto& [key, value] : args.options) {
+    if (key == "config") continue;
+    if (std::find(passthrough.begin(), passthrough.end(), key) !=
+        passthrough.end()) {
+      continue;
+    }
+    if (key == "no-smart") {
+      if (common::Status s = config.set("smart", "false"); !s.ok()) return s;
+      continue;
+    }
+    if (common::Status s = config.set(key, value); !s.ok()) return s;
+  }
+  config.tool = "sndr_cli";
+  config.command = args.command;
+  for (int i = 2; i < argc; ++i) config.raw_args.emplace_back(argv[i]);
+  return common::Status::Ok();
+}
+
+void ensure_parent_dir(const std::string& path) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent);
 }
 
 int cmd_generate(const Args& args) {
@@ -112,126 +204,147 @@ int cmd_generate(const Args& args) {
   } else if (dist == "mixed") {
     spec.dist = workload::SinkDistribution::kMixed;
   } else if (dist != "uniform") {
-    throw std::runtime_error("unknown --dist '" + dist + "'");
+    return fail(common::Status::InvalidArgument("unknown --dist '" + dist +
+                                                "'"));
   }
   spec.name = args.get("name", "generated");
   const std::string out = args.get("out");
-  if (out.empty()) throw std::runtime_error("generate needs --out");
-  io::write_design_file(out, workload::make_design(spec));
+  if (out.empty()) {
+    return fail(common::Status::InvalidArgument("generate needs --out"));
+  }
+  try {
+    io::write_design_file(out, workload::make_design(spec));
+  } catch (...) {
+    return fail(common::classify_exception(common::StatusCode::kIoError));
+  }
   std::cout << "wrote " << out << " (" << spec.num_sinks << " sinks, "
             << dist << ")\n";
   return 0;
 }
 
-struct BuiltFlow {
-  netlist::Design design;
-  tech::Technology tech;
-  cts::CtsResult cts;
-  netlist::NetList nets;
-};
+void print_loaded(const flow::Session& session) {
+  std::cout << session.design().name << ": " << session.design().sinks.size()
+            << " sinks, " << session.cts().buffers << " buffers, "
+            << session.nets().size() << " nets, "
+            << units::to_mm(session.cts().wirelength) << " mm clock wire\n\n";
+}
 
-BuiltFlow build(const Args& args) {
-  BuiltFlow f;
-  const std::string path = args.get("design");
-  if (path.empty()) throw std::runtime_error("missing --design");
-  f.design = io::read_design_file(path);
-  if (f.design.sinks.empty()) {
-    throw std::runtime_error("design has no sinks");
+int cmd_run(const Args& args, int argc, char** argv) {
+  flow::FlowConfig config;
+  if (common::Status s = build_config(args, argc, argv, {"no-smart"}, config);
+      !s.ok()) {
+    return fail(s);
   }
-  f.tech = load_tech(args);
-  f.cts = cts::synthesize(f.design, f.tech);
-  route::reroute_for_congestion(f.cts.tree, f.design.congestion);
-  cts::refine_skew(f.cts.tree, f.design, f.tech);
-  f.nets = netlist::build_nets(f.cts.tree);
-  return f;
-}
 
-void add_eval_row(report::Table& t, const std::string& name,
-                  const ndr::FlowEvaluation& ev) {
-  t.add_row({name, report::fmt(units::to_mW(ev.power.total_power), 3),
-             report::fmt(units::to_fF(ev.power.switched_cap), 0),
-             report::fmt(units::to_ps(ev.timing.skew()), 1),
-             report::fmt(units::to_ps(ev.timing.max_slew), 1),
-             std::to_string(ev.slew_violations) + "/" +
-                 std::to_string(ev.em_violations) + "/" +
-                 std::to_string(ev.uncertainty_violations),
-             ev.feasible() ? "yes" : "NO"});
-}
+  flow::Session session(std::move(config));
+  flow::Flow f(session);
+  common::Result<flow::FlowResult> run = f.run();
+  if (!run.ok()) return fail(run.status());
+  const flow::FlowResult& result = run.value();
+  const flow::FlowConfig& cfg = session.config();
 
-int cmd_run(const Args& args) {
-  BuiltFlow f = build(args);
-  std::cout << f.design.name << ": " << f.design.sinks.size() << " sinks, "
-            << f.cts.buffers << " buffers, " << f.nets.size() << " nets, "
-            << units::to_mm(f.cts.wirelength) << " mm clock wire\n\n";
-
-  report::Table t({"flow", "P (mW)", "sw cap (fF)", "skew (ps)",
-                   "slew (ps)", "viol s/e/u", "feasible"});
-  add_eval_row(t, "all-default",
-               ndr::evaluate(f.cts.tree, f.design, f.tech, f.nets,
-                             ndr::assign_all(f.nets, 0)));
-  const auto blanket =
-      ndr::evaluate(f.cts.tree, f.design, f.tech, f.nets,
-                    ndr::assign_all(f.nets, f.tech.rules.blanket_index()));
-  add_eval_row(t, "blanket-NDR", blanket);
-
-  bool ok = true;
-  if (!args.flag("no-smart")) {
-    ndr::SmartNdrResult smart =
-        ndr::optimize_smart_ndr(f.cts.tree, f.design, f.tech, f.nets);
-    add_eval_row(t, "smart-NDR", smart.final_eval);
-    const int anneal_iters = std::stoi(args.get("anneal", "0"));
-    if (anneal_iters > 0) {
-      ndr::AnnealOptions aopt;
-      aopt.iterations = anneal_iters;
-      aopt.seed = std::stoull(args.get("seed", "1"));
-      const ndr::AnnealResult sa = ndr::anneal_rules(
-          f.cts.tree, f.design, f.tech, f.nets, smart.assignment, aopt);
-      smart.assignment = sa.assignment;
-      smart.final_eval = sa.final_eval;
-      add_eval_row(t, "smart+anneal", smart.final_eval);
-    }
-    ok = smart.final_eval.feasible();
-    t.print(std::cout);
+  print_loaded(session);
+  result.table.print(std::cout);
+  if (result.smart) {
     std::cout << "\nsmart vs blanket: "
-              << report::fmt_pct(smart.final_eval.power.total_power /
-                                     blanket.power.total_power -
+              << report::fmt_pct(result.final_eval().power.total_power /
+                                     result.blanket_eval.power.total_power -
                                  1.0)
-              << " power, " << smart.stats.commits << " rule changes\n";
-
-    if (!args.get("spef").empty()) {
-      io::write_spef_file(args.get("spef"), f.cts.tree, f.design, f.nets,
-                          smart.final_eval.parasitics);
-      std::cout << "wrote " << args.get("spef") << "\n";
-    }
-    if (!args.get("svg").empty()) {
-      io::write_svg_file(args.get("svg"), f.cts.tree, f.design, f.tech,
-                         f.nets, smart.assignment);
-      std::cout << "wrote " << args.get("svg") << "\n";
-    }
-    if (!args.get("csv").empty()) {
-      t.write_csv(args.get("csv"));
-      std::cout << "wrote " << args.get("csv") << "\n";
-    }
-  } else {
-    t.print(std::cout);
+              << " power, " << result.smart->stats.commits
+              << " rule changes\n";
   }
-  return ok ? 0 : 1;
+  if (result.corners) {
+    std::cout << (result.corners->feasible()
+                      ? "corners: feasible at every corner\n"
+                      : "corners: INFEASIBLE at some corner\n");
+  }
+  for (const std::string& out :
+       {cfg.spef_out, cfg.svg_out, cfg.csv_out, cfg.metrics_out,
+        cfg.trace_out}) {
+    if (!out.empty()) std::cout << "wrote " << cfg.output_path(out) << "\n";
+  }
+  return result.feasible ? 0 : 1;
 }
 
-int cmd_eval(const Args& args) {
-  BuiltFlow f = build(args);
-  const std::string rule_name = args.get("rule");
-  const int rule = f.tech.rules.find(rule_name);
-  if (rule < 0) {
-    throw std::runtime_error("unknown rule '" + rule_name + "'");
+int cmd_eval(const Args& args, int argc, char** argv) {
+  flow::FlowConfig config;
+  if (common::Status s = build_config(args, argc, argv, {"rule"}, config);
+      !s.ok()) {
+    return fail(s);
   }
-  const auto ev = ndr::evaluate(f.cts.tree, f.design, f.tech, f.nets,
-                                ndr::assign_all(f.nets, rule));
-  report::Table t({"flow", "P (mW)", "sw cap (fF)", "skew (ps)",
-                   "slew (ps)", "viol s/e/u", "feasible"});
-  add_eval_row(t, rule_name, ev);
+  const std::string rule_name = args.get("rule");
+  if (rule_name.empty()) {
+    return fail(common::Status::InvalidArgument("eval needs --rule"));
+  }
+
+  flow::Session session(std::move(config));
+  flow::Flow f(session);
+  if (common::Status s = f.prepare(); !s.ok()) return fail(s);
+
+  const int rule = session.technology().rules.find(rule_name);
+  if (rule < 0) {
+    return fail(common::Status::InvalidArgument("unknown rule '" +
+                                                rule_name + "'"));
+  }
+  obs::ScopeBinding binding(session.obs_scope());
+  const auto ev = ndr::evaluate(
+      session.cts().tree, session.design(), session.technology(),
+      session.nets(), ndr::assign_all(session.nets(), rule), {},
+      session.geometry());
+  report::Table t = flow::make_eval_table();
+  flow::add_eval_row(t, rule_name, ev);
   t.print(std::cout);
+
+  // Written here, inside the session's scope binding, so the manifest
+  // snapshots this session's registry.
+  const flow::FlowConfig& cfg = session.config();
+  try {
+    if (!cfg.metrics_out.empty()) {
+      obs::RunInfo info;
+      info.tool = cfg.tool;
+      info.command = cfg.command;
+      info.args = cfg.raw_args;
+      info.threads = common::thread_count();
+      info.seed = cfg.seed;
+      info.stages = f.stages();
+      const std::string path = cfg.output_path(cfg.metrics_out);
+      ensure_parent_dir(path);
+      obs::write_run_manifest(path, info);
+      std::cout << "wrote " << path << "\n";
+    }
+    if (!cfg.trace_out.empty()) {
+      const std::string path = cfg.output_path(cfg.trace_out);
+      ensure_parent_dir(path);
+      obs::write_chrome_trace_file(path);
+      std::cout << "wrote " << path << "\n";
+    }
+  } catch (...) {
+    return fail(common::classify_exception(common::StatusCode::kIoError));
+  }
   return ev.feasible() ? 0 : 1;
+}
+
+/// Tool-level manifest for `generate` (no session, default obs scope);
+/// `run` and `eval` write theirs inside the session's scope.
+void write_tool_manifest(const Args& args, int argc, char** argv,
+                         double wall_seconds) {
+  const std::string metrics_out = args.get("metrics-out");
+  const std::string trace_out = args.get("trace-out");
+  if (!metrics_out.empty()) {
+    obs::RunInfo info;
+    info.tool = "sndr_cli";
+    info.command = args.command;
+    for (int i = 2; i < argc; ++i) info.args.emplace_back(argv[i]);
+    info.threads = common::thread_count();
+    info.seed = std::stoull(args.get("seed", "0"));
+    info.wall_seconds = wall_seconds;
+    obs::write_run_manifest(metrics_out, info);
+    std::cout << "wrote " << metrics_out << "\n";
+  }
+  if (!trace_out.empty()) {
+    obs::write_chrome_trace_file(trace_out);
+    std::cout << "wrote " << trace_out << "\n";
+  }
 }
 
 }  // namespace
@@ -240,45 +353,39 @@ int main(int argc, char** argv) {
   const auto t0 = std::chrono::steady_clock::now();
   try {
     const Args args = parse_args(argc, argv);
-    const std::string threads = args.get("threads", "-1");
-    try {
-      common::set_thread_count(std::stoi(threads));
-    } catch (const std::exception&) {
-      throw std::runtime_error("--threads expects an integer, got '" +
-                               threads + "'");
-    }
 
-    int rc;
     if (args.command == "generate") {
-      rc = cmd_generate(args);
-    } else if (args.command == "run") {
-      rc = cmd_run(args);
-    } else if (args.command == "eval") {
-      rc = cmd_eval(args);
-    } else {
-      return usage();
+      if (common::Status s = check_known_flags(
+              args, {"sinks", "dist", "name", "out"});
+          !s.ok()) {
+        return fail(s);
+      }
+      const int rc = cmd_generate(args);
+      write_tool_manifest(
+          args, argc, argv,
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        t0)
+              .count());
+      return rc;
     }
-
-    const std::string metrics_out = args.get("metrics-out");
-    const std::string trace_out = args.get("trace-out");
-    if (!metrics_out.empty()) {
-      obs::RunInfo info;
-      info.tool = "sndr_cli";
-      info.command = args.command;
-      for (int i = 2; i < argc; ++i) info.args.emplace_back(argv[i]);
-      info.threads = common::thread_count();
-      info.seed = std::stoull(args.get("seed", "0"));
-      info.wall_seconds =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-              .count();
-      obs::write_run_manifest(metrics_out, info);
-      std::cout << "wrote " << metrics_out << "\n";
+    if (args.command == "run") {
+      std::vector<std::string> allowed = flow::FlowConfig::known_keys();
+      allowed.push_back("no-smart");
+      if (common::Status s = check_known_flags(args, std::move(allowed));
+          !s.ok()) {
+        return fail(s);
+      }
+      return cmd_run(args, argc, argv);
     }
-    if (!trace_out.empty()) {
-      obs::write_chrome_trace_file(trace_out);
-      std::cout << "wrote " << trace_out << "\n";
+    if (args.command == "eval") {
+      if (common::Status s =
+              check_known_flags(args, {"design", "tech", "rule"});
+          !s.ok()) {
+        return fail(s);
+      }
+      return cmd_eval(args, argc, argv);
     }
-    return rc;
+    return usage();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;
