@@ -43,39 +43,46 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::work_on(const std::shared_ptr<Job>& job) {
   WorkerScope scope;
-  // Observe into the submitting session's scope, not whatever this worker
-  // last saw: metrics/spans from a chunk belong to the run that issued it.
-  obs::ScopeBinding obs_binding(*job->scope);
-  // Chunks this lane executed, flushed to the registry once per job so the
-  // claim loop stays free of registry traffic.
+  // Chunks this lane executed, published to job->done in one batch at the
+  // end so the claim loop stays free of registry and wakeup traffic.
   int executed = 0;
-  for (;;) {
-    int chunk;
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (job->next >= job->chunks) break;
-      chunk = job->next++;
-      if (job->next >= job->chunks && job_ == job) {
-        job_.reset();  // fully claimed: let idle workers sleep again.
+  {
+    // Observe into the submitting session's scope, not whatever this
+    // worker last saw: metrics/spans from a chunk belong to the run that
+    // issued it.
+    obs::ScopeBinding obs_binding(*job->scope);
+    for (;;) {
+      int chunk;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (job->next >= job->chunks) break;
+        chunk = job->next++;
+        if (job->next >= job->chunks && job_ == job) {
+          job_.reset();  // fully claimed: let idle workers sleep again.
+        }
       }
+      try {
+        (*job->fn)(chunk);
+      } catch (...) {
+        job->errors[chunk] = std::current_exception();
+      }
+      ++executed;
     }
-    try {
-      (*job->fn)(chunk);
-    } catch (...) {
-      job->errors[chunk] = std::current_exception();
-    }
-    ++executed;
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (++job->done >= job->chunks) done_.notify_all();
+    // Flush the per-lane counter while this lane's chunks are still held
+    // out of job->done: the moment done reaches job->chunks the submitter
+    // may return from run() and destroy the scope this binding targets.
+    if (executed > 0) {
+      if (t_pool_worker_thread) {
+        SNDR_COUNTER_ADD("pool.chunks_on_workers", executed);
+      } else {
+        SNDR_COUNTER_ADD("pool.chunks_on_caller", executed);
+      }
     }
   }
   if (executed > 0) {
-    if (t_pool_worker_thread) {
-      SNDR_COUNTER_ADD("pool.chunks_on_workers", executed);
-    } else {
-      SNDR_COUNTER_ADD("pool.chunks_on_caller", executed);
-    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    job->done += executed;
+    if (job->done >= job->chunks) done_.notify_all();
   }
 }
 

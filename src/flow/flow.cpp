@@ -183,17 +183,18 @@ common::Result<FlowResult> Flow::run() {
   }
 
   result.feasible = result.smart ? result.final_eval().feasible() : true;
-  result.wall_seconds = seconds_since(t0);
 
-  if (s = report(result); !s.ok()) return s;
+  if (s = report(result, t0); !s.ok()) return s;
 
   result.wall_seconds = seconds_since(t0);
   result.stages = stages_;
   return result;
 }
 
-common::Status Flow::report(FlowResult& result) {
+common::Status Flow::report(FlowResult& result,
+                            std::chrono::steady_clock::time_point flow_t0) {
   const FlowConfig& config = session_.config();
+  const auto report_t0 = std::chrono::steady_clock::now();
   return stage(
       "report",
       [&] {
@@ -223,8 +224,12 @@ common::Status Flow::report(FlowResult& result) {
           info.args = config.raw_args;
           info.threads = result.threads_used;
           info.seed = config.seed;
-          info.wall_seconds = result.wall_seconds;
+          // Timed at manifest-write, so the run's wall clock and stage
+          // table cover the report stage itself: its StageInfo is only
+          // pushed after this body returns, hence the provisional entry.
+          info.wall_seconds = seconds_since(flow_t0);
           info.stages = stages_;
+          info.stages.push_back({"report", seconds_since(report_t0), "ok"});
           const std::string path = config.output_path(config.metrics_out);
           ensure_parent_dir(path);
           obs::write_run_manifest(path, info);

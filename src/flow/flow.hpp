@@ -17,6 +17,7 @@
 // an exception.
 #pragma once
 
+#include <chrono>
 #include <functional>
 #include <optional>
 #include <vector>
@@ -79,7 +80,12 @@ class Flow {
       common::StatusCode fallback = common::StatusCode::kInternal);
   void skip_stage(const char* name);
 
-  common::Status report(FlowResult& result);
+  /// The report stage. `flow_t0` is the run's start time: the manifest is
+  /// written mid-stage, so it stamps wall_seconds (and a provisional
+  /// "report" stage entry) itself rather than relying on records that only
+  /// exist once the stage has returned.
+  common::Status report(FlowResult& result,
+                        std::chrono::steady_clock::time_point flow_t0);
 
   Session& session_;
   std::vector<obs::StageInfo> stages_;

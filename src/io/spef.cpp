@@ -128,7 +128,14 @@ namespace {
 
 double unit_scale(const std::string& source, const std::string& mult,
                   const std::string& unit, int line_no) {
-  const double m = std::stod(mult);
+  // Stream extraction (not std::stod): a malformed multiplier must report
+  // as a ParseError with a path:line diagnostic, not escape as
+  // std::invalid_argument and classify as an I/O failure.
+  double m = 0.0;
+  std::istringstream ms(mult);
+  if (!(ms >> m) || !ms.eof()) {
+    spef_error(source, line_no, "bad unit multiplier '" + mult + "'");
+  }
   if (unit == "PS") return m * 1e-12;
   if (unit == "NS") return m * 1e-9;
   if (unit == "FF") return m * 1e-15;

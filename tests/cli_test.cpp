@@ -120,16 +120,31 @@ TEST(Cli, RunWithConfigFileWritesArtifactsAndManifest) {
   EXPECT_NE(manifest.find("\"schema\": \"sndr.run_manifest/2\""),
             std::string::npos);
   EXPECT_NE(manifest.find("\"stages\": ["), std::string::npos);
-  // Every stage that ran before the manifest was written appears (the
-  // report stage itself writes the manifest, so it can't self-record).
+  // Every pipeline stage appears — including "report", which writes the
+  // manifest mid-stage and records itself provisionally.
   for (const char* stage :
-       {"load", "cts", "route", "nets", "extract", "optimize"}) {
+       {"load", "cts", "route", "nets", "extract", "optimize", "report"}) {
     EXPECT_NE(manifest.find("{\"name\": \"" + std::string(stage) + "\""),
               std::string::npos)
         << stage;
   }
   EXPECT_NE(manifest.find("\"status\": \"skipped\""), std::string::npos)
       << "anneal/corners are off and must be recorded as skipped";
+}
+
+TEST(Cli, NoSmartSkipsOptimizer) {
+  std::string out;
+  EXPECT_EQ(run_cli("run --design " + design_path() +
+                        " --no-smart --threads 1",
+                    &out),
+            0)
+      << out;
+  // The optimizer stage is off: only the baseline rows print, and the
+  // smart-vs-blanket comparison line never appears.
+  EXPECT_NE(out.find("all-default"), std::string::npos);
+  EXPECT_NE(out.find("blanket-NDR"), std::string::npos);
+  EXPECT_EQ(out.find("smart-NDR"), std::string::npos) << out;
+  EXPECT_EQ(out.find("smart vs blanket"), std::string::npos) << out;
 }
 
 TEST(Cli, CliFlagsOverrideConfigFileValues) {

@@ -98,6 +98,16 @@ TEST_F(IoFixture, SpefUnitScaling) {
 TEST_F(IoFixture, SpefParseErrors) {
   std::istringstream bad_unit("*T_UNIT 1 PARSEC\n");
   EXPECT_THROW(read_spef(bad_unit), std::runtime_error);
+  // A malformed multiplier is a ParseError with a source:line diagnostic,
+  // not a stray std::invalid_argument out of std::stod.
+  std::istringstream bad_mult("*T_UNIT abc PS\n");
+  try {
+    read_spef(bad_mult, "unit.spef");
+    FAIL() << "expected ParseError";
+  } catch (const common::ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("unit.spef:1:"), std::string::npos)
+        << e.what();
+  }
   std::istringstream bad_cap("*D_NET n 1\n*CAP\nnot_an_entry\n*END\n");
   EXPECT_THROW(read_spef(bad_cap), std::runtime_error);
   std::istringstream bad_res("*D_NET n 1\n*RES\n1 a b\n*END\n");

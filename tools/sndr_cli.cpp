@@ -230,8 +230,11 @@ void print_loaded(const flow::Session& session) {
 }
 
 int cmd_run(const Args& args, int argc, char** argv) {
+  // No passthrough flags: --no-smart is translated inside build_config
+  // (it must not be listed here, or the passthrough skip would swallow it
+  // before the translation runs).
   flow::FlowConfig config;
-  if (common::Status s = build_config(args, argc, argv, {"no-smart"}, config);
+  if (common::Status s = build_config(args, argc, argv, {}, config);
       !s.ok()) {
     return fail(s);
   }
