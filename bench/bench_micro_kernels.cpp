@@ -5,13 +5,16 @@
 // full-tree timing, and whole-flow building blocks.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 
 #include "common.hpp"
+#include "common/arena.hpp"
 #include "extract/net_geometry.hpp"
 #include "obs/trace.hpp"
 #include "ndr/assignment_state.hpp"
+#include "ndr/net_eval.hpp"
 #include "ndr/predictor.hpp"
 #include "timing/tree_timing.hpp"
 #include "timing/variation.hpp"
@@ -319,6 +322,83 @@ void record_two_phase_kernels(std::vector<bench::RuntimeRecord>& records) {
   common::set_thread_count(-1);
 }
 
+/// PR acceptance pair for the batched rule-sweep kernels: per-net cost of
+/// scoring EVERY rule of an extended 8-rule set, scalar (one materialize +
+/// one fused kernel stack per rule, in warm scratch — the pre-batch memo
+/// miss path) against the batched sweep (one SoA materialize + multi-lane
+/// fused kernels, scratch carved from an arena). Results are bit-identical
+/// by contract (tests/batch_kernel_test.cpp); only the cost differs.
+void record_rule_sweep(std::vector<bench::RuntimeRecord>& records) {
+  using Clock = std::chrono::steady_clock;
+  const bench::Flow& f = flow_1k();
+  common::set_thread_count(1);
+
+  // The standard five production rules plus three intermediate points:
+  // 8 lanes, the sweep width the batched path is sized for.
+  tech::Technology wide = f.tech;
+  wide.rules = tech::RuleSet(
+      {
+          {"1W1S", 1, 1},
+          {"1W2S", 1, 2},
+          {"2W1S", 2, 1},
+          {"2W2S", 2, 2},
+          {"3W3S", 3, 3},
+          {"1.5W1.5S", 1.5, 1.5},
+          {"2W3S", 2, 3},
+          {"3W2S", 3, 2},
+      },
+      /*blanket_index=*/3);
+  const int n_rules = wide.rules.size();
+  const double driver_res = 120.0;
+  const double freq = f.design.constraints.clock_freq;
+  const extract::GeometryCache cache(f.cts.tree, f.design, f.nets);
+
+  // Best-of-5 (one more than the other records): this pair feeds a hard
+  // >=2x gate in scripts/bench_check.sh, so it gets extra noise margin.
+  const auto best_of_5 = [](auto&& fn) {
+    fn();  // warm-up
+    double best = 1e30;
+    for (int rep = 0; rep < 5; ++rep) {
+      const auto t0 = Clock::now();
+      fn();
+      best = std::min(
+          best, std::chrono::duration<double>(Clock::now() - t0).count());
+    }
+    return best;
+  };
+
+  ndr::NetEvalScratch scratch;
+  const double scalar_s = best_of_5([&] {
+    for (const netlist::Net& net : f.nets.nets) {
+      for (int r = 0; r < n_rules; ++r) {
+        benchmark::DoNotOptimize(
+            ndr::evaluate_net_exact(cache.geometry(net.id), wide,
+                                    wide.rules[r], driver_res, freq,
+                                    scratch));
+      }
+    }
+  });
+  records.push_back({"rule_sweep_scalar", 1, scalar_s, -1.0});
+
+  common::Arena arena;
+  std::vector<ndr::NetExact> row(static_cast<std::size_t>(n_rules));
+  const double batch_s = best_of_5([&] {
+    for (const netlist::Net& net : f.nets.nets) {
+      ndr::evaluate_net_exact_all_rules(cache.geometry(net.id), wide,
+                                        driver_res, freq, arena, row.data());
+      benchmark::DoNotOptimize(row);
+    }
+  });
+  records.push_back({"rule_sweep_batched", 1, batch_s, -1.0});
+  records.push_back({"rule_sweep_batch_speedup", 1, scalar_s / batch_s,
+                     -1.0});
+
+  std::printf("rule sweep (8 rules x %d nets): scalar %.4fs -> batched "
+              "%.4fs (%.2fx per net)\n",
+              f.nets.size(), scalar_s, batch_s, scalar_s / batch_s);
+  common::set_thread_count(-1);
+}
+
 /// Observability overhead on the hot kernels: the cached materialize +
 /// fused-moments sweep and the memoized exact_eval sweep, timed with the
 /// obs layer enabled vs fully disabled. Both paths are deliberately free
@@ -330,6 +410,14 @@ void record_obs_overhead(std::vector<bench::RuntimeRecord>& records) {
   common::set_thread_count(1);
   const double driver_res = 120.0;
   const double miller = f.tech.miller_delay;
+  // Both sides of each comparison are best-of-kObsTrials minima, so the
+  // raw fraction can legitimately land slightly below zero when the
+  // overhead is under the timer noise floor (the off-side minimum drew
+  // the luckier sample). The headline `_frac` records are floored at
+  // zero — "indistinguishable from free" — and the signed minima are
+  // kept in `_frac_raw` alongside the trial count so the measurement
+  // remains auditable.
+  constexpr int kObsTrials = 9;
 
   // One sweep is sub-millisecond, far below timer noise on a shared
   // machine: repeat it until a single measurement is tens of
@@ -356,7 +444,7 @@ void record_obs_overhead(std::vector<bench::RuntimeRecord>& records) {
       double& best = enabled ? on : off;
       best = std::min(best, measure());
     };
-    for (int trial = 0; trial < 9; ++trial) {
+    for (int trial = 0; trial < kObsTrials; ++trial) {
       // Alternate which mode runs first: within a trial the first
       // measurement is systematically colder, and a fixed order would
       // book that position bias as "overhead".
@@ -381,10 +469,12 @@ void record_obs_overhead(std::vector<bench::RuntimeRecord>& records) {
       }
     }
   });
+  const double mat_raw = (mat_on - mat_off) / mat_off;
   records.push_back({"materialize_moments_obs_on", 1, mat_on, -1.0});
   records.push_back({"materialize_moments_obs_off", 1, mat_off, -1.0});
+  records.push_back({"obs_overhead_materialize_frac_raw", 1, mat_raw, -1.0});
   records.push_back({"obs_overhead_materialize_frac", 1,
-                     (mat_on - mat_off) / mat_off, -1.0});
+                     std::max(0.0, mat_raw), -1.0});
 
   const timing::AnalysisOptions aopt;
   ndr::AssignmentState st(f.cts.tree, f.design, f.tech, f.nets, aopt);
@@ -398,15 +488,19 @@ void record_obs_overhead(std::vector<bench::RuntimeRecord>& records) {
       }
     }
   });
+  const double ee_raw = (ee_on - ee_off) / ee_off;
   records.push_back({"exact_eval_sweep_obs_on", 1, ee_on, -1.0});
   records.push_back({"exact_eval_sweep_obs_off", 1, ee_off, -1.0});
+  records.push_back({"obs_overhead_exact_eval_frac_raw", 1, ee_raw, -1.0});
   records.push_back({"obs_overhead_exact_eval_frac", 1,
-                     (ee_on - ee_off) / ee_off, -1.0});
+                     std::max(0.0, ee_raw), -1.0});
+  records.push_back({"obs_overhead_trials", 1,
+                     static_cast<double>(kObsTrials), -1.0});
 
-  std::printf("obs overhead: materialize+moments %+.2f%%, "
-              "exact_eval %+.2f%%\n",
-              100.0 * (mat_on - mat_off) / mat_off,
-              100.0 * (ee_on - ee_off) / ee_off);
+  std::printf("obs overhead (best of %d trials): materialize+moments "
+              "%.2f%% (raw %+.2f%%), exact_eval %.2f%% (raw %+.2f%%)\n",
+              kObsTrials, 100.0 * std::max(0.0, mat_raw), 100.0 * mat_raw,
+              100.0 * std::max(0.0, ee_raw), 100.0 * ee_raw);
   common::set_thread_count(-1);
 }
 
@@ -421,6 +515,7 @@ void record_thread_ladder() {
 
   std::vector<bench::RuntimeRecord> records;
   record_two_phase_kernels(records);
+  record_rule_sweep(records);
   record_obs_overhead(records);
   const auto time_stage = [&](const char* stage, int threads, auto&& fn) {
     // One warm-up, then best-of-3 to keep single-shot noise out of the JSON.

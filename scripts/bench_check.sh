@@ -45,7 +45,7 @@ stage_seconds() {  # <file> <stage>  (threads=1 rung)
 }
 
 status=0
-for stage in materialize_moments_per_net_rule_new moments_fused_new; do
+for stage in materialize_moments_per_net_rule_new moments_fused_new rule_sweep_batched; do
   base_s="$(stage_seconds "$baseline" "$stage")"
   fresh_s="$(stage_seconds "$fresh" "$stage")"
   if [[ -z "$base_s" || -z "$fresh_s" ]]; then
@@ -61,12 +61,33 @@ for stage in materialize_moments_per_net_rule_new moments_fused_new; do
   [[ "$ok" == "OK" ]] || status=1
 done
 
+# Batched rule sweep must keep beating the scalar sweep: the fresh
+# scalar/batched ratio is the speedup the PR's acceptance pinned at >=2x
+# (override with BENCH_MIN_SWEEP_SPEEDUP for noisy/smaller machines).
+min_speedup="${BENCH_MIN_SWEEP_SPEEDUP:-2.0}"
+scalar_s="$(stage_seconds "$fresh" rule_sweep_scalar)"
+batched_s="$(stage_seconds "$fresh" rule_sweep_batched)"
+if [[ -z "$scalar_s" || -z "$batched_s" ]]; then
+  echo "bench_check: FAIL  rule_sweep pair missing (scalar='$scalar_s' batched='$batched_s')"
+  status=1
+else
+  verdict="$(awk -v s="$scalar_s" -v b="$batched_s" -v min="$min_speedup" \
+    'BEGIN { printf "%.2f %s", s / b, (s / b >= min) ? "OK" : "FAIL" }')"
+  speedup="${verdict% *}"
+  ok="${verdict#* }"
+  echo "bench_check: $ok   rule_sweep speedup scalar=${scalar_s}s batched=${batched_s}s = ${speedup}x (min ${min_speedup}x)"
+  [[ "$ok" == "OK" ]] || status=1
+fi
+
 # Observability overhead on the hot kernels, as recorded by this run
 # (informational: the <=2% budget is pinned by the bench itself; noise on
-# loaded machines makes a hard gate here flaky).
+# loaded machines makes a hard gate here flaky). The headline fraction is
+# floored at zero; `_raw` keeps the signed best-of-N minimum for auditing.
+trials="$(stage_seconds "$fresh" obs_overhead_trials)"
 for stage in obs_overhead_materialize_frac obs_overhead_exact_eval_frac; do
   frac="$(stage_seconds "$fresh" "$stage")"
-  [[ -n "$frac" ]] && echo "bench_check: info  $stage = $frac"
+  raw="$(stage_seconds "$fresh" "${stage}_raw")"
+  [[ -n "$frac" ]] && echo "bench_check: info  $stage = $frac (raw=${raw:-n/a}, trials=${trials:-n/a})"
 done
 
 if [[ "$status" -ne 0 ]]; then

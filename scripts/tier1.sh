@@ -29,19 +29,23 @@ cmake --build "$repo/build-tsan" -j "$jobs" --target parallel_test \
 echo "== tier1: AddressSanitizer build + extraction/obs tests =="
 cmake -B "$repo/build-asan" -S "$repo" -DSNDR_SANITIZE=address >/dev/null
 cmake --build "$repo/build-asan" -j "$jobs" --target extract_test \
-  --target extract_cache_test --target obs_test \
+  --target extract_cache_test --target batch_kernel_test --target obs_test \
   --target manifest_golden_test
 "$repo/build-asan/tests/extract_test"
 "$repo/build-asan/tests/extract_cache_test"
+# Arena-carved batch planes: ASan guards the node-major × lane-minor bounds.
+"$repo/build-asan/tests/batch_kernel_test"
 "$repo/build-asan/tests/obs_test"
 "$repo/build-asan/tests/manifest_golden_test"
 
 echo "== tier1: UndefinedBehaviorSanitizer build + flow/io tests =="
 cmake -B "$repo/build-ubsan" -S "$repo" -DSNDR_SANITIZE=undefined >/dev/null
 cmake --build "$repo/build-ubsan" -j "$jobs" --target flow_test \
-  --target io_test --target design_io_test
+  --target io_test --target design_io_test --target batch_kernel_test
 "$repo/build-ubsan/tests/flow_test"
 "$repo/build-ubsan/tests/io_test"
 "$repo/build-ubsan/tests/design_io_test"
+# Lane-index arithmetic (int64 plane offsets) under UBSan.
+"$repo/build-ubsan/tests/batch_kernel_test"
 
 echo "tier1: OK"

@@ -1,0 +1,112 @@
+// Bump allocator for per-net kernel scratch.
+//
+// The batched evaluation kernels (extract/batch.hpp) carve a dozen short
+// planes per net; sizing each as a std::vector costs a resize check and a
+// potential reallocation per plane per call. An Arena turns all of that
+// into pointer bumps: allocation is an aligned offset increment, reset()
+// rewinds the whole arena in O(1) while keeping every block's capacity, so
+// a warm per-thread arena makes repeated per-net evaluation allocation-free
+// after the first net of each size class.
+//
+// Contract: alloc<T>() returns *uninitialized* storage for trivially
+// destructible T — callers fully overwrite it and nothing is ever
+// destroyed. Pointers are valid until the next reset(); reset() invalidates
+// everything at once. Not thread-safe; use one Arena per thread.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace sndr::common {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t first_block_bytes = 1 << 16)
+      : first_block_bytes_(first_block_bytes < kMinBlock ? kMinBlock
+                                                         : first_block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Uninitialized storage for `n` objects of T, aligned to alignof(T).
+  template <typename T>
+  T* alloc(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena never runs destructors");
+    return static_cast<T*>(raw_alloc(n * sizeof(T), alignof(T)));
+  }
+
+  /// Like alloc, but the storage is zero-filled.
+  template <typename T>
+  T* alloc_zeroed(std::size_t n) {
+    static_assert(std::is_trivial_v<T>, "zero fill needs a trivial T");
+    T* p = alloc<T>(n);
+    for (std::size_t i = 0; i < n; ++i) p[i] = T{};
+    return p;
+  }
+
+  /// Rewinds to empty, keeping every block's capacity for reuse.
+  void reset() {
+    block_ = 0;
+    offset_ = 0;
+    used_ = 0;
+  }
+
+  /// Total bytes held across blocks (capacity, not live allocations).
+  std::size_t capacity() const {
+    std::size_t c = 0;
+    for (const Block& b : blocks_) c += b.size;
+    return c;
+  }
+
+  /// Bytes handed out since the last reset (allocation watermark,
+  /// alignment padding included).
+  std::size_t used() const { return used_; }
+
+ private:
+  static constexpr std::size_t kMinBlock = 1024;
+
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  void* raw_alloc(std::size_t bytes, std::size_t align) {
+    if (bytes == 0) bytes = 1;
+    while (block_ < blocks_.size()) {
+      Block& b = blocks_[block_];
+      const std::size_t aligned = (offset_ + align - 1) & ~(align - 1);
+      if (aligned + bytes <= b.size) {
+        offset_ = aligned + bytes;
+        used_ += bytes;
+        return b.data.get() + aligned;
+      }
+      ++block_;  // current block exhausted; try the next (kept) one.
+      offset_ = 0;
+    }
+    // Geometric growth so a net bigger than everything before it settles
+    // into one block after a single round of doubling.
+    std::size_t grow = blocks_.empty() ? first_block_bytes_
+                                       : blocks_.back().size * 2;
+    if (grow < bytes + align) grow = bytes + align;
+    Block b;
+    b.data = std::make_unique<std::byte[]>(grow);
+    b.size = grow;
+    blocks_.push_back(std::move(b));
+    block_ = blocks_.size() - 1;
+    offset_ = bytes;  // new[] storage is maximally aligned at offset 0.
+    used_ += bytes;
+    return blocks_.back().data.get();
+  }
+
+  std::size_t first_block_bytes_;
+  std::vector<Block> blocks_;
+  std::size_t block_ = 0;   ///< block currently being bumped.
+  std::size_t offset_ = 0;  ///< bump offset within that block.
+  std::size_t used_ = 0;
+};
+
+}  // namespace sndr::common

@@ -38,6 +38,25 @@ void parallel_for(std::int64_t n, std::int64_t grain, Fn&& fn) {
   });
 }
 
+/// Cost-annotated variant: est_us_per_item is the caller's estimate of one
+/// iteration's cost in microseconds. When the whole loop is estimated
+/// below parallel_min_us() (thread_pool.hpp) it runs serially — dispatch
+/// overhead would eat the win — otherwise it behaves exactly like the
+/// 3-arg form. Bit-identity is by construction: the gate only picks
+/// between the serial and chunked paths, both of which visit every i in
+/// the same per-chunk order.
+template <typename Fn>
+void parallel_for(std::int64_t n, std::int64_t grain, double est_us_per_item,
+                  Fn&& fn) {
+  if (n > 0 && est_us_per_item > 0.0 &&
+      static_cast<double>(n) * est_us_per_item < parallel_min_us()) {
+    SNDR_COUNTER_ADD("pool.grain_serial_calls", 1);
+    for (std::int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  parallel_for(n, grain, std::forward<Fn>(fn));
+}
+
 /// Deterministic chunked reduction: combine(partial_of_chunk_0, ...,
 /// partial_of_chunk_k) in chunk order, where each chunk accumulates
 /// combine(acc, map(i)) in index order — the same association at any
@@ -59,6 +78,32 @@ T parallel_reduce(std::int64_t n, std::int64_t grain, T identity, Map&& map,
   T total = identity;
   for (const T& p : partial) total = combine(total, p);
   return total;
+}
+
+/// Cost-annotated reduction: gated like the cost-annotated parallel_for.
+/// The serial path reduces through the same chunking (per-chunk partials
+/// combined in chunk order), so the association — and therefore the result
+/// — is bit-identical whichever side of the gate runs.
+template <typename T, typename Map, typename Combine>
+T parallel_reduce(std::int64_t n, std::int64_t grain, double est_us_per_item,
+                  T identity, Map&& map, Combine&& combine) {
+  if (n > 0 && est_us_per_item > 0.0 &&
+      static_cast<double>(n) * est_us_per_item < parallel_min_us()) {
+    SNDR_COUNTER_ADD("pool.grain_serial_calls", 1);
+    grain = std::max<std::int64_t>(1, grain);
+    const std::int64_t chunks = (n + grain - 1) / grain;
+    T total = identity;
+    for (std::int64_t c = 0; c < chunks; ++c) {
+      const std::int64_t lo = c * grain;
+      const std::int64_t hi = std::min(n, lo + grain);
+      T acc = identity;
+      for (std::int64_t i = lo; i < hi; ++i) acc = combine(acc, map(i));
+      total = combine(total, acc);
+    }
+    return total;
+  }
+  return parallel_reduce(n, grain, identity, std::forward<Map>(map),
+                         std::forward<Combine>(combine));
 }
 
 /// Runs the given thunks concurrently; returns when all have finished.

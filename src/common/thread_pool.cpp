@@ -1,6 +1,8 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
 
 #include "obs/metrics.hpp"
 #include "obs/scope.hpp"
@@ -173,6 +175,40 @@ ThreadPool* global_pool() {
     g_pool_built = true;
   }
   return g_pool.get();
+}
+
+namespace {
+
+constexpr double kDefaultParallelMinUs = 2000.0;
+
+double resolve_parallel_min_us() {
+  if (const char* env = std::getenv("SNDR_PARALLEL_MIN_US")) {
+    char* end = nullptr;
+    const double v = std::strtod(env, &end);
+    if (end != env && v >= 0.0) return v;
+  }
+  return kDefaultParallelMinUs;
+}
+
+/// < 0 is the "unresolved" sentinel; relaxed atomics keep concurrent reads
+/// from pool workers race-free (the value is a pure tuning knob — a stale
+/// read only changes *when* a loop goes parallel, never its results).
+std::atomic<double> g_parallel_min_us{-1.0};
+
+}  // namespace
+
+double parallel_min_us() {
+  double v = g_parallel_min_us.load(std::memory_order_relaxed);
+  if (v < 0.0) {
+    v = resolve_parallel_min_us();
+    g_parallel_min_us.store(v, std::memory_order_relaxed);
+  }
+  return v;
+}
+
+void set_parallel_min_us(double us) {
+  g_parallel_min_us.store(us < 0.0 ? resolve_parallel_min_us() : us,
+                          std::memory_order_relaxed);
 }
 
 }  // namespace sndr::common

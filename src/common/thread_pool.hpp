@@ -80,6 +80,19 @@ void set_thread_count(int n);
 /// The resolved global thread budget (>= 1).
 int thread_count();
 
+/// Minimum estimated work, in microseconds, a loop must carry before the
+/// cost-annotated parallel_for/parallel_reduce overloads go parallel.
+/// Committed bench data (BENCH_runtime.json) shows per-net loops of a few
+/// hundred µs total running *slower* at 2-4 threads than serial on small
+/// boxes — dispatch overhead dominates. Default 2000 µs; the
+/// SNDR_PARALLEL_MIN_US environment variable overrides it at startup.
+double parallel_min_us();
+
+/// Overrides parallel_min_us() (for tests/tuning); us < 0 restores the
+/// env/default resolution. 0 disables the gate (everything may go
+/// parallel). Do not call while a parallel region is executing.
+void set_parallel_min_us(double us);
+
 /// The shared pool sized to thread_count(), or nullptr in serial mode.
 ThreadPool* global_pool();
 

@@ -1,0 +1,227 @@
+#include "extract/batch.hpp"
+
+namespace sndr::extract {
+
+void materialize_batch(const NetGeometry& geom, const EvalLane* lanes,
+                       int n_lanes, common::Arena& arena,
+                       BatchParasitics& out) {
+  const int n = geom.rc_size();
+  const int L = n_lanes;
+  out.nodes = n;
+  out.lanes = L;
+  const std::int64_t plane = static_cast<std::int64_t>(n) * L;
+  out.res = arena.alloc_zeroed<double>(plane);
+  out.cap_gnd = arena.alloc_zeroed<double>(plane);
+  out.cap_cpl = arena.alloc_zeroed<double>(plane);
+  out.wire_cap_gnd = arena.alloc_zeroed<double>(L);
+  out.wire_cap_cpl = arena.alloc_zeroed<double>(L);
+  out.load_cap = arena.alloc_zeroed<double>(L);
+
+  // Lane-independent topology: node i+1 hangs off piece i's parent.
+  std::int32_t* parent = arena.alloc<std::int32_t>(n);
+  double* wire_len = arena.alloc<double>(n);
+  parent[0] = -1;
+  wire_len[0] = 0.0;
+  for (int i = 0; i < geom.pieces(); ++i) {
+    parent[i + 1] = geom.piece_parent[i];
+    wire_len[i + 1] = geom.piece_len[i];
+  }
+  out.parent = parent;
+  out.wire_len = wire_len;
+
+  // Per-lane per-um coefficients, exactly as the scalar materialize derives
+  // them from (tech, rule).
+  double* res_per_um = arena.alloc<double>(L);
+  double* cgnd_per_um = arena.alloc<double>(L);
+  double* ccpl_side_per_um = arena.alloc<double>(L);
+  for (int l = 0; l < L; ++l) {
+    const tech::MetalLayer& layer = lanes[l].tech->clock_layer;
+    const tech::RoutingRule& rule = *lanes[l].rule;
+    res_per_um[l] = tech::wire_res_per_um(layer, rule);
+    cgnd_per_um[l] = tech::wire_cap_gnd_per_um(layer, rule);
+    ccpl_side_per_um[l] = tech::wire_cap_couple_per_um(layer, rule);
+  }
+
+  // One pass over the pieces, lanes innermost. Per lane this performs the
+  // scalar materialize piece loop's operations in the scalar order — lanes
+  // are independent, so interleaving them changes nothing per lane. The
+  // planes are distinct arena carvings; __restrict__ tells the
+  // auto-vectorizer so.
+  double* __restrict__ res = out.res;
+  double* __restrict__ cap_gnd = out.cap_gnd;
+  double* __restrict__ cap_cpl = out.cap_cpl;
+  double* __restrict__ wcg = out.wire_cap_gnd;
+  double* __restrict__ wcc = out.wire_cap_cpl;
+  for (int i = 0; i < geom.pieces(); ++i) {
+    const double piece_len = geom.piece_len[i];
+    const double occ = geom.piece_occ[i];
+    const std::int64_t prow = static_cast<std::int64_t>(geom.piece_parent[i]) * L;
+    const std::int64_t arow = static_cast<std::int64_t>(i + 1) * L;
+    for (int l = 0; l < L; ++l) {
+      const double cg = cgnd_per_um[l] * piece_len;
+      const double cc = 2.0 * occ * ccpl_side_per_um[l] * piece_len;
+      cap_gnd[prow + l] += 0.5 * cg;
+      cap_cpl[prow + l] += 0.5 * cc;
+      res[arow + l] = res_per_um[l] * piece_len;
+      cap_gnd[arow + l] += 0.5 * cg;
+      cap_cpl[arow + l] += 0.5 * cc;
+      wcg[l] += cg;
+      wcc[l] += cc;
+    }
+  }
+  // Accumulated in the same per-piece order during the geometry build.
+  out.wirelength = geom.wirelength;
+
+  for (const NetGeometry::Load& load : geom.loads) {
+    const std::int64_t row = static_cast<std::int64_t>(load.rc_index) * L;
+    for (int l = 0; l < L; ++l) {
+      const double cap = load.buffer_cell >= 0
+                             ? lanes[l].tech->buffers[load.buffer_cell].input_cap
+                             : load.sink_cap;
+      cap_gnd[row + l] += cap;
+      out.load_cap[l] += cap;
+    }
+  }
+}
+
+void materialize_batch(const NetGeometry& geom, const tech::Technology& tech,
+                       const tech::RuleSet& rules, common::Arena& arena,
+                       BatchParasitics& out) {
+  const int L = rules.size();
+  EvalLane* lanes = arena.alloc<EvalLane>(static_cast<std::size_t>(L));
+  for (int l = 0; l < L; ++l) lanes[l] = {&tech, &rules[l]};
+  materialize_batch(geom, lanes, L, arena, out);
+}
+
+void scatter_lane(const NetGeometry& geom, const BatchParasitics& batch,
+                  int lane, NetParasitics& out) {
+  const int n = batch.nodes;
+  const int L = batch.lanes;
+  out.rc.reset(n);
+  RcNode* nodes = out.rc.data();
+  for (int i = 0; i < n; ++i) {
+    RcNode& nd = nodes[i];
+    nd.parent = batch.parent[i];
+    nd.res = batch.res[static_cast<std::int64_t>(i) * L + lane];
+    nd.cap_gnd = batch.cap_gnd[static_cast<std::int64_t>(i) * L + lane];
+    nd.cap_cpl = batch.cap_cpl[static_cast<std::int64_t>(i) * L + lane];
+    nd.tree_node = geom.node_tree_node[i];
+    nd.wire_len = batch.wire_len[i];
+    nd.occupancy = i > 0 ? geom.piece_occ[i - 1] : 0.0;
+  }
+  out.wirelength = batch.wirelength;
+  out.wire_cap_gnd = batch.wire_cap_gnd[lane];
+  out.wire_cap_cpl = batch.wire_cap_cpl[lane];
+  out.load_cap = batch.load_cap[lane];
+  out.load_rc_index.resize(geom.loads.size());
+  for (std::size_t li = 0; li < geom.loads.size(); ++li) {
+    out.load_rc_index[li] = geom.loads[li].rc_index;
+  }
+  out.rc_index_of_tree_node.assign(geom.rc_index_of_tree_node.begin(),
+                                   geom.rc_index_of_tree_node.end());
+}
+
+void rc_downstream_batch(int nodes, int lanes,
+                         const std::int32_t* __restrict__ parent,
+                         const double* __restrict__ cap_gnd,
+                         const double* __restrict__ cap_cpl,
+                         const double* __restrict__ miller,
+                         double* __restrict__ down) {
+  const std::int64_t plane = static_cast<std::int64_t>(nodes) * lanes;
+  for (std::int64_t i = 0; i < plane; ++i) down[i] = 0.0;
+  for (int i = nodes - 1; i >= 0; --i) {
+    const std::int64_t row = static_cast<std::int64_t>(i) * lanes;
+    for (int l = 0; l < lanes; ++l) {
+      down[row + l] += cap_gnd[row + l] + miller[l] * cap_cpl[row + l];
+    }
+    const int p = parent[i];
+    if (p >= 0) {
+      const std::int64_t prow = static_cast<std::int64_t>(p) * lanes;
+      for (int l = 0; l < lanes; ++l) down[prow + l] += down[row + l];
+    }
+  }
+}
+
+void rc_elmore_batch(int nodes, int lanes,
+                     const std::int32_t* __restrict__ parent,
+                     const double* __restrict__ res,
+                     const double* __restrict__ cap_gnd,
+                     const double* __restrict__ cap_cpl,
+                     const double* __restrict__ driver_res,
+                     const double* __restrict__ miller,
+                     double* __restrict__ down, double* __restrict__ m1) {
+  rc_downstream_batch(nodes, lanes, parent, cap_gnd, cap_cpl, miller, down);
+  for (int l = 0; l < lanes; ++l) m1[l] = driver_res[l] * down[l];
+  for (int i = 1; i < nodes; ++i) {
+    const std::int64_t row = static_cast<std::int64_t>(i) * lanes;
+    const std::int64_t prow = static_cast<std::int64_t>(parent[i]) * lanes;
+    for (int l = 0; l < lanes; ++l) {
+      m1[row + l] = m1[prow + l] + res[row + l] * down[row + l];
+    }
+  }
+}
+
+void rc_moments_batch(int nodes, int lanes,
+                      const std::int32_t* __restrict__ parent,
+                      const double* __restrict__ res,
+                      const double* __restrict__ cap_gnd,
+                      const double* __restrict__ cap_cpl,
+                      const double* __restrict__ driver_res,
+                      const double* __restrict__ miller,
+                      double* __restrict__ down,
+                      double* __restrict__ subtree,
+                      double* __restrict__ m1, double* __restrict__ m2) {
+  const std::int64_t plane = static_cast<std::int64_t>(nodes) * lanes;
+  for (std::int64_t i = 0; i < plane; ++i) {
+    down[i] = 0.0;
+    subtree[i] = 0.0;
+  }
+  for (int i = nodes - 1; i >= 0; --i) {
+    const std::int64_t row = static_cast<std::int64_t>(i) * lanes;
+    for (int l = 0; l < lanes; ++l) {
+      down[row + l] += cap_gnd[row + l] + miller[l] * cap_cpl[row + l];
+    }
+    const int p = parent[i];
+    if (p >= 0) {
+      const std::int64_t prow = static_cast<std::int64_t>(p) * lanes;
+      for (int l = 0; l < lanes; ++l) {
+        down[prow + l] += down[row + l];
+        subtree[prow + l] +=
+            subtree[row + l] + res[row + l] * down[row + l] * down[row + l];
+      }
+    }
+  }
+  for (int l = 0; l < lanes; ++l) {
+    m1[l] = driver_res[l] * down[l];
+    m2[l] = driver_res[l] * (subtree[l] + m1[l] * down[l]);
+  }
+  for (int i = 1; i < nodes; ++i) {
+    const std::int64_t row = static_cast<std::int64_t>(i) * lanes;
+    const std::int64_t prow = static_cast<std::int64_t>(parent[i]) * lanes;
+    for (int l = 0; l < lanes; ++l) {
+      m1[row + l] = m1[prow + l] + res[row + l] * down[row + l];
+      m2[row + l] = m2[prow + l] +
+                    res[row + l] * (subtree[row + l] + m1[row + l] * down[row + l]);
+    }
+  }
+}
+
+void moments_batch(const NetGeometry& geom, const EvalLane* lanes,
+                   int n_lanes, const double* driver_res,
+                   const double* miller, common::Arena& arena,
+                   BatchParasitics& par, BatchMoments& out) {
+  materialize_batch(geom, lanes, n_lanes, arena, par);
+  const std::int64_t plane =
+      static_cast<std::int64_t>(par.nodes) * par.lanes;
+  out.nodes = par.nodes;
+  out.lanes = par.lanes;
+  out.down = arena.alloc<double>(plane);
+  out.subtree = arena.alloc<double>(plane);
+  out.m1 = arena.alloc<double>(plane);
+  out.m2 = arena.alloc<double>(plane);
+  rc_moments_batch(par.nodes, par.lanes, par.parent, par.res, par.cap_gnd,
+                   par.cap_cpl, driver_res, miller, out.down, out.subtree,
+                   out.m1, out.m2);
+}
+
+}  // namespace sndr::extract

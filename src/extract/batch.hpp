@@ -1,0 +1,136 @@
+// Rule-batched electrical phase of two-phase extraction.
+//
+// The optimizer's candidate sweep, the annealer's memo warm-up, and corner
+// analysis all evaluate the SAME NetGeometry under several electrical
+// contexts (rules, or derated technology clones). The scalar path walks the
+// piece arrays once per context; the batched path here walks them once
+// TOTAL, with the context loop innermost over contiguous lanes — the planes
+// are laid out node-major × lane-minor (plane[node * lanes + lane]), so the
+// inner loop is a unit-stride streak the compiler auto-vectorizes.
+//
+// Determinism contract (non-negotiable, inherited from PR 1/2): for every
+// lane, the sequence of floating-point operations applied to that lane's
+// values is EXACTLY the scalar kernel's sequence — the batch only
+// interleaves independent lanes, it never reassociates within one. Batched
+// results are therefore bit-identical to running materialize() /
+// rc_moments() per rule, which remain the reference implementation (and
+// the path used for single-context evaluation, where batching buys
+// nothing). tests/batch_kernel_test.cpp pins this per (rule, corner).
+//
+// All scratch comes from a caller-provided common::Arena: plane pointers
+// returned here are valid until the arena is reset (typically once per
+// net), so a warm per-thread arena makes the whole batched evaluation
+// allocation-free.
+#pragma once
+
+#include <cstdint>
+
+#include "common/arena.hpp"
+#include "extract/net_geometry.hpp"
+
+namespace sndr::extract {
+
+/// One lane of a batched evaluation: an electrical context to score the
+/// shared geometry under. The rule sweep uses one technology × R rules;
+/// corner analysis uses C derated technology clones × the assigned rule.
+struct EvalLane {
+  const tech::Technology* tech = nullptr;
+  const tech::RoutingRule* rule = nullptr;
+};
+
+/// Per-lane R/C planes of one net, node-major × lane-minor. Node 0 is the
+/// driver (res row zero), node i+1 corresponds to geometry piece i — the
+/// same indexing as the scalar RcTree. Plane storage lives in the arena
+/// passed to materialize_batch; the struct itself is just the view.
+struct BatchParasitics {
+  int nodes = 0;
+  int lanes = 0;
+
+  // [nodes × lanes] planes.
+  double* res = nullptr;
+  double* cap_gnd = nullptr;
+  double* cap_cpl = nullptr;
+
+  // [nodes] lane-independent topology/provenance (arena copies so kernels
+  // never touch the NetGeometry vectors).
+  const std::int32_t* parent = nullptr;  ///< parent node, -1 for node 0.
+  const double* wire_len = nullptr;      ///< um of the parent edge, 0 at 0.
+
+  // [lanes] totals, same accumulation order as the scalar materialize.
+  double* wire_cap_gnd = nullptr;
+  double* wire_cap_cpl = nullptr;
+  double* load_cap = nullptr;
+
+  double wirelength = 0.0;  ///< um, lane-independent.
+
+  std::int64_t at(int node, int lane) const {
+    return static_cast<std::int64_t>(node) * lanes + lane;
+  }
+};
+
+/// Electrical phase for all lanes in one pass over the pieces (inner loop
+/// over lanes). Per lane bit-identical to materialize(geom, lane.tech,
+/// lane.rule, out). Plane storage is carved from `arena` (which must
+/// outlive the use of `out`; nothing is reset here).
+void materialize_batch(const NetGeometry& geom, const EvalLane* lanes,
+                       int n_lanes, common::Arena& arena,
+                       BatchParasitics& out);
+
+/// Rule-sweep convenience: one lane per rule of `rules` under `tech`.
+void materialize_batch(const NetGeometry& geom, const tech::Technology& tech,
+                       const tech::RuleSet& rules, common::Arena& arena,
+                       BatchParasitics& out);
+
+/// Copies one lane out into scalar NetParasitics (bit-identical to a scalar
+/// materialize of that lane's context). Used by corner analysis to feed the
+/// per-corner whole-tree evaluators from the shared batch planes.
+void scatter_lane(const NetGeometry& geom, const BatchParasitics& batch,
+                  int lane, NetParasitics& out);
+
+/// Per-lane moment planes ([nodes × lanes] each), arena-backed.
+struct BatchMoments {
+  int nodes = 0;
+  int lanes = 0;
+  double* down = nullptr;     ///< downstream cap (Miller-weighted).
+  double* m1 = nullptr;       ///< Elmore delay per node.
+  double* m2 = nullptr;       ///< circuit second moment per node.
+  double* subtree = nullptr;  ///< fused-kernel accumulator (see rc_tree.hpp).
+
+  std::int64_t at(int node, int lane) const {
+    return static_cast<std::int64_t>(node) * lanes + lane;
+  }
+};
+
+// Low-level plane kernels. `parent` is the per-node parent array
+// (parent[0] == -1) and all planes are node-major × lane-minor with the
+// given lane count. `miller` and `driver_res` are per-lane. Each is the
+// lane-interleaved replay of the like-named scalar kernel in rc_tree.hpp:
+// one descending / ascending sweep with the lane loop innermost.
+
+/// down[i·L+l] = Miller-weighted cap downstream of (and including) node i.
+void rc_downstream_batch(int nodes, int lanes, const std::int32_t* parent,
+                         const double* cap_gnd, const double* cap_cpl,
+                         const double* miller, double* down);
+
+/// Downstream cap + Elmore delay (m1) for every lane.
+void rc_elmore_batch(int nodes, int lanes, const std::int32_t* parent,
+                     const double* res, const double* cap_gnd,
+                     const double* cap_cpl, const double* driver_res,
+                     const double* miller, double* down, double* m1);
+
+/// Fused moment kernel for every lane: the scalar rc_moments two-sweep
+/// schedule, lane-interleaved. All four output planes hold nodes × lanes.
+void rc_moments_batch(int nodes, int lanes, const std::int32_t* parent,
+                      const double* res, const double* cap_gnd,
+                      const double* cap_cpl, const double* driver_res,
+                      const double* miller, double* down, double* subtree,
+                      double* m1, double* m2);
+
+/// materialize_batch + rc_moments_batch in one call: the "score every rule"
+/// fast path. Moment planes are carved from the same arena.
+void moments_batch(const NetGeometry& geom, const EvalLane* lanes,
+                   int n_lanes, const double* driver_res,
+                   const double* miller, common::Arena& arena,
+                   BatchParasitics& par, BatchMoments& out);
+
+}  // namespace sndr::extract

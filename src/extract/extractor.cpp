@@ -62,7 +62,8 @@ std::vector<NetParasitics> Extractor::extract_all(
   // Each net extracts independently into its own slot, so the parallel
   // loop is bit-identical to the serial one at any thread count.
   std::vector<NetParasitics> out(nets.size());
-  common::parallel_for(nets.size(), /*grain=*/16, [&](std::int64_t i) {
+  common::parallel_for(nets.size(), /*grain=*/16, /*est_us_per_item=*/1.0,
+                       [&](std::int64_t i) {
     const Net& net = nets.nets[static_cast<std::size_t>(i)];
     const tech::RoutingRule& rule = tech_->rules[rule_of_net[net.id]];
     if (geometry != nullptr) {

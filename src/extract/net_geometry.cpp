@@ -180,7 +180,8 @@ void GeometryCache::build_all() {
   SNDR_TRACE_SPAN("geometry_build_all");
   geoms_.resize(nets_->size());
   // Same deterministic chunking as extract_all: per-slot writes only.
-  common::parallel_for(nets_->size(), /*grain=*/16, [&](std::int64_t i) {
+  common::parallel_for(nets_->size(), /*grain=*/16, /*est_us_per_item=*/3.0,
+                       [&](std::int64_t i) {
     geoms_[i] = build_net_geometry(*tree_, *design_,
                                    nets_->nets[static_cast<std::size_t>(i)],
                                    options_);

@@ -238,16 +238,27 @@ NetExact AssignmentState::exact_eval(int net_id, int rule_idx) const {
     return e.exact;
   }
   ++cache_misses_;
-  // Miss path: no geometry walk — materialize the cached geometry for the
-  // candidate rule and run the fused kernels in reusable scratch.
-  thread_local NetEvalScratch scratch;
-  const NetExact out = evaluate_net_exact(
-      geometry_.geometry(net_id), *tech_, tech_->rules[rule_idx],
-      nets_state_[net_id].summary.driver_res,
-      design_->constraints.clock_freq, scratch);
-  e.exact = out;
-  e.gen = ctx_gen_[net_id];
-  return out;
+  // Miss path: the batched kernels score EVERY rule of the set in one
+  // fused pass over the cached geometry (cheaper than two scalar evals),
+  // so a miss warms the whole (net, ×rules) memo row — every later rule
+  // query on this net under the same context is a hit. One miss is
+  // counted per row fill; per-rule results are bit-identical to the
+  // scalar evaluate_net_exact, which tests/batch_kernel_test.cpp pins.
+  thread_local common::Arena arena;
+  thread_local std::vector<NetExact> row;
+  row.resize(static_cast<std::size_t>(n_rules_));
+  evaluate_net_exact_all_rules(geometry_.geometry(net_id), *tech_,
+                               nets_state_[net_id].summary.driver_res,
+                               design_->constraints.clock_freq, arena,
+                               row.data());
+  const std::uint64_t gen = ctx_gen_[net_id];
+  for (int r = 0; r < n_rules_; ++r) {
+    ExactCacheEntry& er =
+        exact_cache_[static_cast<std::size_t>(net_id) * n_rules_ + r];
+    er.exact = row[static_cast<std::size_t>(r)];
+    er.gen = gen;
+  }
+  return e.exact;
 }
 
 }  // namespace sndr::ndr

@@ -71,10 +71,12 @@ class AssignmentState {
   /// context per net; a move changes no exact-eval input, so the cache
   /// survives both in the common case. Both hits and misses return the
   /// scalar metrics with `par` left empty (no caller consumes the
-  /// parasitics; misses materialize them into reusable scratch and the
-  /// cache stays a few doubles per entry instead of a full RC tree).
-  /// Misses run on the shared GeometryCache — no geometry walk, no
-  /// congestion query, no allocation.
+  /// parasitics; the cache stays a few doubles per entry instead of a
+  /// full RC tree). A miss warms the WHOLE rule row: the batched kernels
+  /// (evaluate_net_exact_all_rules) score every rule in one fused pass
+  /// over the shared GeometryCache — no geometry walk, no congestion
+  /// query, no allocation past a warm per-thread arena — and one miss is
+  /// counted per row fill, so hit rates read as "rows already warm".
   NetExact exact_eval(int net_id, int rule_idx) const;
 
   /// Rule-independent net geometry shared by every evaluation this state

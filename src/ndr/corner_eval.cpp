@@ -2,7 +2,9 @@
 
 #include <optional>
 
+#include "common/arena.hpp"
 #include "common/parallel.hpp"
+#include "extract/batch.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -69,21 +71,59 @@ MultiCornerReport evaluate_corners(
     local.emplace(tree, design, nets);
     geometry = &*local;
   }
-  // One task per corner; each task clones the technology with its corner
-  // folded in, so corners share nothing mutable (the geometry cache is
-  // read-only here). Nested parallel loops inside evaluate() degrade to
-  // serial on pool workers (see common/thread_pool.hpp), which is the right
-  // shape here: corners are the coarsest independent unit of signoff work.
+  const int n_corners = static_cast<int>(corners.size());
+  std::vector<tech::Technology> cornered;
+  cornered.reserve(corners.size());
+  for (const tech::Corner& corner : corners) {
+    cornered.push_back(tech::apply_corner(tech, corner));
+  }
+
+  // Extraction is hoisted out of the per-corner evaluations: the derated
+  // clones are just extra lanes of the batched materialize, so every net's
+  // piece arrays are walked once TOTAL instead of once per corner, and
+  // each lane is scattered into that corner's parasitics slot —
+  // bit-identical to the extract_all each corner used to run (pinned by
+  // tests/batch_kernel_test.cpp).
+  std::vector<std::vector<extract::NetParasitics>> corner_par(
+      static_cast<std::size_t>(n_corners));
+  for (auto& p : corner_par) p.resize(static_cast<std::size_t>(nets.size()));
+  SNDR_COUNTER_ADD("extract.corner_batch.nets",
+                   static_cast<std::int64_t>(nets.size()));
+  SNDR_COUNTER_ADD("extract.corner_batch.lanes",
+                   static_cast<std::int64_t>(n_corners));
+  common::parallel_for(nets.size(), /*grain=*/16,
+                       /*est_us_per_item=*/1.0 * n_corners,
+                       [&](std::int64_t i) {
+    const netlist::Net& net = nets.nets[static_cast<std::size_t>(i)];
+    thread_local common::Arena arena;
+    arena.reset();
+    extract::EvalLane* lanes =
+        arena.alloc<extract::EvalLane>(static_cast<std::size_t>(n_corners));
+    for (int c = 0; c < n_corners; ++c) {
+      lanes[c] = {&cornered[c], &cornered[c].rules[assignment[net.id]]};
+    }
+    const extract::NetGeometry& geom = geometry->geometry(net.id);
+    extract::BatchParasitics bp;
+    extract::materialize_batch(geom, lanes, n_corners, arena, bp);
+    for (int c = 0; c < n_corners; ++c) {
+      extract::scatter_lane(geom, bp, c, corner_par[c][i]);
+    }
+  });
+
+  // One task per corner for the rest of the signoff stack; corners share
+  // nothing mutable. Nested parallel loops inside the evaluation degrade
+  // to serial on pool workers (see common/thread_pool.hpp), which is the
+  // right shape here: corners are the coarsest independent unit of work.
   MultiCornerReport rep;
   rep.corners.resize(corners.size());
   common::parallel_for(
       static_cast<std::int64_t>(corners.size()), /*grain=*/1,
-      [&](std::int64_t i) {
-        const tech::Corner& corner = corners[static_cast<std::size_t>(i)];
-        const tech::Technology cornered = tech::apply_corner(tech, corner);
-        rep.corners[i].corner = corner;
-        rep.corners[i].eval = evaluate(tree, design, cornered, nets,
-                                       assignment, options, geometry);
+      /*est_us_per_item=*/5000.0, [&](std::int64_t i) {
+        rep.corners[i].corner = corners[static_cast<std::size_t>(i)];
+        rep.corners[i].eval = evaluate_with_parasitics(
+            tree, design, cornered[static_cast<std::size_t>(i)], nets,
+            assignment, std::move(corner_par[static_cast<std::size_t>(i)]),
+            options);
       });
   return rep;
 }

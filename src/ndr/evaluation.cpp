@@ -24,23 +24,17 @@ RuleAssignment assign_level_based(const netlist::NetList& nets,
   return a;
 }
 
-FlowEvaluation evaluate(const netlist::ClockTree& tree,
-                        const netlist::Design& design,
-                        const tech::Technology& tech,
-                        const netlist::NetList& nets,
-                        const RuleAssignment& assignment,
-                        const timing::AnalysisOptions& options,
-                        const extract::GeometryCache* geometry) {
-  if (assignment.size() != static_cast<std::size_t>(nets.size())) {
-    throw std::invalid_argument("ndr::evaluate: assignment size mismatch");
-  }
-  SNDR_TRACE_SPAN("evaluate");
-  SNDR_COUNTER_ADD("ndr.evaluations", 1);
-  FlowEvaluation ev;
-  ev.assignment = assignment;
+namespace {
 
-  const extract::Extractor extractor(tech, design);
-  ev.parasitics = extractor.extract_all(tree, nets, assignment, geometry);
+/// Everything downstream of extraction; `ev` arrives with `assignment` and
+/// `parasitics` filled.
+FlowEvaluation finish_evaluation(const netlist::ClockTree& tree,
+                                 const netlist::Design& design,
+                                 const tech::Technology& tech,
+                                 const netlist::NetList& nets,
+                                 const RuleAssignment& assignment,
+                                 const timing::AnalysisOptions& options,
+                                 FlowEvaluation ev) {
   ev.timing = timing::analyze(tree, design, tech, nets, ev.parasitics,
                               options);
   ev.variation = timing::analyze_variation(tree, design, tech, nets,
@@ -89,6 +83,48 @@ FlowEvaluation evaluate(const netlist::ClockTree& tree,
     ev.skew_ok = ev.timing.skew() <= c.max_skew;
   }
   return ev;
+}
+
+}  // namespace
+
+FlowEvaluation evaluate(const netlist::ClockTree& tree,
+                        const netlist::Design& design,
+                        const tech::Technology& tech,
+                        const netlist::NetList& nets,
+                        const RuleAssignment& assignment,
+                        const timing::AnalysisOptions& options,
+                        const extract::GeometryCache* geometry) {
+  if (assignment.size() != static_cast<std::size_t>(nets.size())) {
+    throw std::invalid_argument("ndr::evaluate: assignment size mismatch");
+  }
+  SNDR_TRACE_SPAN("evaluate");
+  SNDR_COUNTER_ADD("ndr.evaluations", 1);
+  FlowEvaluation ev;
+  ev.assignment = assignment;
+  const extract::Extractor extractor(tech, design);
+  ev.parasitics = extractor.extract_all(tree, nets, assignment, geometry);
+  return finish_evaluation(tree, design, tech, nets, assignment, options,
+                           std::move(ev));
+}
+
+FlowEvaluation evaluate_with_parasitics(
+    const netlist::ClockTree& tree, const netlist::Design& design,
+    const tech::Technology& tech, const netlist::NetList& nets,
+    const RuleAssignment& assignment,
+    std::vector<extract::NetParasitics> parasitics,
+    const timing::AnalysisOptions& options) {
+  if (assignment.size() != static_cast<std::size_t>(nets.size()) ||
+      parasitics.size() != static_cast<std::size_t>(nets.size())) {
+    throw std::invalid_argument(
+        "ndr::evaluate_with_parasitics: per-net input size mismatch");
+  }
+  SNDR_TRACE_SPAN("evaluate");
+  SNDR_COUNTER_ADD("ndr.evaluations", 1);
+  FlowEvaluation ev;
+  ev.assignment = assignment;
+  ev.parasitics = std::move(parasitics);
+  return finish_evaluation(tree, design, tech, nets, assignment, options,
+                           std::move(ev));
 }
 
 }  // namespace sndr::ndr

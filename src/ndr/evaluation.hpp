@@ -70,4 +70,17 @@ FlowEvaluation evaluate(const netlist::ClockTree& tree,
                         const timing::AnalysisOptions& options = {},
                         const extract::GeometryCache* geometry = nullptr);
 
+/// evaluate() with the extraction stage already done: `parasitics` (one
+/// entry per net, moved into the result) must be what extract_all would
+/// produce for (tree, nets, assignment) under `tech` — then the result is
+/// bit-identical to evaluate(). Lets callers that already hold per-net
+/// parasitics (e.g. corner signoff, which batch-materializes all corners
+/// from one geometry pass) skip re-extraction.
+FlowEvaluation evaluate_with_parasitics(
+    const netlist::ClockTree& tree, const netlist::Design& design,
+    const tech::Technology& tech, const netlist::NetList& nets,
+    const RuleAssignment& assignment,
+    std::vector<extract::NetParasitics> parasitics,
+    const timing::AnalysisOptions& options = {});
+
 }  // namespace sndr::ndr

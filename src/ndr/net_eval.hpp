@@ -12,6 +12,8 @@
 //    commits), or predicted by the learned models (used for fast scoring).
 #pragma once
 
+#include "common/arena.hpp"
+#include "extract/batch.hpp"
 #include "extract/extractor.hpp"
 #include "extract/net_geometry.hpp"
 #include "netlist/clock_nets.hpp"
@@ -89,5 +91,28 @@ NetExact evaluate_net_exact(const extract::NetGeometry& geom,
                             const tech::Technology& tech,
                             const tech::RoutingRule& rule, double driver_res,
                             double freq, NetEvalScratch& scratch);
+
+/// Batched exact evaluation: scores the shared geometry under `n_lanes`
+/// electrical contexts — (tech, rule) pairs with per-lane driver
+/// resistance — in one fused pass (materialize_batch + one EM sweep + one
+/// moment solve + three perturbed Elmore solves, lane loop innermost).
+/// out[l] is bit-identical to the scalar scratch overload called with
+/// lane l's context, `par` left empty. All scratch is carved from `arena`
+/// WITHOUT resetting it (so callers may keep lane arrays there); the
+/// caller resets the arena once per net.
+void evaluate_net_exact_batch(const extract::NetGeometry& geom,
+                              const extract::EvalLane* lanes, int n_lanes,
+                              const double* driver_res, double freq,
+                              common::Arena& arena, NetExact* out);
+
+/// Rule-sweep entry point: resets `arena`, then evaluates the net under
+/// EVERY rule of `tech` at the given driver resistance. `out` must hold
+/// tech.rules.size() entries; out[r] corresponds to tech.rules[r]. This is
+/// what AssignmentState uses to warm a whole memo row on first miss and
+/// what the bench compares against the scalar per-rule sweep.
+void evaluate_net_exact_all_rules(const extract::NetGeometry& geom,
+                                  const tech::Technology& tech,
+                                  double driver_res, double freq,
+                                  common::Arena& arena, NetExact* out);
 
 }  // namespace sndr::ndr

@@ -138,7 +138,8 @@ VariationReport analyze_variation(
   // root-to-sink accumulation below stays sequential (it walks nets in
   // root-first order), so the result is identical at any thread count.
   std::vector<NetVariationDetail> details(nets.size());
-  common::parallel_for(nets.size(), /*grain=*/8, [&](std::int64_t i) {
+  common::parallel_for(nets.size(), /*grain=*/8, /*est_us_per_item=*/2.0,
+                       [&](std::int64_t i) {
     thread_local VariationScratch scratch;  // reused across nets per worker.
     const netlist::Net& net = nets.nets[static_cast<std::size_t>(i)];
     net_variation(parasitics[net.id], tech, tech.rules[rule_of_net[net.id]],

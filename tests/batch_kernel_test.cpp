@@ -1,0 +1,262 @@
+// Bit-identity contract of the batched rule-sweep kernels (extract/batch.hpp,
+// ndr/net_eval.hpp): every lane of the batched materialize / moments / exact
+// evaluation must equal the scalar reference path bit for bit — across every
+// rule, every process corner, at 1 and 8 threads — with all scratch carved
+// from a common::Arena that is reused (reset, not reallocated) across nets.
+// This is what lets the optimizer's memo warm whole rule rows and the corner
+// signoff share one extraction batch without any tolerance-based checking.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/arena.hpp"
+#include "common/parallel.hpp"
+#include "extract/batch.hpp"
+#include "extract/net_geometry.hpp"
+#include "ndr/assignment_state.hpp"
+#include "ndr/corner_eval.hpp"
+#include "ndr/net_eval.hpp"
+#include "tech/corners.hpp"
+#include "test_util.hpp"
+
+namespace sndr {
+namespace {
+
+/// Restores the global thread budget on scope exit so tests stay isolated.
+struct ThreadGuard {
+  ~ThreadGuard() { common::set_thread_count(-1); }
+};
+
+/// Bitwise comparison of complete parasitics (every node field included).
+void expect_parasitics_identical(const extract::NetParasitics& a,
+                                 const extract::NetParasitics& b) {
+  ASSERT_EQ(a.rc.size(), b.rc.size());
+  for (int i = 0; i < a.rc.size(); ++i) {
+    const extract::RcNode& na = a.rc.node(i);
+    const extract::RcNode& nb = b.rc.node(i);
+    EXPECT_EQ(na.parent, nb.parent);
+    EXPECT_EQ(na.res, nb.res);
+    EXPECT_EQ(na.cap_gnd, nb.cap_gnd);
+    EXPECT_EQ(na.cap_cpl, nb.cap_cpl);
+    EXPECT_EQ(na.tree_node, nb.tree_node);
+    EXPECT_EQ(na.wire_len, nb.wire_len);
+    EXPECT_EQ(na.occupancy, nb.occupancy);
+  }
+  EXPECT_EQ(a.load_rc_index, b.load_rc_index);
+  EXPECT_EQ(a.rc_index_of_tree_node, b.rc_index_of_tree_node);
+  EXPECT_EQ(a.wirelength, b.wirelength);
+  EXPECT_EQ(a.wire_cap_gnd, b.wire_cap_gnd);
+  EXPECT_EQ(a.wire_cap_cpl, b.wire_cap_cpl);
+  EXPECT_EQ(a.load_cap, b.load_cap);
+}
+
+/// Bitwise comparison of the scalar NetExact metrics (par is not filled by
+/// the batched path and is excluded by contract).
+void expect_exact_identical(const ndr::NetExact& a, const ndr::NetExact& b) {
+  EXPECT_EQ(a.cap_switched, b.cap_switched);
+  EXPECT_EQ(a.step_slew_worst, b.step_slew_worst);
+  EXPECT_EQ(a.sigma_worst, b.sigma_worst);
+  EXPECT_EQ(a.xtalk_worst, b.xtalk_worst);
+  EXPECT_EQ(a.em_peak, b.em_peak);
+  EXPECT_EQ(a.wire_delay_mean, b.wire_delay_mean);
+  EXPECT_EQ(a.wire_delay_worst, b.wire_delay_worst);
+}
+
+class BatchKernelFixture : public ::testing::Test {
+ protected:
+  test::Flow f = test::small_flow(48, 7);
+  extract::GeometryCache cache{f.cts.tree, f.design, f.nets};
+  ThreadGuard guard;
+};
+
+TEST_F(BatchKernelFixture, MaterializeLanesBitIdenticalToScalarPerRule) {
+  // One arena for ALL nets: reset-and-reuse is the production lifetime, so
+  // any cross-net contamination through kept blocks would surface here.
+  common::Arena arena;
+  extract::NetParasitics scalar;
+  extract::NetParasitics scattered;
+  for (const netlist::Net& net : f.nets.nets) {
+    const extract::NetGeometry& geom = cache.geometry(net.id);
+    arena.reset();
+    extract::BatchParasitics bp;
+    extract::materialize_batch(geom, f.tech, f.tech.rules, arena, bp);
+    ASSERT_EQ(bp.lanes, f.tech.rules.size());
+    for (int r = 0; r < f.tech.rules.size(); ++r) {
+      extract::materialize(geom, f.tech, f.tech.rules[r], scalar);
+      extract::scatter_lane(geom, bp, r, scattered);
+      expect_parasitics_identical(scattered, scalar);
+    }
+  }
+}
+
+TEST_F(BatchKernelFixture, MomentsLanesBitIdenticalToScalarFusedKernel) {
+  common::Arena arena;
+  extract::NetParasitics scalar;
+  extract::RcMoments scalar_moments;
+  const double driver_res = 140.0;
+  for (const netlist::Net& net : f.nets.nets) {
+    const extract::NetGeometry& geom = cache.geometry(net.id);
+    const int L = f.tech.rules.size();
+    arena.reset();
+    extract::EvalLane* lanes =
+        arena.alloc<extract::EvalLane>(static_cast<std::size_t>(L));
+    double* dres = arena.alloc<double>(static_cast<std::size_t>(L));
+    double* miller = arena.alloc<double>(static_cast<std::size_t>(L));
+    for (int l = 0; l < L; ++l) {
+      lanes[l] = {&f.tech, &f.tech.rules[l]};
+      dres[l] = driver_res;
+      miller[l] = 1.0;
+    }
+    extract::BatchParasitics bp;
+    extract::BatchMoments bm;
+    extract::moments_batch(geom, lanes, L, dres, miller, arena, bp, bm);
+    for (int r = 0; r < L; ++r) {
+      extract::materialize(geom, f.tech, f.tech.rules[r], scalar);
+      scalar.rc.moments(driver_res, 1.0, scalar_moments);
+      for (int i = 0; i < bm.nodes; ++i) {
+        EXPECT_EQ(bm.m1[bm.at(i, r)], scalar_moments.m1[i]);
+        EXPECT_EQ(bm.m2[bm.at(i, r)], scalar_moments.m2[i]);
+      }
+    }
+  }
+}
+
+TEST_F(BatchKernelFixture, ExactAllRulesBitIdenticalToScalarSweep) {
+  common::Arena arena;
+  std::vector<ndr::NetExact> row(static_cast<std::size_t>(
+      f.tech.rules.size()));
+  ndr::NetEvalScratch scratch;
+  const double driver_res = 150.0;
+  const double freq = f.design.constraints.clock_freq;
+  for (const netlist::Net& net : f.nets.nets) {
+    const extract::NetGeometry& geom = cache.geometry(net.id);
+    ndr::evaluate_net_exact_all_rules(geom, f.tech, driver_res, freq, arena,
+                                      row.data());
+    for (int r = 0; r < f.tech.rules.size(); ++r) {
+      const ndr::NetExact scalar = ndr::evaluate_net_exact(
+          geom, f.tech, f.tech.rules[r], driver_res, freq, scratch);
+      expect_exact_identical(row[static_cast<std::size_t>(r)], scalar);
+    }
+  }
+}
+
+TEST_F(BatchKernelFixture, ArenaReuseLeavesEarlierResultsReproducible) {
+  // Evaluate the first net, churn the arena with every other net (growing
+  // and rewinding it arbitrarily), then re-evaluate the first net in the
+  // same arena: bitwise-equal results prove reset() gives a clean slate
+  // and capacity reuse never leaks state between nets.
+  common::Arena arena;
+  const double driver_res = 150.0;
+  const double freq = f.design.constraints.clock_freq;
+  const int n_rules = f.tech.rules.size();
+  std::vector<ndr::NetExact> first(static_cast<std::size_t>(n_rules));
+  std::vector<ndr::NetExact> again(static_cast<std::size_t>(n_rules));
+  const extract::NetGeometry& geom0 = cache.geometry(f.nets[0].id);
+  ndr::evaluate_net_exact_all_rules(geom0, f.tech, driver_res, freq, arena,
+                                    first.data());
+  const std::size_t grown = arena.capacity();
+  std::vector<ndr::NetExact> scratch_row(static_cast<std::size_t>(n_rules));
+  for (const netlist::Net& net : f.nets.nets) {
+    ndr::evaluate_net_exact_all_rules(cache.geometry(net.id), f.tech,
+                                      driver_res, freq, arena,
+                                      scratch_row.data());
+  }
+  EXPECT_GE(arena.capacity(), grown);
+  ndr::evaluate_net_exact_all_rules(geom0, f.tech, driver_res, freq, arena,
+                                    again.data());
+  for (int r = 0; r < n_rules; ++r) {
+    expect_exact_identical(again[static_cast<std::size_t>(r)],
+                           first[static_cast<std::size_t>(r)]);
+  }
+}
+
+TEST_F(BatchKernelFixture, CornerLanesBitIdenticalToPerCornerExtraction) {
+  // The corner-signoff batch: lanes are derated technology clones with the
+  // net's assigned rule. Each scattered lane must equal the parasitics the
+  // per-corner extract_all used to produce.
+  const auto corners = tech::standard_corners();
+  const auto assignment =
+      ndr::assign_all(f.nets, f.tech.rules.blanket_index());
+  std::vector<tech::Technology> cornered;
+  for (const tech::Corner& c : corners) {
+    cornered.push_back(tech::apply_corner(f.tech, c));
+  }
+  common::Arena arena;
+  extract::NetParasitics scattered;
+  extract::NetParasitics scalar;
+  for (const netlist::Net& net : f.nets.nets) {
+    const extract::NetGeometry& geom = cache.geometry(net.id);
+    arena.reset();
+    const int C = static_cast<int>(corners.size());
+    extract::EvalLane* lanes =
+        arena.alloc<extract::EvalLane>(static_cast<std::size_t>(C));
+    for (int c = 0; c < C; ++c) {
+      lanes[c] = {&cornered[c], &cornered[c].rules[assignment[net.id]]};
+    }
+    extract::BatchParasitics bp;
+    extract::materialize_batch(geom, lanes, C, arena, bp);
+    for (int c = 0; c < C; ++c) {
+      extract::materialize(geom, cornered[c],
+                           cornered[c].rules[assignment[net.id]], scalar);
+      extract::scatter_lane(geom, bp, c, scattered);
+      expect_parasitics_identical(scattered, scalar);
+    }
+  }
+}
+
+TEST_F(BatchKernelFixture, CornerSignoffBitIdenticalAtOneAndEightThreads) {
+  const auto assignment =
+      ndr::assign_all(f.nets, f.tech.rules.blanket_index());
+  common::set_thread_count(1);
+  const ndr::MultiCornerReport serial = ndr::evaluate_corners(
+      f.cts.tree, f.design, f.tech, f.nets, assignment);
+  common::set_thread_count(8);
+  const ndr::MultiCornerReport parallel = ndr::evaluate_corners(
+      f.cts.tree, f.design, f.tech, f.nets, assignment);
+  ASSERT_EQ(serial.corners.size(), parallel.corners.size());
+  for (std::size_t c = 0; c < serial.corners.size(); ++c) {
+    const ndr::FlowEvaluation& a = serial.corners[c].eval;
+    const ndr::FlowEvaluation& b = parallel.corners[c].eval;
+    ASSERT_EQ(a.parasitics.size(), b.parasitics.size());
+    for (std::size_t i = 0; i < a.parasitics.size(); ++i) {
+      expect_parasitics_identical(a.parasitics[i], b.parasitics[i]);
+    }
+    EXPECT_EQ(a.timing.max_slew, b.timing.max_slew);
+    EXPECT_EQ(a.variation.max_uncertainty, b.variation.max_uncertainty);
+    EXPECT_EQ(a.power.total_power, b.power.total_power);
+    EXPECT_EQ(a.em.worst_density, b.em.worst_density);
+  }
+}
+
+TEST_F(BatchKernelFixture, MemoRowWarmFillMatchesScalarAtBothThreadCounts) {
+  // AssignmentState's first miss on a (net, rule) warms the whole rule row
+  // via the batched sweep: exactly one miss per net, and every returned
+  // entry equals the scalar reference evaluation.
+  const timing::AnalysisOptions aopt;
+  const auto blanket = ndr::assign_all(f.nets, f.tech.rules.blanket_index());
+  const double freq = f.design.constraints.clock_freq;
+  for (const int threads : {1, 8}) {
+    common::set_thread_count(threads);
+    ndr::AssignmentState state(f.cts.tree, f.design, f.tech, f.nets, aopt);
+    state.rebuild(blanket, ndr::evaluate(f.cts.tree, f.design, f.tech,
+                                         f.nets, blanket, aopt));
+    for (int net = 0; net < f.nets.size(); net += 5) {
+      const auto misses_before = state.exact_cache_misses();
+      const ndr::NetExact head = state.exact_eval(net, 1);
+      EXPECT_EQ(state.exact_cache_misses(), misses_before + 1);
+      // The rest of the row is warm: no further misses for ANY rule.
+      for (int r = 0; r < f.tech.rules.size(); ++r) {
+        const ndr::NetExact cached = state.exact_eval(net, r);
+        EXPECT_EQ(state.exact_cache_misses(), misses_before + 1);
+        const ndr::NetExact fresh = ndr::evaluate_net_exact(
+            f.cts.tree, f.design, f.tech, f.nets[net], f.tech.rules[r],
+            state.summary(net).driver_res, freq);
+        expect_exact_identical(cached, fresh);
+        if (r == 1) expect_exact_identical(cached, head);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sndr

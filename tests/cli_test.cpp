@@ -6,6 +6,7 @@
 // (tests/CMakeLists.txt).
 #include <gtest/gtest.h>
 #include <sys/wait.h>
+#include <unistd.h>
 
 #include <cstdlib>
 #include <filesystem>
@@ -17,10 +18,13 @@ namespace {
 
 namespace fs = std::filesystem;
 
-/// A fresh scratch directory per test run.
+/// A fresh scratch directory per test *process*. ctest runs each
+/// discovered test in its own process, concurrently under -j — a shared
+/// path would let one process's cleanup race another's fixtures.
 const fs::path& scratch_dir() {
   static const fs::path dir = [] {
-    fs::path d = fs::temp_directory_path() / "sndr_cli_test";
+    fs::path d = fs::temp_directory_path() /
+                 ("sndr_cli_test_" + std::to_string(::getpid()));
     fs::remove_all(d);
     fs::create_directories(d);
     return d;

@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <thread>
 #include <vector>
 
 #include "common/parallel.hpp"
@@ -52,6 +53,55 @@ TEST(ParallelFor, PropagatesLowestChunkException) {
   } catch (const std::runtime_error& e) {
     EXPECT_EQ(std::string(e.what()), "chunk 40");
   }
+}
+
+/// Restores the grain-gate threshold to its env/default resolution.
+struct MinUsGuard {
+  ~MinUsGuard() { common::set_parallel_min_us(-1.0); }
+};
+
+TEST(ParallelGrain, SmallEstimatedWorkStaysOnCallerThread) {
+  ThreadGuard guard;
+  MinUsGuard min_guard;
+  common::set_thread_count(8);
+  common::set_parallel_min_us(1000.0);
+  // 100 items x 1 us = 100 us of estimated work, below the 1000 us gate:
+  // the loop must run inline on the calling thread, never on the pool.
+  std::vector<std::thread::id> ids(100);
+  common::parallel_for(100, 4, /*est_us_per_item=*/1.0, [&](std::int64_t i) {
+    ids[static_cast<std::size_t>(i)] = std::this_thread::get_id();
+  });
+  for (const auto& id : ids) EXPECT_EQ(id, std::this_thread::get_id());
+  // 100 x 50 us = 5000 us clears the gate: the pool path is eligible, and
+  // the coverage contract (every i exactly once) still holds.
+  std::vector<std::atomic<int>> hits(100);
+  common::parallel_for(100, 4, /*est_us_per_item=*/50.0,
+                       [&](std::int64_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelGrain, GatedReduceBitIdenticalToUngated) {
+  ThreadGuard guard;
+  MinUsGuard min_guard;
+  common::set_thread_count(8);
+  const auto map = [](std::int64_t i) {
+    return 1.0 / (1.0 + static_cast<double>(i));
+  };
+  const auto combine = [](double a, double b) { return a + b; };
+  const double ungated =
+      common::parallel_reduce(10000, 64, 0.0, map, combine);
+  // Force the gate closed: the serial path must reduce through the same
+  // chunk association, so the sum is bitwise equal.
+  common::set_parallel_min_us(1e9);
+  EXPECT_EQ(common::parallel_reduce(10000, 64, /*est_us_per_item=*/1.0, 0.0,
+                                    map, combine),
+            ungated);
+  // Gate disabled (threshold 0): the annotated overload defers to the
+  // plain parallel path.
+  common::set_parallel_min_us(0.0);
+  EXPECT_EQ(common::parallel_reduce(10000, 64, /*est_us_per_item=*/1.0, 0.0,
+                                    map, combine),
+            ungated);
 }
 
 TEST(ParallelReduce, BitIdenticalAcrossThreadCounts) {
