@@ -8,8 +8,10 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 
 #include "common.hpp"
+#include "workload/rng.hpp"
 #include "common/arena.hpp"
 #include "extract/net_geometry.hpp"
 #include "obs/trace.hpp"
@@ -504,6 +506,109 @@ void record_obs_overhead(std::vector<bench::RuntimeRecord>& records) {
   common::set_thread_count(-1);
 }
 
+/// PR acceptance pair for incremental delta-timing: annealing-style move
+/// throughput with the state kept exact by full re-evaluation + rebuild
+/// after every accepted move (the pre-delta way to stay exact) vs the
+/// apply_move delta replay (O(depth + subtree fanout) per move). Both legs
+/// replay the SAME fixed proposal stream from the same start, so they end
+/// in the same assignment — checked bitwise on total cap at the end.
+void record_move_throughput(std::vector<bench::RuntimeRecord>& records) {
+  using Clock = std::chrono::steady_clock;
+  const bench::Flow& f = flow_1k();
+  common::set_thread_count(1);
+  const timing::AnalysisOptions aopt;
+  const auto blanket = ndr::assign_all(f.nets, f.tech.rules.blanket_index());
+  const int n_rules = f.tech.rules.size();
+
+  // Fixed proposal stream: (net, rule != current-at-that-point), replayed
+  // from the blanket start by both legs.
+  struct Proposal {
+    int net;
+    int rule;
+  };
+  constexpr int kMoves = 150;
+  std::vector<Proposal> stream;
+  {
+    workload::Rng rng(12345);
+    ndr::RuleAssignment cur = blanket;
+    for (int i = 0; i < kMoves; ++i) {
+      const int net = static_cast<int>(rng.uniform_int(f.nets.size()));
+      int rule = static_cast<int>(rng.uniform_int(n_rules));
+      if (rule == cur[net]) rule = (rule + 1) % n_rules;
+      cur[net] = rule;
+      stream.push_back({net, rule});
+    }
+  }
+
+  ndr::AssignmentState state(f.cts.tree, f.design, f.tech, f.nets, aopt);
+  const ndr::FlowEvaluation ev0 =
+      ndr::evaluate(f.cts.tree, f.design, f.tech, f.nets, blanket, aopt,
+                    &state.geometry_cache());
+
+  // Full-rebuild leg: score the move, then re-evaluate the whole flow and
+  // rebuild to keep the state exact. One warm-up pass, then best-of-2 (each
+  // rep already averages kMoves full evaluations).
+  double full_s = 1e30;
+  for (int rep = 0; rep < 3; ++rep) {
+    state.rebuild(blanket, ev0);
+    ndr::RuleAssignment a = blanket;
+    const auto t0 = Clock::now();
+    for (const Proposal& p : stream) {
+      benchmark::DoNotOptimize(state.exact_eval(p.net, p.rule));
+      a[p.net] = p.rule;
+      const ndr::FlowEvaluation ev =
+          ndr::evaluate(f.cts.tree, f.design, f.tech, f.nets, a, aopt,
+                        &state.geometry_cache());
+      state.rebuild(a, ev);
+    }
+    const double s =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    if (rep > 0) full_s = std::min(full_s, s);
+  }
+  const double full_cap = state.total_cap();
+
+  // Delta leg: same stream through apply_move. Rows are prewarmed, as in
+  // the annealer, so the timed loop is the steady-state move cost. One
+  // stream pass is sub-millisecond — far below timer noise — so each timed
+  // rep replays the stream kDeltaPasses times (re-applying an already-held
+  // rule costs exactly the same mechanics) and normalizes, keeping the
+  // recorded seconds comparable with the full-rebuild leg's single pass.
+  state.rebuild(blanket, ev0);
+  state.warm_all_rows();
+  constexpr int kDeltaPasses = 20;
+  double delta_s = 1e30;
+  for (int rep = 0; rep < 4; ++rep) {
+    state.rebuild(blanket, ev0);
+    const auto t0 = Clock::now();
+    for (int pass = 0; pass < kDeltaPasses; ++pass) {
+      for (const Proposal& p : stream) {
+        state.apply_move(p.net, p.rule, state.exact_eval(p.net, p.rule));
+      }
+    }
+    const double s =
+        std::chrono::duration<double>(Clock::now() - t0).count() /
+        kDeltaPasses;
+    if (rep > 0) delta_s = std::min(delta_s, s);
+  }
+
+  // Same stream, same start: both legs must land on the same state.
+  if (state.total_cap() != full_cap) {
+    std::fprintf(stderr,
+                 "move-throughput self-check FAILED: delta cap %.17g != "
+                 "full-rebuild cap %.17g\n",
+                 state.total_cap(), full_cap);
+    std::exit(1);
+  }
+
+  records.push_back({"anneal_moves_full_rebuild", 1, full_s, -1.0});
+  records.push_back({"anneal_moves_delta", 1, delta_s, -1.0});
+  records.push_back({"anneal_move_speedup", 1, full_s / delta_s, -1.0});
+  std::printf("anneal move throughput (%d moves): full rebuild %.1f "
+              "moves/s -> delta %.1f moves/s (%.1fx)\n",
+              kMoves, kMoves / full_s, kMoves / delta_s, full_s / delta_s);
+  common::set_thread_count(-1);
+}
+
 /// Wall time of the parallelized kernels at each rung of the thread ladder,
 /// recorded into BENCH_runtime.json before the google-benchmark run.
 void record_thread_ladder() {
@@ -517,6 +622,16 @@ void record_thread_ladder() {
   record_two_phase_kernels(records);
   record_rule_sweep(records);
   record_obs_overhead(records);
+  record_move_throughput(records);
+  // Make the host size explicit next to the thread-ladder points: on a
+  // 1-CPU container the 2/4-thread rungs below are oversubscribed, not
+  // parallel speedups (seconds field carries the CPU count).
+  records.push_back({"host_cpus", 1,
+                     static_cast<double>([] {
+                       const unsigned n = std::thread::hardware_concurrency();
+                       return n == 0 ? 1u : n;
+                     }()),
+                     -1.0});
   const auto time_stage = [&](const char* stage, int threads, auto&& fn) {
     // One warm-up, then best-of-3 to keep single-shot noise out of the JSON.
     fn();

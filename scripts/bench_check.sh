@@ -45,11 +45,22 @@ stage_seconds() {  # <file> <stage>  (threads=1 rung)
 }
 
 status=0
-for stage in materialize_moments_per_net_rule_new moments_fused_new rule_sweep_batched; do
+for stage in materialize_moments_per_net_rule_new moments_fused_new \
+             rule_sweep_batched anneal_moves_delta; do
   base_s="$(stage_seconds "$baseline" "$stage")"
   fresh_s="$(stage_seconds "$fresh" "$stage")"
-  if [[ -z "$base_s" || -z "$fresh_s" ]]; then
-    echo "bench_check: FAIL  $stage missing (baseline='$base_s' fresh='$fresh_s')"
+  if [[ -z "$base_s" ]]; then
+    # A silent empty value would previously flow into the awk arithmetic;
+    # name the missing key and the file so the fix is obvious.
+    echo "bench_check: FAIL  baseline key 'bench.micro_kernels.$stage.t1.seconds'" \
+         "not found in $baseline — refresh the committed baseline by running" \
+         "build/bench/bench_micro_kernels from the repo root"
+    status=1
+    continue
+  fi
+  if [[ -z "$fresh_s" ]]; then
+    echo "bench_check: FAIL  fresh run did not record" \
+         "'bench.micro_kernels.$stage.t1.seconds' in $fresh (bench and gate out of sync?)"
     status=1
     continue
   fi
@@ -78,6 +89,30 @@ else
   echo "bench_check: $ok   rule_sweep speedup scalar=${scalar_s}s batched=${batched_s}s = ${speedup}x (min ${min_speedup}x)"
   [[ "$ok" == "OK" ]] || status=1
 fi
+
+# Delta-timing move throughput must keep beating exactness-by-full-rebuild:
+# the fresh full/delta ratio is the speedup the PR's acceptance pinned at
+# >=5x (override with BENCH_MIN_MOVE_SPEEDUP for noisy/smaller machines).
+min_move_speedup="${BENCH_MIN_MOVE_SPEEDUP:-5.0}"
+full_s="$(stage_seconds "$fresh" anneal_moves_full_rebuild)"
+delta_s="$(stage_seconds "$fresh" anneal_moves_delta)"
+if [[ -z "$full_s" || -z "$delta_s" ]]; then
+  echo "bench_check: FAIL  anneal move-throughput pair missing from $fresh" \
+       "(full='$full_s' delta='$delta_s')"
+  status=1
+else
+  verdict="$(awk -v f="$full_s" -v d="$delta_s" -v min="$min_move_speedup" \
+    'BEGIN { printf "%.2f %s", f / d, (f / d >= min) ? "OK" : "FAIL" }')"
+  speedup="${verdict% *}"
+  ok="${verdict#* }"
+  echo "bench_check: $ok   anneal move throughput full=${full_s}s delta=${delta_s}s = ${speedup}x (min ${min_move_speedup}x)"
+  [[ "$ok" == "OK" ]] || status=1
+fi
+
+# Host size next to the thread-ladder rungs (informational): on a 1-CPU
+# container the 2/4-thread points are oversubscription, not speedups.
+host_cpus="$(stage_seconds "$fresh" host_cpus)"
+[[ -n "$host_cpus" ]] && echo "bench_check: info  host_cpus = $host_cpus"
 
 # Observability overhead on the hot kernels, as recorded by this run
 # (informational: the <=2% budget is pinned by the bench itself; noise on

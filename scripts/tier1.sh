@@ -19,33 +19,42 @@ ctest --test-dir "$repo/build" -j "$jobs" --output-on-failure
 echo "== tier1: ThreadSanitizer build + parallel/obs/flow tests =="
 cmake -B "$repo/build-tsan" -S "$repo" -DSNDR_SANITIZE=thread >/dev/null
 cmake --build "$repo/build-tsan" -j "$jobs" --target parallel_test \
-  --target obs_test --target manifest_golden_test --target flow_test
+  --target obs_test --target manifest_golden_test --target flow_test \
+  --target delta_timing_test --target net_batch_test
 "$repo/build-tsan/tests/parallel_test"
 "$repo/build-tsan/tests/obs_test"
 "$repo/build-tsan/tests/manifest_golden_test"
 # Pins scope isolation under real concurrency (two sessions, two threads).
 "$repo/build-tsan/tests/flow_test"
+# Parallel warm_rows fills disjoint memo rows; churn pins 1-vs-8 threads.
+"$repo/build-tsan/tests/delta_timing_test"
+"$repo/build-tsan/tests/net_batch_test"
 
 echo "== tier1: AddressSanitizer build + extraction/obs tests =="
 cmake -B "$repo/build-asan" -S "$repo" -DSNDR_SANITIZE=address >/dev/null
 cmake --build "$repo/build-asan" -j "$jobs" --target extract_test \
   --target extract_cache_test --target batch_kernel_test --target obs_test \
-  --target manifest_golden_test
+  --target manifest_golden_test --target net_batch_test
 "$repo/build-asan/tests/extract_test"
 "$repo/build-asan/tests/extract_cache_test"
 # Arena-carved batch planes: ASan guards the node-major × lane-minor bounds.
 "$repo/build-asan/tests/batch_kernel_test"
+# Cross-net lane planes ([nodes × (nets·rules)]) carve deeper into the arena.
+"$repo/build-asan/tests/net_batch_test"
 "$repo/build-asan/tests/obs_test"
 "$repo/build-asan/tests/manifest_golden_test"
 
 echo "== tier1: UndefinedBehaviorSanitizer build + flow/io tests =="
 cmake -B "$repo/build-ubsan" -S "$repo" -DSNDR_SANITIZE=undefined >/dev/null
 cmake --build "$repo/build-ubsan" -j "$jobs" --target flow_test \
-  --target io_test --target design_io_test --target batch_kernel_test
+  --target io_test --target design_io_test --target batch_kernel_test \
+  --target delta_timing_test
 "$repo/build-ubsan/tests/flow_test"
 "$repo/build-ubsan/tests/io_test"
 "$repo/build-ubsan/tests/design_io_test"
 # Lane-index arithmetic (int64 plane offsets) under UBSan.
 "$repo/build-ubsan/tests/batch_kernel_test"
+# Subtree replay indexing (flattened load offsets) under UBSan.
+"$repo/build-ubsan/tests/delta_timing_test"
 
 echo "tier1: OK"

@@ -14,6 +14,7 @@
 // everything at once. Not thread-safe; use one Arena per thread.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -108,5 +109,43 @@ class Arena {
   std::size_t offset_ = 0;  ///< bump offset within that block.
   std::size_t used_ = 0;
 };
+
+// Process-wide arena high-water marks. Arenas are per-thread and ephemeral,
+// so per-instance stats never reach the run manifest; the evaluation entry
+// points instead publish each arena's peak here (CAS-max, relaxed — the
+// values are monotone and order-free) and the manifest exports them as
+// arena.{capacity,used}_bytes. Tracks batch-scratch growth per PR.
+
+namespace detail {
+inline std::atomic<std::uint64_t> arena_capacity_hw{0};
+inline std::atomic<std::uint64_t> arena_used_hw{0};
+
+inline void atomic_max(std::atomic<std::uint64_t>& hw, std::uint64_t v) {
+  std::uint64_t cur = hw.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !hw.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+}  // namespace detail
+
+/// Folds one arena's current capacity / used watermark into the marks.
+/// Call after the arena has done its work (used() reflects the last pass).
+inline void note_arena_highwater(const Arena& arena) {
+  detail::atomic_max(detail::arena_capacity_hw, arena.capacity());
+  detail::atomic_max(detail::arena_used_hw, arena.used());
+}
+
+inline std::uint64_t arena_capacity_highwater() {
+  return detail::arena_capacity_hw.load(std::memory_order_relaxed);
+}
+inline std::uint64_t arena_used_highwater() {
+  return detail::arena_used_hw.load(std::memory_order_relaxed);
+}
+
+/// Test hook: rewinds the process-wide marks (stats are otherwise monotone).
+inline void reset_arena_highwater() {
+  detail::arena_capacity_hw.store(0, std::memory_order_relaxed);
+  detail::arena_used_hw.store(0, std::memory_order_relaxed);
+}
 
 }  // namespace sndr::common

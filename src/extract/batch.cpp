@@ -1,5 +1,8 @@
 #include "extract/batch.hpp"
 
+#include <cassert>
+#include <map>
+
 namespace sndr::extract {
 
 void materialize_batch(const NetGeometry& geom, const EvalLane* lanes,
@@ -91,6 +94,134 @@ void materialize_batch(const NetGeometry& geom, const tech::Technology& tech,
   EvalLane* lanes = arena.alloc<EvalLane>(static_cast<std::size_t>(L));
   for (int l = 0; l < L; ++l) lanes[l] = {&tech, &rules[l]};
   materialize_batch(geom, lanes, L, arena, out);
+}
+
+namespace {
+
+#ifndef NDEBUG
+/// Shape compatibility required by the cross-net kernels: identical piece
+/// topology and load attach indices (lengths/occupancies/caps may differ).
+bool same_shape(const NetGeometry& a, const NetGeometry& b) {
+  if (a.piece_parent != b.piece_parent) return false;
+  if (a.loads.size() != b.loads.size()) return false;
+  for (std::size_t li = 0; li < a.loads.size(); ++li) {
+    if (a.loads[li].rc_index != b.loads[li].rc_index) return false;
+  }
+  return true;
+}
+#endif
+
+}  // namespace
+
+void materialize_nets_batch(const NetLane* lanes, int n_lanes,
+                            common::Arena& arena, BatchParasitics& out) {
+  const NetGeometry& shape = *lanes[0].geom;
+#ifndef NDEBUG
+  for (int l = 1; l < n_lanes; ++l) {
+    assert(same_shape(shape, *lanes[l].geom) &&
+           "materialize_nets_batch: lanes must share geometry shape");
+  }
+#endif
+  const int n = shape.rc_size();
+  const int L = n_lanes;
+  out.nodes = n;
+  out.lanes = L;
+  const std::int64_t plane = static_cast<std::int64_t>(n) * L;
+  out.res = arena.alloc_zeroed<double>(plane);
+  out.cap_gnd = arena.alloc_zeroed<double>(plane);
+  out.cap_cpl = arena.alloc_zeroed<double>(plane);
+  out.wire_cap_gnd = arena.alloc_zeroed<double>(L);
+  out.wire_cap_cpl = arena.alloc_zeroed<double>(L);
+  out.load_cap = arena.alloc_zeroed<double>(L);
+
+  // Topology is shared; edge lengths are per lane (different nets).
+  std::int32_t* parent = arena.alloc<std::int32_t>(n);
+  double* wire_len_lane = arena.alloc_zeroed<double>(plane);
+  parent[0] = -1;
+  for (int i = 0; i < shape.pieces(); ++i) {
+    parent[i + 1] = shape.piece_parent[i];
+  }
+  out.parent = parent;
+  out.wire_len = nullptr;
+  out.wire_len_lane = wire_len_lane;
+
+  double* res_per_um = arena.alloc<double>(L);
+  double* cgnd_per_um = arena.alloc<double>(L);
+  double* ccpl_side_per_um = arena.alloc<double>(L);
+  for (int l = 0; l < L; ++l) {
+    const tech::MetalLayer& layer = lanes[l].tech->clock_layer;
+    const tech::RoutingRule& rule = *lanes[l].rule;
+    res_per_um[l] = tech::wire_res_per_um(layer, rule);
+    cgnd_per_um[l] = tech::wire_cap_gnd_per_um(layer, rule);
+    ccpl_side_per_um[l] = tech::wire_cap_couple_per_um(layer, rule);
+  }
+
+  // One pass over the shared piece topology, lanes innermost; per lane the
+  // scalar materialize piece loop's operations in the scalar order, fed by
+  // that lane's own piece length and occupancy.
+  double* __restrict__ res = out.res;
+  double* __restrict__ cap_gnd = out.cap_gnd;
+  double* __restrict__ cap_cpl = out.cap_cpl;
+  double* __restrict__ wcg = out.wire_cap_gnd;
+  double* __restrict__ wcc = out.wire_cap_cpl;
+  for (int i = 0; i < shape.pieces(); ++i) {
+    const std::int64_t prow =
+        static_cast<std::int64_t>(shape.piece_parent[i]) * L;
+    const std::int64_t arow = static_cast<std::int64_t>(i + 1) * L;
+    for (int l = 0; l < L; ++l) {
+      const double piece_len = lanes[l].geom->piece_len[i];
+      const double occ = lanes[l].geom->piece_occ[i];
+      const double cg = cgnd_per_um[l] * piece_len;
+      const double cc = 2.0 * occ * ccpl_side_per_um[l] * piece_len;
+      cap_gnd[prow + l] += 0.5 * cg;
+      cap_cpl[prow + l] += 0.5 * cc;
+      res[arow + l] = res_per_um[l] * piece_len;
+      cap_gnd[arow + l] += 0.5 * cg;
+      cap_cpl[arow + l] += 0.5 * cc;
+      wcg[l] += cg;
+      wcc[l] += cc;
+      wire_len_lane[arow + l] = piece_len;
+    }
+  }
+  out.wirelength = 0.0;  // lane-dependent; no cross-net consumer needs it.
+
+  for (std::size_t li = 0; li < shape.loads.size(); ++li) {
+    const std::int64_t row =
+        static_cast<std::int64_t>(shape.loads[li].rc_index) * L;
+    for (int l = 0; l < L; ++l) {
+      const NetGeometry::Load& load = lanes[l].geom->loads[li];
+      const double cap = load.buffer_cell >= 0
+                             ? lanes[l].tech->buffers[load.buffer_cell].input_cap
+                             : load.sink_cap;
+      cap_gnd[row + l] += cap;
+      out.load_cap[l] += cap;
+    }
+  }
+}
+
+NetShapeBuckets bucket_nets_by_shape(const GeometryCache& cache) {
+  NetShapeBuckets out;
+  out.group_of.assign(cache.net_count(), -1);
+  // Signature: piece count, the parent array, a separator, then the load
+  // attach indices — exact integer equality, nothing derived.
+  std::map<std::vector<std::int64_t>, int> index;
+  std::vector<std::int64_t> key;
+  for (int id = 0; id < cache.net_count(); ++id) {
+    const NetGeometry& g = cache.geometry(id);
+    key.clear();
+    key.push_back(g.pieces());
+    key.insert(key.end(), g.piece_parent.begin(), g.piece_parent.end());
+    key.push_back(-1);
+    for (const NetGeometry::Load& load : g.loads) {
+      key.push_back(load.rc_index);
+    }
+    const auto [it, fresh] =
+        index.emplace(key, static_cast<int>(out.groups.size()));
+    if (fresh) out.groups.emplace_back();
+    out.groups[it->second].push_back(id);
+    out.group_of[id] = it->second;
+  }
+  return out;
 }
 
 void scatter_lane(const NetGeometry& geom, const BatchParasitics& batch,

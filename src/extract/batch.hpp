@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/arena.hpp"
 #include "extract/net_geometry.hpp"
@@ -56,6 +57,12 @@ struct BatchParasitics {
   const std::int32_t* parent = nullptr;  ///< parent node, -1 for node 0.
   const double* wire_len = nullptr;      ///< um of the parent edge, 0 at 0.
 
+  /// [nodes × lanes] per-lane edge lengths, set only by the cross-net
+  /// materialize (materialize_nets_batch), where lanes are different nets
+  /// and piece lengths differ per lane; `wire_len` is null there. Exactly
+  /// one of wire_len / wire_len_lane is non-null after a materialize.
+  const double* wire_len_lane = nullptr;
+
   // [lanes] totals, same accumulation order as the scalar materialize.
   double* wire_cap_gnd = nullptr;
   double* wire_cap_cpl = nullptr;
@@ -86,6 +93,43 @@ void materialize_batch(const NetGeometry& geom, const tech::Technology& tech,
 /// per-corner whole-tree evaluators from the shared batch planes.
 void scatter_lane(const NetGeometry& geom, const BatchParasitics& batch,
                   int lane, NetParasitics& out);
+
+/// One lane of a CROSS-NET batched evaluation: a (net geometry, electrical
+/// context) pair. All lanes of one call must share the same geometry SHAPE —
+/// identical piece_parent arrays and identical load rc_index arrays (see
+/// bucket_nets_by_shape) — so the RC kernels can run off one shared parent
+/// array while piece lengths, occupancies, and load caps stay per lane.
+/// This is how single-rule sweeps over many nets fill the SIMD lanes that
+/// the per-net rule sweep fills with rules.
+struct NetLane {
+  const NetGeometry* geom = nullptr;
+  const tech::Technology* tech = nullptr;
+  const tech::RoutingRule* rule = nullptr;
+};
+
+/// Cross-net electrical phase: one pass over the shared piece topology with
+/// the lane loop innermost, per lane bit-identical to materialize(
+/// *lanes[l].geom, *lanes[l].tech, *lanes[l].rule, out). Because piece
+/// lengths differ per lane, `out.wire_len` stays null and the per-lane
+/// lengths land in `out.wire_len_lane` ([nodes × lanes]). All lanes must be
+/// shape-compatible (asserted in debug builds).
+void materialize_nets_batch(const NetLane* lanes, int n_lanes,
+                            common::Arena& arena, BatchParasitics& out);
+
+/// Partition of a net list into same-shape groups: `groups[g]` lists the
+/// net ids whose geometries share piece topology and load attach indices
+/// (first-seen order, both across and within groups), `group_of[net]` is
+/// the owning group. Nets in one group can ride one cross-net batch.
+struct NetShapeBuckets {
+  std::vector<std::vector<int>> groups;
+  std::vector<int> group_of;
+};
+
+/// Buckets every net of `cache` by geometry shape signature (piece count,
+/// piece_parent array, loads' rc_index array — exact equality). Symmetric
+/// clock trees collapse into a handful of buckets; degenerate shapes fall
+/// into singleton groups and simply run with one lane.
+NetShapeBuckets bucket_nets_by_shape(const GeometryCache& cache);
 
 /// Per-lane moment planes ([nodes × lanes] each), arena-backed.
 struct BatchMoments {

@@ -37,6 +37,11 @@ struct AnnealOptions {
   double skew_margin = 0.10;
   /// Same semantics as OptimizerOptions::threads (-1 inherits global).
   int threads = -1;
+  /// Prefetch every net's exact-eval memo row up front with cross-net
+  /// batched kernels (shape-bucketed lanes). Values are bitwise equal to
+  /// the lazy per-net path, so this changes WHEN the evaluation work
+  /// happens, never any result; disable to measure the lazy path.
+  bool prewarm = true;
   timing::AnalysisOptions analysis;
 };
 
@@ -47,6 +52,12 @@ struct AnnealResult {
   int accepted = 0;
   int rejected = 0;  ///< proposed == accepted + rejected, always.
   int uphill_accepted = 0;
+  /// Incremental (delta-timing) state updates vs whole-tree re-analyses:
+  /// delta_updates counts accepted moves applied through the O(pieces +
+  /// subtree) path; full_rebuilds counts the in-loop reference resyncs
+  /// (every full_refresh_interval accepted moves).
+  int delta_updates = 0;
+  int full_rebuilds = 0;
   double start_cap = 0.0;  ///< F, switched cap of the input assignment.
   double end_cap = 0.0;    ///< F.
 

@@ -1,9 +1,11 @@
 #include "ndr/assignment_state.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <numeric>
 
+#include "common/parallel.hpp"
 #include "route/congestion_route.hpp"
 #include "timing/delay_metrics.hpp"
 
@@ -20,6 +22,7 @@ AssignmentState::AssignmentState(const netlist::ClockTree& tree,
       nets_(&nets),
       analysis_(analysis),
       geometry_(tree, design, nets),
+      delta_(tree, design, tech, nets, analysis),
       usage_(&design.congestion) {
   const int n_nets = nets.size();
   const int n_sinks = static_cast<int>(design.sinks.size());
@@ -77,6 +80,10 @@ AssignmentState::AssignmentState(const netlist::ClockTree& tree,
       }
     }
   }
+
+  shape_buckets_ = extract::bucket_nets_by_shape(geometry_);
+  SNDR_GAUGE_SET("extract.net_batch.buckets",
+                 static_cast<double>(shape_buckets_.groups.size()));
 }
 
 void AssignmentState::flush_metrics() const {
@@ -91,6 +98,41 @@ void AssignmentState::flush_metrics() const {
 void AssignmentState::rebuild(const RuleAssignment& assignment,
                               const FlowEvaluation& ev) {
   flush_metrics();
+#ifndef NDEBUG
+  // Delta-vs-reference contract: when the caller resynchronizes against a
+  // full evaluation of the assignment the incremental state already tracks,
+  // every delta-maintained accumulator must agree BITWISE with the fresh
+  // evaluation. Rebuilds under a different assignment (optimizer repair /
+  // full-STA scoring pass their own) are legitimately divergent and skip
+  // the check.
+  if (delta_.synced() && assignment == assignment_) {
+    assert(sink_latency_ == ev.timing.sink_arrival);
+    assert(delta_.sink_arrival() == ev.timing.sink_arrival);
+    assert(delta_.node_arrival() == ev.timing.node_arrival);
+    assert(delta_.node_slew() == ev.timing.node_slew);
+    assert(latency_sum_ == std::accumulate(ev.timing.sink_arrival.begin(),
+                                           ev.timing.sink_arrival.end(),
+                                           0.0));
+    double cap_check = 0.0;
+    for (const netlist::Net& net : nets_->nets) {
+      assert(nets_state_[net.id].cap == ev.power.net_switched_cap[net.id]);
+      assert(nets_state_[net.id].sigma == ev.variation.net_sigma[net.id]);
+      assert(nets_state_[net.id].xtalk == ev.variation.net_xtalk[net.id]);
+      cap_check += ev.power.net_switched_cap[net.id];
+    }
+    assert(total_cap_ == cap_check);
+    for (int s = 0; s < static_cast<int>(design_->sinks.size()); ++s) {
+      double var = 0.0;
+      double xt = 0.0;
+      for (const int net : nets_on_path_[s]) {
+        var += ev.variation.net_sigma[net] * ev.variation.net_sigma[net];
+        xt += ev.variation.net_xtalk[net];
+      }
+      assert(sink_var_[s] == var);
+      assert(sink_xtalk_[s] == xt);
+    }
+  }
+#endif
   assignment_ = assignment;
   const int n_sinks = static_cast<int>(design_->sinks.size());
   sink_latency_ = ev.timing.sink_arrival;
@@ -106,15 +148,19 @@ void AssignmentState::rebuild(const RuleAssignment& assignment,
     }
   }
 
+  // Reference resync of the delta-timing mirror: re-derives every net's
+  // per-load wire delay / step slew and the arrival/slew arrays from the
+  // fresh evaluation (the O(tree) moment work that previously lived in the
+  // loop below).
+  delta_.rebuild(ev.parasitics, ev.timing);
+
   total_cap_ = 0.0;
-  extract::RcMoments moments;  // one warm scratch for every net below.
   for (const netlist::Net& net : nets_->nets) {
     NetState& st = nets_state_[net.id];
     st.cap = ev.power.net_switched_cap[net.id];
     total_cap_ += st.cap;
     st.sigma = ev.variation.net_sigma[net.id];
     st.xtalk = ev.variation.net_xtalk[net.id];
-    const extract::NetParasitics& par = ev.parasitics[net.id];
     const double driver_res =
         timing::net_driver_res(*tree_, *tech_, net, analysis_);
     // The exact_eval memo is keyed on the net's electrical context; a
@@ -124,12 +170,7 @@ void AssignmentState::rebuild(const RuleAssignment& assignment,
       st.summary.driver_res = driver_res;
       ++ctx_gen_[net.id];
     }
-    par.rc.moments(driver_res, analysis_.timing_miller, moments);
-    st.wire_delay = 0.0;
-    for (const int rc : par.load_rc_index) {
-      st.wire_delay = std::max(
-          st.wire_delay, timing::delay_d2m(moments.m1[rc], moments.m2[rc]));
-    }
+    st.wire_delay = delta_.net_wire_delay_worst(net.id);
   }
 
   usage_ = route::compute_usage(*tree_, *nets_, assignment_, *tech_,
@@ -198,16 +239,13 @@ void AssignmentState::apply_move(int net_id, int rule_idx,
     for (const geom::Path& p : st.paths) usage_.add(p, d_pitch);
   }
 
-  const double d_delay = exact.wire_delay_worst - st.wire_delay;
-  const double d_var =
-      exact.sigma_worst * exact.sigma_worst - st.sigma * st.sigma;
-  const double d_xtalk = exact.xtalk_worst - st.xtalk;
-  for (const int s : sinks_under_[net_id]) {
-    sink_latency_[s] += d_delay;
-    latency_sum_ += d_delay;
-    sink_var_[s] = std::max(0.0, sink_var_[s] + d_var);
-    sink_xtalk_[s] = std::max(0.0, sink_xtalk_[s] + d_xtalk);
-  }
+  // Exact incremental timing: re-materialize the net's parasitics under
+  // the new rule (O(pieces), no geometry walk) and replay the analyze
+  // recurrence over the net's descendant subtree. Only the sinks under
+  // this net can change arrival.
+  extract::materialize(geometry_.geometry(net_id), *tech_,
+                       tech_->rules[rule_idx], move_par_);
+  delta_.apply_net_change(net_id, move_par_);
 
   // A move changes no input of evaluate_net_exact — the rule is part of
   // the memo key and coupling reads the static occupancy field, not
@@ -223,11 +261,119 @@ void AssignmentState::apply_move(int net_id, int rule_idx,
   e.gen = ctx_gen_[net_id];
 
   assignment_[net_id] = rule_idx;
-  total_cap_ += exact.cap_switched - st.cap;
   st.cap = exact.cap_switched;
   st.sigma = exact.sigma_worst;
   st.xtalk = exact.xtalk_worst;
-  st.wire_delay = exact.wire_delay_worst;
+  st.wire_delay = delta_.net_wire_delay_worst(net_id);
+
+  // Re-derive the accumulators of the affected sinks as ABSOLUTE re-sums in
+  // rebuild()'s exact floating-point order — never accumulated +=deltas —
+  // so the incremental state stays bitwise equal to a fresh rebuild.
+  const std::vector<double>& arrival = delta_.sink_arrival();
+  for (const int s : sinks_under_[net_id]) {
+    sink_latency_[s] = arrival[s];
+    double var = 0.0;
+    double xt = 0.0;
+    for (const int net : nets_on_path_[s]) {
+      const NetState& ns = nets_state_[net];
+      var += ns.sigma * ns.sigma;
+      xt += ns.xtalk;
+    }
+    sink_var_[s] = var;
+    sink_xtalk_[s] = xt;
+  }
+  latency_sum_ = std::accumulate(sink_latency_.begin(), sink_latency_.end(),
+                                 0.0);
+  total_cap_ = 0.0;
+  for (const netlist::Net& net : nets_->nets) {
+    total_cap_ += nets_state_[net.id].cap;
+  }
+}
+
+void AssignmentState::warm_rows(const std::vector<int>& net_ids) const {
+  // A row is warm iff EVERY rule entry carries the current context stamp
+  // (exact_eval fills whole rows, but apply_move can memoize one entry of
+  // an otherwise-cold row out-of-band).
+  std::vector<int> cold;
+  cold.reserve(net_ids.size());
+  for (const int id : net_ids) {
+    const std::uint64_t gen = ctx_gen_[id];
+    for (int r = 0; r < n_rules_; ++r) {
+      if (exact_cache_[static_cast<std::size_t>(id) * n_rules_ + r].gen !=
+          gen) {
+        cold.push_back(id);
+        break;
+      }
+    }
+  }
+  std::sort(cold.begin(), cold.end());
+  cold.erase(std::unique(cold.begin(), cold.end()), cold.end());
+  if (cold.empty()) return;
+
+  // Deterministic batch plan: group cold nets by geometry shape, then chunk
+  // each group so one kernel call carries ~32 lanes (nets × rules). The
+  // plan depends only on the cold set, never on the thread count.
+  const int max_nets = std::max(1, 32 / std::max(1, n_rules_));
+  std::vector<std::vector<int>> batches;
+  {
+    std::vector<std::vector<int>> per_group(shape_buckets_.groups.size());
+    for (const int id : cold) {
+      per_group[shape_buckets_.group_of[id]].push_back(id);
+    }
+    for (const std::vector<int>& group : per_group) {
+      for (std::size_t at = 0; at < group.size();
+           at += static_cast<std::size_t>(max_nets)) {
+        const std::size_t end =
+            std::min(group.size(), at + static_cast<std::size_t>(max_nets));
+        batches.emplace_back(group.begin() + at, group.begin() + end);
+      }
+    }
+  }
+
+  // Each batch fills the memo rows of disjoint nets, so workers never
+  // touch the same cache slot; values are bitwise equal to the lazy
+  // exact_eval path, making the warm-up invisible to every consumer.
+  common::parallel_for(
+      static_cast<std::int64_t>(batches.size()), /*grain=*/1,
+      [&](std::int64_t b) {
+        const std::vector<int>& ids = batches[static_cast<std::size_t>(b)];
+        thread_local common::Arena arena;
+        thread_local std::vector<const extract::NetGeometry*> geoms;
+        thread_local std::vector<double> dres;
+        thread_local std::vector<NetExact> out;
+        geoms.resize(ids.size());
+        dres.resize(ids.size());
+        out.resize(ids.size() * static_cast<std::size_t>(n_rules_));
+        for (std::size_t i = 0; i < ids.size(); ++i) {
+          geoms[i] = &geometry_.geometry(ids[i]);
+          dres[i] = nets_state_[ids[i]].summary.driver_res;
+        }
+        evaluate_nets_exact_all_rules(geoms.data(), dres.data(),
+                                      static_cast<int>(ids.size()), *tech_,
+                                      design_->constraints.clock_freq, arena,
+                                      out.data());
+        for (std::size_t i = 0; i < ids.size(); ++i) {
+          const int id = ids[i];
+          const std::uint64_t gen = ctx_gen_[id];
+          for (int r = 0; r < n_rules_; ++r) {
+            ExactCacheEntry& er =
+                exact_cache_[static_cast<std::size_t>(id) * n_rules_ + r];
+            er.exact = out[i * static_cast<std::size_t>(n_rules_) +
+                           static_cast<std::size_t>(r)];
+            er.gen = gen;
+          }
+        }
+      });
+
+  cache_misses_ += static_cast<std::int64_t>(cold.size());
+  SNDR_COUNTER_ADD("extract.net_batch.lanes",
+                   static_cast<std::int64_t>(cold.size()) * n_rules_);
+}
+
+void AssignmentState::warm_all_rows() const {
+  std::vector<int> all(static_cast<std::size_t>(nets_->size()));
+  std::iota(all.begin(), all.end(), 0);
+  warm_rows(all);
 }
 
 NetExact AssignmentState::exact_eval(int net_id, int rule_idx) const {

@@ -14,6 +14,7 @@
 #include "ndr/net_eval.hpp"
 #include "ndr/predictor.hpp"
 #include "obs/metrics.hpp"
+#include "timing/delta_timing.hpp"
 
 namespace sndr::ndr {
 
@@ -58,6 +59,15 @@ class AssignmentState {
 
   /// Applies a validated move; `exact` must be the exact evaluation of the
   /// net under the new rule.
+  ///
+  /// Exact and incremental since PR 6: the net's parasitics are
+  /// re-materialized under the new rule and a delta-timing replay updates
+  /// sink latencies along the net's descendant subtree (O(pieces +
+  /// subtree)); the latency / variance / crosstalk / cap accumulators are
+  /// then re-derived in rebuild()'s exact floating-point order over the
+  /// affected sinks only, so the state stays BITWISE identical to a fresh
+  /// rebuild() of the same assignment (asserted there in debug builds;
+  /// routing usage keeps its own incremental bookkeeping and is excluded).
   void apply_move(int net_id, int rule_idx, const NetExact& exact);
 
   /// Exact per-net evaluation of a candidate rule (driver model included).
@@ -78,6 +88,21 @@ class AssignmentState {
   /// query, no allocation past a warm per-thread arena — and one miss is
   /// counted per row fill, so hit rates read as "rows already warm".
   NetExact exact_eval(int net_id, int rule_idx) const;
+
+  /// Prefetches the exact-eval memo rows of `net_ids` (cold rows only)
+  /// using CROSS-NET batches: nets are grouped by geometry shape
+  /// (extract::bucket_nets_by_shape) and same-shaped nets ride one
+  /// lane-interleaved kernel call, so single-rule consumers (greedy sweeps,
+  /// pending annealer proposals) fill the SIMD lanes a per-net rule sweep
+  /// leaves empty. Batch composition is deterministic and independent of
+  /// the thread count; workers fill disjoint memo rows with values bitwise
+  /// equal to the lazy exact_eval path, so warming never changes any
+  /// downstream result — only when the work happens. One miss is counted
+  /// per row filled, as in exact_eval.
+  void warm_rows(const std::vector<int>& net_ids) const;
+
+  /// warm_rows over every net (the annealer's prewarm).
+  void warm_all_rows() const;
 
   /// Rule-independent net geometry shared by every evaluation this state
   /// drives (exact_eval misses, full evaluate() resyncs, corner signoff).
@@ -118,6 +143,22 @@ class AssignmentState {
     return nets_state_[net_id].paths;
   }
 
+  // Accumulator accessors (tests pin these against a fresh rebuild()).
+  double sink_latency(int sink) const { return sink_latency_[sink]; }
+  double sink_var(int sink) const { return sink_var_[sink]; }
+  double sink_xtalk(int sink) const { return sink_xtalk_[sink]; }
+  double latency_sum() const { return latency_sum_; }
+  double net_sigma(int net_id) const { return nets_state_[net_id].sigma; }
+  double net_xtalk_of(int net_id) const { return nets_state_[net_id].xtalk; }
+  double net_wire_delay(int net_id) const {
+    return nets_state_[net_id].wire_delay;
+  }
+
+  /// Same-shape net groups shared by warm_rows and the predictor.
+  const extract::NetShapeBuckets& shape_buckets() const {
+    return shape_buckets_;
+  }
+
  private:
   struct NetState {
     NetSummary summary;
@@ -135,6 +176,9 @@ class AssignmentState {
   const netlist::NetList* nets_;
   timing::AnalysisOptions analysis_;
   extract::GeometryCache geometry_;
+  timing::DeltaTimer delta_;  ///< incremental arrival/slew mirror.
+  extract::NetShapeBuckets shape_buckets_;
+  extract::NetParasitics move_par_;  ///< warm scratch for apply_move.
 
   /// Memo slot for exact_eval; valid iff gen == ctx_gen_[net] (gen 0 is
   /// never valid: context stamps start at 1 and only grow).

@@ -115,4 +115,27 @@ void evaluate_net_exact_all_rules(const extract::NetGeometry& geom,
                                   double driver_res, double freq,
                                   common::Arena& arena, NetExact* out);
 
+/// CROSS-NET batched exact evaluation: lanes are (net geometry, rule) pairs
+/// over SAME-SHAPED nets (see extract::bucket_nets_by_shape), with per-lane
+/// driver resistance. out[l] is bit-identical to the scalar scratch
+/// overload called with lane l's net and context — piece lengths differ per
+/// lane, so the uniform wire-length skips of the single-net batch become
+/// per-(node, lane) conditionals, which preserves each lane's scalar FP
+/// sequence exactly. Arena is NOT reset (mirrors evaluate_net_exact_batch).
+void evaluate_nets_exact_batch(const extract::NetLane* lanes, int n_lanes,
+                               const double* driver_res, double freq,
+                               common::Arena& arena, NetExact* out);
+
+/// Multi-net rule-sweep entry point: resets `arena`, then evaluates each of
+/// the `n_nets` same-shaped geometries under EVERY rule of `tech` in one
+/// cross-net batch (lanes net-outer × rule-inner). out[i * R + r] is
+/// geoms[i] under tech.rules[r], bit-identical to
+/// evaluate_net_exact_all_rules(*geoms[i], ...). This is how warm-row
+/// prefetches, greedy sweeps, and predictor labeling fill the SIMD lanes
+/// that a single net's rule sweep leaves mostly empty.
+void evaluate_nets_exact_all_rules(const extract::NetGeometry* const* geoms,
+                                   const double* driver_res, int n_nets,
+                                   const tech::Technology& tech, double freq,
+                                   common::Arena& arena, NetExact* out);
+
 }  // namespace sndr::ndr

@@ -341,6 +341,12 @@ SmartNdrResult Optimizer::run() {
     }
   }
 
+  // Exact scoring evaluates whole memo rows net by net as the sweep walks
+  // them; prefetching the sweep's rows with cross-net shape-bucketed
+  // batches does the same work with full SIMD lanes. Cached values are
+  // bitwise identical either way, so the sweep's decisions are unchanged.
+  if (scoring_ == Scoring::kExactNet) state_.warm_rows(sweep);
+
   const auto t1 = Clock::now();
   {
     SNDR_TRACE_SPAN("greedy_sweeps");

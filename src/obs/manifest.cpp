@@ -2,12 +2,14 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <ctime>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 
+#include "common/arena.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -159,12 +161,24 @@ std::string run_manifest_json(const RunInfo& info) {
   }
   os << (snap.counters.empty() ? "" : "\n  ") << "},\n";
 
+  // Arena scratch high-water marks are tracked outside the registry (the
+  // evaluation entry points fold per-thread arenas into process-wide CAS
+  // maxima); splice them into the gauge map here, keeping the sorted order
+  // the snapshot guarantees.
+  std::vector<std::pair<std::string, double>> gauges = snap.gauges;
+  gauges.emplace_back(
+      "arena.capacity_bytes",
+      static_cast<double>(common::arena_capacity_highwater()));
+  gauges.emplace_back("arena.used_bytes",
+                      static_cast<double>(common::arena_used_highwater()));
+  std::sort(gauges.begin(), gauges.end());
+
   os << "  \"gauges\": {";
-  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
-    os << (i ? "," : "") << "\n    \"" << json_escape(snap.gauges[i].first)
-       << "\": " << fmt_double(snap.gauges[i].second);
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    os << (i ? "," : "") << "\n    \"" << json_escape(gauges[i].first)
+       << "\": " << fmt_double(gauges[i].second);
   }
-  os << (snap.gauges.empty() ? "" : "\n  ") << "},\n";
+  os << (gauges.empty() ? "" : "\n  ") << "},\n";
 
   os << "  \"histograms\": {";
   for (std::size_t i = 0; i < snap.histograms.size(); ++i) {

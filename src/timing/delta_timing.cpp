@@ -1,0 +1,145 @@
+#include "timing/delta_timing.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "timing/delay_metrics.hpp"
+#include "timing/variation.hpp"
+
+namespace sndr::timing {
+
+using netlist::NodeKind;
+
+DeltaTimer::DeltaTimer(const netlist::ClockTree& tree,
+                       const netlist::Design& design,
+                       const tech::Technology& tech,
+                       const netlist::NetList& nets,
+                       const AnalysisOptions& options)
+    : tree_(&tree), tech_(&tech), nets_(&nets), options_(options) {
+  const int n_nets = nets.size();
+  child_nets_.assign(n_nets, {});
+  loads_off_.assign(static_cast<std::size_t>(n_nets) + 1, 0);
+  for (const netlist::Net& net : nets.nets) {
+    loads_off_[net.id + 1] =
+        loads_off_[net.id] + net.loads.size();
+    for (const int load : net.loads) {
+      const int child = nets.net_driven[load];
+      if (child >= 0) child_nets_[net.id].push_back(child);
+    }
+  }
+  wire_delay_.assign(loads_off_[n_nets], 0.0);
+  step_slew_.assign(loads_off_[n_nets], 0.0);
+  wd_worst_.assign(n_nets, 0.0);
+  node_arrival_.assign(tree.size(), 0.0);
+  node_slew_.assign(tree.size(), 0.0);
+  sink_arrival_.assign(design.sinks.size(), 0.0);
+  sink_slew_.assign(design.sinks.size(), 0.0);
+}
+
+void DeltaTimer::rebuild(
+    const std::vector<extract::NetParasitics>& parasitics,
+    const TimingReport& report) {
+  if (parasitics.size() != static_cast<std::size_t>(nets_->size())) {
+    throw std::invalid_argument(
+        "DeltaTimer::rebuild: parasitics size mismatch");
+  }
+  node_arrival_ = report.node_arrival;
+  node_slew_ = report.node_slew;
+  sink_arrival_ = report.sink_arrival;
+  sink_slew_ = report.sink_slew;
+
+  for (const netlist::Net& net : nets_->nets) {
+    const extract::NetParasitics& par = parasitics[net.id];
+    const double driver_res = net_driver_res(*tree_, *tech_, net, options_);
+    par.rc.moments(driver_res, options_.timing_miller, moments_);
+    const std::size_t off = loads_off_[net.id];
+    for (std::size_t li = 0; li < net.loads.size(); ++li) {
+      const int rc = par.load_rc_index[li];
+      wire_delay_[off + li] = options_.use_d2m
+                                  ? delay_d2m(moments_.m1[rc], moments_.m2[rc])
+                                  : delay_elmore(moments_.m1[rc]);
+      step_slew_[off + li] = step_slew(moments_.m1[rc], moments_.m2[rc]);
+    }
+    // Worst per-net wire delay is always D2M — it replays the historic
+    // AssignmentState::rebuild loop, which ignored use_d2m.
+    double worst = 0.0;
+    for (const int rc : par.load_rc_index) {
+      worst = std::max(worst, delay_d2m(moments_.m1[rc], moments_.m2[rc]));
+    }
+    wd_worst_[net.id] = worst;
+  }
+  subtree_.clear();
+  synced_ = true;
+}
+
+void DeltaTimer::apply_net_change(int net_id,
+                                  const extract::NetParasitics& par) {
+  if (!synced_) {
+    throw std::logic_error("DeltaTimer::apply_net_change before rebuild");
+  }
+  const netlist::Net& changed = nets_->nets[static_cast<std::size_t>(net_id)];
+  const double driver_res =
+      net_driver_res(*tree_, *tech_, changed, options_);
+  par.rc.moments(driver_res, options_.timing_miller, moments_);
+  const std::size_t off = loads_off_[net_id];
+  for (std::size_t li = 0; li < changed.loads.size(); ++li) {
+    const int rc = par.load_rc_index[li];
+    wire_delay_[off + li] = options_.use_d2m
+                                ? delay_d2m(moments_.m1[rc], moments_.m2[rc])
+                                : delay_elmore(moments_.m1[rc]);
+    step_slew_[off + li] = step_slew(moments_.m1[rc], moments_.m2[rc]);
+  }
+  double worst = 0.0;
+  for (const int rc : par.load_rc_index) {
+    worst = std::max(worst, delay_d2m(moments_.m1[rc], moments_.m2[rc]));
+  }
+  wd_worst_[net_id] = worst;
+
+  // Collect the descendant net subtree, then process in ascending id order:
+  // net ids are depth-monotonic, so ascending order visits parents first and
+  // every driver's input arrival/slew is final before its net is replayed.
+  subtree_.clear();
+  subtree_.push_back(net_id);
+  for (std::size_t head = 0; head < subtree_.size(); ++head) {
+    for (const int child : child_nets_[subtree_[head]]) {
+      subtree_.push_back(child);
+    }
+  }
+  std::sort(subtree_.begin(), subtree_.end());
+  for (const int id : subtree_) {
+    propagate_net(nets_->nets[static_cast<std::size_t>(id)]);
+  }
+}
+
+void DeltaTimer::propagate_net(const netlist::Net& net) {
+  const netlist::TreeNode& drv = tree_->node(net.driver);
+  double out_arrival = 0.0;
+  double out_slew = 0.0;
+  if (drv.kind == NodeKind::kSource) {
+    out_arrival = 0.0;
+    out_slew = options_.source_slew;
+  } else {
+    const tech::BufferCell& cell = tech_->buffers[drv.cell];
+    const double in_arrival = node_arrival_[net.driver];
+    const double in_slew = node_slew_[net.driver];
+    out_arrival = in_arrival + cell.intrinsic_delay +
+                  cell.slew_sensitivity * in_slew;
+    out_slew = 0.4 * cell.intrinsic_delay;  // regenerated edge.
+  }
+
+  const std::size_t off = loads_off_[net.id];
+  for (std::size_t li = 0; li < net.loads.size(); ++li) {
+    const int load = net.loads[li];
+    const double arrival = out_arrival + wire_delay_[off + li];
+    const double slew = peri_slew(out_slew, step_slew_[off + li]);
+    node_arrival_[load] = arrival;
+    node_slew_[load] = slew;
+    const netlist::TreeNode& ln = tree_->node(load);
+    if (ln.kind == NodeKind::kSink) {
+      sink_arrival_[ln.sink] = arrival;
+      sink_slew_[ln.sink] = slew;
+    }
+  }
+}
+
+}  // namespace sndr::timing

@@ -61,10 +61,10 @@ TEST_F(StateFixture, ApplyMoveTracksIncrementalCap) {
 }
 
 TEST_F(StateFixture, IncrementalStateMatchesFreshRebuildAfterMoves) {
-  // Apply a handful of moves incrementally, then compare against a state
-  // rebuilt from a full evaluation of the same assignment: the incremental
-  // caps must agree (latency/uncertainty accumulators are approximations by
-  // design, but caps are exact).
+  // Apply a handful of moves incrementally, then compare against a full
+  // evaluation of the same assignment: since PR 6 apply_move is exact (a
+  // delta-timing replay plus accumulator re-sums in rebuild()'s FP order),
+  // so the agreement is BITWISE, not approximate.
   RuleAssignment a = blanket;
   for (const int net_id :
        {1, f.nets.size() / 2, f.nets.size() - 2, f.nets.size() - 1}) {
@@ -72,10 +72,18 @@ TEST_F(StateFixture, IncrementalStateMatchesFreshRebuildAfterMoves) {
     state->apply_move(net_id, 1, exact);
     a[net_id] = 1;
   }
-  const FlowEvaluation ev2 =
-      evaluate(f.cts.tree, f.design, f.tech, f.nets, a, aopt);
-  EXPECT_NEAR(state->total_cap(), ev2.power.switched_cap,
-              1e-3 * ev2.power.switched_cap);
+  const FlowEvaluation ev2 = evaluate(f.cts.tree, f.design, f.tech, f.nets,
+                                      a, aopt, &state->geometry_cache());
+  double cap = 0.0;
+  for (int i = 0; i < f.nets.size(); ++i) {
+    EXPECT_EQ(state->net_cap(i), ev2.power.net_switched_cap[i]);
+    cap += state->net_cap(i);
+  }
+  EXPECT_EQ(state->total_cap(), cap);
+  for (std::size_t s = 0; s < ev2.timing.sink_arrival.size(); ++s) {
+    EXPECT_EQ(state->sink_latency(static_cast<int>(s)),
+              ev2.timing.sink_arrival[s]);
+  }
 }
 
 TEST_F(StateFixture, CheckMoveRejectsObviousViolations) {

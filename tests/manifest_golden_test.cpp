@@ -62,6 +62,10 @@ std::string normalize(const std::string& manifest) {
     normalize_value(line, "seconds", "<s>");  // stage entries.
     normalize_value(line, "total_s", "<s>");
     normalize_value(line, "mean_s", "<s>");
+    // Arena high-water marks vary with thread count and sanitizer builds
+    // (per-thread arenas, block-doubling growth); pin presence, not value.
+    normalize_value(line, "arena.capacity_bytes", "<bytes>");
+    normalize_value(line, "arena.used_bytes", "<bytes>");
     out << line << "\n";
   }
   return out.str();

@@ -1,0 +1,185 @@
+// Cross-net lane batching (PR 6): shape buckets partition the net list
+// into groups whose geometries share piece topology, and the multi-net
+// batched kernels return results bitwise identical to the scalar per-net
+// path — lane interleaving changes throughput, never values.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/arena.hpp"
+#include "common/thread_pool.hpp"
+#include "extract/batch.hpp"
+#include "extract/net_geometry.hpp"
+#include "ndr/assignment_state.hpp"
+#include "ndr/smart_ndr.hpp"
+#include "test_util.hpp"
+#include "timing/variation.hpp"
+
+namespace sndr::ndr {
+namespace {
+
+void expect_exact_eq(const NetExact& got, const NetExact& want) {
+  EXPECT_EQ(got.cap_switched, want.cap_switched);
+  EXPECT_EQ(got.step_slew_worst, want.step_slew_worst);
+  EXPECT_EQ(got.sigma_worst, want.sigma_worst);
+  EXPECT_EQ(got.xtalk_worst, want.xtalk_worst);
+  EXPECT_EQ(got.em_peak, want.em_peak);
+  EXPECT_EQ(got.wire_delay_mean, want.wire_delay_mean);
+  EXPECT_EQ(got.wire_delay_worst, want.wire_delay_worst);
+}
+
+TEST(NetShapeBuckets, GroupsPartitionTheNetList) {
+  test::Flow f = test::small_flow(256, 11);
+  const extract::GeometryCache cache(f.cts.tree, f.design, f.nets);
+  const extract::NetShapeBuckets b = extract::bucket_nets_by_shape(cache);
+
+  ASSERT_EQ(static_cast<int>(b.group_of.size()), f.nets.size());
+  std::vector<int> seen(f.nets.size(), 0);
+  for (std::size_t g = 0; g < b.groups.size(); ++g) {
+    ASSERT_FALSE(b.groups[g].empty());
+    for (const int id : b.groups[g]) {
+      EXPECT_EQ(b.group_of[id], static_cast<int>(g));
+      ++seen[id];
+    }
+  }
+  for (const int count : seen) EXPECT_EQ(count, 1);
+
+  // Nets in one group really are same-shaped: identical piece topology and
+  // load attach indices (the materialize_nets_batch precondition).
+  for (const std::vector<int>& group : b.groups) {
+    const extract::NetGeometry& g0 = cache.geometry(group[0]);
+    for (const int id : group) {
+      const extract::NetGeometry& gi = cache.geometry(id);
+      EXPECT_EQ(gi.piece_parent, g0.piece_parent);
+      ASSERT_EQ(gi.loads.size(), g0.loads.size());
+      for (std::size_t k = 0; k < gi.loads.size(); ++k) {
+        EXPECT_EQ(gi.loads[k].rc_index, g0.loads[k].rc_index);
+      }
+    }
+  }
+}
+
+TEST(NetBatch, CrossNetAllRulesBitwiseMatchesScalar) {
+  test::Flow f = test::small_flow(256, 11);
+  const timing::AnalysisOptions aopt;
+  const extract::GeometryCache cache(f.cts.tree, f.design, f.nets);
+  const extract::NetShapeBuckets buckets =
+      extract::bucket_nets_by_shape(cache);
+  const double freq = f.design.constraints.clock_freq;
+  const int R = f.tech.rules.size();
+
+  common::Arena arena;
+  common::Arena scalar_arena;
+  std::vector<NetExact> want(static_cast<std::size_t>(R));
+  for (const std::vector<int>& group : buckets.groups) {
+    const int n = std::min<int>(static_cast<int>(group.size()), 8);
+    std::vector<const extract::NetGeometry*> geoms(n);
+    std::vector<double> dres(n);
+    for (int i = 0; i < n; ++i) {
+      geoms[i] = &cache.geometry(group[i]);
+      dres[i] = timing::net_driver_res(f.cts.tree, f.tech, f.nets[group[i]],
+                                       aopt);
+    }
+    std::vector<NetExact> got(static_cast<std::size_t>(n * R));
+    evaluate_nets_exact_all_rules(geoms.data(), dres.data(), n, f.tech, freq,
+                                  arena, got.data());
+    for (int i = 0; i < n; ++i) {
+      SCOPED_TRACE("net " + std::to_string(group[i]));
+      evaluate_net_exact_all_rules(*geoms[i], f.tech, dres[i], freq,
+                                   scalar_arena, want.data());
+      for (int r = 0; r < R; ++r) {
+        SCOPED_TRACE("rule " + std::to_string(r));
+        expect_exact_eq(got[static_cast<std::size_t>(i * R + r)], want[r]);
+      }
+    }
+  }
+}
+
+TEST(NetBatch, MixedRuleLanesMatchScalarScratchOverload) {
+  test::Flow f = test::small_flow(256, 11);
+  const timing::AnalysisOptions aopt;
+  const extract::GeometryCache cache(f.cts.tree, f.design, f.nets);
+  const extract::NetShapeBuckets buckets =
+      extract::bucket_nets_by_shape(cache);
+  const double freq = f.design.constraints.clock_freq;
+  const int R = f.tech.rules.size();
+
+  // The largest group, with a DIFFERENT rule per lane: lanes are
+  // (net, rule) pairs, not a uniform rule sweep.
+  const std::vector<int>& group = *std::max_element(
+      buckets.groups.begin(), buckets.groups.end(),
+      [](const auto& a, const auto& b) { return a.size() < b.size(); });
+  const int n = std::min<int>(static_cast<int>(group.size()), 6);
+  ASSERT_GE(n, 2) << "flow too small to exercise cross-net lanes";
+
+  std::vector<extract::NetLane> lanes(n);
+  std::vector<double> dres(n);
+  for (int i = 0; i < n; ++i) {
+    lanes[i] = {&cache.geometry(group[i]), &f.tech, &f.tech.rules[i % R]};
+    dres[i] = timing::net_driver_res(f.cts.tree, f.tech, f.nets[group[i]],
+                                     aopt);
+  }
+  common::Arena arena;
+  arena.reset();
+  std::vector<NetExact> got(static_cast<std::size_t>(n));
+  evaluate_nets_exact_batch(lanes.data(), n, dres.data(), freq, arena,
+                            got.data());
+
+  NetEvalScratch scratch;
+  for (int i = 0; i < n; ++i) {
+    SCOPED_TRACE("lane " + std::to_string(i));
+    const NetExact want =
+        evaluate_net_exact(cache.geometry(group[i]), f.tech,
+                           f.tech.rules[i % R], dres[i], freq, scratch);
+    expect_exact_eq(got[static_cast<std::size_t>(i)], want);
+  }
+}
+
+TEST(NetBatch, WarmRowsBitwiseMatchLazyEvalAtAnyThreadCount) {
+  test::Flow f = test::small_flow(256, 11);
+  const timing::AnalysisOptions aopt;
+  const RuleAssignment blanket =
+      assign_all(f.nets, f.tech.rules.blanket_index());
+  const int n_nets = f.nets.size();
+  const int R = f.tech.rules.size();
+
+  // Baseline: lazy per-net row fills, single-threaded.
+  common::set_thread_count(1);
+  AssignmentState lazy(f.cts.tree, f.design, f.tech, f.nets, aopt);
+  const FlowEvaluation ev = evaluate(f.cts.tree, f.design, f.tech, f.nets,
+                                     blanket, aopt, &lazy.geometry_cache());
+  lazy.rebuild(blanket, ev);
+  std::vector<NetExact> base(static_cast<std::size_t>(n_nets * R));
+  for (int net = 0; net < n_nets; ++net) {
+    for (int r = 0; r < R; ++r) {
+      base[static_cast<std::size_t>(net * R + r)] = lazy.exact_eval(net, r);
+    }
+  }
+  EXPECT_EQ(lazy.exact_cache_misses(), n_nets);  // one per row fill.
+
+  // Warmed: batched cross-net prefetch on 8 threads, then all hits.
+  common::set_thread_count(8);
+  AssignmentState warmed(f.cts.tree, f.design, f.tech, f.nets, aopt);
+  const FlowEvaluation ev2 =
+      evaluate(f.cts.tree, f.design, f.tech, f.nets, blanket, aopt,
+               &warmed.geometry_cache());
+  warmed.rebuild(blanket, ev2);
+  warmed.warm_all_rows();
+  EXPECT_EQ(warmed.exact_cache_misses(), n_nets);
+  const std::int64_t hits_before = warmed.exact_cache_hits();
+  for (int net = 0; net < n_nets; ++net) {
+    SCOPED_TRACE("net " + std::to_string(net));
+    for (int r = 0; r < R; ++r) {
+      expect_exact_eq(warmed.exact_eval(net, r),
+                      base[static_cast<std::size_t>(net * R + r)]);
+    }
+  }
+  EXPECT_EQ(warmed.exact_cache_hits() - hits_before,
+            static_cast<std::int64_t>(n_nets) * R);
+  EXPECT_EQ(warmed.exact_cache_misses(), n_nets);  // warm rows never refill.
+  common::set_thread_count(-1);
+}
+
+}  // namespace
+}  // namespace sndr::ndr
