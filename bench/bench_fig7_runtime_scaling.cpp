@@ -101,6 +101,14 @@ int main() {
     double eval_serial = 0.0;
     double corners_serial = 0.0;
     for (const int threads : thread_ladder()) {
+      if (ladder_skipped(threads)) {
+        records.push_back(skipped_record("evaluate", threads));
+        records.push_back(skipped_record("evaluate_corners_x5", threads));
+        ts.add_row({"evaluate", std::to_string(threads), "skipped", "-"});
+        ts.add_row({"evaluate_corners_x5", std::to_string(threads),
+                    "skipped", "-"});
+        continue;
+      }
       common::set_thread_count(threads);
       auto t0 = Clock::now();
       ndr::evaluate(f.cts.tree, f.design, f.tech, f.nets, blanket);

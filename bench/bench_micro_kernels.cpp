@@ -623,15 +623,10 @@ void record_thread_ladder() {
   record_rule_sweep(records);
   record_obs_overhead(records);
   record_move_throughput(records);
-  // Make the host size explicit next to the thread-ladder points: on a
-  // 1-CPU container the 2/4-thread rungs below are oversubscribed, not
-  // parallel speedups (seconds field carries the CPU count).
+  // Make the host size explicit next to the thread-ladder points: rungs
+  // above it are recorded as skipped, never timed oversubscribed.
   records.push_back({"host_cpus", 1,
-                     static_cast<double>([] {
-                       const unsigned n = std::thread::hardware_concurrency();
-                       return n == 0 ? 1u : n;
-                     }()),
-                     -1.0});
+                     static_cast<double>(bench::host_cpus()), -1.0});
   const auto time_stage = [&](const char* stage, int threads, auto&& fn) {
     // One warm-up, then best-of-3 to keep single-shot noise out of the JSON.
     fn();
@@ -645,6 +640,12 @@ void record_thread_ladder() {
     records.push_back({stage, threads, best, -1.0});
   };
   for (const int threads : bench::thread_ladder()) {
+    if (bench::ladder_skipped(threads)) {
+      records.push_back(bench::skipped_record("extract_all", threads));
+      records.push_back(bench::skipped_record("analyze_variation", threads));
+      records.push_back(bench::skipped_record("predictor_train", threads));
+      continue;
+    }
     common::set_thread_count(threads);
     time_stage("extract_all", threads,
                [&] { ex.extract_all(f.cts.tree, f.nets, rules); });

@@ -82,7 +82,16 @@ struct RuntimeRecord {
   int threads = 0;
   double seconds = 0.0;
   double cache_hit_rate = -1.0;  ///< < 0 = not applicable (emitted null).
+  /// Rung not run on this host (threads > host_cpus): recorded so the
+  /// ladder keeps the same rows everywhere, but with no fake timing.
+  bool skipped = false;
 };
+
+/// Hardware concurrency with the zero-means-unknown quirk folded away.
+inline int host_cpus() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
 
 inline void write_runtime_json(const std::string& bench,
                                const std::vector<RuntimeRecord>& records,
@@ -112,6 +121,7 @@ inline void write_runtime_json(const std::string& bench,
     } else {
       rec << r.cache_hit_rate;
     }
+    if (r.skipped) rec << ",\"skipped\":true";
     rec << "}";
     kept.push_back(rec.str());
   }
@@ -133,6 +143,7 @@ inline void write_runtime_json(const std::string& bench,
 inline void publish_runtime(const std::string& bench,
                             const std::vector<RuntimeRecord>& records) {
   for (const RuntimeRecord& r : records) {
+    if (r.skipped) continue;  // no gauge: absent beats a fabricated zero.
     const std::string base =
         "bench." + bench + "." + r.stage + ".t" + std::to_string(r.threads);
     obs::MetricsRegistry::instance().set(
@@ -153,18 +164,30 @@ inline void publish_runtime(const std::string& bench,
 }
 
 /// The 1/2/4/N thread ladder (deduplicated, N = hardware concurrency).
+/// Rungs above host_cpus() stay in the ladder (same rows on every host)
+/// but callers must skip them via ladder_skipped() — oversubscribed
+/// timings are noise, not speedups.
 inline std::vector<int> thread_ladder() {
   std::vector<int> ladder = {1, 2, 4};
-  const int hw = []() {
-    const unsigned n = std::thread::hardware_concurrency();
-    return n == 0 ? 1 : static_cast<int>(n);
-  }();
+  const int hw = host_cpus();
   if (hw > 4) ladder.push_back(hw);
   std::vector<int> out;
   for (const int t : ladder) {
     if (t <= hw || t <= 8) out.push_back(t);  // keep the ladder comparable
   }                                           // even on small machines.
   return out;
+}
+
+/// True when a ladder rung would oversubscribe this host; pair with a
+/// skipped RuntimeRecord so BENCH_runtime.json says why the row is absent.
+inline bool ladder_skipped(int threads) { return threads > host_cpus(); }
+
+inline RuntimeRecord skipped_record(const std::string& stage, int threads) {
+  RuntimeRecord r;
+  r.stage = stage;
+  r.threads = threads;
+  r.skipped = true;
+  return r;
 }
 
 }  // namespace sndr::bench

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Kernel-regression gate: re-times the two-phase extraction kernels and
 # fails if the cached materialize+moments sweep or the fused moments kernel
-# runs >15% slower than the committed baseline. Kernel numbers come from
+# runs >15% slower than the committed baseline. A second section gates the
+# scale ladder (BENCH_manifest.scale_ladder.json): per-rung throughput,
+# peak bytes, and the memory-budget bitwise-identity bit. Kernel numbers come from
 # the bench's run manifest (BENCH_manifest.micro_kernels.json, schema
 # sndr.run_manifest/1): every timed stage is a gauge named
 # bench.micro_kernels.<stage>.t<threads>.seconds, one key per line.
@@ -125,7 +127,89 @@ for stage in obs_overhead_materialize_frac obs_overhead_exact_eval_frac; do
   [[ -n "$frac" ]] && echo "bench_check: info  $stage = $frac (raw=${raw:-n/a}, trials=${trials:-n/a})"
 done
 
+# --- Scale ladder ----------------------------------------------------------
+# Gates the memory-budget contract and the per-rung pipeline throughput
+# recorded in BENCH_manifest.scale_ladder.json. The fresh run covers the
+# 10k rung only (the 100k/1M rungs take minutes; refresh their committed
+# numbers deliberately by running bench_scale_ladder from the repo root,
+# SNDR_SCALE_LADDER_1M=1 for the top rung). Gate terms per rung:
+#   * budget_identical must be 1 — the budgeted rerun (geometry budget =
+#     1/4 of the unbounded footprint) produced bitwise-identical output —
+#     in the committed baseline for EVERY rung present, and in the fresh
+#     10k run;
+#   * fresh 10k nets/s within tolerance of the committed baseline;
+#   * fresh 10k peak bytes (unbounded geometry, arena high-water) not
+#     grown beyond tolerance.
+scale_baseline="$repo/BENCH_manifest.scale_ladder.json"
+if [[ ! -f "$scale_baseline" ]]; then
+  echo "bench_check: FAIL  missing baseline $scale_baseline — run" \
+       "build/bench/bench_scale_ladder from the repo root"
+  status=1
+else
+  cmake --build "$repo/build" -j "$jobs" --target bench_scale_ladder
+  (cd "$workdir" && SNDR_SCALE_RUNGS=10000 \
+      "$repo/build/bench/bench_scale_ladder" >/dev/null)
+  scale_fresh="$workdir/BENCH_manifest.scale_ladder.json"
+
+  for rung in r10k r100k r1m; do
+    ident="$(manifest_gauge "$scale_baseline" "bench.scale_ladder.$rung.budget_identical")"
+    [[ -z "$ident" ]] && continue  # rung not in the committed ladder.
+    if [[ "$ident" != 1* ]]; then
+      echo "bench_check: FAIL  $rung budget_identical=$ident in committed baseline"
+      status=1
+    else
+      echo "bench_check: OK    $rung budgeted run bitwise-identical (committed)"
+    fi
+  done
+
+  fresh_ident="$(manifest_gauge "$scale_fresh" "bench.scale_ladder.r10k.budget_identical")"
+  if [[ "$fresh_ident" != 1* ]]; then
+    echo "bench_check: FAIL  fresh r10k budget_identical='$fresh_ident'"
+    status=1
+  fi
+
+  # Throughput gets its own, wider tolerance: the rung times the whole
+  # generate→extract→evaluate→optimize pipeline in well under a second at
+  # 10k nets, so run-to-run noise on a loaded 1-CPU container is far
+  # larger than on the best-of-N micro-kernel timings above. The byte
+  # metrics below stay on the tight shared tolerance — they are
+  # deterministic.
+  scale_tolerance="${BENCH_SCALE_TOLERANCE:-1.30}"
+  base_tput="$(manifest_gauge "$scale_baseline" "bench.scale_ladder.r10k.nets_per_s")"
+  fresh_tput="$(manifest_gauge "$scale_fresh" "bench.scale_ladder.r10k.nets_per_s")"
+  if [[ -z "$base_tput" || -z "$fresh_tput" ]]; then
+    echo "bench_check: FAIL  r10k nets_per_s missing (baseline='$base_tput' fresh='$fresh_tput')"
+    status=1
+  else
+    verdict="$(awk -v b="$base_tput" -v f="$fresh_tput" -v tol="$scale_tolerance" \
+      'BEGIN { printf "%.2f %s", b / f, (f * tol >= b) ? "OK" : "FAIL" }')"
+    ratio="${verdict% *}"
+    ok="${verdict#* }"
+    echo "bench_check: $ok   r10k throughput baseline=${base_tput} fresh=${fresh_tput} nets/s ratio=${ratio} (tol ${scale_tolerance})"
+    [[ "$ok" == "OK" ]] || status=1
+  fi
+
+  for metric in geometry_unbounded_bytes arena_peak_bytes; do
+    base_b="$(manifest_gauge "$scale_baseline" "bench.scale_ladder.r10k.$metric")"
+    fresh_b="$(manifest_gauge "$scale_fresh" "bench.scale_ladder.r10k.$metric")"
+    if [[ -z "$base_b" || -z "$fresh_b" ]]; then
+      echo "bench_check: FAIL  r10k $metric missing (baseline='$base_b' fresh='$fresh_b')"
+      status=1
+      continue
+    fi
+    verdict="$(awk -v b="$base_b" -v f="$fresh_b" -v tol="$tolerance" \
+      'BEGIN { printf "%.2f %s", f / b, (f <= b * tol) ? "OK" : "FAIL" }')"
+    ratio="${verdict% *}"
+    ok="${verdict#* }"
+    echo "bench_check: $ok   r10k $metric baseline=${base_b} fresh=${fresh_b} ratio=${ratio}"
+    [[ "$ok" == "OK" ]] || status=1
+  done
+
+  rss="$(manifest_gauge "$scale_fresh" "bench.scale_ladder.r10k.peak_rss_bytes")"
+  [[ -n "$rss" ]] && echo "bench_check: info  r10k peak_rss_bytes = $rss (not gated: monotonic per process)"
+fi
+
 if [[ "$status" -ne 0 ]]; then
-  echo "bench_check: kernel regression beyond ${tolerance}x tolerance" >&2
+  echo "bench_check: kernel or scale-ladder regression beyond ${tolerance}x tolerance" >&2
 fi
 exit "$status"

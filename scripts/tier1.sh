@@ -3,7 +3,9 @@
 # running the parallel-subsystem tests plus the concurrent two-session flow
 # test, then an AddressSanitizer build running the extraction tests (the
 # zero-alloc scratch kernels and the geometry cache lean hard on buffer
-# reuse — ASan guards their bounds), then an UndefinedBehaviorSanitizer
+# reuse — ASan guards their bounds; the scale smoke adds a 10k-net
+# generated tree and heavy LRU eviction under a byte budget), then an
+# UndefinedBehaviorSanitizer
 # build running the flow/io layers (parsers and typed error boundaries).
 # Run from anywhere inside the repo.
 set -euo pipefail
@@ -34,9 +36,14 @@ echo "== tier1: AddressSanitizer build + extraction/obs tests =="
 cmake -B "$repo/build-asan" -S "$repo" -DSNDR_SANITIZE=address >/dev/null
 cmake --build "$repo/build-asan" -j "$jobs" --target extract_test \
   --target extract_cache_test --target batch_kernel_test --target obs_test \
-  --target manifest_golden_test --target net_batch_test
+  --target manifest_golden_test --target net_batch_test \
+  --target geometry_budget_test --target scale_smoke_test
 "$repo/build-asan/tests/extract_test"
 "$repo/build-asan/tests/extract_cache_test"
+# Scale smoke: a 10k-net generated tree plus budgeted caches under heavy
+# LRU eviction — ASan guards the pinned-entry and rebuild-in-place paths.
+"$repo/build-asan/tests/geometry_budget_test"
+"$repo/build-asan/tests/scale_smoke_test"
 # Arena-carved batch planes: ASan guards the node-major × lane-minor bounds.
 "$repo/build-asan/tests/batch_kernel_test"
 # Cross-net lane planes ([nodes × (nets·rules)]) carve deeper into the arena.
@@ -48,10 +55,12 @@ echo "== tier1: UndefinedBehaviorSanitizer build + flow/io tests =="
 cmake -B "$repo/build-ubsan" -S "$repo" -DSNDR_SANITIZE=undefined >/dev/null
 cmake --build "$repo/build-ubsan" -j "$jobs" --target flow_test \
   --target io_test --target design_io_test --target batch_kernel_test \
-  --target delta_timing_test
+  --target delta_timing_test --target checkpoint_test
 "$repo/build-ubsan/tests/flow_test"
 "$repo/build-ubsan/tests/io_test"
 "$repo/build-ubsan/tests/design_io_test"
+# Checkpoint text parser (hexfloat round-trips, fingerprint mixing).
+"$repo/build-ubsan/tests/checkpoint_test"
 # Lane-index arithmetic (int64 plane offsets) under UBSan.
 "$repo/build-ubsan/tests/batch_kernel_test"
 # Subtree replay indexing (flattened load offsets) under UBSan.

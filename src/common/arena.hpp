@@ -56,6 +56,19 @@ class Arena {
     used_ = 0;
   }
 
+  /// reset() that also returns capacity to a budget: trailing blocks are
+  /// released (newest first) until the retained capacity fits max_bytes.
+  /// The first block always survives, so a warm arena never degrades below
+  /// its initial size; under a flow-level memory budget this keeps scratch
+  /// arenas from retaining a one-off peak forever. Invalidates every
+  /// outstanding pointer, exactly like reset().
+  void shrink_to(std::size_t max_bytes) {
+    reset();
+    while (blocks_.size() > 1 && capacity() > max_bytes) {
+      blocks_.pop_back();
+    }
+  }
+
   /// Total bytes held across blocks (capacity, not live allocations).
   std::size_t capacity() const {
     std::size_t c = 0;

@@ -207,7 +207,8 @@ NetShapeBuckets bucket_nets_by_shape(const GeometryCache& cache) {
   std::map<std::vector<std::int64_t>, int> index;
   std::vector<std::int64_t> key;
   for (int id = 0; id < cache.net_count(); ++id) {
-    const NetGeometry& g = cache.geometry(id);
+    const GeometryCache::Pinned pin = cache.pinned(id);
+    const NetGeometry& g = *pin;
     key.clear();
     key.push_back(g.pieces());
     key.insert(key.end(), g.piece_parent.begin(), g.piece_parent.end());
@@ -248,8 +249,6 @@ void scatter_lane(const NetGeometry& geom, const BatchParasitics& batch,
   for (std::size_t li = 0; li < geom.loads.size(); ++li) {
     out.load_rc_index[li] = geom.loads[li].rc_index;
   }
-  out.rc_index_of_tree_node.assign(geom.rc_index_of_tree_node.begin(),
-                                   geom.rc_index_of_tree_node.end());
 }
 
 void rc_downstream_batch(int nodes, int lanes,

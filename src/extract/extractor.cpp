@@ -67,7 +67,8 @@ std::vector<NetParasitics> Extractor::extract_all(
     const Net& net = nets.nets[static_cast<std::size_t>(i)];
     const tech::RoutingRule& rule = tech_->rules[rule_of_net[net.id]];
     if (geometry != nullptr) {
-      materialize(geometry->geometry(net.id), *tech_, rule, out[i]);
+      const GeometryCache::Pinned pin = geometry->pinned(net.id);
+      materialize(*pin, *tech_, rule, out[i]);
     } else {
       out[i] = extract_net(tree, net, rule);
     }

@@ -26,9 +26,6 @@ struct NetParasitics {
   RcTree rc;
   /// RC node index of each net load, parallel to Net::loads.
   std::vector<int> load_rc_index;
-  /// RC node index of each tree node on the net (driver included).
-  /// Entries are -1 for tree nodes not on this net.
-  std::vector<int> rc_index_of_tree_node;
 
   double wirelength = 0.0;    ///< um.
   double wire_cap_gnd = 0.0;  ///< F, wire area+fringe cap.

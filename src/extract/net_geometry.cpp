@@ -19,8 +19,8 @@ NetGeometry build_net_geometry(const ClockTree& tree,
                                const netlist::Design& design, const Net& net,
                                const ExtractOptions& options) {
   NetGeometry g;
-  g.rc_index_of_tree_node.assign(tree.size(), -1);
-  g.rc_index_of_tree_node[net.driver] = 0;
+  g.node_rc.reserve(net.wires.size() + 1);
+  g.node_rc.push_back({net.driver, 0});
   g.node_tree_node.push_back(-1);  // driver node, tagged like RcNode{}.
 
   const netlist::CongestionMap& cong = design.congestion;
@@ -29,7 +29,7 @@ NetGeometry build_net_geometry(const ClockTree& tree,
   // net.wires is root-first, so a wire's parent tree node is already mapped.
   for (const int v : net.wires) {
     const netlist::TreeNode& n = tree.node(v);
-    const int parent_rc = g.rc_index_of_tree_node.at(n.parent);
+    const int parent_rc = g.rc_index_of(n.parent);
     if (parent_rc < 0) {
       throw std::logic_error("extract: net wires not in root-first order");
     }
@@ -78,12 +78,12 @@ NetGeometry build_net_geometry(const ClockTree& tree,
       }
     }
     g.node_tree_node[cur] = v;
-    g.rc_index_of_tree_node[v] = cur;
+    g.node_rc.push_back({v, cur});
   }
 
   g.loads.reserve(net.loads.size());
   for (const int load : net.loads) {
-    const int rc_idx = g.rc_index_of_tree_node.at(load);
+    const int rc_idx = g.rc_index_of(load);
     if (rc_idx < 0) {
       throw std::logic_error("extract: load not reached by net wires");
     }
@@ -159,21 +159,56 @@ void materialize(const NetGeometry& geom, const tech::Technology& tech,
     out.load_cap += cap;
     out.load_rc_index[li] = l.rc_index;
   }
-  out.rc_index_of_tree_node.assign(geom.rc_index_of_tree_node.begin(),
-                                   geom.rc_index_of_tree_node.end());
+}
+
+std::size_t geometry_bytes(const NetGeometry& geom) {
+  return geom.piece_parent.capacity() * sizeof(std::int32_t) +
+         geom.piece_len.capacity() * sizeof(double) +
+         geom.piece_occ.capacity() * sizeof(double) +
+         geom.node_tree_node.capacity() * sizeof(std::int32_t) +
+         geom.postorder.capacity() * sizeof(std::int32_t) +
+         geom.loads.capacity() * sizeof(NetGeometry::Load) +
+         geom.node_rc.capacity() * sizeof(NetGeometry::NodeRc);
 }
 
 GeometryCache::GeometryCache(const ClockTree& tree,
                              const netlist::Design& design,
                              const netlist::NetList& nets,
                              ExtractOptions options)
-    : tree_(&tree), design_(&design), nets_(&nets), options_(options) {
-  build_all();
+    : GeometryCache(tree, design, nets, /*budget_bytes=*/0, options) {}
+
+GeometryCache::GeometryCache(const ClockTree& tree,
+                             const netlist::Design& design,
+                             const netlist::NetList& nets,
+                             std::size_t budget_bytes, ExtractOptions options)
+    : tree_(&tree),
+      design_(&design),
+      nets_(&nets),
+      options_(options),
+      budget_bytes_(budget_bytes) {
+  if (budgeted()) {
+    slots_.resize(static_cast<std::size_t>(nets.size()));
+  } else {
+    build_all();
+  }
 }
 
 void GeometryCache::invalidate() {
   SNDR_COUNTER_ADD("extract.geometry.invalidations", 1);
-  build_all();
+  if (!budgeted()) {
+    build_all();
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Slot& s : slots_) {
+    if (s.pins > 0 || s.building) {
+      throw std::logic_error(
+          "GeometryCache::invalidate: entry pinned or building");
+    }
+    s = Slot{};
+  }
+  lru_head_ = lru_tail_ = -1;
+  resident_bytes_ = 0;
 }
 
 void GeometryCache::build_all() {
@@ -186,15 +221,144 @@ void GeometryCache::build_all() {
                                    nets_->nets[static_cast<std::size_t>(i)],
                                    options_);
   });
-  builds_ += nets_->size();
+  builds_.fetch_add(nets_->size(), std::memory_order_relaxed);
   SNDR_COUNTER_ADD("extract.geometry.builds",
                    static_cast<std::int64_t>(nets_->size()));
+  std::size_t total = 0;
+  for (const NetGeometry& g : geoms_) total += geometry_bytes(g);
+  resident_bytes_ = total;
+  if (total > highwater_bytes_) highwater_bytes_ = total;
   if (obs::metrics_enabled()) {
     for (const NetGeometry& g : geoms_) {
       SNDR_HISTOGRAM_OBSERVE("extract.net_pieces",
                              static_cast<double>(g.pieces()));
     }
   }
+}
+
+const NetGeometry& GeometryCache::geometry(int net_id) const {
+  if (budgeted()) {
+    throw std::logic_error(
+        "GeometryCache::geometry: budgeted cache needs pinned() access");
+  }
+  return geoms_.at(net_id);
+}
+
+void GeometryCache::lru_push_back(int id) const {
+  Slot& s = slots_[static_cast<std::size_t>(id)];
+  s.lru_prev = lru_tail_;
+  s.lru_next = -1;
+  if (lru_tail_ >= 0) {
+    slots_[static_cast<std::size_t>(lru_tail_)].lru_next = id;
+  } else {
+    lru_head_ = id;
+  }
+  lru_tail_ = id;
+}
+
+void GeometryCache::lru_unlink(int id) const {
+  Slot& s = slots_[static_cast<std::size_t>(id)];
+  if (s.lru_prev >= 0) {
+    slots_[static_cast<std::size_t>(s.lru_prev)].lru_next = s.lru_next;
+  } else {
+    lru_head_ = s.lru_next;
+  }
+  if (s.lru_next >= 0) {
+    slots_[static_cast<std::size_t>(s.lru_next)].lru_prev = s.lru_prev;
+  } else {
+    lru_tail_ = s.lru_prev;
+  }
+  s.lru_prev = s.lru_next = -1;
+}
+
+void GeometryCache::evict_to_budget_locked() const {
+  // The LRU list holds exactly the resident, unpinned entries, so eviction
+  // is O(1) per drop. Pinned entries never appear here; the budget bounds
+  // retained bytes, not a caller's pinned working set.
+  while (resident_bytes_ > budget_bytes_ && lru_head_ >= 0) {
+    const int id = lru_head_;
+    lru_unlink(id);
+    Slot& s = slots_[static_cast<std::size_t>(id)];
+    resident_bytes_ -= s.bytes;
+    s.geom = NetGeometry{};  // frees the arrays.
+    s.bytes = 0;
+    s.resident = false;
+    ++evictions_;
+  }
+}
+
+GeometryCache::Pinned GeometryCache::pinned(int net_id) const {
+  if (!budgeted()) {
+    // Unbounded entries are immutable for the cache's lifetime; the handle
+    // carries no cache pointer, so destruction is free.
+    return Pinned(nullptr, &geoms_.at(net_id), net_id);
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  Slot& s = slots_.at(static_cast<std::size_t>(net_id));
+  for (;;) {
+    if (s.resident) {
+      if (s.pins++ == 0) lru_unlink(net_id);
+      return Pinned(this, &s.geom, net_id);
+    }
+    if (!s.building) break;
+    // Another thread is walking this net; wait for its result instead of
+    // duplicating the build.
+    built_cv_.wait(lock);
+  }
+  s.building = true;
+  lock.unlock();
+  // The walk is a pure function of (tree, design, net, options), all fixed
+  // while the cache lives, so a rebuilt entry is bitwise identical to the
+  // evicted one — and to the unbounded mode's eager build.
+  NetGeometry geom = build_net_geometry(
+      *tree_, *design_, nets_->nets[static_cast<std::size_t>(net_id)],
+      options_);
+  builds_.fetch_add(1, std::memory_order_relaxed);
+  SNDR_COUNTER_ADD("extract.geometry.builds", 1);
+  lock.lock();
+  s.geom = std::move(geom);
+  s.bytes = geometry_bytes(s.geom);
+  s.resident = true;
+  s.building = false;
+  s.pins = 1;
+  resident_bytes_ += s.bytes;
+  if (resident_bytes_ > highwater_bytes_) highwater_bytes_ = resident_bytes_;
+  evict_to_budget_locked();
+  built_cv_.notify_all();
+  return Pinned(this, &s.geom, net_id);
+}
+
+void GeometryCache::unpin(int net_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot& s = slots_[static_cast<std::size_t>(net_id)];
+  if (--s.pins == 0) {
+    lru_push_back(net_id);
+    evict_to_budget_locked();
+  }
+}
+
+void GeometryCache::Pinned::release() {
+  if (cache_ != nullptr) cache_->unpin(net_id_);
+  cache_ = nullptr;
+  geom_ = nullptr;
+}
+
+std::size_t GeometryCache::resident_bytes() const {
+  if (!budgeted()) return resident_bytes_;
+  std::lock_guard<std::mutex> lock(mu_);
+  return resident_bytes_;
+}
+
+std::size_t GeometryCache::highwater_bytes() const {
+  if (!budgeted()) return highwater_bytes_;
+  std::lock_guard<std::mutex> lock(mu_);
+  return highwater_bytes_;
+}
+
+std::int64_t GeometryCache::evictions() const {
+  if (!budgeted()) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
 }
 
 }  // namespace sndr::extract

@@ -16,7 +16,11 @@
 // Extractor::extract_net output (which itself runs build + materialize).
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "extract/extractor.hpp"
@@ -51,8 +55,28 @@ struct NetGeometry {
   };
   std::vector<Load> loads;
 
-  /// RC node index of each tree node on the net (-1 elsewhere).
-  std::vector<int> rc_index_of_tree_node;
+  /// Sparse (tree node, RC node index) pairs for the nodes on this net —
+  /// driver first, then wires in root-first order. Deliberately NOT a
+  /// dense tree-sized vector: per-net geometry must stay O(net), not
+  /// O(design), or a million-net design's cache is quadratic in memory.
+  struct NodeRc {
+    std::int32_t tree_node = -1;
+    std::int32_t rc_index = -1;
+    bool operator==(const NodeRc& o) const {
+      return tree_node == o.tree_node && rc_index == o.rc_index;
+    }
+  };
+  std::vector<NodeRc> node_rc;
+
+  /// RC node index of `tree_node`, -1 when not on this net. Linear scan —
+  /// the per-net node list is short and build-time lookups walk backward
+  /// from the most recent entry anyway.
+  int rc_index_of(int tree_node) const {
+    for (auto it = node_rc.rbegin(); it != node_rc.rend(); ++it) {
+      if (it->tree_node == tree_node) return it->rc_index;
+    }
+    return -1;
+  }
 
   double wirelength = 0.0;  ///< um, sum of piece lengths.
 
@@ -75,37 +99,152 @@ NetGeometry build_net_geometry(const netlist::ClockTree& tree,
 void materialize(const NetGeometry& geom, const tech::Technology& tech,
                  const tech::RoutingRule& rule, NetParasitics& out);
 
-/// Per-net geometry for a whole net list, built eagerly (in parallel, with
-/// the same deterministic chunking as extract_all) and immutable until
-/// invalidate(). Share one instance across rules, corners, and evaluation
-/// call sites; rebuild via invalidate() after a tree edit or congestion
-/// change. `builds()` counts per-net geometry walks since construction —
-/// exactly nets.size() per tree/congestion state when the cache is shared
-/// properly.
+/// Heap bytes a NetGeometry holds (vector capacities, struct excluded) —
+/// the unit the GeometryCache budget is accounted in.
+std::size_t geometry_bytes(const NetGeometry& geom);
+
+/// Per-net geometry for a whole net list. Share one instance across rules,
+/// corners, and evaluation call sites; rebuild via invalidate() after a
+/// tree edit or congestion change.
+///
+/// Two modes, chosen at construction:
+///
+///  * Unbounded (budget_bytes == 0, the default): every geometry is built
+///    eagerly (in parallel, with the same deterministic chunking as
+///    extract_all) and stays immutable until invalidate(). geometry() and
+///    pinned() are lock-free reads. `builds()` is exactly nets.size() per
+///    tree/congestion state when the cache is shared properly.
+///
+///  * Budgeted (budget_bytes > 0): geometries build lazily on first use
+///    and resident bytes are capped at the budget by LRU eviction. Access
+///    goes through pinned(): a pinned entry is never evicted while the
+///    handle lives (so pinned bytes may transiently exceed the budget —
+///    the budget bounds what the cache RETAINS, not a caller's working
+///    set). Eviction + rebuild reproduces the same NetGeometry bit for
+///    bit, because build_net_geometry is a pure function of the (fixed)
+///    tree, design, and options — every consumer sees results identical
+///    to the unbounded mode, only the build count changes.
 class GeometryCache {
  public:
   GeometryCache(const netlist::ClockTree& tree, const netlist::Design& design,
                 const netlist::NetList& nets, ExtractOptions options = {});
+  /// Budgeted-mode constructor; budget_bytes == 0 means unbounded.
+  GeometryCache(const netlist::ClockTree& tree, const netlist::Design& design,
+                const netlist::NetList& nets, std::size_t budget_bytes,
+                ExtractOptions options);
 
-  const NetGeometry& geometry(int net_id) const { return geoms_.at(net_id); }
-  int net_count() const { return static_cast<int>(geoms_.size()); }
+  /// RAII access handle: keeps the entry resident (budgeted mode) for the
+  /// handle's lifetime. In unbounded mode this is a plain pointer with no
+  /// release work. Movable, not copyable.
+  class Pinned {
+   public:
+    Pinned() = default;
+    Pinned(Pinned&& o) noexcept
+        : cache_(o.cache_), geom_(o.geom_), net_id_(o.net_id_) {
+      o.cache_ = nullptr;
+      o.geom_ = nullptr;
+    }
+    Pinned& operator=(Pinned&& o) noexcept {
+      if (this != &o) {
+        release();
+        cache_ = o.cache_;
+        geom_ = o.geom_;
+        net_id_ = o.net_id_;
+        o.cache_ = nullptr;
+        o.geom_ = nullptr;
+      }
+      return *this;
+    }
+    Pinned(const Pinned&) = delete;
+    Pinned& operator=(const Pinned&) = delete;
+    ~Pinned() { release(); }
+
+    const NetGeometry& operator*() const { return *geom_; }
+    const NetGeometry* operator->() const { return geom_; }
+    const NetGeometry* get() const { return geom_; }
+
+   private:
+    friend class GeometryCache;
+    Pinned(const GeometryCache* cache, const NetGeometry* geom, int net_id)
+        : cache_(cache), geom_(geom), net_id_(net_id) {}
+    void release();
+
+    const GeometryCache* cache_ = nullptr;  ///< null = nothing to unpin.
+    const NetGeometry* geom_ = nullptr;
+    int net_id_ = -1;
+  };
+
+  /// The one access path that works in both modes. Budgeted: builds the
+  /// entry if absent (waiting out a concurrent builder of the same net),
+  /// pins it, and evicts cold entries down to the budget.
+  Pinned pinned(int net_id) const;
+
+  /// Direct reference; unbounded mode only (budgeted entries can be
+  /// evicted under a raw reference — throws std::logic_error there).
+  const NetGeometry& geometry(int net_id) const;
+
+  int net_count() const { return static_cast<int>(nets_->size()); }
   const ExtractOptions& options() const { return options_; }
 
-  /// Re-walks every net (call after a tree edit or congestion change).
+  /// Drops every cached geometry (call after a tree edit or congestion
+  /// change). Unbounded: eager re-walk. Budgeted: entries rebuild lazily;
+  /// no pin may be outstanding.
   void invalidate();
 
   /// Total per-net geometry builds since construction.
-  std::int64_t builds() const { return builds_; }
+  std::int64_t builds() const {
+    return builds_.load(std::memory_order_relaxed);
+  }
+
+  std::size_t budget_bytes() const { return budget_bytes_; }
+  bool budgeted() const { return budget_bytes_ > 0; }
+  /// Bytes of geometry currently held (both modes).
+  std::size_t resident_bytes() const;
+  /// Peak of resident_bytes over the cache's lifetime.
+  std::size_t highwater_bytes() const;
+  /// Entries dropped by the budget (0 in unbounded mode).
+  std::int64_t evictions() const;
 
  private:
+  /// Budgeted-mode entry. An entry is on the LRU list iff resident and
+  /// unpinned; pinned or building entries are never eviction candidates.
+  struct Slot {
+    NetGeometry geom;
+    std::size_t bytes = 0;
+    int pins = 0;
+    bool resident = false;
+    bool building = false;
+    int lru_prev = -1;
+    int lru_next = -1;
+  };
+
   void build_all();
+  void lru_push_back(int id) const;
+  void lru_unlink(int id) const;
+  void evict_to_budget_locked() const;
+  void unpin(int net_id) const;
 
   const netlist::ClockTree* tree_;
   const netlist::Design* design_;
   const netlist::NetList* nets_;
   ExtractOptions options_;
+  std::size_t budget_bytes_ = 0;
+
+  // Unbounded mode.
   std::vector<NetGeometry> geoms_;
-  std::int64_t builds_ = 0;
+
+  // Budgeted mode (all guarded by mu_; geometries build outside the lock
+  // under the slot's `building` flag).
+  mutable std::mutex mu_;
+  mutable std::condition_variable built_cv_;
+  mutable std::vector<Slot> slots_;
+  mutable int lru_head_ = -1;
+  mutable int lru_tail_ = -1;
+  mutable std::size_t resident_bytes_ = 0;
+  mutable std::size_t highwater_bytes_ = 0;
+  mutable std::int64_t evictions_ = 0;
+
+  mutable std::atomic<std::int64_t> builds_{0};
 };
 
 }  // namespace sndr::extract

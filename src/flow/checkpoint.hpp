@@ -1,0 +1,41 @@
+// Durable anneal checkpoints: the flow-level half of preemption survival.
+//
+// The annealer emits AnnealCheckpoint snapshots (see ndr/annealer.hpp);
+// this module gives them a file format and a validity check so a killed
+// million-net run restarts where it left off instead of from iteration 0.
+//
+// Format: `sndr.anneal_checkpoint/1`, line-oriented text. Floating-point
+// fields are written as hexfloats (%a), which round-trip bit-exactly —
+// the resumed trajectory is bitwise identical to the uninterrupted run.
+// Saves are atomic (write to <path>.tmp, then rename), so a crash during
+// a save leaves the previous snapshot intact.
+//
+// A fingerprint of the search inputs (net count, rule count, seed,
+// iteration budget) is stored in the file; loading with a different
+// fingerprint fails with kInvalidArgument rather than silently resuming a
+// checkpoint from some other design or configuration.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.hpp"
+#include "ndr/annealer.hpp"
+
+namespace sndr::flow {
+
+/// FNV-1a over the inputs the checkpoint is only valid against.
+std::uint64_t checkpoint_fingerprint(int n_nets, int n_rules,
+                                     std::uint64_t seed, int iterations);
+
+/// Atomically writes `ck` to `path`. kIoError on filesystem failure.
+common::Status save_checkpoint(const std::string& path,
+                               const ndr::AnnealCheckpoint& ck,
+                               std::uint64_t fingerprint);
+
+/// kNotFound when `path` does not exist; kInvalidArgument on a malformed
+/// file or a fingerprint mismatch (path:line in the message).
+common::Result<ndr::AnnealCheckpoint> load_checkpoint(
+    const std::string& path, std::uint64_t fingerprint);
+
+}  // namespace sndr::flow

@@ -37,6 +37,28 @@ bool parse_double(const std::string& v, double& out) {
   return static_cast<bool>(is >> out) && is.eof();
 }
 
+/// Byte size with an optional K/M/G (or KB/MB/GB) suffix: "64M" = 64 MiB.
+bool parse_byte_size(const std::string& v, std::size_t& out) {
+  if (v.empty()) return false;
+  std::size_t end = v.size();
+  std::size_t mult = 1;
+  if (end > 0 && (v[end - 1] == 'b' || v[end - 1] == 'B')) --end;
+  if (end > 0) {
+    switch (v[end - 1]) {
+      case 'k': case 'K': mult = std::size_t{1} << 10; --end; break;
+      case 'm': case 'M': mult = std::size_t{1} << 20; --end; break;
+      case 'g': case 'G': mult = std::size_t{1} << 30; --end; break;
+      default: break;
+    }
+  }
+  if (end == 0) return false;
+  std::istringstream is(v.substr(0, end));
+  std::uint64_t n = 0;
+  if (!(is >> n) || !is.eof()) return false;
+  out = static_cast<std::size_t>(n) * mult;
+  return true;
+}
+
 /// One settable key: how to parse it into the config.
 using Setter =
     std::function<bool(FlowConfig&, const std::string&)>;  // false = bad value.
@@ -66,6 +88,17 @@ const std::map<std::string, Setter>& setters() {
        }},
       {"threads", [](FlowConfig& c, const std::string& v) {
          return parse_int(v, c.threads);
+       }},
+      {"memory_budget", [](FlowConfig& c, const std::string& v) {
+         return parse_byte_size(v, c.memory_budget_bytes);
+       }},
+      {"checkpoint", [](FlowConfig& c, const std::string& v) {
+         c.checkpoint_path = v;
+         return !v.empty();
+       }},
+      {"checkpoint_interval", [](FlowConfig& c, const std::string& v) {
+         return parse_int(v, c.checkpoint_interval) &&
+                c.checkpoint_interval > 0;
        }},
       {"scoring", [](FlowConfig& c, const std::string& v) {
          if (v != "models" && v != "exact_net" && v != "full_sta") {
@@ -220,6 +253,7 @@ ndr::OptimizerOptions FlowConfig::optimizer_options() const {
   o.max_passes = max_passes;
   o.full_refresh_interval = full_refresh_interval;
   o.max_repair_rounds = max_repair_rounds;
+  o.geometry_budget_bytes = memory_budget_bytes;
   return o;
 }
 
@@ -235,6 +269,7 @@ ndr::AnnealOptions FlowConfig::anneal_options() const {
   a.em_margin = em_margin;
   a.skew_margin = skew_margin;
   a.threads = threads;
+  a.geometry_budget_bytes = memory_budget_bytes;
   return a;
 }
 

@@ -13,6 +13,7 @@
 // file and a typo on the command line produce the same diagnostic.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -36,6 +37,20 @@ struct FlowConfig {
 
   std::uint64_t seed = 1;
   int threads = -1;  ///< ThreadBudget semantics (-1 inherit, 0/1 serial).
+
+  /// GeometryCache byte budget for every optimizer/anneal search in the
+  /// flow (0 = unbounded). Accepts K/M/G suffixes on the `memory_budget`
+  /// key ("64M"). Results are bit-identical at any budget; only peak
+  /// memory and geometry rebuild counts change.
+  std::size_t memory_budget_bytes = 0;
+
+  /// Anneal checkpoint/resume. When `checkpoint` names a file (resolved
+  /// under results_dir like other artifacts), the anneal stage snapshots
+  /// its loop there every `checkpoint_interval` iterations and, when the
+  /// file already exists, resumes from it instead of starting over — the
+  /// resumed run is bitwise identical to an uninterrupted one.
+  std::string checkpoint_path;
+  int checkpoint_interval = 5000;
 
   // Optimizer knobs (ndr::OptimizerOptions).
   std::string scoring = "models";  ///< models | exact_net | full_sta.

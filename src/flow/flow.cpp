@@ -4,8 +4,10 @@
 #include <filesystem>
 
 #include "cts/refine.hpp"
+#include "flow/checkpoint.hpp"
 #include "io/spef.hpp"
 #include "io/svg.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "route/congestion_route.hpp"
 #include "tech/units.hpp"
@@ -110,8 +112,12 @@ common::Status Flow::prepare() {
   if (!s.ok()) return s;
 
   s = stage("extract", [this] {
+    // The session cache honors the flow-wide memory budget too; the
+    // optimizer and annealer build their own (also budgeted) caches tied
+    // to their AssignmentState lifetimes.
     session_.set_geometry(std::make_unique<extract::GeometryCache>(
-        session_.cts().tree, session_.design(), session_.nets()));
+        session_.cts().tree, session_.design(), session_.nets(),
+        session_.config().memory_budget_bytes, extract::ExtractOptions{}));
     return common::Status::Ok();
   });
   if (!s.ok()) return s;
@@ -154,10 +160,29 @@ common::Result<FlowResult> Flow::run() {
 
   if (config.smart && config.anneal_iterations > 0) {
     s = stage("anneal", [&] {
-      result.anneal =
-          ndr::anneal_rules(tree, design, tech, nets,
-                            result.smart->assignment,
-                            config.anneal_options());
+      ndr::AnnealOptions a = config.anneal_options();
+      if (!config.checkpoint_path.empty()) {
+        const std::string path = config.output_path(config.checkpoint_path);
+        const std::uint64_t fp = checkpoint_fingerprint(
+            nets.size(), tech.rules.size(), config.seed, a.iterations);
+        if (std::filesystem::exists(path)) {
+          common::Result<ndr::AnnealCheckpoint> ck = load_checkpoint(path, fp);
+          if (!ck.ok()) return ck.status();
+          result.resumed_from_iteration = ck.value().iteration;
+          a.resume = std::move(ck).value();
+        }
+        a.checkpoint_interval = config.checkpoint_interval;
+        a.checkpoint_sink = [path, fp](const ndr::AnnealCheckpoint& ck) {
+          ensure_parent_dir(path);
+          const common::Status ss = save_checkpoint(path, ck, fp);
+          // A failed snapshot must not kill the run it exists to protect.
+          if (!ss.ok()) {
+            SNDR_COUNTER_ADD("flow.checkpoint_save_failures", 1);
+          }
+        };
+      }
+      result.anneal = ndr::anneal_rules(tree, design, tech, nets,
+                                        result.smart->assignment, a);
       add_eval_row(result.table, "smart+anneal", result.anneal->final_eval);
       return common::Status::Ok();
     });

@@ -48,6 +48,8 @@ struct FlowResult {
   int threads_used = 0;
   double wall_seconds = 0.0;
   std::vector<obs::StageInfo> stages;
+  /// Anneal iteration a checkpoint resumed from (0 = fresh start).
+  int resumed_from_iteration = 0;
 
   /// The assignment the run settled on (annealed > smart > blanket).
   const ndr::RuleAssignment* final_assignment() const;

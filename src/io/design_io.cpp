@@ -2,9 +2,9 @@
 
 #include <fstream>
 #include <iomanip>
-#include <sstream>
 #include <stdexcept>
 
+#include "io/line_reader.hpp"
 #include "tech/units.hpp"
 
 namespace sndr::io {
@@ -61,7 +61,11 @@ namespace {
 
 }  // namespace
 
-netlist::Design read_design(std::istream& is, const std::string& source) {
+namespace {
+
+/// The one design parser: both the istream entry point and the chunked
+/// file path feed it lines, so diagnostics and semantics cannot diverge.
+netlist::Design read_design_lines(LineSource& src, const std::string& source) {
   netlist::Design d;
   bool have_core = false;
   int cong_nx = 0;
@@ -71,67 +75,84 @@ netlist::Design read_design(std::istream& is, const std::string& source) {
   std::vector<std::pair<int, double>> occ_cells;
   std::vector<std::tuple<int, double, double>> windows;
 
-  std::string line;
+  std::string_view line;
   int line_no = 0;
-  while (std::getline(is, line)) {
+  while (src.next(line)) {
     ++line_no;
     const auto hash = line.find('#');
-    if (hash != std::string::npos) line = line.substr(0, hash);
-    std::istringstream ls(line);
-    std::string key;
-    if (!(ls >> key)) continue;
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    Tokenizer ls(line);
+    std::string_view key;
+    if (!ls.next(key)) continue;
 
     if (key == "design") {
-      ls >> d.name;
+      std::string_view name;
+      if (ls.next(name)) d.name = std::string(name);
     } else if (key == "core") {
       double x0, y0, x1, y1;
-      if (!(ls >> x0 >> y0 >> x1 >> y1)) design_error(source, line_no, "bad core");
+      if (!ls.next_double(x0) || !ls.next_double(y0) || !ls.next_double(x1) ||
+          !ls.next_double(y1)) {
+        design_error(source, line_no, "bad core");
+      }
       d.core = geom::BBox(x0, y0, x1, y1);
       have_core = true;
     } else if (key == "clock_root") {
-      if (!(ls >> d.clock_root.x >> d.clock_root.y)) {
+      if (!ls.next_double(d.clock_root.x) ||
+          !ls.next_double(d.clock_root.y)) {
         design_error(source, line_no, "bad clock_root");
       }
     } else if (key == "clock_freq_ghz") {
       double v;
-      if (!(ls >> v)) design_error(source, line_no, "bad clock_freq_ghz");
+      if (!ls.next_double(v)) design_error(source, line_no,
+                                           "bad clock_freq_ghz");
       d.constraints.clock_freq = v * units::GHz;
     } else if (key == "max_slew_ps") {
       double v;
-      if (!(ls >> v)) design_error(source, line_no, "bad max_slew_ps");
+      if (!ls.next_double(v)) design_error(source, line_no, "bad max_slew_ps");
       d.constraints.max_slew = v * units::ps;
     } else if (key == "max_skew_ps") {
       double v;
-      if (!(ls >> v)) design_error(source, line_no, "bad max_skew_ps");
+      if (!ls.next_double(v)) design_error(source, line_no, "bad max_skew_ps");
       d.constraints.max_skew = v * units::ps;
     } else if (key == "max_uncertainty_ps") {
       double v;
-      if (!(ls >> v)) design_error(source, line_no, "bad max_uncertainty_ps");
+      if (!ls.next_double(v)) {
+        design_error(source, line_no, "bad max_uncertainty_ps");
+      }
       d.constraints.max_uncertainty = v * units::ps;
     } else if (key == "congestion") {
-      if (!(ls >> cong_nx >> cong_ny >> cong_occ >> cong_cap)) {
+      if (!ls.next_int(cong_nx) || !ls.next_int(cong_ny) ||
+          !ls.next_double(cong_occ) || !ls.next_double(cong_cap)) {
         design_error(source, line_no, "bad congestion");
       }
     } else if (key == "occupancy_cell") {
       int idx;
       double v;
-      if (!(ls >> idx >> v)) design_error(source, line_no, "bad occupancy_cell");
+      if (!ls.next_int(idx) || !ls.next_double(v)) {
+        design_error(source, line_no, "bad occupancy_cell");
+      }
       occ_cells.emplace_back(idx, v);
     } else if (key == "sink") {
       netlist::Sink s;
+      std::string_view name;
       double cap_ff;
-      if (!(ls >> s.name >> s.loc.x >> s.loc.y >> cap_ff)) {
+      if (!ls.next(name) || !ls.next_double(s.loc.x) ||
+          !ls.next_double(s.loc.y) || !ls.next_double(cap_ff)) {
         design_error(source, line_no, "bad sink");
       }
+      s.name = std::string(name);
       s.pin_cap = cap_ff * units::fF;
       d.sinks.push_back(std::move(s));
     } else if (key == "window") {
       int idx;
       double lo, hi;
-      if (!(ls >> idx >> lo >> hi)) design_error(source, line_no, "bad window");
+      if (!ls.next_int(idx) || !ls.next_double(lo) || !ls.next_double(hi)) {
+        design_error(source, line_no, "bad window");
+      }
       windows.emplace_back(idx, lo * units::ps, hi * units::ps);
     } else {
-      design_error(source, line_no, "unknown key '" + key + "'");
+      design_error(source, line_no,
+                   "unknown key '" + std::string(key) + "'");
     }
   }
 
@@ -168,21 +189,31 @@ netlist::Design read_design(std::istream& is, const std::string& source) {
   return d;
 }
 
+}  // namespace
+
+netlist::Design read_design(std::istream& is, const std::string& source) {
+  IstreamLineSource src(is);
+  return read_design_lines(src, source);
+}
+
 netlist::Design read_design_file(const std::string& path) {
-  std::ifstream f(path);
-  if (!f) {
+  LineReader src(path);
+  if (!src.ok()) {
     throw std::runtime_error("read_design_file: cannot open " + path);
   }
-  return read_design(f, path);
+  return read_design_lines(src, path);
 }
 
 common::Result<netlist::Design> load_design_file(const std::string& path) {
-  std::ifstream f(path);
-  if (!f) {
+  // Chunked reader: the file streams through a fixed buffer instead of an
+  // ifstream + per-line istringstream, so ingest memory is independent of
+  // the design size.
+  LineReader src(path);
+  if (!src.ok()) {
     return common::Status::NotFound("cannot open design file " + path);
   }
   try {
-    return read_design(f, path);
+    return read_design_lines(src, path);
   } catch (...) {
     return common::classify_exception(common::StatusCode::kIoError);
   }

@@ -2,8 +2,10 @@
 
 #include <fstream>
 #include <iomanip>
-#include <sstream>
 #include <stdexcept>
+#include <string_view>
+
+#include "io/line_reader.hpp"
 
 namespace sndr::io {
 
@@ -126,15 +128,16 @@ namespace {
                            what);
 }
 
-double unit_scale(const std::string& source, const std::string& mult,
-                  const std::string& unit, int line_no) {
-  // Stream extraction (not std::stod): a malformed multiplier must report
-  // as a ParseError with a path:line diagnostic, not escape as
+double unit_scale(const std::string& source, std::string_view mult,
+                  std::string_view unit, int line_no) {
+  // Full-token from_chars (not std::stod): a malformed multiplier must
+  // report as a ParseError with a path:line diagnostic, not escape as
   // std::invalid_argument and classify as an I/O failure.
   double m = 0.0;
-  std::istringstream ms(mult);
-  if (!(ms >> m) || !ms.eof()) {
-    spef_error(source, line_no, "bad unit multiplier '" + mult + "'");
+  Tokenizer ms(mult);
+  if (!ms.next_double(m) || !ms.exhausted()) {
+    spef_error(source, line_no,
+               "bad unit multiplier '" + std::string(mult) + "'");
   }
   if (unit == "PS") return m * 1e-12;
   if (unit == "NS") return m * 1e-9;
@@ -143,37 +146,35 @@ double unit_scale(const std::string& source, const std::string& mult,
   if (unit == "OHM") return m;
   if (unit == "KOHM") return m * 1e3;
   if (unit == "HENRY") return m;
-  spef_error(source, line_no, "unknown unit '" + unit + "'");
+  spef_error(source, line_no, "unknown unit '" + std::string(unit) + "'");
 }
 
-}  // namespace
-
-SpefFile read_spef(std::istream& is, const std::string& source) {
+/// The one SPEF parser (istream and chunked-file paths both feed it).
+SpefFile read_spef_lines(LineSource& src, const std::string& source) {
   SpefFile out;
-  std::string line;
+  std::string_view line;
   int line_no = 0;
   enum class Section { kNone, kConn, kCap, kRes };
   Section section = Section::kNone;
   SpefNet* current = nullptr;
 
-  while (std::getline(is, line)) {
+  while (src.next(line)) {
     ++line_no;
-    std::istringstream ls(line);
-    std::string tok;
-    if (!(ls >> tok)) continue;
+    Tokenizer ls(line);
+    std::string_view tok;
+    if (!ls.next(tok)) continue;
 
     if (tok == "*DESIGN") {
-      std::string rest;
-      std::getline(ls, rest);
+      const std::string_view rest = ls.rest();
       const auto q1 = rest.find('"');
       const auto q2 = rest.rfind('"');
-      if (q1 != std::string::npos && q2 > q1) {
-        out.design_name = rest.substr(q1 + 1, q2 - q1 - 1);
+      if (q1 != std::string_view::npos && q2 > q1) {
+        out.design_name = std::string(rest.substr(q1 + 1, q2 - q1 - 1));
       }
     } else if (tok == "*T_UNIT" || tok == "*C_UNIT" || tok == "*R_UNIT") {
-      std::string mult;
-      std::string unit;
-      if (!(ls >> mult >> unit)) {
+      std::string_view mult;
+      std::string_view unit;
+      if (!ls.next(mult) || !ls.next(unit)) {
         spef_error(source, line_no, "bad unit line");
       }
       const double scale = unit_scale(source, mult, unit, line_no);
@@ -182,10 +183,12 @@ SpefFile read_spef(std::istream& is, const std::string& source) {
       if (tok == "*R_UNIT") out.res_unit = scale;
     } else if (tok == "*D_NET") {
       SpefNet net;
+      std::string_view name;
       double total = 0.0;
-      if (!(ls >> net.name >> total)) {
+      if (!ls.next(name) || !ls.next_double(total)) {
         spef_error(source, line_no, "bad *D_NET");
       }
+      net.name = std::string(name);
       net.total_cap = total;  // scaled after units are final, below.
       out.nets.push_back(std::move(net));
       current = &out.nets.back();
@@ -203,24 +206,29 @@ SpefFile read_spef(std::istream& is, const std::string& source) {
       // Header keywords we do not interpret.
       continue;
     } else if (current != nullptr && section == Section::kCap) {
-      // Format: <index> <node> <cap>.
+      // Format: <index> <node> <cap>; `tok` holds the index.
       int idx = 0;
-      std::string node;
+      Tokenizer head(tok);
+      std::string_view node;
       double cap = 0.0;
-      std::istringstream entry(line);
-      if (!(entry >> idx >> node >> cap)) {
+      if (!head.next_int(idx) || !ls.next(node) || !ls.next_double(cap)) {
         spef_error(source, line_no, "bad *CAP entry");
       }
-      current->caps.emplace_back(node, cap * out.cap_unit);
+      current->caps.emplace_back(std::string(node), cap * out.cap_unit);
     } else if (current != nullptr && section == Section::kRes) {
-      // Format: <index> <node_a> <node_b> <ohm>.
+      // Format: <index> <node_a> <node_b> <ohm>; `tok` holds the index.
       int idx = 0;
+      Tokenizer head(tok);
       SpefNet::Res r;
+      std::string_view a;
+      std::string_view b;
       double ohm = 0.0;
-      std::istringstream entry(line);
-      if (!(entry >> idx >> r.a >> r.b >> ohm)) {
+      if (!head.next_int(idx) || !ls.next(a) || !ls.next(b) ||
+          !ls.next_double(ohm)) {
         spef_error(source, line_no, "bad *RES entry");
       }
+      r.a = std::string(a);
+      r.b = std::string(b);
       r.ohm = ohm * out.res_unit;
       current->resistors.push_back(std::move(r));
     }
@@ -229,19 +237,30 @@ SpefFile read_spef(std::istream& is, const std::string& source) {
   return out;
 }
 
+}  // namespace
+
+SpefFile read_spef(std::istream& is, const std::string& source) {
+  IstreamLineSource src(is);
+  return read_spef_lines(src, source);
+}
+
 SpefFile read_spef_file(const std::string& path) {
-  std::ifstream f(path);
-  if (!f) throw std::runtime_error("read_spef_file: cannot open " + path);
-  return read_spef(f, path);
+  LineReader src(path);
+  if (!src.ok()) {
+    throw std::runtime_error("read_spef_file: cannot open " + path);
+  }
+  return read_spef_lines(src, path);
 }
 
 common::Result<SpefFile> load_spef_file(const std::string& path) {
-  std::ifstream f(path);
-  if (!f) {
+  // Chunked reader: SPEF is the largest artifact the tool touches, so the
+  // parse streams it through a fixed buffer instead of materializing it.
+  LineReader src(path);
+  if (!src.ok()) {
     return common::Status::NotFound("cannot open SPEF file " + path);
   }
   try {
-    return read_spef(f, path);
+    return read_spef_lines(src, path);
   } catch (...) {
     return common::classify_exception(common::StatusCode::kIoError);
   }

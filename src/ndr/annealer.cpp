@@ -20,15 +20,26 @@ AnnealResult anneal_rules(const netlist::ClockTree& tree,
   result.assignment = start;
 
   if (options.threads >= 0) common::set_thread_count(options.threads);
-  AssignmentState state(tree, design, tech, nets, options.analysis);
+  AssignmentState state(tree, design, tech, nets, options.analysis,
+                        options.geometry_budget_bytes);
   // Every full evaluation in this search shares the state's geometry cache:
   // the tree and congestion map are fixed, only rules move.
   const extract::GeometryCache* geometry = &state.geometry_cache();
-  FlowEvaluation ev = evaluate(tree, design, tech, nets, start,
+  // Resume continues from the snapshot's assignment; `start` is still the
+  // fallback the uninterrupted run would have kept.
+  const bool resuming = options.resume.has_value();
+  const RuleAssignment& boot = resuming ? options.resume->assignment : start;
+  FlowEvaluation ev = evaluate(tree, design, tech, nets, boot,
                                options.analysis, geometry);
-  state.rebuild(start, ev);
-  result.start_cap = state.total_cap();
-  const bool start_feasible = ev.feasible();
+  state.rebuild(boot, ev);
+  bool start_feasible;
+  if (resuming) {
+    result.start_cap = options.resume->start_cap;
+    start_feasible = options.resume->start_feasible;
+  } else {
+    result.start_cap = state.total_cap();
+    start_feasible = ev.feasible();
+  }
 
   // Prefetch every memo row with cross-net batched kernels before the
   // sequential proposal loop: the annealer visits nets in RNG order, so
@@ -47,7 +58,7 @@ AnnealResult anneal_rules(const netlist::ClockTree& tree,
       state.total_cap() / std::max(1, n_nets);
   const double t_start = options.t_start_frac * mean_cap;
   const double t_end = std::max(options.t_end_frac * mean_cap, 1e-21);
-  const double cooling =
+  double cooling =
       options.iterations > 1
           ? std::pow(t_end / t_start, 1.0 / (options.iterations - 1))
           : 1.0;
@@ -61,54 +72,103 @@ AnnealResult anneal_rules(const netlist::ClockTree& tree,
 
   double temperature = t_start;
   int accepted_since_refresh = 0;
-  for (int it = 0; it < options.iterations; ++it, temperature *= cooling) {
+  int it0 = 0;
+  if (resuming) {
+    const AnnealCheckpoint& ck = *options.resume;
+    it0 = ck.iteration;
+    temperature = ck.temperature;
+    cooling = ck.cooling;  // NOT re-derived: see AnnealCheckpoint.
+    rng.set_state(ck.rng_state);
+    accepted_since_refresh = ck.accepted_since_refresh;
+    result.proposed = ck.proposed;
+    result.accepted = ck.accepted;
+    result.rejected = ck.rejected;
+    result.uphill_accepted = ck.uphill_accepted;
+    result.delta_updates = ck.delta_updates;
+    result.full_rebuilds = ck.full_rebuilds;
+    best = ck.best;
+    best_cap = ck.best_cap;
+  }
+  for (int it = it0; it < options.iterations; ++it, temperature *= cooling) {
     SNDR_HISTOGRAM_OBSERVE("anneal.temperature", temperature);
-    const int net_id = static_cast<int>(rng.uniform_int(n_nets));
-    int rule = static_cast<int>(rng.uniform_int(n_rules));
-    if (rule == state.rule_of(net_id)) {
-      rule = (rule + 1) % n_rules;
-    }
-    ++result.proposed;
-
-    const NetExact exact = state.exact_eval(net_id, rule);
-    const double d_cap = exact.cap_switched - state.net_cap(net_id);
-    if (d_cap > 0.0) {
-      const double p = std::exp(-d_cap / temperature);
-      if (rng.uniform() >= p) {
-        ++result.rejected;
-        continue;
+    // The proposal body runs as an immediately-invoked closure so rejected
+    // proposals (early returns) still fall through to the checkpoint hook
+    // below — a snapshot cadence must not depend on acceptance.
+    [&] {
+      const int net_id = static_cast<int>(rng.uniform_int(n_nets));
+      int rule = static_cast<int>(rng.uniform_int(n_rules));
+      if (rule == state.rule_of(net_id)) {
+        rule = (rule + 1) % n_rules;
       }
-    }
-    NetImpact impact;
-    impact.step_slew = exact.step_slew_worst;
-    impact.sigma = exact.sigma_worst;
-    impact.xtalk = exact.xtalk_worst;
-    impact.delay = exact.wire_delay_worst;
-    if (exact.em_peak >
-        tech.clock_layer.em_jmax * (1.0 - options.em_margin)) {
-      ++result.rejected;
-      continue;
-    }
-    if (!state.check_move(net_id, rule, impact, margins)) {
-      ++result.rejected;
-      continue;
-    }
+      ++result.proposed;
 
-    state.apply_move(net_id, rule, exact);
-    ++result.accepted;
-    ++result.delta_updates;
-    if (d_cap > 0.0) ++result.uphill_accepted;
+      const NetExact exact = state.exact_eval(net_id, rule);
+      const double d_cap = exact.cap_switched - state.net_cap(net_id);
+      if (d_cap > 0.0) {
+        const double p = std::exp(-d_cap / temperature);
+        if (rng.uniform() >= p) {
+          ++result.rejected;
+          return;
+        }
+      }
+      NetImpact impact;
+      impact.step_slew = exact.step_slew_worst;
+      impact.sigma = exact.sigma_worst;
+      impact.xtalk = exact.xtalk_worst;
+      impact.delay = exact.wire_delay_worst;
+      if (exact.em_peak >
+          tech.clock_layer.em_jmax * (1.0 - options.em_margin)) {
+        ++result.rejected;
+        return;
+      }
+      if (!state.check_move(net_id, rule, impact, margins)) {
+        ++result.rejected;
+        return;
+      }
 
-    if (state.total_cap() < best_cap) {
-      best = state.assignment();
-      best_cap = state.total_cap();
-    }
-    if (++accepted_since_refresh >= options.full_refresh_interval) {
-      accepted_since_refresh = 0;
-      ev = evaluate(tree, design, tech, nets, state.assignment(),
-                    options.analysis, geometry);
-      state.rebuild(state.assignment(), ev);
-      ++result.full_rebuilds;
+      state.apply_move(net_id, rule, exact);
+      ++result.accepted;
+      ++result.delta_updates;
+      if (d_cap > 0.0) ++result.uphill_accepted;
+
+      if (state.total_cap() < best_cap) {
+        best = state.assignment();
+        best_cap = state.total_cap();
+      }
+      if (++accepted_since_refresh >= options.full_refresh_interval) {
+        accepted_since_refresh = 0;
+        ev = evaluate(tree, design, tech, nets, state.assignment(),
+                      options.analysis, geometry);
+        state.rebuild(state.assignment(), ev);
+        ++result.full_rebuilds;
+      }
+    }();
+
+    // Snapshot AFTER every RNG draw of this iteration: a resumed run picks
+    // up at iteration `it + 1` with exactly the sequence the uninterrupted
+    // run would have drawn.
+    if (options.checkpoint_interval > 0 && options.checkpoint_sink &&
+        ((it + 1) % options.checkpoint_interval == 0 ||
+         it + 1 == options.iterations)) {
+      AnnealCheckpoint ck;
+      ck.iteration = it + 1;
+      ck.temperature = temperature * cooling;  // next iteration's value.
+      ck.cooling = cooling;
+      ck.rng_state = rng.state();
+      ck.accepted_since_refresh = accepted_since_refresh;
+      ck.proposed = result.proposed;
+      ck.accepted = result.accepted;
+      ck.rejected = result.rejected;
+      ck.uphill_accepted = result.uphill_accepted;
+      ck.delta_updates = result.delta_updates;
+      ck.full_rebuilds = result.full_rebuilds;
+      ck.start_cap = result.start_cap;
+      ck.start_feasible = start_feasible;
+      ck.assignment = state.assignment();
+      ck.best = best;
+      ck.best_cap = best_cap;
+      SNDR_COUNTER_ADD("anneal.checkpoints", 1);
+      options.checkpoint_sink(ck);
     }
   }
 

@@ -14,11 +14,41 @@
 // evaluation verifies).
 #pragma once
 
+#include <cstddef>
+#include <functional>
+#include <optional>
+
 #include "ndr/evaluation.hpp"
 #include "ndr/optimizer.hpp"
 #include "obs/metrics.hpp"
 
 namespace sndr::ndr {
+
+/// Resumable snapshot of the annealing loop, taken between iterations.
+/// Restoring one and continuing reproduces the uninterrupted run bit for
+/// bit: the RNG state replays the same proposal sequence, rebuilding the
+/// incremental state from `assignment` is bitwise-exact (the apply_move
+/// contract), and `temperature`/`cooling` are carried verbatim rather than
+/// re-derived — re-derivation would use the resumed assignment's cap, not
+/// the start assignment's.
+struct AnnealCheckpoint {
+  int iteration = 0;  ///< next iteration to run; == iterations when done.
+  double temperature = 0.0;
+  double cooling = 1.0;
+  std::uint64_t rng_state = 0;
+  int accepted_since_refresh = 0;
+  int proposed = 0;
+  int accepted = 0;
+  int rejected = 0;
+  int uphill_accepted = 0;
+  int delta_updates = 0;
+  int full_rebuilds = 0;
+  double start_cap = 0.0;
+  bool start_feasible = false;
+  RuleAssignment assignment;  ///< current (not best) assignment.
+  RuleAssignment best;
+  double best_cap = 0.0;
+};
 
 struct AnnealOptions {
   int iterations = 20000;
@@ -42,6 +72,18 @@ struct AnnealOptions {
   /// the lazy per-net path, so this changes WHEN the evaluation work
   /// happens, never any result; disable to measure the lazy path.
   bool prewarm = true;
+  /// Byte budget for the search's GeometryCache (0 = unbounded); same
+  /// semantics as OptimizerOptions::geometry_budget_bytes.
+  std::size_t geometry_budget_bytes = 0;
+  /// Checkpointing: every `checkpoint_interval` iterations (and at the
+  /// last one) the loop hands a snapshot to `checkpoint_sink`. Both must
+  /// be set for snapshots to flow; the default is none (zero overhead).
+  int checkpoint_interval = 0;
+  std::function<void(const AnnealCheckpoint&)> checkpoint_sink;
+  /// Continue from a snapshot instead of starting at `start`. The `start`
+  /// argument must still be the original start assignment — it remains the
+  /// infeasibility fallback, exactly as in the uninterrupted run.
+  std::optional<AnnealCheckpoint> resume;
   timing::AnalysisOptions analysis;
 };
 

@@ -15,13 +15,14 @@ AssignmentState::AssignmentState(const netlist::ClockTree& tree,
                                  const netlist::Design& design,
                                  const tech::Technology& tech,
                                  const netlist::NetList& nets,
-                                 const timing::AnalysisOptions& analysis)
+                                 const timing::AnalysisOptions& analysis,
+                                 std::size_t geometry_budget_bytes)
     : tree_(&tree),
       design_(&design),
       tech_(&tech),
       nets_(&nets),
       analysis_(analysis),
-      geometry_(tree, design, nets),
+      geometry_(tree, design, nets, geometry_budget_bytes, {}),
       delta_(tree, design, tech, nets, analysis),
       usage_(&design.congestion) {
   const int n_nets = nets.size();
@@ -243,8 +244,10 @@ void AssignmentState::apply_move(int net_id, int rule_idx,
   // the new rule (O(pieces), no geometry walk) and replay the analyze
   // recurrence over the net's descendant subtree. Only the sinks under
   // this net can change arrival.
-  extract::materialize(geometry_.geometry(net_id), *tech_,
-                       tech_->rules[rule_idx], move_par_);
+  {
+    const extract::GeometryCache::Pinned pin = geometry_.pinned(net_id);
+    extract::materialize(*pin, *tech_, tech_->rules[rule_idx], move_par_);
+  }
   delta_.apply_net_change(net_id, move_par_);
 
   // A move changes no input of evaluate_net_exact — the rule is part of
@@ -344,14 +347,20 @@ void AssignmentState::warm_rows(const std::vector<int>& net_ids) const {
         geoms.resize(ids.size());
         dres.resize(ids.size());
         out.resize(ids.size() * static_cast<std::size_t>(n_rules_));
+        // The whole batch stays pinned for the kernel call (budgeted
+        // geometry caches evict only unpinned entries).
+        std::vector<extract::GeometryCache::Pinned> pins;
+        pins.reserve(ids.size());
         for (std::size_t i = 0; i < ids.size(); ++i) {
-          geoms[i] = &geometry_.geometry(ids[i]);
+          pins.push_back(geometry_.pinned(ids[i]));
+          geoms[i] = pins.back().get();
           dres[i] = nets_state_[ids[i]].summary.driver_res;
         }
         evaluate_nets_exact_all_rules(geoms.data(), dres.data(),
                                       static_cast<int>(ids.size()), *tech_,
                                       design_->constraints.clock_freq, arena,
                                       out.data());
+        if (geometry_.budgeted()) arena.shrink_to(geometry_.budget_bytes());
         for (std::size_t i = 0; i < ids.size(); ++i) {
           const int id = ids[i];
           const std::uint64_t gen = ctx_gen_[id];
@@ -393,10 +402,14 @@ NetExact AssignmentState::exact_eval(int net_id, int rule_idx) const {
   thread_local common::Arena arena;
   thread_local std::vector<NetExact> row;
   row.resize(static_cast<std::size_t>(n_rules_));
-  evaluate_net_exact_all_rules(geometry_.geometry(net_id), *tech_,
-                               nets_state_[net_id].summary.driver_res,
-                               design_->constraints.clock_freq, arena,
-                               row.data());
+  {
+    const extract::GeometryCache::Pinned pin = geometry_.pinned(net_id);
+    evaluate_net_exact_all_rules(*pin, *tech_,
+                                 nets_state_[net_id].summary.driver_res,
+                                 design_->constraints.clock_freq, arena,
+                                 row.data());
+  }
+  if (geometry_.budgeted()) arena.shrink_to(geometry_.budget_bytes());
   const std::uint64_t gen = ctx_gen_[net_id];
   for (int r = 0; r < n_rules_; ++r) {
     ExactCacheEntry& er =

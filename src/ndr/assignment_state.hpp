@@ -8,6 +8,7 @@
 // callers periodically re-synchronize against a full evaluation.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "ndr/evaluation.hpp"
@@ -28,10 +29,13 @@ struct MoveMargins {
 
 class AssignmentState {
  public:
+  /// `geometry_budget_bytes` caps the shared GeometryCache (0 = unbounded,
+  /// the historical eager mode); see OptimizerOptions::geometry_budget_bytes.
   AssignmentState(const netlist::ClockTree& tree,
                   const netlist::Design& design,
                   const tech::Technology& tech, const netlist::NetList& nets,
-                  const timing::AnalysisOptions& analysis);
+                  const timing::AnalysisOptions& analysis,
+                  std::size_t geometry_budget_bytes = 0);
 
   /// Re-synchronizes every incremental accumulator from a full evaluation
   /// of `assignment` (which becomes the current assignment).

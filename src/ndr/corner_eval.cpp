@@ -102,7 +102,8 @@ MultiCornerReport evaluate_corners(
     for (int c = 0; c < n_corners; ++c) {
       lanes[c] = {&cornered[c], &cornered[c].rules[assignment[net.id]]};
     }
-    const extract::NetGeometry& geom = geometry->geometry(net.id);
+    const extract::GeometryCache::Pinned pin = geometry->pinned(net.id);
+    const extract::NetGeometry& geom = *pin;
     extract::BatchParasitics bp;
     extract::materialize_batch(geom, lanes, n_corners, arena, bp);
     for (int c = 0; c < n_corners; ++c) {

@@ -36,7 +36,8 @@ class Optimizer {
         scoring_(opt.use_models ? opt.scoring : Scoring::kExactNet),
         margins_{opt.slew_margin, opt.uncertainty_margin, opt.em_margin,
                  opt.skew_margin},
-        state_(tree, design, tech, nets, opt.analysis) {}
+        state_(tree, design, tech, nets, opt.analysis,
+               opt.geometry_budget_bytes) {}
 
   SmartNdrResult run();
 

@@ -20,6 +20,7 @@
 // which is the slow flow the paper compares against.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "ndr/evaluation.hpp"
@@ -54,6 +55,12 @@ struct OptimizerOptions {
   double uncertainty_margin = 0.05;
   double em_margin = 0.05;
   double skew_margin = 0.10;
+
+  /// Byte budget for the shared GeometryCache (0 = unbounded). Under a
+  /// budget the cache LRU-evicts cold net geometries and rebuilds them on
+  /// demand; results stay bit-identical, only peak memory and the build
+  /// count change. See DESIGN.md "Memory budget".
+  std::size_t geometry_budget_bytes = 0;
 
   int max_passes = 4;          ///< greedy sweeps until quiescence.
   int full_refresh_interval = 256;  ///< exact full re-analysis cadence.

@@ -138,8 +138,11 @@ RuleImpactPredictor RuleImpactPredictor::train(
           geoms.resize(slots.size());
           dres.resize(slots.size());
           out.resize(slots.size() * static_cast<std::size_t>(n_rules));
+          std::vector<extract::GeometryCache::Pinned> pins;
+          pins.reserve(slots.size());
           for (std::size_t k = 0; k < slots.size(); ++k) {
-            geoms[k] = &geometry->geometry(sample_ids[slots[k]]);
+            pins.push_back(geometry->pinned(sample_ids[slots[k]]));
+            geoms[k] = pins.back().get();
             dres[k] = summaries[slots[k]].driver_res;
           }
           evaluate_nets_exact_all_rules(geoms.data(), dres.data(),

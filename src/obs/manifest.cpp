@@ -1,5 +1,6 @@
 #include "obs/manifest.hpp"
 
+#include <sys/resource.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -171,6 +172,15 @@ std::string run_manifest_json(const RunInfo& info) {
       static_cast<double>(common::arena_capacity_highwater()));
   gauges.emplace_back("arena.used_bytes",
                       static_cast<double>(common::arena_used_highwater()));
+  // Peak RSS sits next to the arena marks so one manifest answers "how
+  // much memory did this run actually take" (ru_maxrss is KiB on Linux).
+  {
+    struct rusage ru {};
+    if (getrusage(RUSAGE_SELF, &ru) == 0) {
+      gauges.emplace_back("process.peak_rss_bytes",
+                          static_cast<double>(ru.ru_maxrss) * 1024.0);
+    }
+  }
   std::sort(gauges.begin(), gauges.end());
 
   os << "  \"gauges\": {";

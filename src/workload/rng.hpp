@@ -43,6 +43,11 @@ class Rng {
 
   double normal(double mean, double sigma) { return mean + sigma * normal(); }
 
+  /// Raw SplitMix64 state, for checkpoint/resume. A restored generator
+  /// replays exactly the sequence the saved one would have produced.
+  std::uint64_t state() const { return state_; }
+  void set_state(std::uint64_t state) { state_ = state; }
+
  private:
   std::uint64_t state_;
 };

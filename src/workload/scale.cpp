@@ -1,0 +1,127 @@
+#include "workload/scale.hpp"
+
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+
+#include "tech/units.hpp"
+#include "workload/rng.hpp"
+
+namespace sndr::workload {
+
+namespace {
+
+/// Quadrant of `box` for child k (2x2 subdivision, cycling past 4).
+geom::BBox quadrant(const geom::BBox& box, int k) {
+  const double mx = 0.5 * (box.lo().x + box.hi().x);
+  const double my = 0.5 * (box.lo().y + box.hi().y);
+  const bool right = (k & 1) != 0;
+  const bool top = (k & 2) != 0;
+  return geom::BBox(right ? mx : box.lo().x, top ? my : box.lo().y,
+                    right ? box.hi().x : mx, top ? box.hi().y : my);
+}
+
+/// A point in the middle half of `box`, jittered by the rng (keeps
+/// children clear of region borders so default L-routes stay local).
+geom::Point jittered_center(const geom::BBox& box, Rng& rng) {
+  const double w = box.hi().x - box.lo().x;
+  const double h = box.hi().y - box.lo().y;
+  return {box.lo().x + w * rng.uniform(0.375, 0.625),
+          box.lo().y + h * rng.uniform(0.375, 0.625)};
+}
+
+}  // namespace
+
+ScaleWorkload make_scale_workload(const ScaleSpec& spec,
+                                  const tech::Technology& tech,
+                                  int buffer_cell) {
+  if (spec.num_nets < 1) {
+    throw std::invalid_argument("make_scale_workload: num_nets must be >= 1");
+  }
+  if (spec.branching < 1 || spec.sinks_per_leaf < 1) {
+    throw std::invalid_argument(
+        "make_scale_workload: branching and sinks_per_leaf must be >= 1");
+  }
+  const int cell =
+      buffer_cell >= 0 ? buffer_cell : tech.buffers.size() / 2;
+
+  ScaleWorkload w;
+  Rng rng(spec.seed);
+
+  // Floorplan: constant area per net, square core anchored at the origin.
+  const double side =
+      std::sqrt(static_cast<double>(spec.num_nets) * spec.area_per_net_um2);
+  w.design.name = spec.name;
+  w.design.core = geom::BBox(0.0, 0.0, side, side);
+  w.design.clock_root = {side / 2.0, 0.0};
+
+  // Budgets loose enough that the blanket assignment is feasible at any
+  // rung — the bench measures throughput, not constraint tightness, and
+  // an infeasible baseline would collapse the optimizer's search space.
+  w.design.constraints.max_slew = 150 * units::ps;
+  w.design.constraints.max_skew =
+      (60.0 + 12.0 * std::log2(std::max(1.0, spec.num_nets / 1e3))) *
+      units::ps;
+  w.design.constraints.max_uncertainty =
+      (45.0 + 10.0 * std::log2(std::max(1.0, spec.num_nets / 1e3))) *
+      units::ps;
+
+  // Uniform congestion field, one cell per ~200x200 um tile.
+  const int grid = std::max(
+      4, static_cast<int>(std::lround(side / 200.0)));
+  const double default_pitch = 0.28;
+  w.design.congestion = netlist::CongestionMap::uniform(
+      w.design.core, grid, grid, spec.occupancy, default_pitch,
+      spec.clock_track_fraction);
+
+  // BFS b-ary buffer hierarchy: pop the next driver, give it `branching`
+  // buffer children (one per quadrant of its region) while the net budget
+  // lasts. Drivers that never receive buffer children become leaves and
+  // fan out to sinks below. BFS order makes the tree depth-balanced, like
+  // a CTS result.
+  struct Pending {
+    int node;
+    geom::BBox region;
+  };
+  const int root =
+      w.tree.add_source(w.design.clock_root);
+  std::deque<Pending> frontier;
+  frontier.push_back({root, w.design.core});
+  int drivers = 1;
+  std::deque<Pending> leaves;
+  while (!frontier.empty()) {
+    const Pending cur = frontier.front();
+    frontier.pop_front();
+    if (drivers >= spec.num_nets) {
+      leaves.push_back(cur);
+      continue;
+    }
+    for (int k = 0; k < spec.branching && drivers < spec.num_nets; ++k) {
+      const geom::BBox sub = quadrant(cur.region, k);
+      const int b =
+          w.tree.add_buffer(jittered_center(sub, rng), cur.node, cell);
+      ++drivers;
+      frontier.push_back({b, sub});
+    }
+  }
+
+  // Sinks under every leaf driver, named by index.
+  for (const Pending& leaf : leaves) {
+    for (int k = 0; k < spec.sinks_per_leaf; ++k) {
+      const int sink_index = static_cast<int>(w.design.sinks.size());
+      netlist::Sink s;
+      s.name = "s" + std::to_string(sink_index);
+      s.loc = jittered_center(quadrant(leaf.region, k), rng);
+      s.pin_cap = spec.pin_cap;
+      w.design.sinks.push_back(std::move(s));
+      w.tree.add_sink(w.design.sinks.back().loc, leaf.node, sink_index);
+    }
+  }
+
+  w.tree.ensure_default_paths();
+  w.tree.validate(static_cast<int>(w.design.sinks.size()));
+  w.nets = netlist::build_nets(w.tree);
+  return w;
+}
+
+}  // namespace sndr::workload

@@ -1,0 +1,277 @@
+// Anneal checkpoint/resume tests (DESIGN.md "Memory budget" / checkpoint
+// contract).
+//
+// The load-bearing property: a run resumed from a checkpoint taken at
+// iteration k reproduces the uninterrupted run bit for bit — same final
+// assignment, same counters, same energies. That holds through the
+// in-memory snapshot AND through the text file (hexfloats round-trip
+// doubles exactly), and the flow-level wiring (checkpoint_path config)
+// picks an on-disk snapshot up across Session lifetimes.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "flow/checkpoint.hpp"
+#include "flow/config.hpp"
+#include "flow/flow.hpp"
+#include "flow/session.hpp"
+#include "ndr/smart_ndr.hpp"
+#include "test_util.hpp"
+
+namespace sndr {
+namespace {
+
+using common::StatusCode;
+using flow::checkpoint_fingerprint;
+using flow::load_checkpoint;
+using flow::save_checkpoint;
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+void expect_anneal_eq(const ndr::AnnealResult& a, const ndr::AnnealResult& b) {
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.end_cap, b.end_cap);
+  EXPECT_EQ(a.final_eval.power.switched_cap, b.final_eval.power.switched_cap);
+  EXPECT_EQ(a.final_eval.timing.sink_arrival, b.final_eval.timing.sink_arrival);
+  EXPECT_EQ(a.uphill_accepted, b.uphill_accepted);
+}
+
+// ---- file format ----------------------------------------------------------
+
+ndr::AnnealCheckpoint awkward_checkpoint() {
+  ndr::AnnealCheckpoint ck;
+  ck.iteration = 1234;
+  // Values chosen to break any decimal round-trip: %a must carry them.
+  ck.temperature = 0.1 * 3.0e-15;
+  ck.cooling = 0.99973210431532987;
+  ck.rng_state = 0xdeadbeefcafef00dULL;
+  ck.accepted_since_refresh = 17;
+  ck.proposed = 1234;
+  ck.accepted = 600;
+  ck.rejected = 634;
+  ck.uphill_accepted = 41;
+  ck.delta_updates = 555;
+  ck.full_rebuilds = 2;
+  ck.start_cap = 4.6366462191032524e-12;
+  ck.start_feasible = true;
+  ck.assignment = {0, 3, 1, 2, 0, 1};
+  ck.best = {0, 2, 1, 2, 0, 1};
+  ck.best_cap = 4.0366462191032524e-12;
+  return ck;
+}
+
+TEST(CheckpointFile, SaveLoadRoundTripsEveryFieldExactly) {
+  const std::string path = temp_path("ck_roundtrip.txt");
+  const ndr::AnnealCheckpoint ck = awkward_checkpoint();
+  const std::uint64_t fp = checkpoint_fingerprint(6, 4, 7, 2000);
+  ASSERT_TRUE(save_checkpoint(path, ck, fp).ok());
+
+  common::Result<ndr::AnnealCheckpoint> r = load_checkpoint(path, fp);
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  const ndr::AnnealCheckpoint& got = r.value();
+  EXPECT_EQ(got.iteration, ck.iteration);
+  EXPECT_EQ(got.temperature, ck.temperature);  // exact, not near.
+  EXPECT_EQ(got.cooling, ck.cooling);
+  EXPECT_EQ(got.rng_state, ck.rng_state);
+  EXPECT_EQ(got.accepted_since_refresh, ck.accepted_since_refresh);
+  EXPECT_EQ(got.proposed, ck.proposed);
+  EXPECT_EQ(got.accepted, ck.accepted);
+  EXPECT_EQ(got.rejected, ck.rejected);
+  EXPECT_EQ(got.uphill_accepted, ck.uphill_accepted);
+  EXPECT_EQ(got.delta_updates, ck.delta_updates);
+  EXPECT_EQ(got.full_rebuilds, ck.full_rebuilds);
+  EXPECT_EQ(got.start_cap, ck.start_cap);
+  EXPECT_EQ(got.start_feasible, ck.start_feasible);
+  EXPECT_EQ(got.assignment, ck.assignment);
+  EXPECT_EQ(got.best, ck.best);
+  EXPECT_EQ(got.best_cap, ck.best_cap);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointFile, FingerprintMismatchIsRejectedWithDiagnostic) {
+  const std::string path = temp_path("ck_fingerprint.txt");
+  const std::uint64_t fp = checkpoint_fingerprint(6, 4, 7, 2000);
+  ASSERT_TRUE(save_checkpoint(path, awkward_checkpoint(), fp).ok());
+  common::Result<ndr::AnnealCheckpoint> r =
+      load_checkpoint(path, checkpoint_fingerprint(6, 4, 8, 2000));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("different inputs"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointFile, MissingFileIsNotFound) {
+  common::Result<ndr::AnnealCheckpoint> r =
+      load_checkpoint(temp_path("ck_does_not_exist.txt"), 1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CheckpointFile, MalformedFilesAreRejected) {
+  const std::uint64_t fp = 99;
+  const auto write = [](const std::string& name, const std::string& text) {
+    const std::string path = temp_path(name);
+    std::ofstream(path) << text;
+    return path;
+  };
+  // Wrong magic.
+  std::string p = write("ck_bad_magic.txt", "not a checkpoint\n");
+  EXPECT_EQ(load_checkpoint(p, fp).status().code(),
+            StatusCode::kInvalidArgument);
+  std::remove(p.c_str());
+  // Unknown key.
+  p = write("ck_bad_key.txt",
+            "sndr.anneal_checkpoint/1\nfingerprint 99\nbogus 1\n");
+  EXPECT_EQ(load_checkpoint(p, fp).status().code(),
+            StatusCode::kInvalidArgument);
+  std::remove(p.c_str());
+  // Non-numeric value.
+  p = write("ck_bad_value.txt",
+            "sndr.anneal_checkpoint/1\nfingerprint 99\ntemperature oops\n");
+  EXPECT_EQ(load_checkpoint(p, fp).status().code(),
+            StatusCode::kInvalidArgument);
+  std::remove(p.c_str());
+  // Fingerprint present but assignment vectors missing.
+  p = write("ck_no_assignment.txt",
+            "sndr.anneal_checkpoint/1\nfingerprint 99\niteration 5\n");
+  EXPECT_EQ(load_checkpoint(p, fp).status().code(),
+            StatusCode::kInvalidArgument);
+  std::remove(p.c_str());
+}
+
+// ---- bitwise resume -------------------------------------------------------
+
+class CheckpointResumeFixture : public ::testing::Test {
+ protected:
+  test::Flow f = test::small_flow(128, 31);
+
+  ndr::AnnealOptions base_options() const {
+    ndr::AnnealOptions opt;
+    opt.iterations = 900;
+    opt.seed = 7;
+    return opt;
+  }
+};
+
+TEST_F(CheckpointResumeFixture, ResumeReproducesUninterruptedRunBitwise) {
+  const ndr::RuleAssignment blanket =
+      ndr::assign_all(f.nets, f.tech.rules.blanket_index());
+
+  // Reference run, snapshotting every 300 iterations along the way.
+  ndr::AnnealOptions opt = base_options();
+  std::vector<ndr::AnnealCheckpoint> snaps;
+  opt.checkpoint_interval = 300;
+  opt.checkpoint_sink = [&snaps](const ndr::AnnealCheckpoint& ck) {
+    snaps.push_back(ck);
+  };
+  const ndr::AnnealResult ref =
+      ndr::anneal_rules(f.cts.tree, f.design, f.tech, f.nets, blanket, opt);
+  ASSERT_EQ(snaps.size(), 3u);  // 300, 600, 900.
+  EXPECT_EQ(snaps.back().iteration, opt.iterations);
+
+  // Resuming from every mid-run snapshot converges to the same bits.
+  for (std::size_t i = 0; i + 1 < snaps.size(); ++i) {
+    ndr::AnnealOptions resume_opt = base_options();
+    resume_opt.resume = snaps[i];
+    const ndr::AnnealResult got = ndr::anneal_rules(
+        f.cts.tree, f.design, f.tech, f.nets, blanket, resume_opt);
+    expect_anneal_eq(ref, got);
+    EXPECT_EQ(ref.proposed, got.proposed);
+    EXPECT_EQ(ref.accepted, got.accepted);
+    EXPECT_EQ(ref.rejected, got.rejected);
+    EXPECT_EQ(ref.delta_updates, got.delta_updates);
+    EXPECT_EQ(ref.start_cap, got.start_cap);
+  }
+
+  // And a geometry budget on the resumed run still changes nothing.
+  ndr::AnnealOptions budget_opt = base_options();
+  budget_opt.resume = snaps[0];
+  budget_opt.geometry_budget_bytes = 64 * 1024;
+  const ndr::AnnealResult budgeted = ndr::anneal_rules(
+      f.cts.tree, f.design, f.tech, f.nets, blanket, budget_opt);
+  expect_anneal_eq(ref, budgeted);
+}
+
+TEST_F(CheckpointResumeFixture, ResumeThroughFileIsStillBitwise) {
+  const ndr::RuleAssignment blanket =
+      ndr::assign_all(f.nets, f.tech.rules.blanket_index());
+
+  ndr::AnnealOptions opt = base_options();
+  std::vector<ndr::AnnealCheckpoint> snaps;
+  opt.checkpoint_interval = 450;
+  opt.checkpoint_sink = [&snaps](const ndr::AnnealCheckpoint& ck) {
+    snaps.push_back(ck);
+  };
+  const ndr::AnnealResult ref =
+      ndr::anneal_rules(f.cts.tree, f.design, f.tech, f.nets, blanket, opt);
+  ASSERT_EQ(snaps.size(), 2u);
+
+  // Round-trip the mid-run snapshot through the text format: the resumed
+  // trajectory depends on temperature/rng bits surviving serialization.
+  const std::string path = temp_path("ck_resume_file.txt");
+  const std::uint64_t fp = checkpoint_fingerprint(
+      static_cast<int>(f.nets.size()),
+      static_cast<int>(f.tech.rules.size()), opt.seed, opt.iterations);
+  ASSERT_TRUE(save_checkpoint(path, snaps[0], fp).ok());
+  common::Result<ndr::AnnealCheckpoint> loaded = load_checkpoint(path, fp);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().to_string();
+
+  ndr::AnnealOptions resume_opt = base_options();
+  resume_opt.resume = std::move(loaded).value();
+  const ndr::AnnealResult got = ndr::anneal_rules(f.cts.tree, f.design, f.tech,
+                                             f.nets, blanket, resume_opt);
+  expect_anneal_eq(ref, got);
+  std::remove(path.c_str());
+}
+
+// ---- flow-level wiring ----------------------------------------------------
+
+TEST(FlowCheckpoint, ResumesAcrossSessionsFromCheckpointPath) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "sndr_ck_flow").string();
+  std::filesystem::remove_all(dir);
+
+  flow::FlowConfig config;
+  config.smart = true;
+  config.training_samples = 60;
+  config.anneal_iterations = 200;
+  config.checkpoint_interval = 80;
+  config.checkpoint_path = "anneal.ck";
+  config.results_dir = dir;
+
+  const auto run = [&config](flow::FlowResult& out) {
+    flow::Session session(config);
+    session.set_design(test::small_design(48, 1));
+    flow::Flow fl(session);
+    common::Result<flow::FlowResult> r = fl.run();
+    ASSERT_TRUE(r.ok()) << r.status().to_string();
+    out = std::move(r).value();
+  };
+
+  flow::FlowResult first;
+  run(first);
+  ASSERT_TRUE(first.anneal.has_value());
+  EXPECT_EQ(first.resumed_from_iteration, 0);
+  EXPECT_TRUE(std::filesystem::exists(config.output_path("anneal.ck")));
+
+  // Second session finds the completed run's checkpoint: it resumes at
+  // the final iteration (no annealing left) and lands on the same bits.
+  flow::FlowResult second;
+  run(second);
+  ASSERT_TRUE(second.anneal.has_value());
+  EXPECT_EQ(second.resumed_from_iteration, config.anneal_iterations);
+  expect_anneal_eq(*first.anneal, *second.anneal);
+
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace sndr

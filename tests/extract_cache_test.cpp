@@ -39,7 +39,6 @@ void expect_parasitics_identical(const extract::NetParasitics& a,
     EXPECT_EQ(na.occupancy, nb.occupancy);
   }
   EXPECT_EQ(a.load_rc_index, b.load_rc_index);
-  EXPECT_EQ(a.rc_index_of_tree_node, b.rc_index_of_tree_node);
   EXPECT_EQ(a.wirelength, b.wirelength);
   EXPECT_EQ(a.wire_cap_gnd, b.wire_cap_gnd);
   EXPECT_EQ(a.wire_cap_cpl, b.wire_cap_cpl);

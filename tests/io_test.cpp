@@ -1,10 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "extract/extractor.hpp"
+#include "io/line_reader.hpp"
 #include "io/spef.hpp"
 #include "io/svg.hpp"
 #include "test_util.hpp"
@@ -170,6 +175,116 @@ TEST_F(IoFixture, SvgFileIo) {
   std::ifstream f(path);
   EXPECT_TRUE(f.good());
   std::remove(path.c_str());
+}
+
+// --- Streaming line input (DESIGN.md §10) ---------------------------------
+// The design/SPEF readers see LineReader only through their round-trip
+// tests above; these pin the chunking machinery directly, with chunk sizes
+// tiny enough that every line crosses a read boundary.
+
+std::string write_temp(const std::string& body) {
+  const std::string path = "/tmp/sndr_line_reader_test.txt";
+  std::ofstream os(path, std::ios::binary);
+  os << body;
+  return path;
+}
+
+std::vector<std::string> drain(LineSource& src) {
+  std::vector<std::string> lines;
+  std::string_view line;
+  while (src.next(line)) lines.emplace_back(line);
+  return lines;
+}
+
+TEST(LineReaderTest, TinyChunksCompactAcrossBoundaries) {
+  const std::string path =
+      write_temp("alpha\nbeta gamma\n\ndelta epsilon zeta\nx\n");
+  const std::vector<std::string> want = {"alpha", "beta gamma", "",
+                                         "delta epsilon zeta", "x"};
+  // Chunk sizes straddling every line length: each forces the partial
+  // line at the boundary through the memmove-compaction path.
+  for (const std::size_t chunk : {1u, 2u, 3u, 7u, 16u}) {
+    LineReader reader(path, chunk);
+    ASSERT_TRUE(reader.ok());
+    EXPECT_EQ(drain(reader), want) << "chunk_bytes=" << chunk;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(LineReaderTest, LongLineGrowsBufferAndCrLfIsStripped) {
+  const std::string long_line(1000, 'q');
+  const std::string path =
+      write_temp("first\r\n" + long_line + "\r\nlast_no_newline");
+  LineReader reader(path, 16);  // buffer must grow ~64x for the long line.
+  ASSERT_TRUE(reader.ok());
+  const std::vector<std::string> lines = drain(reader);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "first");
+  EXPECT_EQ(lines[1], long_line);
+  // The final unterminated line is surfaced, not dropped.
+  EXPECT_EQ(lines[2], "last_no_newline");
+  std::remove(path.c_str());
+}
+
+TEST(LineReaderTest, MissingFileReportsNotOkAndEof) {
+  LineReader reader("/nonexistent/sndr_line_reader.txt");
+  EXPECT_FALSE(reader.ok());
+  std::string_view line;
+  EXPECT_FALSE(reader.next(line));
+}
+
+TEST(LineReaderTest, IstreamSourceMatchesFileReader) {
+  const std::string body = "a b c\n1 2 3\ntail";
+  const std::string path = write_temp(body);
+  LineReader file_reader(path, 4);
+  std::istringstream is(body);
+  IstreamLineSource stream_reader(is);
+  EXPECT_EQ(drain(file_reader), drain(stream_reader));
+  std::remove(path.c_str());
+}
+
+TEST(TokenizerTest, SplitsOnAnyWhitespaceRun) {
+  Tokenizer tok("  one\ttwo   three ");
+  std::string_view t;
+  ASSERT_TRUE(tok.next(t));
+  EXPECT_EQ(t, "one");
+  ASSERT_TRUE(tok.next(t));
+  EXPECT_EQ(t, "two");
+  EXPECT_FALSE(tok.exhausted());
+  ASSERT_TRUE(tok.next(t));
+  EXPECT_EQ(t, "three");
+  EXPECT_TRUE(tok.exhausted());
+  EXPECT_FALSE(tok.next(t));
+}
+
+TEST(TokenizerTest, NumericParsingConsumesWholeTokens) {
+  Tokenizer tok("4 -2.5e3 +7 +0.25 1.5x nan_fallthrough");
+  int i = 0;
+  double d = 0.0;
+  EXPECT_TRUE(tok.next_int(i));
+  EXPECT_EQ(i, 4);
+  EXPECT_TRUE(tok.next_double(d));
+  EXPECT_EQ(d, -2.5e3);
+  // Leading '+' is accepted even though bare from_chars rejects it.
+  EXPECT_TRUE(tok.next_int(i));
+  EXPECT_EQ(i, 7);
+  EXPECT_TRUE(tok.next_double(d));
+  EXPECT_EQ(d, 0.25);
+  // "1.5x" must NOT parse as 1.5 — trailing junk is a typo, not a number.
+  EXPECT_FALSE(tok.next_double(d));
+  EXPECT_FALSE(tok.next_double(d));  // non-numeric word fails too.
+  EXPECT_TRUE(tok.exhausted());
+  // Exhausted lines report failure, not stale values.
+  EXPECT_FALSE(tok.next_int(i));
+  EXPECT_FALSE(tok.next_double(d));
+}
+
+TEST(TokenizerTest, RestReturnsUntrimmedRemainder) {
+  Tokenizer tok("*DESIGN \"top level\"");
+  std::string_view t;
+  ASSERT_TRUE(tok.next(t));
+  EXPECT_EQ(t, "*DESIGN");
+  EXPECT_EQ(tok.rest(), " \"top level\"");
 }
 
 }  // namespace

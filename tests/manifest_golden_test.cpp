@@ -66,6 +66,7 @@ std::string normalize(const std::string& manifest) {
     // (per-thread arenas, block-doubling growth); pin presence, not value.
     normalize_value(line, "arena.capacity_bytes", "<bytes>");
     normalize_value(line, "arena.used_bytes", "<bytes>");
+    normalize_value(line, "process.peak_rss_bytes", "<bytes>");
     out << line << "\n";
   }
   return out.str();

@@ -7,9 +7,13 @@
 //   sndr run [--config flow.conf] --design design.txt [--tech tech.txt]
 //            [--spef f] [--svg f] [--csv f] [--no-smart] [--anneal N]
 //            [--corners] [--seed S] [--threads N] [--results-dir d]
+//            [--memory-budget BYTES] [--checkpoint f]
 //       Full staged flow (load, cts, route, nets, extract, optimize,
 //       anneal?, corners?, report) on a flow::Session; optional artifact
 //       exports land under --results-dir (default: results/).
+//       --memory-budget caps the geometry caches (bit-identical results,
+//       bounded peak memory); --checkpoint makes the anneal stage
+//       resumable across runs.
 //
 //   sndr eval [--config flow.conf] --design design.txt --rule 2W2S
 //             [--tech tech.txt] [--threads N]
@@ -92,7 +96,8 @@ int usage() {
       "  sndr run  [--config f] --design design.txt [--tech tech.txt]\n"
       "            [--spef f] [--svg f] [--csv f] [--no-smart]\n"
       "            [--anneal N] [--corners] [--seed S] [--threads N]\n"
-      "            [--results-dir d]\n"
+      "            [--results-dir d] [--memory-budget BYTES]\n"
+      "            [--checkpoint f] [--checkpoint-interval N]\n"
       "  sndr eval [--config f] --design design.txt --rule NAME\n"
       "            [--tech tech.txt] [--threads N]\n"
       "\n"
@@ -106,6 +111,15 @@ int usage() {
       "  --threads N: evaluation-engine parallelism (default: hardware\n"
       "               concurrency; 0 = serial). Results are identical at\n"
       "               any thread count.\n"
+      "  --memory-budget B: byte budget for the geometry caches (k/M/G\n"
+      "               suffixes accepted, e.g. 256M; 0 = unbounded). Under\n"
+      "               a budget cold per-net geometry is LRU-evicted and\n"
+      "               rebuilt on demand — results stay bit-identical, only\n"
+      "               peak memory changes. See DESIGN.md `Memory budget`.\n"
+      "  --checkpoint f: snapshot anneal progress to f every\n"
+      "               --checkpoint-interval iterations (default 5000); a\n"
+      "               rerun with the same inputs resumes from the snapshot\n"
+      "               bit-identically. Relative f lands in --results-dir.\n"
       "  --results-dir d: directory for generated artifacts (default\n"
       "               `results`); relative --spef/--svg/--csv/--metrics-out\n"
       "               /--trace-out paths resolve under it.\n"
