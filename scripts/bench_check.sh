@@ -111,10 +111,21 @@ else
   [[ "$ok" == "OK" ]] || status=1
 fi
 
-# Host size next to the thread-ladder rungs (informational): on a 1-CPU
-# container the 2/4-thread points are oversubscription, not speedups.
+# Host size next to the thread-ladder rungs: on a 1-CPU container the
+# 2/4-thread points are oversubscription, not speedups. The value itself
+# is informational, but a missing key means the bench and this gate have
+# drifted apart — name the key like the gated stages do instead of
+# silently skipping the line.
 host_cpus="$(stage_seconds "$fresh" host_cpus)"
-[[ -n "$host_cpus" ]] && echo "bench_check: info  host_cpus = $host_cpus"
+if [[ -n "$host_cpus" ]]; then
+  echo "bench_check: info  host_cpus = $host_cpus"
+else
+  echo "bench_check: FAIL  fresh run did not record" \
+       "'bench.micro_kernels.host_cpus.t1.seconds' in $fresh (bench and gate" \
+       "out of sync? refresh by running build/bench/bench_micro_kernels from" \
+       "the repo root)"
+  status=1
+fi
 
 # Observability overhead on the hot kernels, as recorded by this run
 # (informational: the <=2% budget is pinned by the bench itself; noise on
@@ -209,7 +220,59 @@ else
   [[ -n "$rss" ]] && echo "bench_check: info  r10k peak_rss_bytes = $rss (not gated: monotonic per process)"
 fi
 
+# --- Gated domains ---------------------------------------------------------
+# Gates the multi-domain invariants recorded in BENCH_manifest.domains.json
+# (bench/bench_domains.cpp): the activity-weighted objective must actually
+# move the rule assignment on the gated workload, weighted switched cap
+# must sit below raw, and the inter-clock pair report must be present and
+# violation-free. All are determinism bits, not timings, so the committed
+# baseline and a fresh run are both gated with no tolerance.
+domains_baseline="$repo/BENCH_manifest.domains.json"
+if [[ ! -f "$domains_baseline" ]]; then
+  echo "bench_check: FAIL  missing baseline $domains_baseline — run" \
+       "build/bench/bench_domains from the repo root"
+  status=1
+else
+  cmake --build "$repo/build" -j "$jobs" --target bench_domains
+  (cd "$workdir" && "$repo/build/bench/bench_domains" >/dev/null)
+  domains_fresh="$workdir/BENCH_manifest.domains.json"
+
+  check_domain_bit() {  # <file> <gauge> <want-prefix> <which-run>
+    local v
+    v="$(manifest_gauge "$1" "$2")"
+    if [[ -z "$v" ]]; then
+      echo "bench_check: FAIL  '$2' not found in $1 — refresh by running" \
+           "build/bench/bench_domains from the repo root"
+      status=1
+    elif [[ "$v" == $3* ]]; then
+      echo "bench_check: OK    $2 = $v ($4)"
+    else
+      echo "bench_check: FAIL  $2 = $v (want $3) ($4)"
+      status=1
+    fi
+  }
+  for f in "$domains_baseline" "$domains_fresh"; do
+    which="committed"; [[ "$f" == "$domains_fresh" ]] && which="fresh"
+    check_domain_bit "$f" "bench.domains.g96.activity_changes_assignment" 1 "$which"
+    check_domain_bit "$f" "bench.domains.g512.inter_clock_violations" 0 "$which"
+    check_domain_bit "$f" "bench.domains.g512.feasible" 1 "$which"
+    ratio="$(manifest_gauge "$f" "bench.domains.g512.weighted_over_raw")"
+    if [[ -z "$ratio" ]]; then
+      echo "bench_check: FAIL  'bench.domains.g512.weighted_over_raw' not" \
+           "found in $f — refresh by running build/bench/bench_domains" \
+           "from the repo root"
+      status=1
+    else
+      verdict="$(awk -v r="$ratio" 'BEGIN { print (r > 0 && r < 1) ? "OK " : "FAIL" }')"
+      echo "bench_check: $verdict  g512 weighted_over_raw = $ratio (want in (0,1)) ($which)"
+      [[ "$verdict" == "OK " ]] || status=1
+    fi
+  done
+  pairs="$(manifest_gauge "$domains_fresh" "bench.domains.g512.inter_clock_pairs")"
+  [[ -n "$pairs" ]] && echo "bench_check: info  g512 inter_clock_pairs = $pairs"
+fi
+
 if [[ "$status" -ne 0 ]]; then
-  echo "bench_check: kernel or scale-ladder regression beyond ${tolerance}x tolerance" >&2
+  echo "bench_check: kernel, scale-ladder, or domain regression beyond the gates" >&2
 fi
 exit "$status"

@@ -22,7 +22,8 @@ echo "== tier1: ThreadSanitizer build + parallel/obs/flow tests =="
 cmake -B "$repo/build-tsan" -S "$repo" -DSNDR_SANITIZE=thread >/dev/null
 cmake --build "$repo/build-tsan" -j "$jobs" --target parallel_test \
   --target obs_test --target manifest_golden_test --target flow_test \
-  --target delta_timing_test --target net_batch_test
+  --target delta_timing_test --target net_batch_test \
+  --target scenario_fuzz_test
 "$repo/build-tsan/tests/parallel_test"
 "$repo/build-tsan/tests/obs_test"
 "$repo/build-tsan/tests/manifest_golden_test"
@@ -31,13 +32,20 @@ cmake --build "$repo/build-tsan" -j "$jobs" --target parallel_test \
 # Parallel warm_rows fills disjoint memo rows; churn pins 1-vs-8 threads.
 "$repo/build-tsan/tests/delta_timing_test"
 "$repo/build-tsan/tests/net_batch_test"
+# Property fuzz at reduced depth: every scenario runs the 1-vs-8-thread
+# bitwise contracts, so a handful of scenarios under TSan covers the
+# multi-domain evaluate/optimize/anneal paths (SNDR_FUZZ_ITERS dials it;
+# a failure prints the scenario seed for SNDR_FUZZ_SEED repro).
+SNDR_FUZZ_ITERS="${SNDR_FUZZ_ITERS_TSAN:-4}" \
+  "$repo/build-tsan/tests/scenario_fuzz_test"
 
 echo "== tier1: AddressSanitizer build + extraction/obs tests =="
 cmake -B "$repo/build-asan" -S "$repo" -DSNDR_SANITIZE=address >/dev/null
 cmake --build "$repo/build-asan" -j "$jobs" --target extract_test \
   --target extract_cache_test --target batch_kernel_test --target obs_test \
   --target manifest_golden_test --target net_batch_test \
-  --target geometry_budget_test --target scale_smoke_test
+  --target geometry_budget_test --target scale_smoke_test \
+  --target scenario_fuzz_test
 "$repo/build-asan/tests/extract_test"
 "$repo/build-asan/tests/extract_cache_test"
 # Scale smoke: a 10k-net generated tree plus budgeted caches under heavy
@@ -50,12 +58,17 @@ cmake --build "$repo/build-asan" -j "$jobs" --target extract_test \
 "$repo/build-asan/tests/net_batch_test"
 "$repo/build-asan/tests/obs_test"
 "$repo/build-asan/tests/manifest_golden_test"
+# Property fuzz at reduced depth: budgeted GeometryCache eviction and the
+# domain workload generator allocate hard; ASan guards their reuse paths.
+SNDR_FUZZ_ITERS="${SNDR_FUZZ_ITERS_ASAN:-4}" \
+  "$repo/build-asan/tests/scenario_fuzz_test"
 
 echo "== tier1: UndefinedBehaviorSanitizer build + flow/io tests =="
 cmake -B "$repo/build-ubsan" -S "$repo" -DSNDR_SANITIZE=undefined >/dev/null
 cmake --build "$repo/build-ubsan" -j "$jobs" --target flow_test \
   --target io_test --target design_io_test --target batch_kernel_test \
-  --target delta_timing_test --target checkpoint_test
+  --target delta_timing_test --target checkpoint_test \
+  --target scenario_fuzz_test
 "$repo/build-ubsan/tests/flow_test"
 "$repo/build-ubsan/tests/io_test"
 "$repo/build-ubsan/tests/design_io_test"
@@ -65,5 +78,9 @@ cmake --build "$repo/build-ubsan" -j "$jobs" --target flow_test \
 "$repo/build-ubsan/tests/batch_kernel_test"
 # Subtree replay indexing (flattened load offsets) under UBSan.
 "$repo/build-ubsan/tests/delta_timing_test"
+# Property fuzz at reduced depth: domain-weighted power/EM arithmetic and
+# the checkpoint corruption property (strtod hexfloat paths) under UBSan.
+SNDR_FUZZ_ITERS="${SNDR_FUZZ_ITERS_UBSAN:-4}" \
+  "$repo/build-ubsan/tests/scenario_fuzz_test"
 
 echo "tier1: OK"

@@ -1,0 +1,91 @@
+#include "cts/domains.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+namespace sndr::cts {
+
+netlist::ClockDomainMap derive_domains(
+    const netlist::ClockTree& tree,
+    const std::vector<netlist::DomainAnnotation>& annotations) {
+  using netlist::ClockDomain;
+  using netlist::DomainAnnotation;
+  using netlist::DomainElement;
+
+  if (tree.empty()) {
+    throw std::invalid_argument("derive_domains: empty tree");
+  }
+
+  std::unordered_map<int, const DomainAnnotation*> anchor_at;
+  anchor_at.reserve(annotations.size());
+  for (const DomainAnnotation& a : annotations) {
+    if (a.node < 0 || a.node >= tree.size()) {
+      throw std::invalid_argument("derive_domains: annotation node " +
+                                  std::to_string(a.node) + " out of range");
+    }
+    if (a.node == tree.root() || !tree.node(a.node).is_driver()) {
+      throw std::invalid_argument(
+          "derive_domains: annotation node " + std::to_string(a.node) +
+          " must be a non-root buffer");
+    }
+    if (a.element == DomainElement::kRoot) {
+      throw std::invalid_argument(
+          "derive_domains: kRoot is reserved for domain 0");
+    }
+    if (a.divide < 1) {
+      throw std::invalid_argument("derive_domains: divide must be >= 1");
+    }
+    if (!(a.duty > 0.0) || a.duty > 1.0) {
+      throw std::invalid_argument("derive_domains: duty must be in (0, 1]");
+    }
+    if (!anchor_at.emplace(a.node, &a).second) {
+      throw std::invalid_argument("derive_domains: duplicate anchor at node " +
+                                  std::to_string(a.node));
+    }
+  }
+
+  netlist::ClockDomainMap map;
+  ClockDomain root;
+  root.anchor = tree.root();
+  map.add_domain(root);
+
+  std::vector<int> dom_of_node(static_cast<std::size_t>(tree.size()), 0);
+  for (const int v : tree.topological_order()) {
+    const netlist::TreeNode& n = tree.node(v);
+    int dom = n.parent < 0 ? 0 : dom_of_node[n.parent];
+    const auto it = anchor_at.find(v);
+    if (it != anchor_at.end()) {
+      const DomainAnnotation& a = *it->second;
+      const ClockDomain& up = map.domain(dom);
+      ClockDomain d;
+      d.element = a.element;
+      d.anchor = v;
+      d.parent = dom;
+      d.divisor = up.divisor * a.divide;
+      d.activity = up.activity * a.duty;
+      d.inverted = up.inverted != (a.element == DomainElement::kInverter);
+      d.name = a.name;
+      if (d.name.empty()) {
+        d.name = "d" + std::to_string(map.size()) + "_" +
+                 netlist::to_string(a.element);
+      }
+      dom = map.add_domain(std::move(d));
+    }
+    dom_of_node[v] = dom;
+  }
+
+  std::vector<int> sinks(static_cast<std::size_t>(map.size()), 0);
+  for (int v = 0; v < tree.size(); ++v) {
+    if (tree.node(v).kind == netlist::NodeKind::kSink) {
+      ++sinks[dom_of_node[v]];
+    }
+  }
+  map.set_domain_of_node(std::move(dom_of_node));
+  for (int d = 0; d < map.size(); ++d) map.set_domain_sinks(d, sinks[d]);
+
+  map.validate(tree.size());
+  return map;
+}
+
+}  // namespace sndr::cts

@@ -1,0 +1,39 @@
+// Deriving the per-tree ClockDomainMap from element annotations.
+//
+// Domain elements (mux / ICG / divider / inverter) are marks on buffer
+// nodes of a built ClockTree; everything below an anchor — until the next
+// anchor — belongs to that element's domain. derive_domains() walks the
+// tree once in topological order, accumulating divisor / activity /
+// polarity down every root path, and produces the ClockDomainMap the rest
+// of the stack (power weighting, EM scaling, search energy, inter-clock
+// signoff) consumes. The derivation is pure: same tree + same annotations
+// -> bitwise-identical map, on any machine and at any thread count.
+#pragma once
+
+#include <vector>
+
+#include "netlist/clock_domains.hpp"
+#include "netlist/clock_tree.hpp"
+
+namespace sndr::cts {
+
+/// Builds the domain map of `tree` under `annotations`.
+///
+/// Rules:
+///  * every annotation must mark a distinct non-root driver (buffer) node;
+///  * cumulative divisor multiplies the annotation's `divide` down the
+///    root path; cumulative activity multiplies `duty`; an inverter flips
+///    cumulative polarity (all elements carry their defaults for the
+///    parameters that don't apply to them, so a mux is rate-neutral);
+///  * with no annotations the result is the single-domain (disabled) map:
+///    every weighting hook answers exactly 1.0.
+///
+/// Sink counts per domain are filled in. The returned map passes
+/// ClockDomainMap::validate(tree.size()). Throws std::invalid_argument on
+/// malformed annotations (bad node, duplicate anchor, divide < 1, duty
+/// outside (0, 1]).
+netlist::ClockDomainMap derive_domains(
+    const netlist::ClockTree& tree,
+    const std::vector<netlist::DomainAnnotation>& annotations);
+
+}  // namespace sndr::cts

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
 
 namespace sndr::flow {
@@ -103,7 +104,13 @@ common::Result<ndr::AnnealCheckpoint> load_checkpoint(
     return common::Status::NotFound("no checkpoint at " + path);
   }
   int line_no = 0;
+  // Malformed CONTENT is a parse error (path:line: message); a checkpoint
+  // for different inputs is well-formed but unusable — invalid argument.
   const auto bad = [&](const std::string& what) {
+    return common::Status::ParseFailure(
+        path + ":" + std::to_string(line_no) + ": " + what);
+  };
+  const auto mismatch = [&](const std::string& what) {
     return common::Status::InvalidArgument(
         path + ":" + std::to_string(line_no) + ": " + what);
   };
@@ -116,21 +123,26 @@ common::Result<ndr::AnnealCheckpoint> load_checkpoint(
 
   ndr::AnnealCheckpoint ck;
   bool saw_fingerprint = false;
+  std::set<std::string> seen;
   while (std::getline(f, line)) {
     ++line_no;
     if (line.empty()) continue;
     std::istringstream is(line);
     std::string key;
     is >> key;
+    if (!seen.insert(key).second) {
+      return bad("duplicate field '" + key + "'");
+    }
     const auto want = [&](auto& out) { return static_cast<bool>(is >> out); };
     bool ok = true;
     if (key == "fingerprint") {
       std::uint64_t fp = 0;
       ok = want(fp);
       if (ok && fp != fingerprint) {
-        return bad("checkpoint is for different inputs (fingerprint " +
-                   std::to_string(fp) + " != " + std::to_string(fingerprint) +
-                   "); delete it to start over");
+        return mismatch(
+            "checkpoint is for different inputs (fingerprint " +
+            std::to_string(fp) + " != " + std::to_string(fingerprint) +
+            "); delete it to start over");
       }
       saw_fingerprint = ok;
     } else if (key == "iteration") {
@@ -172,6 +184,13 @@ common::Result<ndr::AnnealCheckpoint> load_checkpoint(
       return bad("unknown field '" + key + "'");
     }
     if (!ok) return bad("bad value for '" + key + "'");
+    // Scalar fields are exactly `key value`; anything after the value
+    // (the classic truncation-then-append corruption) is rejected rather
+    // than silently dropped. Vector fields consume the whole line above.
+    std::string extra;
+    if (is >> extra) {
+      return bad("trailing junk '" + extra + "' after '" + key + "'");
+    }
   }
   if (!saw_fingerprint) return bad("missing fingerprint");
   if (ck.assignment.empty() || ck.assignment.size() != ck.best.size()) {

@@ -138,6 +138,9 @@ const std::map<std::string, Setter>& setters() {
       {"anneal_t_end_frac", [](FlowConfig& c, const std::string& v) {
          return parse_double(v, c.anneal_t_end_frac);
        }},
+      {"prewarm", [](FlowConfig& c, const std::string& v) {
+         return parse_bool(v, c.prewarm);
+       }},
       {"anneal_full_refresh_interval",
        [](FlowConfig& c, const std::string& v) {
          return parse_int(v, c.anneal_full_refresh_interval) &&
@@ -269,6 +272,7 @@ ndr::AnnealOptions FlowConfig::anneal_options() const {
   a.em_margin = em_margin;
   a.skew_margin = skew_margin;
   a.threads = threads;
+  a.prewarm = prewarm;
   a.geometry_budget_bytes = memory_budget_bytes;
   return a;
 }

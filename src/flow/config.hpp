@@ -67,6 +67,10 @@ struct FlowConfig {
   double anneal_t_start_frac = 0.5;
   double anneal_t_end_frac = 0.005;
   int anneal_full_refresh_interval = 512;
+  /// Batched exact-eval prewarm of the anneal memo (AnnealOptions::
+  /// prewarm). Results are bitwise identical either way; false measures
+  /// the lazy per-net path.
+  bool prewarm = true;
 
   // Outputs. Relative artifact paths resolve under results_dir.
   std::string results_dir = "results";

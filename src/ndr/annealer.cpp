@@ -37,7 +37,10 @@ AnnealResult anneal_rules(const netlist::ClockTree& tree,
     result.start_cap = options.resume->start_cap;
     start_feasible = options.resume->start_feasible;
   } else {
-    result.start_cap = state.total_cap();
+    // Activity-weighted energy everywhere the annealer ranks states; the
+    // weights are exactly 1.0 without clock domains, keeping caps (and
+    // checkpoints) bitwise identical to the single-domain world.
+    result.start_cap = state.total_energy();
     start_feasible = ev.feasible();
   }
 
@@ -55,7 +58,7 @@ AnnealResult anneal_rules(const netlist::ClockTree& tree,
   const int n_nets = nets.size();
   const int n_rules = tech.rules.size();
   const double mean_cap =
-      state.total_cap() / std::max(1, n_nets);
+      state.total_energy() / std::max(1, n_nets);
   const double t_start = options.t_start_frac * mean_cap;
   const double t_end = std::max(options.t_end_frac * mean_cap, 1e-21);
   double cooling =
@@ -65,7 +68,7 @@ AnnealResult anneal_rules(const netlist::ClockTree& tree,
 
   // Track the best feasible assignment seen.
   RuleAssignment best = start;
-  double best_cap = state.total_cap();
+  double best_cap = state.total_energy();
 
   SNDR_GAUGE_SET("anneal.t_start", t_start);
   SNDR_GAUGE_SET("anneal.t_end", t_end);
@@ -103,7 +106,13 @@ AnnealResult anneal_rules(const netlist::ClockTree& tree,
       ++result.proposed;
 
       const NetExact exact = state.exact_eval(net_id, rule);
-      const double d_cap = exact.cap_switched - state.net_cap(net_id);
+      // Energy delta: switched cap weighted by the net's domain toggle
+      // rate — gated/divided subtrees are proportionally cheaper, so the
+      // Metropolis criterion spends its uphill budget where power really
+      // lives. (a - b) * 1.0 == a - b, so the trajectory is bitwise
+      // unchanged when domains are disabled.
+      const double d_cap = (exact.cap_switched - state.net_cap(net_id)) *
+                           state.net_weight(net_id);
       if (d_cap > 0.0) {
         const double p = std::exp(-d_cap / temperature);
         if (rng.uniform() >= p) {
@@ -131,9 +140,9 @@ AnnealResult anneal_rules(const netlist::ClockTree& tree,
       ++result.delta_updates;
       if (d_cap > 0.0) ++result.uphill_accepted;
 
-      if (state.total_cap() < best_cap) {
+      if (state.total_energy() < best_cap) {
         best = state.assignment();
-        best_cap = state.total_cap();
+        best_cap = state.total_energy();
       }
       if (++accepted_since_refresh >= options.full_refresh_interval) {
         accepted_since_refresh = 0;
@@ -183,7 +192,7 @@ AnnealResult anneal_rules(const netlist::ClockTree& tree,
     result.final_eval = evaluate(tree, design, tech, nets, start,
                                  options.analysis, geometry);
   }
-  result.end_cap = result.final_eval.power.switched_cap;
+  result.end_cap = result.final_eval.power.weighted_switched_cap;
   result.exact_cache_hits = state.exact_cache_hits();
   result.exact_cache_misses = state.exact_cache_misses();
   state.flush_metrics();

@@ -7,7 +7,9 @@
 // to squeeze the last fraction of a percent when runtime is free.
 //
 // Moves are single-net rule changes validated with exact per-net
-// evaluation; energy is the total switched capacitance. Uphill moves are
+// evaluation; energy is the total ACTIVITY-WEIGHTED switched capacitance
+// (per-net toggle weights from design.clock_domains; all 1.0 — and the
+// trajectory bitwise unchanged — without domains). Uphill moves are
 // accepted with the Metropolis criterion on a geometric cooling schedule.
 // Infeasible moves are never accepted, so every intermediate state remains
 // signoff-clean (up to the incremental approximations, which a final full
@@ -100,8 +102,8 @@ struct AnnealResult {
   /// (every full_refresh_interval accepted moves).
   int delta_updates = 0;
   int full_rebuilds = 0;
-  double start_cap = 0.0;  ///< F, switched cap of the input assignment.
-  double end_cap = 0.0;    ///< F.
+  double start_cap = 0.0;  ///< F, activity-weighted switched cap at start.
+  double end_cap = 0.0;    ///< F, activity-weighted (== raw w/o domains).
 
   /// exact_eval memo-cache counters (the annealer's dominant cost).
   std::int64_t exact_cache_hits = 0;

@@ -63,6 +63,13 @@ AssignmentState::AssignmentState(const netlist::ClockTree& tree,
                       static_cast<std::size_t>(n_rules_));
   ctx_gen_.assign(n_nets, 1);
 
+  net_weight_.assign(n_nets, 1.0);
+  net_em_scale_.assign(n_nets, 1.0);
+  for (const netlist::Net& net : nets.nets) {
+    net_weight_[net.id] = design.clock_domains.node_toggle_weight(net.driver);
+    net_em_scale_[net.id] = design.clock_domains.node_em_scale(net.driver);
+  }
+
   nets_state_.resize(n_nets);
   for (const netlist::Net& net : nets.nets) {
     NetState& st = nets_state_[net.id];
@@ -156,10 +163,12 @@ void AssignmentState::rebuild(const RuleAssignment& assignment,
   delta_.rebuild(ev.parasitics, ev.timing);
 
   total_cap_ = 0.0;
+  total_energy_ = 0.0;
   for (const netlist::Net& net : nets_->nets) {
     NetState& st = nets_state_[net.id];
     st.cap = ev.power.net_switched_cap[net.id];
     total_cap_ += st.cap;
+    total_energy_ += net_weight_[net.id] * st.cap;
     st.sigma = ev.variation.net_sigma[net.id];
     st.xtalk = ev.variation.net_xtalk[net.id];
     const double driver_res =
@@ -193,7 +202,8 @@ bool AssignmentState::check_move(int net_id, int rule_idx,
       c.max_slew * (1.0 - margins.slew)) {
     return false;
   }
-  if (net_em_bound(st.summary, *tech_, rule, c.clock_freq) >
+  if (net_em_bound(st.summary, *tech_, rule, c.clock_freq) *
+          net_em_scale_[net_id] >
       tech_->clock_layer.em_jmax * (1.0 - margins.em)) {
     return false;
   }
@@ -288,8 +298,10 @@ void AssignmentState::apply_move(int net_id, int rule_idx,
   latency_sum_ = std::accumulate(sink_latency_.begin(), sink_latency_.end(),
                                  0.0);
   total_cap_ = 0.0;
+  total_energy_ = 0.0;
   for (const netlist::Net& net : nets_->nets) {
     total_cap_ += nets_state_[net.id].cap;
+    total_energy_ += net_weight_[net.id] * nets_state_[net.id].cap;
   }
 }
 
@@ -369,6 +381,9 @@ void AssignmentState::warm_rows(const std::vector<int>& net_ids) const {
                 exact_cache_[static_cast<std::size_t>(id) * n_rules_ + r];
             er.exact = out[i * static_cast<std::size_t>(n_rules_) +
                            static_cast<std::size_t>(r)];
+            // Clock-domain RMS scaling, applied at memo-fill time (see
+            // exact_eval); x * 1.0 keeps the neutral case bit-identical.
+            er.exact.em_peak *= net_em_scale_[id];
             er.gen = gen;
           }
         }
@@ -415,6 +430,12 @@ NetExact AssignmentState::exact_eval(int net_id, int rule_idx) const {
     ExactCacheEntry& er =
         exact_cache_[static_cast<std::size_t>(net_id) * n_rules_ + r];
     er.exact = row[static_cast<std::size_t>(r)];
+    // The kernels evaluate EM at the root clock rate; the net's domain
+    // scale is applied here, once, as the row is memoized — so every
+    // consumer (greedy feasibility, annealer vetoes, repair) sees the
+    // same scaled density analyze_em reports. Neutral scale == 1.0 keeps
+    // the single-domain world bit-identical.
+    er.exact.em_peak *= net_em_scale_[net_id];
     er.gen = gen;
   }
   return e.exact;

@@ -48,10 +48,21 @@ class AssignmentState {
   const NetSummary& summary(int net_id) const {
     return nets_state_[net_id].summary;
   }
-  /// Current switched cap of a net under its assigned rule.
+  /// Current switched cap of a net under its assigned rule (raw).
   double net_cap(int net_id) const { return nets_state_[net_id].cap; }
-  /// Total switched capacitance (the optimization energy).
+  /// Total raw switched capacitance.
   double total_cap() const { return total_cap_; }
+
+  /// Clock-domain toggle weight of a net (1.0 in the single-domain world).
+  double net_weight(int net_id) const { return net_weight_[net_id]; }
+  /// Activity-weighted switched cap of a net — the optimization energy
+  /// term. Bitwise equal to net_cap() when domains are disabled.
+  double net_energy(int net_id) const {
+    return net_weight_[net_id] * nets_state_[net_id].cap;
+  }
+  /// Total activity-weighted switched capacitance (the search energy);
+  /// bitwise equal to total_cap() when domains are disabled.
+  double total_energy() const { return total_energy_; }
 
   /// Transition at the loads of `net_id` if its wire step slew were `step`.
   double slew_at_loads(int net_id, double step_slew) const;
@@ -207,8 +218,16 @@ class AssignmentState {
   std::vector<double> sink_xtalk_;
   std::vector<double> win_lo_;  ///< raw windows (no margin).
   std::vector<double> win_hi_;
+  /// Per-net clock-domain rate factors (clock_domains.hpp), all exactly
+  /// 1.0 when domains are disabled: `net_weight_` scales switched cap in
+  /// the search energy; `net_em_scale_` post-scales every EM density the
+  /// exact evaluators produce (applied at memo-fill time so cached rows,
+  /// check_move bounds, and analyze_em agree bitwise).
+  std::vector<double> net_weight_;
+  std::vector<double> net_em_scale_;
   double latency_sum_ = 0.0;
   double total_cap_ = 0.0;
+  double total_energy_ = 0.0;  ///< sum of net_weight_[i] * cap_i.
   netlist::RoutingUsage usage_;
 };
 

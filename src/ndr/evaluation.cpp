@@ -63,6 +63,18 @@ FlowEvaluation finish_evaluation(const netlist::ClockTree& tree,
   ev.slew_violations = ev.timing.slew_violations(c.max_slew);
   ev.uncertainty_violations = ev.variation.violations(c.max_uncertainty);
   ev.em_violations = ev.em.violations();
+  // Inter-clock (domain-pair) signoff; a disabled map returns an empty
+  // report with zero violations, leaving single-domain results untouched.
+  ev.inter_clock =
+      report::check_inter_clock(tree, design, ev.timing, ev.variation);
+  ev.inter_clock_violations = ev.inter_clock.violations;
+  if (ev.inter_clock.enabled) {
+    SNDR_GAUGE_SET("ndr.inter_clock.pairs",
+                   static_cast<double>(ev.inter_clock.pairs.size()));
+    SNDR_GAUGE_SET("ndr.inter_clock.worst_skew", ev.inter_clock.worst_skew);
+    SNDR_GAUGE_SET("ndr.inter_clock.violations",
+                   static_cast<double>(ev.inter_clock.violations));
+  }
   if (design.useful_skew.enabled()) {
     // Useful-skew mode: per-sink windows around the mean latency replace
     // the global skew bound.

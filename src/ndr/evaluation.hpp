@@ -13,6 +13,7 @@
 #include "netlist/design.hpp"
 #include "power/clock_power.hpp"
 #include "power/em.hpp"
+#include "report/inter_clock.hpp"
 #include "tech/technology.hpp"
 #include "timing/tree_timing.hpp"
 #include "timing/variation.hpp"
@@ -39,6 +40,8 @@ struct FlowEvaluation {
   timing::VariationReport variation;
   power::PowerReport power;
   power::EmReport em;
+  /// Domain-pair skew signoff; empty/disabled without clock domains.
+  report::InterClockReport inter_clock;
 
   double max_track_util = 0.0;
   int overflow_cells = 0;
@@ -48,12 +51,14 @@ struct FlowEvaluation {
   int em_violations = 0;
   /// Sinks outside their useful-skew window (0 when windows are disabled).
   int window_violations = 0;
+  /// Domain pairs over their inter-clock budget (0 without domains).
+  int inter_clock_violations = 0;
   bool skew_ok = true;
 
   bool feasible() const {
     return slew_violations == 0 && uncertainty_violations == 0 &&
            em_violations == 0 && skew_ok && window_violations == 0 &&
-           overflow_cells == 0;
+           inter_clock_violations == 0 && overflow_cells == 0;
   }
 };
 

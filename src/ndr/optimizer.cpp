@@ -273,6 +273,22 @@ void Optimizer::repair(FlowEvaluation& ev) {
         }
       }
     }
+    // Inter-clock (domain-pair) violations: the spread is set by the
+    // extreme sinks of the pair, so revert both extreme paths to the
+    // blanket rule — the same lever the intra-domain skew repair uses.
+    for (const report::InterClockPair& p : ev.inter_clock.pairs) {
+      if (p.ok) continue;
+      for (const int s : {p.sink_early, p.sink_late}) {
+        if (s < 0) continue;
+        for (const int net : state_.nets_on_path(s)) {
+          if (assignment_[net] != blanket) {
+            assignment_[net] = blanket;
+            changed = true;
+            ++stats_.repair_upgrades;
+          }
+        }
+      }
+    }
     if (!changed) break;  // nothing more we can do incrementally.
     ev = full_eval(assignment_);
     state_.rebuild(assignment_, ev);

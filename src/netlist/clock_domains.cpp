@@ -1,0 +1,119 @@
+#include "netlist/clock_domains.hpp"
+
+#include <stdexcept>
+
+namespace sndr::netlist {
+
+const char* to_string(DomainElement e) {
+  switch (e) {
+    case DomainElement::kRoot: return "root";
+    case DomainElement::kMux: return "mux";
+    case DomainElement::kGate: return "icg";
+    case DomainElement::kDivider: return "div";
+    case DomainElement::kInverter: return "inv";
+  }
+  return "?";
+}
+
+int ClockDomainMap::add_domain(ClockDomain d) {
+  if (domains_.empty() && d.element != DomainElement::kRoot) {
+    throw std::invalid_argument(
+        "ClockDomainMap: domain 0 must be the root domain");
+  }
+  const int id = static_cast<int>(domains_.size());
+  em_scale_.push_back(d.em_scale());
+  domains_.push_back(std::move(d));
+  return id;
+}
+
+void ClockDomainMap::set_domain_of_node(std::vector<int> domain_of_node) {
+  domain_of_node_ = std::move(domain_of_node);
+}
+
+int ClockDomainMap::domain_lca(int a, int b) const {
+  const auto depth = [&](int d) {
+    int n = 0;
+    while (domains_.at(d).parent >= 0) {
+      d = domains_[d].parent;
+      ++n;
+    }
+    return n;
+  };
+  int da = depth(a);
+  int db = depth(b);
+  while (da > db) {
+    a = domains_[a].parent;
+    --da;
+  }
+  while (db > da) {
+    b = domains_[b].parent;
+    --db;
+  }
+  while (a != b) {
+    a = domains_[a].parent;
+    b = domains_[b].parent;
+  }
+  return a;
+}
+
+bool ClockDomainMap::path_crosses_mux(int a, int b) const {
+  const int lca = domain_lca(a, b);
+  for (int d : {a, b}) {
+    while (d != lca) {
+      if (domains_[d].element == DomainElement::kMux) return true;
+      d = domains_[d].parent;
+    }
+  }
+  return false;
+}
+
+int ClockDomainMap::divisor_ratio(int a, int b) const {
+  const int da = domains_.at(a).divisor;
+  const int db = domains_.at(b).divisor;
+  const int hi = da > db ? da : db;
+  const int lo = da > db ? db : da;
+  return lo > 0 ? hi / lo : 1;
+}
+
+void ClockDomainMap::validate(int num_nodes) const {
+  if (domains_.empty()) return;  // disabled map: nothing to check.
+  if (domains_[0].element != DomainElement::kRoot ||
+      domains_[0].parent != -1 || domains_[0].divisor != 1 ||
+      domains_[0].activity != 1.0) {
+    throw std::invalid_argument(
+        "ClockDomainMap: domain 0 must be the neutral root domain");
+  }
+  for (int i = 1; i < size(); ++i) {
+    const ClockDomain& d = domains_[i];
+    if (d.parent < 0 || d.parent >= i) {
+      throw std::invalid_argument(
+          "ClockDomainMap: domain parents must precede their children");
+    }
+    if (d.anchor < 0 || d.anchor >= num_nodes) {
+      throw std::invalid_argument("ClockDomainMap: anchor out of range");
+    }
+    if (d.divisor < 1 || d.divisor % domains_[d.parent].divisor != 0) {
+      throw std::invalid_argument(
+          "ClockDomainMap: cumulative divisor must be a multiple of the "
+          "parent's");
+    }
+    if (!(d.activity > 0.0) || d.activity > 1.0 ||
+        d.activity > domains_[d.parent].activity) {
+      throw std::invalid_argument(
+          "ClockDomainMap: cumulative activity must be in (0, 1] and "
+          "monotone down the chain");
+    }
+  }
+  if (enabled() &&
+      domain_of_node_.size() != static_cast<std::size_t>(num_nodes)) {
+    throw std::invalid_argument(
+        "ClockDomainMap: node map size does not match the tree");
+  }
+  for (const int d : domain_of_node_) {
+    if (d < 0 || d >= size()) {
+      throw std::invalid_argument("ClockDomainMap: node maps to no domain");
+    }
+  }
+}
+
+}  // namespace sndr::netlist

@@ -1,0 +1,150 @@
+// Clock-domain model for multi-domain clock architectures.
+//
+// Real clock networks are not one buffered tree at one toggle rate: muxes
+// select between sources, ICGs (integrated clock gates) stop subtrees for a
+// fraction of cycles, dividers halve or quarter the rate of whole regions,
+// and inverters flip polarity. For NDR assignment the consequence is purely
+// *rate*: a subtree behind an ICG with enable duty `a` under a /k divider
+// toggles a/k as often as the root clock, so its wires contribute a/k of
+// their capacitance to switched power and carry sqrt(a/k) of the RMS EM
+// current (charge per event is unchanged; events repeat a/k as often, and
+// RMS scales with the square root of the repetition rate). The objective
+// should therefore rank nets by ACTIVITY-WEIGHTED switched capacitance —
+// which changes which nets deserve expensive rules.
+//
+// The model is an annotation layer over the existing ClockTree: a domain
+// element (mux / ICG / divider / inverter) is a marked buffer node, and a
+// ClockDomain is the subtree hanging below that anchor until the next
+// element. Electrically every element still analyzes as its buffer cell —
+// timing, slew, and variation are activity-independent — so a domain graph
+// whose weights are all exactly 1.0 degenerates BITWISE to the single-tree
+// results (every weighting below is a multiplication, and x * 1.0 == x for
+// every finite IEEE double).
+//
+// An empty / single-domain map (`enabled() == false`) is the legacy
+// single-tree world: every query returns the neutral weight without
+// touching any stored state, so designs that never mention domains are
+// untouched byte for byte.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sndr::netlist {
+
+/// What kind of clock element anchors a domain.
+enum class DomainElement : std::uint8_t {
+  kRoot = 0,  ///< the clock source itself (domain 0 only).
+  kMux,       ///< clock mux: selected source; severs common-node correlation.
+  kGate,      ///< ICG: subtree toggles for `duty` fraction of cycles.
+  kDivider,   ///< divide-by-k: subtree toggles at 1/k of the parent rate.
+  kInverter,  ///< polarity flip; rate-neutral (weight 1).
+};
+
+const char* to_string(DomainElement e);
+
+/// A user/generator-supplied element mark on one tree node. `divide` and
+/// `duty` are LOCAL to the element; cumulative values are derived by
+/// cts::derive_domains along the root path.
+struct DomainAnnotation {
+  int node = -1;                              ///< ClockTree node (a buffer).
+  DomainElement element = DomainElement::kGate;
+  int divide = 1;      ///< local period divisor (kDivider; >= 1).
+  double duty = 1.0;   ///< local enable duty in (0, 1] (kGate).
+  std::string name;    ///< optional; derived ("d<k>_<kind>") when empty.
+};
+
+/// One clock domain: the subtree anchored at `anchor` (exclusive of deeper
+/// anchors), with CUMULATIVE rate parameters relative to the root clock.
+struct ClockDomain {
+  std::string name = "root";
+  DomainElement element = DomainElement::kRoot;
+  int anchor = -1;       ///< tree node where the domain starts (-1: root).
+  int parent = -1;       ///< parent domain id (-1 for domain 0).
+  int divisor = 1;       ///< cumulative period divisor vs the root clock.
+  double activity = 1.0; ///< cumulative enable duty in (0, 1].
+  bool inverted = false; ///< cumulative polarity vs the root clock.
+  int sinks = 0;         ///< design sinks inside this domain (filled late).
+
+  /// Fraction of root-clock cycles on which this domain's wires toggle —
+  /// the switched-capacitance weight. Exactly 1.0 for an ungated,
+  /// undivided domain.
+  double toggle_weight() const {
+    return activity / static_cast<double>(divisor);
+  }
+  /// EM current-density scale: RMS current of a pulse train repeating at
+  /// `r` times the root rate scales as sqrt(r). sqrt(1.0) == 1.0 exactly.
+  double em_scale() const { return std::sqrt(toggle_weight()); }
+};
+
+/// The derived per-tree domain map: which domain every tree node belongs
+/// to, plus the domain records themselves. Built by cts::derive_domains;
+/// stored on the Design so every analysis (power, EM, search, signoff)
+/// sees the same world. Default-constructed == domains disabled.
+class ClockDomainMap {
+ public:
+  ClockDomainMap() = default;
+
+  /// Multi-domain mode: more than just the root domain. Every weighting
+  /// hook below answers the neutral value when disabled.
+  bool enabled() const { return domains_.size() > 1; }
+
+  int size() const { return static_cast<int>(domains_.size()); }
+  const ClockDomain& domain(int id) const { return domains_.at(id); }
+  const std::vector<ClockDomain>& domains() const { return domains_; }
+
+  /// Domain of a tree node (0 / root when disabled or out of range — a map
+  /// derived for one tree answers neutrally for any other).
+  int domain_of_node(int node) const {
+    if (!enabled() || node < 0 ||
+        node >= static_cast<int>(domain_of_node_.size())) {
+      return 0;
+    }
+    return domain_of_node_[node];
+  }
+
+  /// Switched-capacitance weight of the net driven from `driver_node`.
+  double node_toggle_weight(int driver_node) const {
+    if (!enabled()) return 1.0;
+    return domains_[domain_of_node(driver_node)].toggle_weight();
+  }
+
+  /// EM current-density scale of wires driven from `driver_node`.
+  double node_em_scale(int driver_node) const {
+    if (!enabled()) return 1.0;
+    return em_scale_.at(domain_of_node(driver_node));
+  }
+
+  /// Deepest common ancestor DOMAIN of `a` and `b` (walks parent chains).
+  int domain_lca(int a, int b) const;
+
+  /// True when the domain-chain path between `a` and `b` (both ends
+  /// inclusive, LCA exclusive) crosses a clock mux — the pair is then
+  /// "related clocks with no common node": the mux's other source came
+  /// from elsewhere, so no shared-path variation cancellation may be
+  /// assumed and inter-clock skew must absorb both uncertainties.
+  bool path_crosses_mux(int a, int b) const;
+
+  /// Divisor ratio of a synchronous pair (max/min; 1 for equal rates).
+  int divisor_ratio(int a, int b) const;
+
+  /// Appends a derived domain (cts::derive_domains / tests). Domain 0 must
+  /// be the root domain. Returns the new id.
+  int add_domain(ClockDomain d);
+  void set_domain_of_node(std::vector<int> domain_of_node);
+  void set_domain_sinks(int id, int sinks) { domains_.at(id).sinks = sinks; }
+
+  /// Sanity checks (anchor/parent ids in range, divisor >= 1, activity in
+  /// (0, 1], node map complete); throws std::invalid_argument. `num_nodes`
+  /// is the tree size the map was derived for.
+  void validate(int num_nodes) const;
+
+ private:
+  std::vector<ClockDomain> domains_;
+  std::vector<int> domain_of_node_;  ///< [tree node] -> domain id.
+  std::vector<double> em_scale_;     ///< per domain; cached sqrt.
+};
+
+}  // namespace sndr::netlist

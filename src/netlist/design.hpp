@@ -7,6 +7,7 @@
 
 #include "geom/point.hpp"
 #include "geom/rect.hpp"
+#include "netlist/clock_domains.hpp"
 #include "netlist/congestion.hpp"
 #include "tech/units.hpp"
 
@@ -26,6 +27,11 @@ struct ClockConstraints {
   double max_skew = 50 * units::ps;    ///< global sink-to-sink skew bound.
   double max_uncertainty = 35 * units::ps;  ///< 3*sigma + xtalk per sink.
   double clock_freq = 1 * units::GHz;
+  /// Inter-clock skew budget for domain pairs (report/inter_clock.hpp).
+  /// 0 = derive a default: max_skew for pairs with a common tree node,
+  /// max_skew + 2 * max_uncertainty for mux-separated pairs (which must
+  /// absorb both clocks' uncertainties with no shared-path cancellation).
+  double max_inter_clock_skew = 0.0;
 };
 
 /// Optional useful-skew windows: instead of one global skew bound, each
@@ -51,6 +57,11 @@ struct Design {
   ClockConstraints constraints;
   UsefulSkewWindows useful_skew;  ///< optional; see UsefulSkewWindows.
   CongestionMap congestion;
+  /// Multi-domain clock annotations (mux/ICG/divider/inverter subtrees),
+  /// derived for the design's clock tree by cts::derive_domains. Default
+  /// (disabled) leaves every analysis bitwise identical to the
+  /// single-domain world — see clock_domains.hpp.
+  ClockDomainMap clock_domains;
 
   double total_sink_cap() const {
     double c = 0.0;

@@ -14,26 +14,33 @@ PowerReport analyze_power(
   const double freq = design.constraints.clock_freq;
   const double vdd2 = tech.vdd * tech.vdd;
 
+  const netlist::ClockDomainMap& domains = design.clock_domains;
+
   PowerReport rep;
   rep.net_switched_cap.assign(nets.size(), 0.0);
   rep.net_power.assign(nets.size(), 0.0);
+  rep.net_toggle_weight.assign(nets.size(), 1.0);
 
   for (const netlist::Net& net : nets.nets) {
     const extract::NetParasitics& par = parasitics[net.id];
     const double c_sw = par.switched_cap(tech.miller_power);
+    const double w = domains.node_toggle_weight(net.driver);
     rep.net_switched_cap[net.id] = c_sw;
-    rep.net_power[net.id] = c_sw * vdd2 * freq;
+    rep.net_toggle_weight[net.id] = w;
+    rep.net_power[net.id] = c_sw * vdd2 * freq * w;
     rep.wire_cap_gnd += par.wire_cap_gnd;
     rep.wire_cap_cpl += par.wire_cap_cpl;
     rep.pin_cap += par.load_cap;
     rep.switched_cap += c_sw;
+    rep.weighted_switched_cap += c_sw * w;
     rep.net_switching_power += rep.net_power[net.id];
   }
 
-  for (const netlist::TreeNode& n : tree.nodes()) {
+  for (int v = 0; v < tree.size(); ++v) {
+    const netlist::TreeNode& n = tree.node(v);
     if (n.kind == netlist::NodeKind::kBuffer) {
-      rep.buffer_internal_power +=
-          tech.buffers[n.cell].internal_energy * freq;
+      rep.buffer_internal_power += tech.buffers[n.cell].internal_energy *
+                                   freq * domains.node_toggle_weight(v);
     }
   }
   rep.total_power = rep.net_switching_power + rep.buffer_internal_power;

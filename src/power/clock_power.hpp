@@ -19,19 +19,31 @@
 namespace sndr::power {
 
 struct PowerReport {
-  std::vector<double> net_switched_cap;  ///< F, per net id.
+  std::vector<double> net_switched_cap;  ///< F, per net id (raw, unweighted).
   std::vector<double> net_power;         ///< W, per net id (wire+pins only).
+  /// Per-net toggle weight (domain activity / divisor); all 1.0 in the
+  /// single-domain world. net_power already includes it.
+  std::vector<double> net_toggle_weight;
 
   double wire_cap_gnd = 0.0;       ///< F, all wire area+fringe cap.
   double wire_cap_cpl = 0.0;       ///< F, all wire coupling cap (raw).
   double pin_cap = 0.0;            ///< F, all buffer-input + sink-pin cap.
-  double switched_cap = 0.0;       ///< F, total effective switched cap.
-  double net_switching_power = 0.0;    ///< W.
-  double buffer_internal_power = 0.0;  ///< W.
+  double switched_cap = 0.0;       ///< F, total effective switched cap (raw).
+  /// F, switched cap weighted per net by the domain toggle rate — the
+  /// quantity clock power is actually proportional to. Bitwise equal to
+  /// `switched_cap` when domains are disabled (every weight is 1.0).
+  double weighted_switched_cap = 0.0;
+  double net_switching_power = 0.0;    ///< W (activity-weighted).
+  double buffer_internal_power = 0.0;  ///< W (activity-weighted).
   double total_power = 0.0;            ///< W.
 };
 
-/// Rolls up power at `design.constraints.clock_freq`.
+/// Rolls up power at `design.constraints.clock_freq`. When
+/// `design.clock_domains` is enabled, each net's (and buffer's) dynamic
+/// power is weighted by its domain's toggle rate: a subtree behind an ICG
+/// with duty `a` under a /k divider switches a/k as often as the root
+/// clock. The weights multiply otherwise-unchanged terms, so a disabled or
+/// all-neutral domain map reproduces the legacy report bit for bit.
 PowerReport analyze_power(const netlist::ClockTree& tree,
                           const netlist::Design& design,
                           const tech::Technology& tech,

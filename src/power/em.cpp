@@ -46,8 +46,14 @@ EmReport analyze_em(const netlist::Design& design,
   rep.net_peak_density.assign(nets.size(), 0.0);
   rep.net_slack.assign(nets.size(), 0.0);
   for (const netlist::Net& net : nets.nets) {
-    const double j = net_peak_current_density(
-        parasitics[net.id], tech, tech.rules[rule_of_net[net.id]], freq);
+    // Domain-aware RMS scaling: the base density is computed at the root
+    // rate and scaled afterwards (never by folding the scale into `freq`),
+    // so the incremental searches' post-multiplied exact_eval values match
+    // this signoff bit for bit — and a neutral scale (1.0) is an identity.
+    const double j =
+        net_peak_current_density(parasitics[net.id], tech,
+                                 tech.rules[rule_of_net[net.id]], freq) *
+        design.clock_domains.node_em_scale(net.driver);
     rep.net_peak_density[net.id] = j;
     rep.net_slack[net.id] = jmax - j;
     if (j > rep.worst_density) {

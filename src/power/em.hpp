@@ -48,7 +48,12 @@ double net_peak_current_density(const extract::NetParasitics& par,
                                 const tech::Technology& tech,
                                 const tech::RoutingRule& rule, double freq);
 
-/// Whole-tree EM check at design.constraints.clock_freq.
+/// Whole-tree EM check at design.constraints.clock_freq. When
+/// `design.clock_domains` is enabled, each net's density is scaled by its
+/// domain's em_scale() (sqrt of the toggle rate: gated/divided subtrees
+/// carry RMS current at the square root of their repetition rate) — the
+/// lever by which activity changes which rules are feasible, since timing
+/// is activity-independent. Neutral domains scale by exactly 1.0.
 EmReport analyze_em(const netlist::Design& design,
                     const tech::Technology& tech,
                     const netlist::NetList& nets,

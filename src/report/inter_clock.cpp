@@ -1,0 +1,122 @@
+#include "report/inter_clock.hpp"
+
+#include <algorithm>
+
+namespace sndr::report {
+
+namespace {
+
+/// Deepest common ancestor of two tree nodes (parent-pointer walk; the
+/// trees here are shallow — O(depth) per query).
+int tree_lca(const netlist::ClockTree& tree, int a, int b) {
+  const auto depth = [&](int v) {
+    int n = 0;
+    while (tree.node(v).parent >= 0) {
+      v = tree.node(v).parent;
+      ++n;
+    }
+    return n;
+  };
+  int da = depth(a);
+  int db = depth(b);
+  while (da > db) {
+    a = tree.node(a).parent;
+    --da;
+  }
+  while (db > da) {
+    b = tree.node(b).parent;
+    --db;
+  }
+  while (a != b) {
+    a = tree.node(a).parent;
+    b = tree.node(b).parent;
+  }
+  return a;
+}
+
+/// Per-domain arrival/uncertainty extremes.
+struct DomainStats {
+  int sinks = 0;
+  double min_arrival = 0.0;
+  double max_arrival = 0.0;
+  int sink_min = -1;
+  int sink_max = -1;
+  double worst_uncertainty = 0.0;
+};
+
+}  // namespace
+
+InterClockReport check_inter_clock(const netlist::ClockTree& tree,
+                                   const netlist::Design& design,
+                                   const timing::TimingReport& timing,
+                                   const timing::VariationReport& variation) {
+  InterClockReport rep;
+  const netlist::ClockDomainMap& domains = design.clock_domains;
+  if (!domains.enabled()) return rep;
+  rep.enabled = true;
+
+  std::vector<DomainStats> stats(domains.size());
+  for (int v = 0; v < tree.size(); ++v) {
+    const netlist::TreeNode& n = tree.node(v);
+    if (n.kind != netlist::NodeKind::kSink) continue;
+    const int s = n.sink;
+    DomainStats& d = stats[domains.domain_of_node(v)];
+    const double arr = timing.sink_arrival[s];
+    if (d.sinks == 0 || arr < d.min_arrival) {
+      d.min_arrival = arr;
+      d.sink_min = s;
+    }
+    if (d.sinks == 0 || arr > d.max_arrival) {
+      d.max_arrival = arr;
+      d.sink_max = s;
+    }
+    d.worst_uncertainty =
+        std::max(d.worst_uncertainty, variation.sink_uncertainty[s]);
+    ++d.sinks;
+  }
+
+  const netlist::ClockConstraints& c = design.constraints;
+  for (int a = 0; a < domains.size(); ++a) {
+    if (stats[a].sinks == 0) continue;
+    for (int b = a + 1; b < domains.size(); ++b) {
+      if (stats[b].sinks == 0) continue;
+      InterClockPair p;
+      p.domain_a = a;
+      p.domain_b = b;
+      p.divisor_ratio = domains.divisor_ratio(a, b);
+      const bool mux_pair = domains.path_crosses_mux(a, b);
+      if (!mux_pair) {
+        const int anchor_a =
+            domains.domain(a).anchor < 0 ? 0 : domains.domain(a).anchor;
+        const int anchor_b =
+            domains.domain(b).anchor < 0 ? 0 : domains.domain(b).anchor;
+        p.common_node = tree_lca(tree, anchor_a, anchor_b);
+      }
+      const double lo_ab = stats[a].max_arrival - stats[b].min_arrival;
+      const double lo_ba = stats[b].max_arrival - stats[a].min_arrival;
+      if (lo_ab >= lo_ba) {
+        p.skew = lo_ab;
+        p.sink_late = stats[a].sink_max;
+        p.sink_early = stats[b].sink_min;
+      } else {
+        p.skew = lo_ba;
+        p.sink_late = stats[b].sink_max;
+        p.sink_early = stats[a].sink_min;
+      }
+      if (mux_pair) {
+        p.guard = stats[a].worst_uncertainty + stats[b].worst_uncertainty;
+      }
+      p.budget = c.max_inter_clock_skew > 0.0
+                     ? c.max_inter_clock_skew
+                     : c.max_skew + (mux_pair ? 2.0 * c.max_uncertainty
+                                              : 0.0);
+      p.ok = p.skew + p.guard <= p.budget;
+      if (!p.ok) ++rep.violations;
+      rep.worst_skew = std::max(rep.worst_skew, p.skew);
+      rep.pairs.push_back(p);
+    }
+  }
+  return rep;
+}
+
+}  // namespace sndr::report

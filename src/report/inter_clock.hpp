@@ -1,0 +1,70 @@
+// Inter-clock (domain-pair) skew signoff.
+//
+// A single global skew bound is the right check inside one clock domain,
+// but a multi-domain network also hands off data BETWEEN domains: every
+// pair of related clocks needs its cross-domain launch/capture skew
+// bounded. Two cases, following industry signoff practice:
+//
+//  * Pair with a common tree node (the usual case inside one tree): the
+//    shared path up to the deepest common ancestor tracks identically
+//    across process variation, so the raw cross-pair arrival spread is the
+//    honest skew and the global-skew-style budget applies.
+//
+//  * Pair separated by a clock mux ("related clocks with no common node"):
+//    the mux's alternate source came from elsewhere, so no shared-path
+//    cancellation may be assumed — the check must additionally absorb both
+//    domains' worst per-sink uncertainties (3*sigma + crosstalk) as an
+//    explicit guard.
+//
+// The budget is ClockConstraints::max_inter_clock_skew when set; otherwise
+// a derived default of max_skew (common-node pairs) or max_skew +
+// 2 * max_uncertainty (mux pairs) — chosen so a design that passes the
+// global skew and uncertainty checks also passes here, making the
+// inter-clock report purely additive until a user pins a tighter budget.
+//
+// With domains disabled the report is empty (enabled == false, zero
+// violations), so single-domain evaluations are untouched.
+#pragma once
+
+#include <vector>
+
+#include "netlist/clock_nets.hpp"
+#include "netlist/clock_tree.hpp"
+#include "netlist/design.hpp"
+#include "timing/tree_timing.hpp"
+#include "timing/variation.hpp"
+
+namespace sndr::report {
+
+/// One checked domain pair.
+struct InterClockPair {
+  int domain_a = -1;
+  int domain_b = -1;
+  int common_node = -1;  ///< tree node; -1 = no common node (mux pair).
+  int divisor_ratio = 1; ///< synchronous ratio between the two rates.
+  double skew = 0.0;     ///< s, max cross-pair |arrival_i - arrival_j|.
+  double guard = 0.0;    ///< s, uncertainty guard (mux pairs only).
+  double budget = 0.0;   ///< s, the limit applied to skew + guard.
+  int sink_early = -1;   ///< design sink with the earliest arrival of pair.
+  int sink_late = -1;    ///< design sink with the latest arrival of pair.
+  bool ok = true;
+};
+
+struct InterClockReport {
+  bool enabled = false;  ///< false = single-domain design, nothing checked.
+  std::vector<InterClockPair> pairs;
+  double worst_skew = 0.0;  ///< s, max pair skew (guard excluded).
+  int violations = 0;
+
+  bool ok() const { return violations == 0; }
+};
+
+/// Checks every pair of sink-bearing clock domains of
+/// `design.clock_domains` against the inter-clock budget. `timing` and
+/// `variation` must come from the same evaluation of (tree, nets).
+InterClockReport check_inter_clock(const netlist::ClockTree& tree,
+                                   const netlist::Design& design,
+                                   const timing::TimingReport& timing,
+                                   const timing::VariationReport& variation);
+
+}  // namespace sndr::report

@@ -1,0 +1,64 @@
+#include "workload/domains.hpp"
+
+#include <algorithm>
+
+#include "cts/domains.hpp"
+#include "workload/rng.hpp"
+
+namespace sndr::workload {
+
+DomainWorkload make_domain_workload(const DomainSpec& spec,
+                                    const tech::Technology& tech,
+                                    int buffer_cell) {
+  ScaleWorkload base = make_scale_workload(spec.base, tech, buffer_cell);
+  DomainWorkload w;
+  w.design = std::move(base.design);
+  w.tree = std::move(base.tree);
+  w.nets = std::move(base.nets);
+
+  // Element kinds to place, in a fixed order; the shuffle below decides
+  // where each lands, so the order here only matters for determinism.
+  std::vector<netlist::DomainElement> wanted;
+  wanted.insert(wanted.end(), std::max(0, spec.gates),
+                netlist::DomainElement::kGate);
+  wanted.insert(wanted.end(), std::max(0, spec.dividers),
+                netlist::DomainElement::kDivider);
+  wanted.insert(wanted.end(), std::max(0, spec.muxes),
+                netlist::DomainElement::kMux);
+  wanted.insert(wanted.end(), std::max(0, spec.inverters),
+                netlist::DomainElement::kInverter);
+
+  std::vector<int> candidates;
+  for (int v = 0; v < w.tree.size(); ++v) {
+    if (v != w.tree.root() && w.tree.node(v).is_driver()) {
+      candidates.push_back(v);
+    }
+  }
+
+  Rng rng(spec.domain_seed);
+  // Deterministic Fisher-Yates; candidates are in node-id order going in.
+  for (std::size_t i = candidates.size(); i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.uniform_int(i));
+    std::swap(candidates[i - 1], candidates[j]);
+  }
+
+  const std::size_t n = std::min(wanted.size(), candidates.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    netlist::DomainAnnotation a;
+    a.node = candidates[i];
+    a.element = wanted[i];
+    if (a.element == netlist::DomainElement::kGate) {
+      a.duty = rng.uniform(spec.duty_min, spec.duty_max);
+    } else if (a.element == netlist::DomainElement::kDivider) {
+      const int hi = std::max(2, spec.max_divide);
+      a.divide = 2 + static_cast<int>(
+                         rng.uniform_int(static_cast<std::uint64_t>(hi - 1)));
+    }
+    w.annotations.push_back(std::move(a));
+  }
+
+  w.design.clock_domains = cts::derive_domains(w.tree, w.annotations);
+  return w;
+}
+
+}  // namespace sndr::workload

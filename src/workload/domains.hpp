@@ -1,0 +1,57 @@
+// Deterministic multi-domain clock workloads.
+//
+// Takes the scale ladder's directly-built b-ary buffer tree
+// (make_scale_workload) and sprinkles clock elements — ICGs, dividers,
+// muxes, inverters — over its buffer nodes, then derives the
+// ClockDomainMap onto the design. One knob family controls how many of
+// each element appear; everything (which buffers are picked, each ICG's
+// duty, each divider's ratio) derives from DomainSpec::domain_seed via
+// workload::Rng, so a spec is bit-identical across runs and machines.
+//
+// With all element counts zero the result is exactly the scale workload:
+// the domain map stays disabled and every analysis degenerates bitwise to
+// the single-tree numbers — the property the scenario fuzzer pins.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/clock_domains.hpp"
+#include "workload/scale.hpp"
+
+namespace sndr::workload {
+
+struct DomainSpec {
+  ScaleSpec base;
+
+  int gates = 2;      ///< ICG count (each gets a random duty).
+  int dividers = 1;   ///< divider count (each gets a random ratio).
+  int muxes = 1;      ///< clock muxes (rate-neutral; sever correlation).
+  int inverters = 0;  ///< polarity flips (rate-neutral).
+
+  double duty_min = 0.25;  ///< ICG duty drawn uniformly in
+  double duty_max = 0.75;  ///< [duty_min, duty_max].
+  int max_divide = 4;      ///< divider ratio drawn from {2, ..., max_divide}.
+
+  /// Element placement / parameter stream; independent of base.seed so the
+  /// same tree can carry different domain graphs.
+  std::uint64_t domain_seed = 7;
+};
+
+struct DomainWorkload {
+  netlist::Design design;  ///< clock_domains filled (disabled if no elements).
+  netlist::ClockTree tree;
+  netlist::NetList nets;
+  /// The element marks that produced design.clock_domains (for reports /
+  /// re-derivation in tests).
+  std::vector<netlist::DomainAnnotation> annotations;
+};
+
+/// Builds the scale workload for `spec.base`, annotates up to
+/// gates + dividers + muxes + inverters distinct buffer nodes (clamped to
+/// the buffers available), and derives the domain map onto the design.
+DomainWorkload make_domain_workload(const DomainSpec& spec,
+                                    const tech::Technology& tech,
+                                    int buffer_cell = -1);
+
+}  // namespace sndr::workload

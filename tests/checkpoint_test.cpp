@@ -125,26 +125,100 @@ TEST(CheckpointFile, MalformedFilesAreRejected) {
   // Wrong magic.
   std::string p = write("ck_bad_magic.txt", "not a checkpoint\n");
   EXPECT_EQ(load_checkpoint(p, fp).status().code(),
-            StatusCode::kInvalidArgument);
+            StatusCode::kParseError);
   std::remove(p.c_str());
   // Unknown key.
   p = write("ck_bad_key.txt",
             "sndr.anneal_checkpoint/1\nfingerprint 99\nbogus 1\n");
   EXPECT_EQ(load_checkpoint(p, fp).status().code(),
-            StatusCode::kInvalidArgument);
+            StatusCode::kParseError);
   std::remove(p.c_str());
   // Non-numeric value.
   p = write("ck_bad_value.txt",
             "sndr.anneal_checkpoint/1\nfingerprint 99\ntemperature oops\n");
   EXPECT_EQ(load_checkpoint(p, fp).status().code(),
-            StatusCode::kInvalidArgument);
+            StatusCode::kParseError);
   std::remove(p.c_str());
   // Fingerprint present but assignment vectors missing.
   p = write("ck_no_assignment.txt",
             "sndr.anneal_checkpoint/1\nfingerprint 99\niteration 5\n");
   EXPECT_EQ(load_checkpoint(p, fp).status().code(),
-            StatusCode::kInvalidArgument);
+            StatusCode::kParseError);
   std::remove(p.c_str());
+}
+
+// Corruption classes a crash mid-write (or a flaky disk) actually
+// produces. All must reject as kParseError with a path:line diagnostic —
+// never load half a checkpoint.
+TEST(CheckpointFile, TruncatedMidFieldIsAParseError) {
+  const std::string path = temp_path("ck_truncated.txt");
+  const std::uint64_t fp = checkpoint_fingerprint(6, 4, 7, 2000);
+  ASSERT_TRUE(save_checkpoint(path, awkward_checkpoint(), fp).ok());
+  std::string text;
+  {
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    text = ss.str();
+  }
+  // Cut in the middle of the "start_cap 0x1...." line (mid-field).
+  const std::size_t cut = text.find("start_cap");
+  ASSERT_NE(cut, std::string::npos);
+  std::ofstream(path, std::ios::trunc) << text.substr(0, cut + 12);
+  const common::Result<ndr::AnnealCheckpoint> r = load_checkpoint(path, fp);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find(path + ":"), std::string::npos)
+      << r.status().to_string();
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointFile, DuplicatedKeyIsAParseError) {
+  const std::string path = temp_path("ck_dup_key.txt");
+  std::ofstream(path) << "sndr.anneal_checkpoint/1\n"
+                         "fingerprint 99\n"
+                         "iteration 5\n"
+                         "iteration 6\n";
+  const common::Result<ndr::AnnealCheckpoint> r = load_checkpoint(path, 99);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find(":4:"), std::string::npos)
+      << r.status().to_string();
+  EXPECT_NE(r.status().message().find("duplicate"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointFile, HexfloatTrailingJunkIsAParseError) {
+  // Junk fused to the token ("0x1.8p+1junk") and junk after it
+  // ("0x1.8p+1 junk") are both rejected, with the line number named.
+  const auto check = [](const std::string& name, const std::string& line) {
+    const std::string path = temp_path(name);
+    std::ofstream(path) << "sndr.anneal_checkpoint/1\n"
+                           "fingerprint 99\n" +
+                               line + "\n";
+    const common::Result<ndr::AnnealCheckpoint> r = load_checkpoint(path, 99);
+    ASSERT_FALSE(r.ok()) << line;
+    EXPECT_EQ(r.status().code(), StatusCode::kParseError) << line;
+    EXPECT_NE(r.status().message().find(":3:"), std::string::npos)
+        << r.status().to_string();
+    std::remove(path.c_str());
+  };
+  check("ck_hex_fused.txt", "temperature 0x1.8p+1junk");
+  check("ck_hex_extra.txt", "temperature 0x1.8p+1 junk");
+  check("ck_int_extra.txt", "iteration 5 5");
+}
+
+TEST(CheckpointFile, FingerprintMismatchStaysInvalidArgument) {
+  // A well-formed checkpoint for OTHER inputs is not a parse error: the
+  // caller can act on the distinction (re-anneal vs report corruption).
+  const std::string path = temp_path("ck_other_inputs.txt");
+  const std::uint64_t fp = checkpoint_fingerprint(6, 4, 7, 2000);
+  ASSERT_TRUE(save_checkpoint(path, awkward_checkpoint(), fp).ok());
+  const common::Result<ndr::AnnealCheckpoint> r =
+      load_checkpoint(path, fp + 1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
 }
 
 // ---- bitwise resume -------------------------------------------------------

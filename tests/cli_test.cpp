@@ -8,11 +8,14 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+
+#include "flow/config.hpp"
 
 namespace {
 
@@ -174,6 +177,50 @@ TEST(Cli, EvalUniformRule) {
       << out;
   EXPECT_NE(out.find("2W2S"), std::string::npos);
   EXPECT_EQ(run_cli("eval --design " + design_path() + " --rule NOPE"), 2);
+}
+
+TEST(Cli, HelpExitsZeroOnEverySpelling) {
+  // Requested help is not an error: stdout + exit 0, unlike the bare
+  // mis-invocation above (stderr + exit 2, same text).
+  for (const std::string spelling :
+       {"help", "--help", "-h", "run --help", "generate --help"}) {
+    std::string out;
+    EXPECT_EQ(run_cli(spelling, &out), 0) << spelling;
+    EXPECT_NE(out.find("usage:"), std::string::npos) << spelling;
+    EXPECT_NE(out.find("exit codes:"), std::string::npos) << spelling;
+  }
+}
+
+TEST(Cli, HelpDocumentsEveryFlowConfigKey) {
+  // The drift guard: every key FlowConfig::set() accepts must appear in
+  // the help text (flag spelling --foo-bar and key spelling foo_bar are
+  // the same up to hyphen/underscore, so compare normalized).
+  std::string out;
+  ASSERT_EQ(run_cli("help", &out), 0);
+  std::replace(out.begin(), out.end(), '-', '_');
+  for (const std::string& key : sndr::flow::FlowConfig::known_keys()) {
+    EXPECT_NE(out.find(key), std::string::npos)
+        << "help text does not mention config key '" << key << "'";
+  }
+}
+
+TEST(Cli, CorruptCheckpointExitsParseError) {
+  const std::string results = path_in_scratch("results_ckpt");
+  const std::string base = "run --design " + design_path() +
+                           " --threads 1 --training-samples 60 --anneal 60" +
+                           " --checkpoint-interval 20 --checkpoint anneal.ck" +
+                           " --results-dir " + results;
+  ASSERT_EQ(run_cli(base), 0);
+  const std::string ck = results + "/anneal.ck";
+  ASSERT_TRUE(fs::exists(ck));
+  // Truncate the snapshot mid-field: the rerun must refuse it with the
+  // parse-error exit code and a path:line diagnostic, not resume quietly.
+  const std::string text = read_file(ck);
+  std::ofstream(ck, std::ios::trunc)
+      << text.substr(0, text.find("rng_state") + 11);
+  std::string out;
+  EXPECT_EQ(run_cli(base, &out), 4) << out;
+  EXPECT_NE(out.find("anneal.ck:"), std::string::npos) << out;
 }
 
 }  // namespace

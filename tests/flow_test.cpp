@@ -142,6 +142,29 @@ TEST(FlowConfig, MapsToOptimizerAndAnnealOptions) {
   EXPECT_DOUBLE_EQ(ann.slew_margin, 0.07);  // shared margin flows through.
 }
 
+TEST(FlowConfig, PrewarmKeyWiresToAnnealOptions) {
+  flow::FlowConfig config;
+  EXPECT_TRUE(config.prewarm);  // batched prewarm is the default.
+  EXPECT_TRUE(config.anneal_options().prewarm);
+  ASSERT_TRUE(config.set("prewarm", "false").ok());
+  EXPECT_FALSE(config.anneal_options().prewarm);
+  // Same key via the flag spelling and a config file.
+  ASSERT_TRUE(config.set("prewarm", "true").ok());
+  EXPECT_TRUE(config.anneal_options().prewarm);
+  const std::string conf =
+      write_file("flow_test_prewarm.conf", "prewarm = false\n");
+  ASSERT_TRUE(config.from_file(conf).ok());
+  EXPECT_FALSE(config.anneal_options().prewarm);
+}
+
+TEST(FlowConfig, PrewarmRejectsBadValues) {
+  flow::FlowConfig config;
+  const Status s = config.set("prewarm", "maybe");
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("prewarm"), std::string::npos);
+  EXPECT_TRUE(config.prewarm);  // a rejected value must not half-apply.
+}
+
 // ---- Typed loader boundaries ----------------------------------------------
 
 TEST(TypedBoundaries, DesignLoader) {

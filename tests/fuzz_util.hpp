@@ -1,0 +1,102 @@
+// Reusable scenario generation for the property-based fuzz harness
+// (scenario_fuzz_test.cpp, and anything else that wants "a random but
+// reproducible multi-domain workload").
+//
+// Every scenario derives from one uint64 seed via workload::Rng, so a
+// failing case reproduces from the single number the test prints:
+//
+//   SNDR_FUZZ_SEED=<base> ctest -R ScenarioFuzz
+//
+// Environment knobs:
+//   SNDR_FUZZ_ITERS  scenarios per test (default: each test's baked-in
+//                    count, sized so the whole harness stays in seconds;
+//                    sanitizer CI legs set a small value).
+//   SNDR_FUZZ_SEED   base seed (default 1); scenario i of a test uses
+//                    base * 1000003 + test_offset + i.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "workload/domains.hpp"
+#include "workload/rng.hpp"
+
+namespace sndr::test::fuzz {
+
+/// Scenarios per test: SNDR_FUZZ_ITERS when set (>0), else `dflt`.
+inline int scenario_count(int dflt) {
+  if (const char* env = std::getenv("SNDR_FUZZ_ITERS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return dflt;
+}
+
+/// Base seed: SNDR_FUZZ_SEED when set, else 1.
+inline std::uint64_t seed_base() {
+  if (const char* env = std::getenv("SNDR_FUZZ_SEED")) {
+    const std::uint64_t v = std::strtoull(env, nullptr, 10);
+    if (v != 0) return v;
+  }
+  return 1;
+}
+
+/// Seed of scenario `i` of the test at `test_offset` (a distinct constant
+/// per TEST so tests never share scenario streams).
+inline std::uint64_t scenario_seed(std::uint64_t test_offset, int i) {
+  return seed_base() * 1000003ULL + test_offset * 7919ULL +
+         static_cast<std::uint64_t>(i);
+}
+
+/// One randomized multi-domain scenario. `freq_mult` scales the design's
+/// clock frequency after generation (EM pressure varies across scenarios).
+struct Scenario {
+  std::uint64_t seed = 0;
+  workload::DomainSpec spec;
+  double freq_mult = 1.0;
+
+  std::string label() const {
+    return "scenario seed=" + std::to_string(seed) +
+           " nets=" + std::to_string(spec.base.num_nets) +
+           " gates=" + std::to_string(spec.gates) +
+           " div=" + std::to_string(spec.dividers) +
+           " mux=" + std::to_string(spec.muxes) +
+           " inv=" + std::to_string(spec.inverters) +
+           " fmul=" + std::to_string(freq_mult);
+  }
+};
+
+/// Draws a scenario from `seed`: 30-140 nets, branching 2-4, up to two of
+/// each element kind, clock frequency 0.5x-2.5x the workload default.
+inline Scenario make_scenario(std::uint64_t seed) {
+  workload::Rng rng(seed);
+  Scenario s;
+  s.seed = seed;
+  s.spec.base.name = "fuzz";
+  s.spec.base.num_nets = 30 + static_cast<int>(rng.uniform_int(111));
+  s.spec.base.branching = 2 + static_cast<int>(rng.uniform_int(3));
+  s.spec.base.sinks_per_leaf = 1 + static_cast<int>(rng.uniform_int(3));
+  s.spec.base.seed = rng.next_u64();
+  s.spec.gates = static_cast<int>(rng.uniform_int(3));
+  s.spec.dividers = static_cast<int>(rng.uniform_int(3));
+  s.spec.muxes = static_cast<int>(rng.uniform_int(2));
+  s.spec.inverters = static_cast<int>(rng.uniform_int(2));
+  s.spec.duty_min = 0.2;
+  s.spec.duty_max = 0.9;
+  s.spec.max_divide = 4;
+  s.spec.domain_seed = rng.next_u64();
+  s.freq_mult = 0.5 + 2.0 * rng.uniform();
+  return s;
+}
+
+/// Materializes the scenario's workload (domain map derived, frequency
+/// scaled). Same scenario -> bit-identical workload, everywhere.
+inline workload::DomainWorkload build(const Scenario& s,
+                                      const tech::Technology& tech) {
+  workload::DomainWorkload w = workload::make_domain_workload(s.spec, tech);
+  w.design.constraints.clock_freq *= s.freq_mult;
+  return w;
+}
+
+}  // namespace sndr::test::fuzz

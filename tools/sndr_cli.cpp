@@ -19,6 +19,9 @@
 //             [--tech tech.txt] [--threads N]
 //       Evaluate one uniform rule assignment (no optimization).
 //
+//   sndr help   (also --help / -h, or --help after any command)
+//       Print the flag reference to stdout and exit 0.
+//
 // Every flow option is a config key: `--key value` on the command line and
 // `key = value` lines in the --config file set the same FlowConfig, with
 // CLI flags overriding file values overriding defaults.
@@ -88,9 +91,14 @@ Args parse_args(int argc, char** argv) {
   return args;
 }
 
-int usage() {
-  std::cerr <<
+/// The full flag reference. `sndr help` prints it to stdout (exit 0);
+/// a usage error prints it to stderr (exit 2). Every FlowConfig key must
+/// appear below — cli_test cross-checks this text against
+/// FlowConfig::known_keys() so the help can never drift from set().
+void print_usage(std::ostream& os) {
+  os <<
       "usage:\n"
+      "  sndr help       (or --help on any command): this text, exit 0.\n"
       "  sndr generate --sinks N [--dist uniform|clustered|mixed]\n"
       "                [--seed S] [--name NAME] --out design.txt\n"
       "  sndr run  [--config f] --design design.txt [--tech tech.txt]\n"
@@ -103,8 +111,10 @@ int usage() {
       "\n"
       "  --config f:  read `key = value` flow options from f; command-line\n"
       "               flags override file values (file overrides defaults).\n"
-      "               Keys: every long flag of `run` plus the optimizer\n"
-      "               knobs (scoring, training_samples, *_margin, ...).\n"
+      "               Every key below is settable both ways (--skew-margin\n"
+      "               and `skew_margin = ...` are the same key).\n"
+      "  --smart BOOL / --no-smart: run (or skip) the smart-NDR optimizer\n"
+      "               stage (default on).\n"
       "  --anneal N:  refine the smart-NDR assignment with N iterations of\n"
       "               simulated annealing (--seed S seeds it; default off).\n"
       "  --corners:   add multi-corner signoff of the final assignment.\n"
@@ -129,8 +139,23 @@ int usage() {
       "  --trace-out f: write the stage spans as Chrome trace JSON\n"
       "               (load in chrome://tracing or Perfetto).\n"
       "\n"
+      "optimizer keys (same --flag / config-key duality):\n"
+      "  --scoring models|exact_net|full_sta, --training-samples N,\n"
+      "  --slew-margin F, --uncertainty-margin F, --em-margin F,\n"
+      "  --skew-margin F, --max-passes N, --full-refresh-interval N,\n"
+      "  --max-repair-rounds N.\n"
+      "anneal keys:\n"
+      "  --anneal-t-start-frac F, --anneal-t-end-frac F,\n"
+      "  --anneal-full-refresh-interval N, --prewarm BOOL (batched\n"
+      "  exact-eval prewarm of the anneal memo, default true; results are\n"
+      "  bitwise identical either way — false measures the lazy path).\n"
+      "\n"
       "exit codes: 0 ok, 1 infeasible, 2 usage, 3 missing file,\n"
       "            4 parse error, 5 io error, 6 internal\n";
+}
+
+int usage() {
+  print_usage(std::cerr);
   return 2;
 }
 
@@ -370,6 +395,15 @@ int main(int argc, char** argv) {
   const auto t0 = std::chrono::steady_clock::now();
   try {
     const Args args = parse_args(argc, argv);
+
+    // `sndr help`, `sndr --help`, `sndr -h`, or --help after any command:
+    // requested help is not an error, so stdout and exit 0 (a *wrong*
+    // invocation still gets the same text on stderr with exit 2).
+    if (args.command == "help" || args.command == "--help" ||
+        args.command == "-h" || args.flag("help")) {
+      print_usage(std::cout);
+      return 0;
+    }
 
     if (args.command == "generate") {
       if (common::Status s = check_known_flags(
