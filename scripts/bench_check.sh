@@ -272,7 +272,83 @@ else
   [[ -n "$pairs" ]] && echo "bench_check: info  g512 inter_clock_pairs = $pairs"
 fi
 
+# --- Serve soak ------------------------------------------------------------
+# Gates the service numbers recorded in BENCH_manifest.serve.json
+# (bench/bench_serve.cpp): queued-job throughput (serve_jobs_per_s), p99
+# submit->done latency (serve_p99_s), and the identity bit (every job
+# bitwise-identical to the same config run serially through the CLI path).
+# Throughput/latency get a wide tolerance — the soak queues ~200 whole
+# flows, so wall numbers are far noisier than the micro-kernel timings.
+serve_baseline="$repo/BENCH_manifest.serve.json"
+if [[ ! -f "$serve_baseline" ]]; then
+  echo "bench_check: FAIL  missing baseline $serve_baseline — run" \
+       "build/bench/bench_serve from the repo root"
+  status=1
+else
+  cmake --build "$repo/build" -j "$jobs" --target bench_serve
+  (cd "$workdir" && "$repo/build/bench/bench_serve" >/dev/null)
+  serve_fresh="$workdir/BENCH_manifest.serve.json"
+
+  for f in "$serve_baseline" "$serve_fresh"; do
+    which="committed"; [[ "$f" == "$serve_fresh" ]] && which="fresh"
+    ident="$(manifest_gauge "$f" "bench.serve.identical")"
+    if [[ -z "$ident" ]]; then
+      echo "bench_check: FAIL  'bench.serve.identical' not found in $f —" \
+           "refresh by running build/bench/bench_serve from the repo root"
+      status=1
+    elif [[ "$ident" == 1* ]]; then
+      echo "bench_check: OK    serve jobs bitwise-identical to serial ($which)"
+    else
+      echo "bench_check: FAIL  bench.serve.identical = $ident ($which)"
+      status=1
+    fi
+  done
+
+  serve_tolerance="${BENCH_SERVE_TOLERANCE:-1.50}"
+  base_tput="$(manifest_gauge "$serve_baseline" "bench.serve.serve_jobs_per_s")"
+  fresh_tput="$(manifest_gauge "$serve_fresh" "bench.serve.serve_jobs_per_s")"
+  if [[ -z "$base_tput" ]]; then
+    echo "bench_check: FAIL  baseline key 'bench.serve.serve_jobs_per_s'" \
+         "not found in $serve_baseline — refresh the committed baseline by" \
+         "running build/bench/bench_serve from the repo root"
+    status=1
+  elif [[ -z "$fresh_tput" ]]; then
+    echo "bench_check: FAIL  fresh run did not record" \
+         "'bench.serve.serve_jobs_per_s' in $serve_fresh (bench and gate out" \
+         "of sync?)"
+    status=1
+  else
+    verdict="$(awk -v b="$base_tput" -v f="$fresh_tput" -v tol="$serve_tolerance" \
+      'BEGIN { printf "%.2f %s", b / f, (f * tol >= b) ? "OK" : "FAIL" }')"
+    ratio="${verdict% *}"
+    ok="${verdict#* }"
+    echo "bench_check: $ok   serve throughput baseline=${base_tput} fresh=${fresh_tput} jobs/s ratio=${ratio} (tol ${serve_tolerance})"
+    [[ "$ok" == "OK" ]] || status=1
+  fi
+
+  base_p99="$(manifest_gauge "$serve_baseline" "bench.serve.serve_p99_s")"
+  fresh_p99="$(manifest_gauge "$serve_fresh" "bench.serve.serve_p99_s")"
+  if [[ -z "$base_p99" ]]; then
+    echo "bench_check: FAIL  baseline key 'bench.serve.serve_p99_s' not" \
+         "found in $serve_baseline — refresh the committed baseline by" \
+         "running build/bench/bench_serve from the repo root"
+    status=1
+  elif [[ -z "$fresh_p99" ]]; then
+    echo "bench_check: FAIL  fresh run did not record" \
+         "'bench.serve.serve_p99_s' in $serve_fresh (bench and gate out of" \
+         "sync?)"
+    status=1
+  else
+    verdict="$(awk -v b="$base_p99" -v f="$fresh_p99" -v tol="$serve_tolerance" \
+      'BEGIN { printf "%.2f %s", f / b, (f <= b * tol) ? "OK" : "FAIL" }')"
+    ratio="${verdict% *}"
+    ok="${verdict#* }"
+    echo "bench_check: $ok   serve p99 latency baseline=${base_p99}s fresh=${fresh_p99}s ratio=${ratio} (tol ${serve_tolerance})"
+    [[ "$ok" == "OK" ]] || status=1
+  fi
+fi
+
 if [[ "$status" -ne 0 ]]; then
-  echo "bench_check: kernel, scale-ladder, or domain regression beyond the gates" >&2
+  echo "bench_check: kernel, scale-ladder, domain, or serve regression beyond the gates" >&2
 fi
 exit "$status"

@@ -1,0 +1,26 @@
+#include "common/cancel.hpp"
+
+namespace sndr::common {
+
+namespace {
+
+/// The current thread's bound flag; a function-local static shared_ptr per
+/// thread would pay TLS-destructor costs, so keep the null default cheap.
+thread_local std::shared_ptr<std::atomic<bool>> t_cancel_flag;
+
+const std::shared_ptr<std::atomic<bool>> kNoFlag;
+
+}  // namespace
+
+CancelBinding::CancelBinding(const CancelToken& token)
+    : prev_(std::move(t_cancel_flag)) {
+  t_cancel_flag = token.flag_;
+}
+
+CancelBinding::~CancelBinding() { t_cancel_flag = std::move(prev_); }
+
+const std::shared_ptr<std::atomic<bool>>& CancelBinding::current_flag() {
+  return t_cancel_flag;
+}
+
+}  // namespace sndr::common

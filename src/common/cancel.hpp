@@ -1,0 +1,90 @@
+// Cooperative cancellation: a shared flag, a typed exception, a binding.
+//
+// A CancelToken is a copyable handle on one shared atomic flag. The party
+// that wants a run stopped calls cancel() (from any thread); the running
+// code polls cancelled() — or calls check(), which throws Cancelled — at
+// its natural loop boundaries: the flow's stage loop, the optimizer's
+// greedy sweeps, the annealer's proposal loop, and the thread pool's
+// chunk-claim loop. Cancellation is cooperative and lossless: nothing is
+// torn down mid-operation, the code simply stops *between* units of work,
+// unwinds via Cancelled, and the nearest error boundary classifies it as
+// StatusCode::kCancelled (see common/status.hpp). A cancelled anneal keeps
+// its last checkpoint, so a resubmitted job resumes bit-identically.
+//
+// CancelBinding threads the token through code that cannot take it as a
+// parameter (the parallel primitives): it binds the token to the current
+// thread; ThreadPool::run captures the submitting thread's bound token
+// into the job and every lane re-checks it before claiming a chunk, so a
+// long parallel_for aborts within one chunk of the cancel no matter which
+// thread asked for it.
+//
+// A default-constructed token owns a fresh flag and is fully functional;
+// there is no "null" token, so callers never branch on presence.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+
+namespace sndr::common {
+
+/// Thrown by CancelToken::check(); classify_exception maps it to
+/// StatusCode::kCancelled ahead of the generic handlers.
+class Cancelled : public std::runtime_error {
+ public:
+  Cancelled() : std::runtime_error("run cancelled") {}
+};
+
+class CancelToken {
+ public:
+  CancelToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// Requests cancellation; safe from any thread, idempotent.
+  void cancel() { flag_->store(true, std::memory_order_relaxed); }
+
+  /// One relaxed atomic load — cheap enough for per-iteration polling.
+  bool cancelled() const { return flag_->load(std::memory_order_relaxed); }
+
+  /// Throws Cancelled when the flag is set; the polling idiom for code
+  /// already running under an error boundary.
+  void check() const {
+    if (cancelled()) throw Cancelled();
+  }
+
+  /// Two tokens share one flag iff copied from each other.
+  friend bool operator==(const CancelToken& a, const CancelToken& b) {
+    return a.flag_ == b.flag_;
+  }
+
+ private:
+  friend class CancelBinding;
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// RAII: binds `token` as the current thread's cancel token (nestable,
+/// restores the previous binding on destruction). The thread pool captures
+/// the submitter's binding per job, so parallel loops issued under a
+/// binding are cancellable without signature changes.
+class CancelBinding {
+ public:
+  explicit CancelBinding(const CancelToken& token);
+  ~CancelBinding();
+  CancelBinding(const CancelBinding&) = delete;
+  CancelBinding& operator=(const CancelBinding&) = delete;
+
+  /// The flag bound to this thread (null when none): one load, no
+  /// allocation — cheap enough for the pool's submit path.
+  static const std::shared_ptr<std::atomic<bool>>& current_flag();
+
+  /// Throws Cancelled when the current thread's bound token (if any) is
+  /// cancelled; the check the parallel primitives use.
+  static void check_current() {
+    const auto& flag = current_flag();
+    if (flag && flag->load(std::memory_order_relaxed)) throw Cancelled();
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> prev_;
+};
+
+}  // namespace sndr::common

@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "common/thread_pool.hpp"
 #include "obs/metrics.hpp"
 
@@ -22,6 +23,10 @@ namespace sndr::common {
 template <typename Fn>
 void parallel_for(std::int64_t n, std::int64_t grain, Fn&& fn) {
   if (n <= 0) return;
+  // Serial loops see the thread-bound cancel token here (once per call,
+  // not per iteration — iterations are short by contract); the parallel
+  // path re-checks per chunk inside the pool.
+  CancelBinding::check_current();
   grain = std::max<std::int64_t>(1, grain);
   const std::int64_t chunks = (n + grain - 1) / grain;
   ThreadPool* pool = global_pool();
@@ -51,6 +56,7 @@ void parallel_for(std::int64_t n, std::int64_t grain, double est_us_per_item,
   if (n > 0 && est_us_per_item > 0.0 &&
       static_cast<double>(n) * est_us_per_item < parallel_min_us()) {
     SNDR_COUNTER_ADD("pool.grain_serial_calls", 1);
+    CancelBinding::check_current();
     for (std::int64_t i = 0; i < n; ++i) fn(i);
     return;
   }
@@ -90,6 +96,7 @@ T parallel_reduce(std::int64_t n, std::int64_t grain, double est_us_per_item,
   if (n > 0 && est_us_per_item > 0.0 &&
       static_cast<double>(n) * est_us_per_item < parallel_min_us()) {
     SNDR_COUNTER_ADD("pool.grain_serial_calls", 1);
+    CancelBinding::check_current();
     grain = std::max<std::int64_t>(1, grain);
     const std::int64_t chunks = (n + grain - 1) / grain;
     T total = identity;
@@ -112,6 +119,7 @@ void parallel_invoke(Fns&&... fns) {
   std::function<void()> tasks[] = {
       std::function<void()>(std::forward<Fns>(fns))...};
   constexpr int kCount = static_cast<int>(sizeof...(Fns));
+  CancelBinding::check_current();
   ThreadPool* pool = global_pool();
   if (!pool || kCount <= 1 || ThreadPool::on_worker_thread()) {
     SNDR_COUNTER_ADD("pool.serial_calls", 1);

@@ -17,6 +17,8 @@
 #include <string>
 #include <utility>
 
+#include "common/cancel.hpp"
+
 namespace sndr::common {
 
 enum class StatusCode {
@@ -26,6 +28,7 @@ enum class StatusCode {
   kParseError,       ///< malformed input content (path:line: message).
   kIoError,          ///< open/read/write failure on an existing target.
   kInternal,         ///< invariant violation; a bug, not a user error.
+  kCancelled,        ///< cooperative cancellation (common/cancel.hpp).
 };
 
 /// Short lowercase tag for logs and tests ("ok", "not_found", ...).
@@ -70,6 +73,9 @@ class Status {
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));
   }
+  static Status Cancelled(std::string m) {
+    return Status(StatusCode::kCancelled, std::move(m));
+  }
 
   friend bool operator==(const Status& a, const Status& b) {
     return a.code_ == b.code_ && a.message_ == b.message_;
@@ -88,6 +94,7 @@ inline const char* status_code_name(StatusCode code) {
     case StatusCode::kParseError: return "parse_error";
     case StatusCode::kIoError: return "io_error";
     case StatusCode::kInternal: return "internal";
+    case StatusCode::kCancelled: return "cancelled";
   }
   return "unknown";
 }
@@ -128,10 +135,13 @@ class Result {
 };
 
 /// Classifies an in-flight exception from a boundary's catch block:
-/// ParseError -> kParseError, anything else -> `fallback`.
+/// Cancelled -> kCancelled, ParseError -> kParseError, anything else ->
+/// `fallback`.
 inline Status classify_exception(StatusCode fallback = StatusCode::kIoError) {
   try {
     throw;
+  } catch (const sndr::common::Cancelled& e) {
+    return Status::Cancelled(e.what());
   } catch (const ParseError& e) {
     return Status::ParseFailure(e.what());
   } catch (const std::exception& e) {

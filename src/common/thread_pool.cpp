@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdlib>
 
+#include "common/cancel.hpp"
 #include "obs/metrics.hpp"
 #include "obs/scope.hpp"
 
@@ -64,6 +65,13 @@ void ThreadPool::work_on(const std::shared_ptr<Job>& job) {
         }
       }
       try {
+        // A cancelled job still *claims* every chunk (the done accounting
+        // must reach job->chunks) but stops executing bodies: each
+        // remaining chunk records Cancelled and run() rethrows the
+        // lowest-indexed one.
+        if (job->cancel && job->cancel->load(std::memory_order_relaxed)) {
+          throw Cancelled();
+        }
         (*job->fn)(chunk);
       } catch (...) {
         job->errors[chunk] = std::current_exception();
@@ -116,6 +124,7 @@ void ThreadPool::run(int chunks, const std::function<void(int)>& chunk_fn) {
   auto job = std::make_shared<Job>();
   job->fn = &chunk_fn;
   job->scope = &obs::ObsScope::current();
+  job->cancel = CancelBinding::current_flag();
   job->chunks = chunks;
   job->errors.assign(static_cast<std::size_t>(chunks), nullptr);
   {

@@ -14,6 +14,7 @@
 // quiets the inner per-net loops.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <exception>
 #include <functional>
@@ -52,6 +53,10 @@ class ThreadPool {
   struct Job {
     const std::function<void(int)>* fn = nullptr;
     obs::ObsScope* scope = nullptr;  ///< caller's obs scope at submit time.
+    /// The submitter's bound cancel flag (CancelBinding) at submit time;
+    /// null when none. Each lane re-checks it before executing a chunk, so
+    /// a cancel lands within one chunk regardless of which thread asked.
+    std::shared_ptr<std::atomic<bool>> cancel;
     int chunks = 0;
     int next = 0;           ///< next unclaimed chunk (under mutex).
     int done = 0;           ///< finished chunks (under mutex).

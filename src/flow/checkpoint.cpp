@@ -11,7 +11,7 @@ namespace sndr::flow {
 
 namespace {
 
-constexpr const char* kMagic = "sndr.anneal_checkpoint/1";
+constexpr const char* kMagic = kCheckpointSchema;
 
 std::string hexfloat(double v) {
   char buf[48];

@@ -24,6 +24,11 @@
 
 namespace sndr::flow {
 
+/// Schema tag written as the first line of every checkpoint file; also
+/// printed by `sndr version` so operators can match binaries to on-disk
+/// checkpoints.
+inline constexpr const char* kCheckpointSchema = "sndr.anneal_checkpoint/1";
+
 /// FNV-1a over the inputs the checkpoint is only valid against.
 std::uint64_t checkpoint_fingerprint(int n_nets, int n_rules,
                                      std::uint64_t seed, int iterations);

@@ -174,6 +174,37 @@ const std::map<std::string, Setter>& setters() {
   return *table;
 }
 
+/// Levenshtein distance, the plain O(a*b) two-row form — key names are a
+/// couple dozen characters, so no need for anything cleverer.
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+/// The nearest known key, or empty when nothing is plausibly close (more
+/// than half the typed key's characters would have to change).
+std::string nearest_known_key(const std::string& key) {
+  std::string best;
+  std::size_t best_d = key.size() / 2 + 1;
+  for (const auto& [known, setter] : setters()) {
+    const std::size_t d = edit_distance(key, known);
+    if (d < best_d) {
+      best_d = d;
+      best = known;
+    }
+  }
+  return best;
+}
+
 }  // namespace
 
 common::Status FlowConfig::set(const std::string& key,
@@ -184,7 +215,11 @@ common::Status FlowConfig::set(const std::string& key,
   std::replace(canonical.begin(), canonical.end(), '-', '_');
   const auto it = setters().find(canonical);
   if (it == setters().end()) {
-    return common::Status::InvalidArgument("unknown option '" + key + "'");
+    std::string message = "unknown option '" + key + "'";
+    if (const std::string near = nearest_known_key(canonical); !near.empty()) {
+      message += " (did you mean '" + near + "'?)";
+    }
+    return common::Status::InvalidArgument(std::move(message));
   }
   if (!it->second(*this, value)) {
     return common::Status::InvalidArgument("bad value '" + value +

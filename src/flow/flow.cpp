@@ -63,6 +63,14 @@ common::Status Flow::stage(const char* name,
                            const std::function<common::Status()>& body,
                            common::StatusCode fallback) {
   obs::ScopeBinding binding(session_.obs_scope());
+  // Between-stage cancellation point: a cancel that lands while no stage
+  // is running still stops the flow before the next one starts (the
+  // in-stage points are the optimizer/annealer loops and the parallel
+  // primitives, which unwind here as Cancelled via classify_exception).
+  if (session_.cancel_token().cancelled()) {
+    stages_.push_back({name, 0.0, "cancelled"});
+    return common::Status::Cancelled(std::string("before stage ") + name);
+  }
   const auto t0 = std::chrono::steady_clock::now();
   common::Status status;
   {
@@ -150,8 +158,10 @@ common::Result<FlowResult> Flow::run() {
         ndr::assign_all(nets, tech.rules.blanket_index()), {}, geometry);
     add_eval_row(result.table, "blanket-NDR", result.blanket_eval);
     if (config.smart) {
-      result.smart = ndr::optimize_smart_ndr(tree, design, tech, nets,
-                                             config.optimizer_options());
+      ndr::OptimizerOptions o = config.optimizer_options();
+      o.cancel = session_.cancel_token();
+      o.shared_predictor = session_.world().predictor;
+      result.smart = ndr::optimize_smart_ndr(tree, design, tech, nets, o);
       add_eval_row(result.table, "smart-NDR", result.smart->final_eval);
     }
     return common::Status::Ok();
@@ -161,6 +171,7 @@ common::Result<FlowResult> Flow::run() {
   if (config.smart && config.anneal_iterations > 0) {
     s = stage("anneal", [&] {
       ndr::AnnealOptions a = config.anneal_options();
+      a.cancel = session_.cancel_token();
       if (!config.checkpoint_path.empty()) {
         const std::string path = config.output_path(config.checkpoint_path);
         const std::uint64_t fp = checkpoint_fingerprint(

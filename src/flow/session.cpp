@@ -21,11 +21,12 @@ common::Status Session::load() {
     return common::Status::InvalidArgument("design " + config_.design_path +
                                            " has no sinks");
   }
-  if (!config_.tech_path.empty()) {
+  if (!config_.tech_path.empty() && !world_external_) {
     common::Result<tech::Technology> tech =
         tech::load_technology_file(config_.tech_path);
     if (!tech.ok()) return tech.status();
-    tech_ = std::move(tech.value());
+    world_.tech = std::make_shared<const tech::Technology>(
+        std::move(tech.value()));
   }
   design_ = std::move(design.value());
   loaded_ = true;
@@ -38,7 +39,13 @@ void Session::set_design(netlist::Design design) {
 }
 
 void Session::set_technology(tech::Technology tech) {
-  tech_ = std::move(tech);
+  world_.tech =
+      std::make_shared<const tech::Technology>(std::move(tech));
+}
+
+void Session::set_world(World world) {
+  world_ = std::move(world);
+  world_external_ = true;
 }
 
 }  // namespace sndr::flow

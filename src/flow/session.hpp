@@ -18,11 +18,13 @@
 
 #include <memory>
 
+#include "common/cancel.hpp"
 #include "common/status.hpp"
 #include "common/thread_pool.hpp"
 #include "cts/embedding.hpp"
 #include "extract/net_geometry.hpp"
 #include "flow/config.hpp"
+#include "flow/world.hpp"
 #include "netlist/clock_nets.hpp"
 #include "netlist/design.hpp"
 #include "obs/scope.hpp"
@@ -51,12 +53,25 @@ class Session {
   void set_design(netlist::Design design);
   void set_technology(tech::Technology tech);
 
+  /// Installs a shared immutable World (flow/world.hpp). load() then skips
+  /// the technology file — the World *is* the technology (and optionally a
+  /// warm predictor); the serve layer resolves config.tech_path through its
+  /// SharedCache before constructing the session.
+  void set_world(World world);
+  const World& world() const { return world_; }
+
+  /// This run's cooperative cancel token. Flow checks it between stages;
+  /// it is forwarded into the optimizer/annealer options, whose loops
+  /// poll it. Copy the token out (it is a shared handle) to cancel from
+  /// another thread.
+  common::CancelToken& cancel_token() { return cancel_; }
+  const common::CancelToken& cancel_token() const { return cancel_; }
+
   // State owned by the session; tree/nets/geometry are populated by the
   // flow's build stages (Flow::prepare).
   netlist::Design& design() { return design_; }
   const netlist::Design& design() const { return design_; }
-  tech::Technology& technology() { return tech_; }
-  const tech::Technology& technology() const { return tech_; }
+  const tech::Technology& technology() const { return *world_.tech; }
   cts::CtsResult& cts() { return cts_; }
   const cts::CtsResult& cts() const { return cts_; }
   netlist::NetList& nets() { return nets_; }
@@ -73,10 +88,12 @@ class Session {
   FlowConfig config_;
   obs::ObsScope scope_;
   common::ThreadBudget thread_budget_;
+  common::CancelToken cancel_;
   bool loaded_ = false;
+  bool world_external_ = false;  ///< set_world called; load() keeps it.
 
   netlist::Design design_;
-  tech::Technology tech_ = tech::Technology::make_default_45nm();
+  World world_ = World::make_default();
   cts::CtsResult cts_;
   netlist::NetList nets_;
   std::unique_ptr<extract::GeometryCache> geometry_;

@@ -1,0 +1,44 @@
+// World: the immutable, shareable half of a run.
+//
+// A Session used to own the technology by value; every run carried its own
+// copy and every run trained its own predictor. Splitting the session into
+// an immutable World (technology, optionally a pre-trained rule-impact
+// predictor) and per-job mutable state (design, tree, nets, GeometryCache,
+// ObsScope) lets a multi-tenant server share one World across any number of
+// concurrent jobs: the serve::SharedCache hands out refcounted Worlds keyed
+// by content fingerprint, so N jobs on the same technology parse it once
+// and N jobs on the same (design, tech, samples) train the predictor once.
+//
+// Immutability contract (DESIGN.md §12): everything reachable through a
+// World is deep-const after construction — Technology is a plain value
+// nobody writes, RuleImpactPredictor::predict() is const — so sharing
+// requires no locks and cannot perturb results. Reusing a cached predictor
+// is bitwise-identical to training fresh because training is deterministic
+// in its inputs (no RNG seed, fixed sample schedule).
+#pragma once
+
+#include <memory>
+
+#include "ndr/predictor.hpp"
+#include "tech/technology.hpp"
+
+namespace sndr::flow {
+
+struct World {
+  std::shared_ptr<const tech::Technology> tech;
+  /// Warm rule-impact model for this (design, tech, training_samples), or
+  /// null to train in-run. See OptimizerOptions::shared_predictor.
+  std::shared_ptr<const ndr::RuleImpactPredictor> predictor;
+
+  /// The default 45nm technology, freshly allocated (not a process-global:
+  /// two default Worlds are independent, sharing only happens through an
+  /// explicit cache).
+  static World make_default() {
+    World w;
+    w.tech = std::make_shared<const tech::Technology>(
+        tech::Technology::make_default_45nm());
+    return w;
+  }
+};
+
+}  // namespace sndr::flow

@@ -19,6 +19,7 @@ AnnealResult anneal_rules(const netlist::ClockTree& tree,
   AnnealResult result;
   result.assignment = start;
 
+  common::CancelBinding cancel_binding(options.cancel);
   if (options.threads >= 0) common::set_thread_count(options.threads);
   AssignmentState state(tree, design, tech, nets, options.analysis,
                         options.geometry_budget_bytes);
@@ -93,6 +94,7 @@ AnnealResult anneal_rules(const netlist::ClockTree& tree,
     best_cap = ck.best_cap;
   }
   for (int it = it0; it < options.iterations; ++it, temperature *= cooling) {
+    options.cancel.check();
     SNDR_HISTOGRAM_OBSERVE("anneal.temperature", temperature);
     // The proposal body runs as an immediately-invoked closure so rejected
     // proposals (early returns) still fall through to the checkpoint hook

@@ -86,6 +86,12 @@ struct AnnealOptions {
   /// argument must still be the original start assignment — it remains the
   /// infeasibility fallback, exactly as in the uninterrupted run.
   std::optional<AnnealCheckpoint> resume;
+  /// Cooperative cancellation, checked at the top of every iteration. The
+  /// loop unwinds with common::Cancelled *after* the previous iteration's
+  /// checkpoint hook ran, so the last snapshot written is exactly one the
+  /// uninterrupted run would have produced — resuming from it and running
+  /// to completion is bitwise identical to never cancelling.
+  common::CancelToken cancel;
   timing::AnalysisOptions analysis;
 };
 

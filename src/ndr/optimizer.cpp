@@ -74,7 +74,10 @@ class Optimizer {
   AssignmentState state_;
   RuleAssignment assignment_;  ///< mirror of state_.assignment().
 
-  RuleImpactPredictor predictor_;
+  /// Trained here or handed in via opt_.shared_predictor (immutable either
+  /// way — predict() is const and the serve layer shares one instance
+  /// across concurrent jobs).
+  std::shared_ptr<const RuleImpactPredictor> predictor_;
   bool predictor_ready_ = false;
   bool blanket_was_feasible_ = false;
 
@@ -108,7 +111,7 @@ bool Optimizer::improve_net(int net_id) {
   for (const auto& [cap_new, r] : cands) {
     ++stats_.candidates_scored;
     if (scoring_ == Scoring::kModels && predictor_ready_) {
-      const NetImpact impact = predictor_.predict(summary, r);
+      const NetImpact impact = predictor_->predict(summary, r);
       if (!state_.check_move(net_id, r, impact, margins_)) continue;
       // Validate the winning candidate with the exact per-net engines.
       const NetExact exact = state_.exact_eval(net_id, r);
@@ -179,6 +182,7 @@ void Optimizer::repair(FlowEvaluation& ev) {
   const netlist::ClockConstraints& c = design_.constraints;
   for (int round = 0; round < opt_.max_repair_rounds; ++round) {
     if (ev.feasible()) return;
+    opt_.cancel.check();
     bool changed = false;
     const int blanket = tech_.rules.blanket_index();
 
@@ -306,6 +310,9 @@ void Optimizer::repair(FlowEvaluation& ev) {
 
 SmartNdrResult Optimizer::run() {
   SNDR_TRACE_SPAN("optimize_smart_ndr");
+  // Bind the token to this thread so the parallel primitives inside the
+  // evaluation engines inherit it without signature changes.
+  common::CancelBinding cancel_binding(opt_.cancel);
   if (opt_.threads >= 0) common::set_thread_count(opt_.threads);
   stats_.threads_used = common::thread_count();
   SNDR_GAUGE_SET("optimizer.threads",
@@ -331,12 +338,22 @@ SmartNdrResult Optimizer::run() {
   }
 
   if (scoring_ == Scoring::kModels) {
-    const auto t0 = Clock::now();
-    predictor_ = RuleImpactPredictor::train(
-        tree_, design_, tech_, nets_, opt_.analysis, opt_.training_samples,
-        /*holdout_frac=*/0.2, &state_.geometry_cache());
+    opt_.cancel.check();
+    if (opt_.shared_predictor) {
+      // Training is deterministic in its inputs, so a cached predictor
+      // scores — and therefore assigns — bitwise identically to one
+      // trained fresh here; train_seconds stays 0 to make the skip visible.
+      predictor_ = opt_.shared_predictor;
+    } else {
+      const auto t0 = Clock::now();
+      predictor_ = std::make_shared<const RuleImpactPredictor>(
+          RuleImpactPredictor::train(tree_, design_, tech_, nets_,
+                                     opt_.analysis, opt_.training_samples,
+                                     /*holdout_frac=*/0.2,
+                                     &state_.geometry_cache()));
+      stats_.train_seconds = seconds_since(t0);
+    }
     predictor_ready_ = true;
-    stats_.train_seconds = seconds_since(t0);
   }
 
   // Sweep order: leaf-first (deepest nets carry most of the wirelength and
@@ -368,9 +385,11 @@ SmartNdrResult Optimizer::run() {
   {
     SNDR_TRACE_SPAN("greedy_sweeps");
     for (int pass = 0; pass < opt_.max_passes; ++pass) {
+      opt_.cancel.check();
       ++stats_.passes;
       int commits = 0;
       for (const int id : sweep) {
+        opt_.cancel.check();
         if (improve_net(id)) ++commits;
       }
       if (commits == 0) break;
@@ -398,7 +417,10 @@ SmartNdrResult Optimizer::run() {
   result.assignment = assignment_;
   result.final_eval = std::move(ev);
   result.stats = stats_;
-  if (predictor_ready_) result.train_report = predictor_.report();
+  if (predictor_ready_) {
+    result.train_report = predictor_->report();
+    result.trained_predictor = predictor_;
+  }
   result.rule_histogram.assign(tech_.rules.size(), 0);
   for (const int r : assignment_) ++result.rule_histogram[r];
   return result;

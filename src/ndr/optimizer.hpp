@@ -22,7 +22,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 
+#include "common/cancel.hpp"
 #include "ndr/evaluation.hpp"
 #include "ndr/net_eval.hpp"
 #include "ndr/predictor.hpp"
@@ -74,6 +76,20 @@ struct OptimizerOptions {
   RuleAssignment initial_assignment;
   std::vector<int> focus_nets;
 
+  /// Cooperative cancellation: checked between nets in the greedy sweeps,
+  /// between passes, and between repair rounds. On cancel the optimizer
+  /// unwinds with common::Cancelled (no partial result is returned); the
+  /// flow boundary classifies it as kCancelled. A default token is never
+  /// cancelled, so standalone callers pay one relaxed load per net.
+  common::CancelToken cancel;
+
+  /// Pre-trained predictor to reuse instead of training in-run (the serve
+  /// layer's SharedCache hands these out). Training is deterministic in
+  /// (tree, design, tech, nets, analysis, training_samples, geometry), so
+  /// a cache hit is bitwise-identical to training fresh. Ignored when
+  /// scoring != kModels. Null = train here.
+  std::shared_ptr<const RuleImpactPredictor> shared_predictor;
+
   timing::AnalysisOptions analysis;
 };
 
@@ -104,6 +120,11 @@ struct SmartNdrResult {
   TrainReport train_report;   ///< empty when use_models is false.
   /// Histogram: rule_count[rule] = number of nets on that rule.
   std::vector<int> rule_histogram;
+  /// The predictor this run scored with (trained here, or the shared one
+  /// passed in) — harvestable into a serve::SharedCache so later jobs on
+  /// the same (design, tech, samples) skip training. Null when
+  /// scoring != kModels.
+  std::shared_ptr<const RuleImpactPredictor> trained_predictor;
 };
 
 /// Runs the full smart-NDR flow on a synthesized tree.

@@ -6,9 +6,11 @@
 #include <algorithm>
 #include <cstdio>
 #include <ctime>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <system_error>
 
 #include "common/arena.hpp"
 #include "obs/metrics.hpp"
@@ -107,6 +109,13 @@ void append_derived(const MetricsRegistry::Snapshot& snap,
 
 }  // namespace
 
+std::string git_describe() {
+  // Cached: one popen per process, not one per manifest — a server writing
+  // hundreds of per-job manifests must not fork for each.
+  static const std::string cached = detect_git_describe();
+  return cached;
+}
+
 std::string run_manifest_json(const RunInfo& info) {
   const MetricsRegistry::Snapshot snap =
       MetricsRegistry::instance().snapshot();
@@ -125,7 +134,7 @@ std::string run_manifest_json(const RunInfo& info) {
     os << (i ? ", " : "") << "\"" << json_escape(info.args[i]) << "\"";
   }
   os << "],\n";
-  os << "  \"git\": \"" << json_escape(detect_git_describe()) << "\",\n";
+  os << "  \"git\": \"" << json_escape(git_describe()) << "\",\n";
   os << "  \"host\": \"" << json_escape(detect_host()) << "\",\n";
   os << "  \"started_utc\": \"" << utc_now_iso8601() << "\",\n";
   os << "  \"wall_seconds\": " << fmt_double(info.wall_seconds) << ",\n";
@@ -217,13 +226,25 @@ std::string run_manifest_json(const RunInfo& info) {
 }
 
 void write_run_manifest(const std::string& path, const RunInfo& info) {
-  std::ofstream f(path);
-  if (!f) {
-    throw std::runtime_error("obs: cannot open manifest output " + path);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp);
+    if (!f) {
+      throw std::runtime_error("obs: cannot open manifest output " + tmp);
+    }
+    f << run_manifest_json(info);
+    f.flush();
+    if (!f.good()) {
+      std::remove(tmp.c_str());
+      throw std::runtime_error("obs: failed writing manifest " + tmp);
+    }
   }
-  f << run_manifest_json(info);
-  if (!f.good()) {
-    throw std::runtime_error("obs: failed writing manifest " + path);
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("obs: cannot rename manifest into place: " +
+                             path + ": " + ec.message());
   }
 }
 

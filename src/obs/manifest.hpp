@@ -48,8 +48,16 @@ struct RunInfo {
 /// snapshot + span rollup + derived rates).
 std::string run_manifest_json(const RunInfo& info);
 
-/// Writes run_manifest_json to `path` (throws std::runtime_error on I/O
-/// failure).
+/// The `git describe --always --dirty` of the working tree at first call
+/// ("unknown" outside a checkout), cached for the process lifetime. This
+/// is the value every manifest's "git" key carries; `sndr version` prints
+/// the same string.
+std::string git_describe();
+
+/// Writes run_manifest_json to `path` atomically (<path>.tmp + rename, the
+/// same discipline as checkpoints — a reader never sees a torn manifest
+/// and a cancelled run leaves either the complete document or nothing).
+/// Throws std::runtime_error on I/O failure.
 void write_run_manifest(const std::string& path, const RunInfo& info);
 
 /// Writes the Chrome-trace JSON of every recorded span to `path`.

@@ -269,6 +269,36 @@ MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
   return out;
 }
 
+void MetricsRegistry::accumulate(const Snapshot& snap) {
+  for (const auto& [name, value] : snap.counters) {
+    add(counter(name), value);
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    set(gauge(name), value);
+  }
+  for (const auto& [name, hs] : snap.histograms) {
+    if (hs.count == 0) continue;
+    const int id = histogram(name);
+    if (id < 0 || id >= kMaxHistograms) continue;
+    Shard::Hist& h = local_shard()->hists[id];
+    h.count.fetch_add(hs.count, std::memory_order_relaxed);
+    atomic_add(h.sum, hs.sum);
+    if (hs.min < h.min.load(std::memory_order_relaxed)) {
+      h.min.store(hs.min, std::memory_order_relaxed);
+    }
+    if (hs.max > h.max.load(std::memory_order_relaxed)) {
+      h.max.store(hs.max, std::memory_order_relaxed);
+    }
+    for (const auto& [lower, count] : hs.buckets) {
+      // Snapshot buckets carry their exact power-of-two lower bound, so
+      // the index recovers losslessly: i = ilogb(lower) + bias.
+      const int b =
+          std::clamp(std::ilogb(lower) + kBucketBias, 0, kHistBuckets - 1);
+      h.buckets[b].fetch_add(count, std::memory_order_relaxed);
+    }
+  }
+}
+
 void MetricsRegistry::reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   for (const auto& [tid, s] : shards_) s->zero();

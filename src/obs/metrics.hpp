@@ -108,6 +108,13 @@ class MetricsRegistry {
   };
   Snapshot snapshot() const;
 
+  /// Folds another registry's snapshot into this one: counters add,
+  /// histograms merge (count/sum/min/max/buckets), gauges last-write-wins.
+  /// This is how a server aggregates per-job scopes into one server-level
+  /// registry — take each finished job's snapshot and accumulate it; the
+  /// union is then visible through this registry's own snapshot().
+  void accumulate(const Snapshot& snap);
+
   /// Zeroes every value in this registry (name registrations are global
   /// and survive). Testing / run isolation only; concurrent writers may
   /// leak observations into the new epoch.

@@ -1,0 +1,51 @@
+#include "serve/submit.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "flow/session.hpp"
+
+namespace sndr::serve {
+
+JobOutcome execute_job(flow::FlowConfig config, SharedCache* cache,
+                       common::CancelToken token) {
+  const auto t0 = std::chrono::steady_clock::now();
+  JobOutcome out;
+  flow::Session session(std::move(config));
+  session.cancel_token() = std::move(token);
+
+  std::string predictor_key;
+  if (cache != nullptr) {
+    SharedCache::Lease lease = cache->acquire(session.config());
+    if (lease.valid) {
+      predictor_key = lease.predictor_key;
+      session.set_world(std::move(lease.world));
+    }
+    // Invalid lease: run without a shared World — Session::load() walks
+    // the same loaders in the same order and reports the canonical error.
+  }
+
+  flow::Flow flow(session);
+  common::Result<flow::FlowResult> run = flow.run();
+  if (run.ok()) {
+    out.result = std::move(run).value();
+    out.design_name = session.design().name;
+    out.sinks = session.design().sinks.size();
+    out.buffers = session.cts().buffers;
+    out.nets = session.nets().size();
+    out.wirelength = session.cts().wirelength;
+    if (cache != nullptr && !predictor_key.empty() && out.result->smart) {
+      cache->store_predictor(predictor_key,
+                             out.result->smart->trained_predictor);
+    }
+  } else {
+    out.status = run.status();
+  }
+  out.metrics = session.obs_scope().metrics().snapshot();
+  out.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return out;
+}
+
+}  // namespace sndr::serve

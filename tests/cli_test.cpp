@@ -204,6 +204,29 @@ TEST(Cli, HelpDocumentsEveryFlowConfigKey) {
   }
 }
 
+TEST(Cli, VersionPrintsSchemasAndExitsZero) {
+  for (const std::string spelling : {"version", "--version"}) {
+    std::string out;
+    EXPECT_EQ(run_cli(spelling, &out), 0) << spelling;
+    // Git describe (never empty: "unknown" when git is unavailable) plus
+    // both on-disk schema versions, pinned so a schema bump must touch
+    // this test.
+    EXPECT_EQ(out.rfind("sndr ", 0), 0u) << out;
+    EXPECT_GT(out.size(), std::string("sndr \n").size()) << out;
+    EXPECT_NE(out.find("sndr.run_manifest/2"), std::string::npos) << out;
+    EXPECT_NE(out.find("sndr.anneal_checkpoint/1"), std::string::npos) << out;
+  }
+}
+
+TEST(Cli, CancelledExitCodeIsDocumented) {
+  std::string out;
+  ASSERT_EQ(run_cli("help", &out), 0);
+  EXPECT_NE(out.find("7 cancelled"), std::string::npos)
+      << "help must document the kCancelled exit code";
+  EXPECT_NE(out.find("version"), std::string::npos)
+      << "help must mention the version subcommand";
+}
+
 TEST(Cli, CorruptCheckpointExitsParseError) {
   const std::string results = path_in_scratch("results_ckpt");
   const std::string base = "run --design " + design_path() +

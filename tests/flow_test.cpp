@@ -83,6 +83,29 @@ TEST(FlowConfig, RejectsUnknownKeysAndBadValues) {
             StatusCode::kInvalidArgument);
 }
 
+TEST(FlowConfig, UnknownKeySuggestsNearestKnownKey) {
+  flow::FlowConfig config;
+  // One edit away: typo'd key names get a did-you-mean pointer.
+  Status s = config.set("thread", "4");
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("did you mean 'threads'?"), std::string::npos)
+      << s.message();
+  s = config.set("trainng_samples", "10");
+  EXPECT_NE(s.message().find("did you mean 'training_samples'?"),
+            std::string::npos)
+      << s.message();
+  // Hyphen spelling normalizes before matching, same as a valid flag.
+  s = config.set("metrics-outt", "m.json");
+  EXPECT_NE(s.message().find("did you mean 'metrics_out'?"),
+            std::string::npos)
+      << s.message();
+  // Nothing close: no far-fetched suggestion.
+  s = config.set("zzzzqqqq", "1");
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message().find("did you mean"), std::string::npos)
+      << s.message();
+}
+
 TEST(FlowConfig, FromFileDiagnosticsCarryPathAndLine) {
   flow::FlowConfig config;
   EXPECT_EQ(config.from_file(temp_path("flow_test_missing.conf")).code(),
@@ -326,6 +349,19 @@ TEST(Flow, RunsAllStagesInOrder) {
   EXPECT_EQ(result.stages[8].status, "ok");
   ASSERT_TRUE(result.smart.has_value());
   EXPECT_EQ(result.final_assignment(), &result.smart->assignment);
+}
+
+TEST(Flow, CancelledSessionReturnsTypedCancelledStatus) {
+  flow::Session session(small_run_config());
+  session.set_design(test::small_design(48, 1));
+  session.cancel_token().cancel();
+  flow::Flow f(session);
+  common::Result<flow::FlowResult> r = f.run();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+  // The stage table records where the run stopped, not a partial "ok".
+  ASSERT_FALSE(f.stages().empty());
+  EXPECT_EQ(f.stages().back().status, "cancelled");
 }
 
 // The headline isolation property: two sessions on two threads produce

@@ -22,6 +22,14 @@
 //   sndr help   (also --help / -h, or --help after any command)
 //       Print the flag reference to stdout and exit 0.
 //
+//   sndr version   (also --version)
+//       Print the build's git describe plus the manifest and checkpoint
+//       schema versions; exit 0.
+//
+// `run` executes through serve::execute_job — the same entry point the
+// sndr_serve service uses — so a config run standalone here is bitwise
+// identical to the same config run through the service.
+//
 // Every flow option is a config key: `--key value` on the command line and
 // `key = value` lines in the --config file set the same FlowConfig, with
 // CLI flags overriding file values overriding defaults.
@@ -34,6 +42,7 @@
 //   4  malformed input (parse error, with a path:line diagnostic)
 //   5  I/O failure writing an artifact
 //   6  internal error
+//   7  cancelled (cooperative cancellation, service context)
 #include <algorithm>
 #include <chrono>
 #include <filesystem>
@@ -43,11 +52,13 @@
 
 #include "common/status.hpp"
 #include "common/thread_pool.hpp"
+#include "flow/checkpoint.hpp"
 #include "flow/flow.hpp"
 #include "flow/session.hpp"
 #include "io/design_io.hpp"
 #include "obs/manifest.hpp"
 #include "report/table.hpp"
+#include "serve/submit.hpp"
 #include "tech/units.hpp"
 #include "workload/generator.hpp"
 
@@ -99,6 +110,8 @@ void print_usage(std::ostream& os) {
   os <<
       "usage:\n"
       "  sndr help       (or --help on any command): this text, exit 0.\n"
+      "  sndr version    (or --version): git describe + manifest and\n"
+      "                  checkpoint schema versions, exit 0.\n"
       "  sndr generate --sinks N [--dist uniform|clustered|mixed]\n"
       "                [--seed S] [--name NAME] --out design.txt\n"
       "  sndr run  [--config f] --design design.txt [--tech tech.txt]\n"
@@ -151,7 +164,7 @@ void print_usage(std::ostream& os) {
       "  bitwise identical either way — false measures the lazy path).\n"
       "\n"
       "exit codes: 0 ok, 1 infeasible, 2 usage, 3 missing file,\n"
-      "            4 parse error, 5 io error, 6 internal\n";
+      "            4 parse error, 5 io error, 6 internal, 7 cancelled\n";
 }
 
 int usage() {
@@ -167,6 +180,7 @@ int exit_code(const common::Status& status) {
     case common::StatusCode::kParseError: return 4;
     case common::StatusCode::kIoError: return 5;
     case common::StatusCode::kInternal: return 6;
+    case common::StatusCode::kCancelled: return 7;
   }
   return 6;
 }
@@ -261,11 +275,10 @@ int cmd_generate(const Args& args) {
   return 0;
 }
 
-void print_loaded(const flow::Session& session) {
-  std::cout << session.design().name << ": " << session.design().sinks.size()
-            << " sinks, " << session.cts().buffers << " buffers, "
-            << session.nets().size() << " nets, "
-            << units::to_mm(session.cts().wirelength) << " mm clock wire\n\n";
+void print_loaded(const serve::JobOutcome& outcome) {
+  std::cout << outcome.design_name << ": " << outcome.sinks << " sinks, "
+            << outcome.buffers << " buffers, " << outcome.nets << " nets, "
+            << units::to_mm(outcome.wirelength) << " mm clock wire\n\n";
 }
 
 int cmd_run(const Args& args, int argc, char** argv) {
@@ -278,14 +291,16 @@ int cmd_run(const Args& args, int argc, char** argv) {
     return fail(s);
   }
 
-  flow::Session session(std::move(config));
-  flow::Flow f(session);
-  common::Result<flow::FlowResult> run = f.run();
-  if (!run.ok()) return fail(run.status());
-  const flow::FlowResult& result = run.value();
-  const flow::FlowConfig& cfg = session.config();
+  // The standalone CLI is a thin client over the same execute_job entry
+  // point the service dispatches through (no shared cache here: one run,
+  // nothing to share).
+  const flow::FlowConfig cfg = config;  // kept for artifact path echoes.
+  const serve::JobOutcome outcome =
+      serve::execute_job(std::move(config), nullptr);
+  if (!outcome.status.ok() || !outcome.result) return fail(outcome.status);
+  const flow::FlowResult& result = *outcome.result;
 
-  print_loaded(session);
+  print_loaded(outcome);
   result.table.print(std::cout);
   if (result.smart) {
     std::cout << "\nsmart vs blanket: "
@@ -306,6 +321,13 @@ int cmd_run(const Args& args, int argc, char** argv) {
     if (!out.empty()) std::cout << "wrote " << cfg.output_path(out) << "\n";
   }
   return result.feasible ? 0 : 1;
+}
+
+int cmd_version() {
+  std::cout << "sndr " << obs::git_describe() << "\n"
+            << "manifest schema:   " << obs::kManifestSchema << "\n"
+            << "checkpoint schema: " << flow::kCheckpointSchema << "\n";
+  return 0;
 }
 
 int cmd_eval(const Args& args, int argc, char** argv) {
@@ -403,6 +425,10 @@ int main(int argc, char** argv) {
         args.command == "-h" || args.flag("help")) {
       print_usage(std::cout);
       return 0;
+    }
+
+    if (args.command == "version" || args.command == "--version") {
+      return cmd_version();
     }
 
     if (args.command == "generate") {
