@@ -348,7 +348,64 @@ else
   fi
 fi
 
+# --- DSE sweep -------------------------------------------------------------
+# Gates the design-space-exploration numbers in BENCH_manifest.dse.json
+# (bench/bench_dse.cpp): the identity bit (every sweep point bitwise-
+# identical to its own emitted config run standalone) for both the
+# committed baseline and a fresh run, and the fresh reuse speedup — one
+# warm-started sweep vs N from-scratch runs of the same settings — which
+# the PR's acceptance pinned at >=3x (override with BENCH_MIN_DSE_SPEEDUP
+# for noisy/smaller machines).
+dse_baseline="$repo/BENCH_manifest.dse.json"
+if [[ ! -f "$dse_baseline" ]]; then
+  echo "bench_check: FAIL  missing baseline $dse_baseline — run" \
+       "build/bench/bench_dse from the repo root"
+  status=1
+else
+  cmake --build "$repo/build" -j "$jobs" --target bench_dse
+  (cd "$workdir" && "$repo/build/bench/bench_dse" >/dev/null)
+  dse_fresh="$workdir/BENCH_manifest.dse.json"
+
+  for f in "$dse_baseline" "$dse_fresh"; do
+    which="committed"; [[ "$f" == "$dse_fresh" ]] && which="fresh"
+    ident="$(manifest_gauge "$f" "bench.dse.identical")"
+    if [[ -z "$ident" ]]; then
+      echo "bench_check: FAIL  'bench.dse.identical' not found in $f —" \
+           "refresh by running build/bench/bench_dse from the repo root"
+      status=1
+    elif [[ "$ident" == 1* ]]; then
+      echo "bench_check: OK    dse sweep points bitwise-identical to standalone ($which)"
+    else
+      echo "bench_check: FAIL  bench.dse.identical = $ident ($which)"
+      status=1
+    fi
+  done
+
+  min_dse_speedup="${BENCH_MIN_DSE_SPEEDUP:-3.0}"
+  fresh_speedup="$(manifest_gauge "$dse_fresh" "bench.dse.dse_reuse_speedup")"
+  if [[ -z "$fresh_speedup" ]]; then
+    echo "bench_check: FAIL  fresh run did not record" \
+         "'bench.dse.dse_reuse_speedup' in $dse_fresh (bench and gate out" \
+         "of sync? refresh by running build/bench/bench_dse from the repo" \
+         "root)"
+    status=1
+  else
+    cold_s="$(manifest_gauge "$dse_fresh" "bench.dse.dse_cold_s")"
+    reuse_s="$(manifest_gauge "$dse_fresh" "bench.dse.dse_reuse_s")"
+    verdict="$(awk -v s="$fresh_speedup" -v min="$min_dse_speedup" \
+      'BEGIN { printf "%.2f %s", s, (s >= min) ? "OK" : "FAIL" }')"
+    speedup="${verdict% *}"
+    ok="${verdict#* }"
+    echo "bench_check: $ok   dse sweep reuse cold=${cold_s:-n/a}s reuse=${reuse_s:-n/a}s = ${speedup}x (min ${min_dse_speedup}x)"
+    [[ "$ok" == "OK" ]] || status=1
+  fi
+
+  points="$(manifest_gauge "$dse_fresh" "bench.dse.points")"
+  front="$(manifest_gauge "$dse_fresh" "bench.dse.front_size")"
+  [[ -n "$points" ]] && echo "bench_check: info  dse points = $points, front_size = ${front:-n/a}"
+fi
+
 if [[ "$status" -ne 0 ]]; then
-  echo "bench_check: kernel, scale-ladder, domain, or serve regression beyond the gates" >&2
+  echo "bench_check: kernel, scale-ladder, domain, serve, or dse regression beyond the gates" >&2
 fi
 exit "$status"

@@ -23,7 +23,7 @@ cmake -B "$repo/build-tsan" -S "$repo" -DSNDR_SANITIZE=thread >/dev/null
 cmake --build "$repo/build-tsan" -j "$jobs" --target parallel_test \
   --target obs_test --target manifest_golden_test --target flow_test \
   --target delta_timing_test --target net_batch_test \
-  --target scenario_fuzz_test --target serve_test
+  --target scenario_fuzz_test --target serve_test --target dse_test
 "$repo/build-tsan/tests/parallel_test"
 "$repo/build-tsan/tests/obs_test"
 "$repo/build-tsan/tests/manifest_golden_test"
@@ -33,6 +33,10 @@ cmake --build "$repo/build-tsan" -j "$jobs" --target parallel_test \
 # a mid-anneal cancel unwinding across threads, and both shutdown modes —
 # the whole service locking story under TSan.
 "$repo/build-tsan/tests/serve_test"
+# DSE sweep: the 8-thread-vs-1-thread frontier identity and the dse job
+# type through the server's worker pool — cross-session reuse (shared
+# geometry, memo transplant, donated prep) under TSan.
+"$repo/build-tsan/tests/dse_test"
 # Parallel warm_rows fills disjoint memo rows; churn pins 1-vs-8 threads.
 "$repo/build-tsan/tests/delta_timing_test"
 "$repo/build-tsan/tests/net_batch_test"

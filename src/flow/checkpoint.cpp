@@ -199,4 +199,109 @@ common::Result<ndr::AnnealCheckpoint> load_checkpoint(
   return ck;
 }
 
+std::uint64_t assignment_seed_fingerprint(int n_nets, int n_rules) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  mix(static_cast<std::uint64_t>(n_nets));
+  mix(static_cast<std::uint64_t>(n_rules));
+  return h;
+}
+
+common::Status save_assignment_seed(const std::string& path,
+                                    const std::vector<int>& assignment,
+                                    std::uint64_t fingerprint) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::trunc);
+    if (!f) {
+      return common::Status::IoError("cannot write assignment seed " + tmp);
+    }
+    f << kAssignmentSeedSchema << "\n";
+    f << "fingerprint " << fingerprint << "\n";
+    f << "assignment";
+    for (const int r : assignment) f << ' ' << r;
+    f << "\n";
+    if (!f.flush()) {
+      return common::Status::IoError("short write to assignment seed " + tmp);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    return common::Status::IoError("cannot move assignment seed into place: " +
+                                   ec.message());
+  }
+  return common::Status::Ok();
+}
+
+common::Result<std::vector<int>> load_assignment_seed(
+    const std::string& path, std::uint64_t fingerprint) {
+  std::ifstream f(path);
+  if (!f) {
+    return common::Status::NotFound("no assignment seed at " + path);
+  }
+  int line_no = 0;
+  const auto bad = [&](const std::string& what) {
+    return common::Status::ParseFailure(
+        path + ":" + std::to_string(line_no) + ": " + what);
+  };
+
+  std::string line;
+  ++line_no;
+  if (!std::getline(f, line) || line != kAssignmentSeedSchema) {
+    return bad(std::string("expected ") + kAssignmentSeedSchema);
+  }
+
+  std::vector<int> assignment;
+  bool saw_fingerprint = false;
+  bool saw_assignment = false;
+  std::set<std::string> seen;
+  while (std::getline(f, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream is(line);
+    std::string key;
+    is >> key;
+    if (!seen.insert(key).second) {
+      return bad("duplicate field '" + key + "'");
+    }
+    if (key == "fingerprint") {
+      std::uint64_t fp = 0;
+      if (!(is >> fp)) return bad("bad value for 'fingerprint'");
+      if (fp != fingerprint) {
+        return common::Status::InvalidArgument(
+            path + ":" + std::to_string(line_no) +
+            ": assignment seed is for different inputs (fingerprint " +
+            std::to_string(fp) + " != " + std::to_string(fingerprint) +
+            "); delete it to start over");
+      }
+      saw_fingerprint = true;
+      std::string extra;
+      if (is >> extra) {
+        return bad("trailing junk '" + extra + "' after 'fingerprint'");
+      }
+    } else if (key == "assignment") {
+      int r = 0;
+      while (is >> r) {
+        if (r < 0) return bad("negative rule index in 'assignment'");
+        assignment.push_back(r);
+      }
+      if (!is.eof()) return bad("bad value for 'assignment'");
+      saw_assignment = true;
+    } else {
+      return bad("unknown field '" + key + "'");
+    }
+  }
+  if (!saw_fingerprint) return bad("missing fingerprint");
+  if (!saw_assignment || assignment.empty()) {
+    return bad("missing assignment vector");
+  }
+  return assignment;
+}
+
 }  // namespace sndr::flow

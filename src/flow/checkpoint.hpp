@@ -43,4 +43,25 @@ common::Status save_checkpoint(const std::string& path,
 common::Result<ndr::AnnealCheckpoint> load_checkpoint(
     const std::string& path, std::uint64_t fingerprint);
 
+/// Assignment seed files: a bare rule assignment with a shape fingerprint,
+/// the durable form of a warm start. The DSE sweep writes one per point
+/// (the nearest solved neighbor's assignment) and names it in the point's
+/// `warm_start` config key, so re-running that config standalone replays
+/// the identical starting state. Same atomicity/diagnostic contract as
+/// the anneal checkpoint format above.
+inline constexpr const char* kAssignmentSeedSchema = "sndr.assignment_seed/1";
+
+/// FNV-1a over the search shape a seed is valid against.
+std::uint64_t assignment_seed_fingerprint(int n_nets, int n_rules);
+
+/// Atomically writes `assignment` to `path`. kIoError on failure.
+common::Status save_assignment_seed(const std::string& path,
+                                    const std::vector<int>& assignment,
+                                    std::uint64_t fingerprint);
+
+/// kNotFound when `path` does not exist; kInvalidArgument on fingerprint
+/// mismatch; parse failures carry path:line.
+common::Result<std::vector<int>> load_assignment_seed(
+    const std::string& path, std::uint64_t fingerprint);
+
 }  // namespace sndr::flow

@@ -100,6 +100,31 @@ const std::map<std::string, Setter>& setters() {
          return parse_int(v, c.checkpoint_interval) &&
                 c.checkpoint_interval > 0;
        }},
+      {"power_weight", [](FlowConfig& c, const std::string& v) {
+         return parse_double(v, c.power_weight) && c.power_weight > 0.0;
+       }},
+      {"max_skew", [](FlowConfig& c, const std::string& v) {
+         return parse_double(v, c.max_skew_ps) && c.max_skew_ps >= 0.0;
+       }},
+      {"warm_start", [](FlowConfig& c, const std::string& v) {
+         c.warm_start = v;
+         return !v.empty();
+       }},
+      {"dse", [](FlowConfig& c, const std::string& v) {
+         return parse_bool(v, c.dse);
+       }},
+      {"dse_mode", [](FlowConfig& c, const std::string& v) {
+         if (v != "grid" && v != "refine") return false;
+         c.dse_mode = v;
+         return true;
+       }},
+      {"dse_points", [](FlowConfig& c, const std::string& v) {
+         return parse_int(v, c.dse_points) && c.dse_points >= 0;
+       }},
+      {"dse_out", [](FlowConfig& c, const std::string& v) {
+         c.dse_out = v;
+         return !v.empty();
+       }},
       {"scoring", [](FlowConfig& c, const std::string& v) {
          if (v != "models" && v != "exact_net" && v != "full_sta") {
            return false;
@@ -174,6 +199,66 @@ const std::map<std::string, Setter>& setters() {
   return *table;
 }
 
+/// One list-valued key: parses the already-split element strings. The DSE
+/// axes are all doubles today; each carries the matching scalar key's
+/// validation so `dse_power_weight = 0,1` fails the same way
+/// `power_weight = 0` does.
+using ListSetter =
+    std::function<bool(FlowConfig&, const std::vector<std::string>&)>;
+
+bool parse_double_list(const std::vector<std::string>& values,
+                       std::vector<double>& out,
+                       bool (*valid)(double) = nullptr) {
+  std::vector<double> parsed;
+  parsed.reserve(values.size());
+  for (const std::string& v : values) {
+    double d = 0.0;
+    if (!parse_double(v, d)) return false;
+    if (valid != nullptr && !valid(d)) return false;
+    parsed.push_back(d);
+  }
+  if (parsed.empty()) return false;
+  out = std::move(parsed);
+  return true;
+}
+
+const std::map<std::string, ListSetter>& list_setters() {
+  static const std::map<std::string, ListSetter>* table =
+      new std::map<std::string, ListSetter>{
+          {"dse_power_weight",
+           [](FlowConfig& c, const std::vector<std::string>& vs) {
+             return parse_double_list(vs, c.dse_power_weight,
+                                      [](double d) { return d > 0.0; });
+           }},
+          {"dse_max_skew",
+           [](FlowConfig& c, const std::vector<std::string>& vs) {
+             return parse_double_list(vs, c.dse_max_skew,
+                                      [](double d) { return d >= 0.0; });
+           }},
+          {"dse_uncertainty_margin",
+           [](FlowConfig& c, const std::vector<std::string>& vs) {
+             return parse_double_list(vs, c.dse_uncertainty_margin);
+           }},
+      };
+  return *table;
+}
+
+std::vector<std::string> split_commas(const std::string& value) {
+  std::vector<std::string> out;
+  std::size_t at = 0;
+  while (at <= value.size()) {
+    const std::size_t comma = value.find(',', at);
+    const std::size_t end = comma == std::string::npos ? value.size() : comma;
+    std::string item = value.substr(at, end - at);
+    const auto b = item.find_first_not_of(" \t");
+    const auto e = item.find_last_not_of(" \t");
+    out.push_back(b == std::string::npos ? "" : item.substr(b, e - b + 1));
+    if (comma == std::string::npos) break;
+    at = comma + 1;
+  }
+  return out;
+}
+
 /// Levenshtein distance, the plain O(a*b) two-row form — key names are a
 /// couple dozen characters, so no need for anything cleverer.
 std::size_t edit_distance(const std::string& a, const std::string& b) {
@@ -195,13 +280,15 @@ std::size_t edit_distance(const std::string& a, const std::string& b) {
 std::string nearest_known_key(const std::string& key) {
   std::string best;
   std::size_t best_d = key.size() / 2 + 1;
-  for (const auto& [known, setter] : setters()) {
+  const auto consider = [&](const std::string& known) {
     const std::size_t d = edit_distance(key, known);
     if (d < best_d) {
       best_d = d;
       best = known;
     }
-  }
+  };
+  for (const auto& [known, setter] : setters()) consider(known);
+  for (const auto& [known, setter] : list_setters()) consider(known);
   return best;
 }
 
@@ -213,6 +300,11 @@ common::Status FlowConfig::set(const std::string& key,
   // `metrics_out = ...` both land on "metrics_out".
   std::string canonical = key;
   std::replace(canonical.begin(), canonical.end(), '-', '_');
+  // List-valued keys ride the same entry point: the scalar string splits
+  // on commas, so `dse_power_weight = 0.5,1.0` works in files and flags.
+  if (list_setters().count(canonical) > 0) {
+    return set_list(canonical, split_commas(value));
+  }
   const auto it = setters().find(canonical);
   if (it == setters().end()) {
     std::string message = "unknown option '" + key + "'";
@@ -223,6 +315,33 @@ common::Status FlowConfig::set(const std::string& key,
   }
   if (!it->second(*this, value)) {
     return common::Status::InvalidArgument("bad value '" + value +
+                                           "' for option '" + key + "'");
+  }
+  return common::Status::Ok();
+}
+
+common::Status FlowConfig::set_list(const std::string& key,
+                                    const std::vector<std::string>& values) {
+  std::string canonical = key;
+  std::replace(canonical.begin(), canonical.end(), '-', '_');
+  const auto it = list_setters().find(canonical);
+  if (it == list_setters().end()) {
+    std::string message = setters().count(canonical) > 0
+                              ? "option '" + key + "' is not list-valued"
+                              : "unknown option '" + key + "'";
+    if (const std::string near = nearest_known_key(canonical);
+        !near.empty() && near != canonical) {
+      message += " (did you mean '" + near + "'?)";
+    }
+    return common::Status::InvalidArgument(std::move(message));
+  }
+  if (!it->second(*this, values)) {
+    std::string joined;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i > 0) joined += ",";
+      joined += values[i];
+    }
+    return common::Status::InvalidArgument("bad value '" + joined +
                                            "' for option '" + key + "'");
   }
   return common::Status::Ok();
@@ -267,9 +386,11 @@ common::Status FlowConfig::from_file(const std::string& path) {
 
 std::vector<std::string> FlowConfig::known_keys() {
   std::vector<std::string> keys;
-  keys.reserve(setters().size());
+  keys.reserve(setters().size() + list_setters().size());
   for (const auto& [key, setter] : setters()) keys.push_back(key);
-  return keys;  // std::map iteration is already sorted.
+  for (const auto& [key, setter] : list_setters()) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  return keys;
 }
 
 ndr::OptimizerOptions FlowConfig::optimizer_options() const {
@@ -292,6 +413,7 @@ ndr::OptimizerOptions FlowConfig::optimizer_options() const {
   o.full_refresh_interval = full_refresh_interval;
   o.max_repair_rounds = max_repair_rounds;
   o.geometry_budget_bytes = memory_budget_bytes;
+  o.power_weight = power_weight;
   return o;
 }
 
@@ -309,6 +431,7 @@ ndr::AnnealOptions FlowConfig::anneal_options() const {
   a.threads = threads;
   a.prewarm = prewarm;
   a.geometry_budget_bytes = memory_budget_bytes;
+  a.power_weight = power_weight;
   return a;
 }
 

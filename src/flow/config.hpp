@@ -63,6 +63,23 @@ struct FlowConfig {
   int full_refresh_interval = 256;
   int max_repair_rounds = 8;
 
+  /// Objective weight on switched capacitance (> 0). Scales the annealer's
+  /// Metropolis energy; the greedy objective is scale-invariant, so 1.0 is
+  /// the bitwise-neutral default. The DSE power axis.
+  double power_weight = 1.0;
+
+  /// Max-skew override in picoseconds (0 = keep the design's constraint).
+  /// Applied after the design loads, before any analysis — one design file
+  /// serves a whole skew sweep. The DSE skew axis.
+  double max_skew_ps = 0.0;
+
+  /// Warm-start seed: an `sndr.assignment_seed/1` file (resolved under
+  /// results_dir) whose assignment becomes the optimizer's starting point
+  /// (OptimizerOptions::initial_assignment). Part of the config on
+  /// purpose: a DSE point's warm start is reproducible standalone by
+  /// pointing this at the same seed file.
+  std::string warm_start;
+
   // Anneal knobs (ndr::AnnealOptions; margins above are shared).
   double anneal_t_start_frac = 0.5;
   double anneal_t_end_frac = 0.005;
@@ -71,6 +88,23 @@ struct FlowConfig {
   /// prewarm). Results are bitwise identical either way; false measures
   /// the lazy per-net path.
   bool prewarm = true;
+
+  // DSE (design-space exploration) sweep. `dse = true` turns the run into
+  // a sweep over the axis lists below (empty axis = the scalar key's
+  // value, a single grid line). See src/dse/explorer.hpp.
+  bool dse = false;
+  std::string dse_mode = "grid";  ///< grid | refine.
+  /// Refine mode's point budget (<= 0 = default: 2x the corner count).
+  int dse_points = 0;
+  /// Sweep artifact directory (pareto.csv, per-point manifests, seeds,
+  /// sweep checkpoint), resolved under results_dir.
+  std::string dse_out = "dse";
+  // Axis value lists (comma-separated in config files / CLI:
+  // `dse_power_weight = 0.5,1.0,2.0`). Values obey the scalar keys'
+  // validation; dse_max_skew is in picoseconds like max_skew.
+  std::vector<double> dse_power_weight;
+  std::vector<double> dse_max_skew;
+  std::vector<double> dse_uncertainty_margin;
 
   // Outputs. Relative artifact paths resolve under results_dir.
   std::string results_dir = "results";
@@ -91,6 +125,13 @@ struct FlowConfig {
   /// are the same key). Returns kInvalidArgument for an unknown key or an
   /// unparsable value.
   common::Status set(const std::string& key, const std::string& value);
+
+  /// Sets a list-valued key from already-split values (set() reaches this
+  /// by splitting on commas, so `dse_power_weight = 0.5,1.0` works in
+  /// files and flags alike). Unknown keys get the same did-you-mean
+  /// diagnostic as set(); scalar keys are not accepted here.
+  common::Status set_list(const std::string& key,
+                          const std::vector<std::string>& values);
 
   /// Applies every `key = value` line of `path` ('#' comments, blank
   /// lines allowed). kNotFound when the file cannot be opened;

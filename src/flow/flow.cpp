@@ -97,29 +97,46 @@ common::Status Flow::prepare() {
   common::Status s = stage("load", [this] { return session_.load(); });
   if (!s.ok()) return s;
 
-  s = stage("cts", [this] {
-    session_.cts() =
-        cts::synthesize(session_.design(), session_.technology());
-    return common::Status::Ok();
-  });
-  if (!s.ok()) return s;
-
-  s = stage("route", [this] {
-    route::reroute_for_congestion(session_.cts().tree,
-                                  session_.design().congestion);
-    cts::refine_skew(session_.cts().tree, session_.design(),
-                     session_.technology());
-    return common::Status::Ok();
-  });
-  if (!s.ok()) return s;
+  // Reuse hooks (DSE): the donated cts is already routed and
+  // skew-refined, and the whole build pipeline is deterministic with no
+  // dependence on the swept axes — reading it in place (session_.cts()
+  // resolves to the borrowed tree) is bitwise identical to
+  // re-synthesizing, at zero cost.
+  const bool shared_prep = session_.reuse().cts != nullptr;
+  if (shared_prep) {
+    skip_stage("cts");    // borrowed from the donor, read in place.
+    skip_stage("route");  // already applied in the donated tree.
+  } else {
+    s = stage("cts", [this] {
+      session_.build_cts() =
+          cts::synthesize(session_.design(), session_.technology());
+      return common::Status::Ok();
+    });
+    if (!s.ok()) return s;
+    s = stage("route", [this] {
+      route::reroute_for_congestion(session_.build_cts().tree,
+                                    session_.design().congestion);
+      cts::refine_skew(session_.build_cts().tree, session_.design(),
+                       session_.technology());
+      return common::Status::Ok();
+    });
+    if (!s.ok()) return s;
+  }
 
   s = stage("nets", [this] {
-    session_.nets() = netlist::build_nets(session_.cts().tree);
+    session_.nets() = session_.reuse().nets != nullptr
+                          ? *session_.reuse().nets
+                          : netlist::build_nets(session_.cts().tree);
     return common::Status::Ok();
   });
   if (!s.ok()) return s;
 
   s = stage("extract", [this] {
+    // A borrowed cache (DSE reuse hooks) already covers this tree — the
+    // geometry is a pure function of (tree, design, nets), so skipping
+    // the rebuild is value-neutral and Session::geometry() serves the
+    // borrowed one.
+    if (session_.reuse().geometry != nullptr) return common::Status::Ok();
     // The session cache honors the flow-wide memory budget too; the
     // optimizer and annealer build their own (also budgeted) caches tied
     // to their AssignmentState lifetimes.
@@ -142,6 +159,14 @@ common::Result<FlowResult> Flow::run() {
 
   if (common::Status s = prepare(); !s.ok()) return s;
 
+  // Skew-axis override (DSE): tighten/relax the skew constraint AFTER the
+  // tree is built, so one tree (and one geometry cache) serves a whole
+  // skew sweep. Standalone runs with the same config key take exactly
+  // this path, which is what makes sweep points reproducible bitwise.
+  if (config.max_skew_ps > 0.0) {
+    session_.design().constraints.max_skew = config.max_skew_ps * 1e-12;
+  }
+
   const netlist::ClockTree& tree = session_.cts().tree;
   const netlist::Design& design = session_.design();
   const tech::Technology& tech = session_.technology();
@@ -149,18 +174,44 @@ common::Result<FlowResult> Flow::run() {
   const extract::GeometryCache* geometry = session_.geometry();
 
   common::Status s = stage("optimize", [&] {
-    result.default_eval = ndr::evaluate(tree, design, tech, nets,
-                                        ndr::assign_all(nets, 0), {},
-                                        geometry);
-    add_eval_row(result.table, "all-default", result.default_eval);
-    result.blanket_eval = ndr::evaluate(
-        tree, design, tech, nets,
-        ndr::assign_all(nets, tech.rules.blanket_index()), {}, geometry);
-    add_eval_row(result.table, "blanket-NDR", result.blanket_eval);
+    // The all-default / blanket-NDR rows are diagnostics: they never feed
+    // the optimizer. A DSE warm point (donated prep) skips them — value-
+    // neutral for the point's result, and the cost lands only on the
+    // standalone path where a user actually reads the table.
+    const bool baseline_rows =
+        session_.reuse().cts == nullptr || !config.smart;
+    if (baseline_rows) {
+      result.default_eval = ndr::evaluate(tree, design, tech, nets,
+                                          ndr::assign_all(nets, 0), {},
+                                          geometry);
+      add_eval_row(result.table, "all-default", result.default_eval);
+      result.blanket_eval = ndr::evaluate(
+          tree, design, tech, nets,
+          ndr::assign_all(nets, tech.rules.blanket_index()), {}, geometry);
+      add_eval_row(result.table, "blanket-NDR", result.blanket_eval);
+    }
     if (config.smart) {
       ndr::OptimizerOptions o = config.optimizer_options();
       o.cancel = session_.cancel_token();
       o.shared_predictor = session_.world().predictor;
+      // Cross-session reuse (DSE): borrow the shared geometry and adopt
+      // transplantable memo rows; both channels are value-neutral.
+      o.shared_geometry = session_.reuse().geometry;
+      o.memo_in = session_.reuse().memo_in;
+      if (config.anneal_iterations <= 0) {
+        o.memo_out = session_.reuse().memo_out;  // else the annealer's.
+      }
+      if (!config.warm_start.empty()) {
+        // Warm start is part of the config: the seed file is named by a
+        // key, so a standalone rerun of this exact config replays the
+        // identical starting assignment.
+        const std::string path = config.output_path(config.warm_start);
+        common::Result<std::vector<int>> seed = load_assignment_seed(
+            path, assignment_seed_fingerprint(nets.size(),
+                                              tech.rules.size()));
+        if (!seed.ok()) return seed.status();
+        o.initial_assignment = std::move(seed).value();
+      }
       result.smart = ndr::optimize_smart_ndr(tree, design, tech, nets, o);
       add_eval_row(result.table, "smart-NDR", result.smart->final_eval);
     }
@@ -172,6 +223,9 @@ common::Result<FlowResult> Flow::run() {
     s = stage("anneal", [&] {
       ndr::AnnealOptions a = config.anneal_options();
       a.cancel = session_.cancel_token();
+      a.shared_geometry = session_.reuse().geometry;
+      a.memo_in = session_.reuse().memo_in;
+      a.memo_out = session_.reuse().memo_out;
       if (!config.checkpoint_path.empty()) {
         const std::string path = config.output_path(config.checkpoint_path);
         const std::uint64_t fp = checkpoint_fingerprint(

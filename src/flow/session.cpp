@@ -14,19 +14,26 @@ common::Status Session::load() {
   if (config_.design_path.empty()) {
     return common::Status::InvalidArgument("no design configured");
   }
-  common::Result<netlist::Design> design =
-      io::load_design_file(config_.design_path);
-  if (!design.ok()) return design.status();
-  if (design->sinks.empty()) {
-    return common::Status::InvalidArgument("design " + config_.design_path +
-                                           " has no sinks");
-  }
   if (!config_.tech_path.empty() && !world_external_) {
     common::Result<tech::Technology> tech =
         tech::load_technology_file(config_.tech_path);
     if (!tech.ok()) return tech.status();
     world_.tech = std::make_shared<const tech::Technology>(
         std::move(tech.value()));
+  }
+  // Reuse hooks (DSE): another session already parsed this same file —
+  // copying its pristine design is bitwise identical to re-parsing.
+  if (reuse_.design != nullptr) {
+    design_ = *reuse_.design;
+    loaded_ = true;
+    return common::Status::Ok();
+  }
+  common::Result<netlist::Design> design =
+      io::load_design_file(config_.design_path);
+  if (!design.ok()) return design.status();
+  if (design->sinks.empty()) {
+    return common::Status::InvalidArgument("design " + config_.design_path +
+                                           " has no sinks");
   }
   design_ = std::move(design.value());
   loaded_ = true;

@@ -32,6 +32,30 @@
 
 namespace sndr::flow {
 
+/// Cross-session reuse hooks (the DSE sweep's channel). Everything here is
+/// value-neutral: a session with hooks set produces results bitwise equal
+/// to one without. `geometry` borrows another session's GeometryCache (a
+/// pure function of the tree — Flow's extract stage then skips the
+/// rebuild); `memo_in`/`memo_out` transplant exact-eval memo rows under
+/// the per-net context guard (ndr::AssignmentState::import_memo). All
+/// pointers are borrowed and must outlive the flow run.
+struct ReuseHooks {
+  const extract::GeometryCache* geometry = nullptr;
+  const ndr::MemoSnapshot* memo_in = nullptr;
+  ndr::MemoSnapshot* memo_out = nullptr;
+  /// Prepared front-end state from another session over the same design
+  /// input. The whole load→cts→route→nets pipeline is deterministic and
+  /// independent of the swept axes, so copying its output is bitwise
+  /// identical to rebuilding it — the flow's load/cts/route/nets stages
+  /// copy instead of re-parsing/re-synthesizing. `design` must be the
+  /// PRISTINE post-load design (before any max_skew override); `cts` must
+  /// already be routed and skew-refined (Flow mutates it in place, so an
+  /// anchor session's cts() after prepare() qualifies).
+  const netlist::Design* design = nullptr;
+  const cts::CtsResult* cts = nullptr;
+  const netlist::NetList* nets = nullptr;
+};
+
 class Session {
  public:
   explicit Session(FlowConfig config);
@@ -72,17 +96,33 @@ class Session {
   netlist::Design& design() { return design_; }
   const netlist::Design& design() const { return design_; }
   const tech::Technology& technology() const { return *world_.tech; }
-  cts::CtsResult& cts() { return cts_; }
-  const cts::CtsResult& cts() const { return cts_; }
+  /// The synthesized tree — the session's own, or the one borrowed through
+  /// the reuse hooks (a DSE warm point reads the anchor's tree in place;
+  /// Flow then never builds or mutates a private copy).
+  const cts::CtsResult& cts() const {
+    return reuse_.cts != nullptr ? *reuse_.cts : cts_;
+  }
+  /// Mutable handle for the build stages (cts/route) only; reads must go
+  /// through cts() so borrowed trees resolve.
+  cts::CtsResult& build_cts() { return cts_; }
   netlist::NetList& nets() { return nets_; }
   const netlist::NetList& nets() const { return nets_; }
 
   /// The shared per-session geometry cache; built by Flow's extract stage
-  /// (null before that). Reset to cover tree/congestion edits.
-  const extract::GeometryCache* geometry() const { return geometry_.get(); }
+  /// (null before that), or borrowed through the reuse hooks (which then
+  /// take precedence — the extract stage skips its build). Reset to cover
+  /// tree/congestion edits.
+  const extract::GeometryCache* geometry() const {
+    return reuse_.geometry != nullptr ? reuse_.geometry : geometry_.get();
+  }
   void set_geometry(std::unique_ptr<extract::GeometryCache> geometry) {
     geometry_ = std::move(geometry);
   }
+
+  /// Cross-session reuse hooks (DSE). Set before Flow::run(); everything
+  /// referenced must outlive the run. Value-neutral by contract.
+  void set_reuse(const ReuseHooks& hooks) { reuse_ = hooks; }
+  const ReuseHooks& reuse() const { return reuse_; }
 
  private:
   FlowConfig config_;
@@ -97,6 +137,7 @@ class Session {
   cts::CtsResult cts_;
   netlist::NetList nets_;
   std::unique_ptr<extract::GeometryCache> geometry_;
+  ReuseHooks reuse_;
 };
 
 }  // namespace sndr::flow

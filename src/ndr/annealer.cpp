@@ -22,7 +22,8 @@ AnnealResult anneal_rules(const netlist::ClockTree& tree,
   common::CancelBinding cancel_binding(options.cancel);
   if (options.threads >= 0) common::set_thread_count(options.threads);
   AssignmentState state(tree, design, tech, nets, options.analysis,
-                        options.geometry_budget_bytes);
+                        options.geometry_budget_bytes,
+                        options.shared_geometry);
   // Every full evaluation in this search shares the state's geometry cache:
   // the tree and congestion map are fixed, only rules move.
   const extract::GeometryCache* geometry = &state.geometry_cache();
@@ -33,6 +34,10 @@ AnnealResult anneal_rules(const netlist::ClockTree& tree,
   FlowEvaluation ev = evaluate(tree, design, tech, nets, boot,
                                options.analysis, geometry);
   state.rebuild(boot, ev);
+  // Memo transplant (DSE reuse), after the rebuild settles every net's
+  // context stamp: value-neutral by the guard in import_memo, so the
+  // trajectory is exactly the one a cold run would take.
+  if (options.memo_in != nullptr) state.import_memo(*options.memo_in);
   bool start_feasible;
   if (resuming) {
     result.start_cap = options.resume->start_cap;
@@ -115,8 +120,14 @@ AnnealResult anneal_rules(const netlist::ClockTree& tree,
       // unchanged when domains are disabled.
       const double d_cap = (exact.cap_switched - state.net_cap(net_id)) *
                            state.net_weight(net_id);
-      if (d_cap > 0.0) {
-        const double p = std::exp(-d_cap / temperature);
+      // DSE power axis: the Metropolis energy is the cap delta scaled by
+      // the objective weight — weights < 1 soften the power term (uphill
+      // cap moves survive more often, favoring the other axes), > 1
+      // anneal harder on power. Exactly 1.0 is bitwise-neutral (IEEE
+      // x * 1.0 == x), so single-point runs are unchanged.
+      const double d_obj = d_cap * options.power_weight;
+      if (d_obj > 0.0) {
+        const double p = std::exp(-d_obj / temperature);
         if (rng.uniform() >= p) {
           ++result.rejected;
           return;
@@ -140,7 +151,7 @@ AnnealResult anneal_rules(const netlist::ClockTree& tree,
       state.apply_move(net_id, rule, exact);
       ++result.accepted;
       ++result.delta_updates;
-      if (d_cap > 0.0) ++result.uphill_accepted;
+      if (d_obj > 0.0) ++result.uphill_accepted;
 
       if (state.total_energy() < best_cap) {
         best = state.assignment();
@@ -198,6 +209,10 @@ AnnealResult anneal_rules(const netlist::ClockTree& tree,
   result.exact_cache_hits = state.exact_cache_hits();
   result.exact_cache_misses = state.exact_cache_misses();
   state.flush_metrics();
+  // Harvest the search's warm rows for the next DSE point (last writer in
+  // the greedy→anneal sequence, so the donated rows reflect the final
+  // context stamps).
+  if (options.memo_out != nullptr) state.export_memo(*options.memo_out);
   SNDR_COUNTER_ADD("anneal.proposed", result.proposed);
   SNDR_COUNTER_ADD("anneal.accepted", result.accepted);
   SNDR_COUNTER_ADD("anneal.rejected", result.rejected);

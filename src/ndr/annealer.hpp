@@ -77,6 +77,19 @@ struct AnnealOptions {
   /// Byte budget for the search's GeometryCache (0 = unbounded); same
   /// semantics as OptimizerOptions::geometry_budget_bytes.
   std::size_t geometry_budget_bytes = 0;
+  /// Objective weight on switched capacitance: the Metropolis energy of a
+  /// move is d_cap * power_weight, so weights < 1 accept uphill moves more
+  /// readily (trading power for the other axes) and weights > 1 anneal
+  /// harder on power. Exactly 1.0 is bitwise-neutral (IEEE x*1.0 == x).
+  /// Must be > 0. This is the DSE power axis.
+  double power_weight = 1.0;
+  /// Borrow an externally owned GeometryCache; same value-neutral contract
+  /// as OptimizerOptions::shared_geometry. Null = build here.
+  const extract::GeometryCache* shared_geometry = nullptr;
+  /// Cross-run memo transplant; same contract as
+  /// OptimizerOptions::memo_in / memo_out. Both may be null.
+  const MemoSnapshot* memo_in = nullptr;
+  MemoSnapshot* memo_out = nullptr;
   /// Checkpointing: every `checkpoint_interval` iterations (and at the
   /// last one) the loop hands a snapshot to `checkpoint_sink`. Both must
   /// be set for snapshots to flow; the default is none (zero overhead).

@@ -16,13 +16,19 @@ AssignmentState::AssignmentState(const netlist::ClockTree& tree,
                                  const tech::Technology& tech,
                                  const netlist::NetList& nets,
                                  const timing::AnalysisOptions& analysis,
-                                 std::size_t geometry_budget_bytes)
+                                 std::size_t geometry_budget_bytes,
+                                 const extract::GeometryCache* shared_geometry)
     : tree_(&tree),
       design_(&design),
       tech_(&tech),
       nets_(&nets),
       analysis_(analysis),
-      geometry_(tree, design, nets, geometry_budget_bytes, {}),
+      geometry_own_(shared_geometry
+                        ? nullptr
+                        : std::make_unique<extract::GeometryCache>(
+                              tree, design, nets, geometry_budget_bytes,
+                              extract::ExtractOptions{})),
+      geometry_(shared_geometry ? shared_geometry : geometry_own_.get()),
       delta_(tree, design, tech, nets, analysis),
       usage_(&design.congestion) {
   const int n_nets = nets.size();
@@ -89,7 +95,7 @@ AssignmentState::AssignmentState(const netlist::ClockTree& tree,
     }
   }
 
-  shape_buckets_ = extract::bucket_nets_by_shape(geometry_);
+  shape_buckets_ = extract::bucket_nets_by_shape(*geometry_);
   SNDR_GAUGE_SET("extract.net_batch.buckets",
                  static_cast<double>(shape_buckets_.groups.size()));
 }
@@ -255,7 +261,7 @@ void AssignmentState::apply_move(int net_id, int rule_idx,
   // recurrence over the net's descendant subtree. Only the sinks under
   // this net can change arrival.
   {
-    const extract::GeometryCache::Pinned pin = geometry_.pinned(net_id);
+    const extract::GeometryCache::Pinned pin = geometry_->pinned(net_id);
     extract::materialize(*pin, *tech_, tech_->rules[rule_idx], move_par_);
   }
   delta_.apply_net_change(net_id, move_par_);
@@ -364,7 +370,7 @@ void AssignmentState::warm_rows(const std::vector<int>& net_ids) const {
         std::vector<extract::GeometryCache::Pinned> pins;
         pins.reserve(ids.size());
         for (std::size_t i = 0; i < ids.size(); ++i) {
-          pins.push_back(geometry_.pinned(ids[i]));
+          pins.push_back(geometry_->pinned(ids[i]));
           geoms[i] = pins.back().get();
           dres[i] = nets_state_[ids[i]].summary.driver_res;
         }
@@ -372,7 +378,7 @@ void AssignmentState::warm_rows(const std::vector<int>& net_ids) const {
                                       static_cast<int>(ids.size()), *tech_,
                                       design_->constraints.clock_freq, arena,
                                       out.data());
-        if (geometry_.budgeted()) arena.shrink_to(geometry_.budget_bytes());
+        if (geometry_->budgeted()) arena.shrink_to(geometry_->budget_bytes());
         for (std::size_t i = 0; i < ids.size(); ++i) {
           const int id = ids[i];
           const std::uint64_t gen = ctx_gen_[id];
@@ -400,6 +406,71 @@ void AssignmentState::warm_all_rows() const {
   warm_rows(all);
 }
 
+void AssignmentState::export_memo(MemoSnapshot& out) const {
+  const int n_nets = nets_->size();
+  out.n_rules = n_rules_;
+  out.driver_res.assign(n_nets, 0.0);
+  out.row_warm.assign(n_nets, 0);
+  out.rows.assign(static_cast<std::size_t>(n_nets) *
+                      static_cast<std::size_t>(n_rules_),
+                  NetExact{});
+  for (int id = 0; id < n_nets; ++id) {
+    out.driver_res[id] = nets_state_[id].summary.driver_res;
+    const std::uint64_t gen = ctx_gen_[id];
+    bool warm = n_rules_ > 0;
+    for (int r = 0; r < n_rules_; ++r) {
+      if (exact_cache_[static_cast<std::size_t>(id) * n_rules_ + r].gen !=
+          gen) {
+        warm = false;
+        break;
+      }
+    }
+    if (!warm) continue;
+    out.row_warm[id] = 1;
+    for (int r = 0; r < n_rules_; ++r) {
+      out.rows[static_cast<std::size_t>(id) * n_rules_ + r] =
+          exact_cache_[static_cast<std::size_t>(id) * n_rules_ + r].exact;
+    }
+  }
+}
+
+int AssignmentState::import_memo(const MemoSnapshot& in) {
+  const int n_nets = nets_->size();
+  if (in.n_rules != n_rules_ ||
+      in.driver_res.size() != static_cast<std::size_t>(n_nets)) {
+    return 0;  // different search shape; nothing transplantable.
+  }
+  int adopted = 0;
+  for (int id = 0; id < n_nets; ++id) {
+    if (!in.row_warm[id]) continue;
+    // Context guard: the donated row was computed under a specific driver
+    // resistance; adopt only on bitwise match, so the row equals what a
+    // cold eval here would produce (value-neutral).
+    if (in.driver_res[id] != nets_state_[id].summary.driver_res) continue;
+    const std::uint64_t gen = ctx_gen_[id];
+    bool already_warm = true;
+    for (int r = 0; r < n_rules_; ++r) {
+      if (exact_cache_[static_cast<std::size_t>(id) * n_rules_ + r].gen !=
+          gen) {
+        already_warm = false;
+        break;
+      }
+    }
+    if (already_warm) continue;
+    for (int r = 0; r < n_rules_; ++r) {
+      ExactCacheEntry& er =
+          exact_cache_[static_cast<std::size_t>(id) * n_rules_ + r];
+      er.exact = in.rows[static_cast<std::size_t>(id) * n_rules_ + r];
+      er.gen = gen;
+    }
+    ++adopted;
+  }
+  if (adopted > 0) {
+    SNDR_COUNTER_ADD("ndr.exact_cache.transplants", adopted);
+  }
+  return adopted;
+}
+
 NetExact AssignmentState::exact_eval(int net_id, int rule_idx) const {
   ExactCacheEntry& e =
       exact_cache_[static_cast<std::size_t>(net_id) * n_rules_ + rule_idx];
@@ -418,13 +489,13 @@ NetExact AssignmentState::exact_eval(int net_id, int rule_idx) const {
   thread_local std::vector<NetExact> row;
   row.resize(static_cast<std::size_t>(n_rules_));
   {
-    const extract::GeometryCache::Pinned pin = geometry_.pinned(net_id);
+    const extract::GeometryCache::Pinned pin = geometry_->pinned(net_id);
     evaluate_net_exact_all_rules(*pin, *tech_,
                                  nets_state_[net_id].summary.driver_res,
                                  design_->constraints.clock_freq, arena,
                                  row.data());
   }
-  if (geometry_.budgeted()) arena.shrink_to(geometry_.budget_bytes());
+  if (geometry_->budgeted()) arena.shrink_to(geometry_->budget_bytes());
   const std::uint64_t gen = ctx_gen_[net_id];
   for (int r = 0; r < n_rules_; ++r) {
     ExactCacheEntry& er =

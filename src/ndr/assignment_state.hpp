@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 
 #include "ndr/evaluation.hpp"
 #include "ndr/net_eval.hpp"
@@ -27,15 +28,34 @@ struct MoveMargins {
   double skew = 0.0;
 };
 
+/// Portable snapshot of the exact-eval memo for cross-search transplant
+/// (the DSE sweep hands one search's warm rows to the next point). A row
+/// is importable only where the net's evaluation context is bitwise
+/// unchanged — `driver_res` records the context each row was computed
+/// under, and import_memo() re-checks it against the receiving state, so
+/// an adopted row always equals what a cold eval would produce.
+struct MemoSnapshot {
+  int n_rules = 0;
+  std::vector<double> driver_res;  ///< per-net context the rows assume.
+  std::vector<char> row_warm;      ///< per-net: every rule entry valid.
+  std::vector<NetExact> rows;      ///< [net][rule] flat, scalars only.
+
+  bool empty() const { return rows.empty(); }
+};
+
 class AssignmentState {
  public:
   /// `geometry_budget_bytes` caps the shared GeometryCache (0 = unbounded,
   /// the historical eager mode); see OptimizerOptions::geometry_budget_bytes.
+  /// `shared_geometry`, when non-null, borrows an externally owned cache
+  /// instead (value-neutral; see OptimizerOptions::shared_geometry) and
+  /// the budget argument is ignored.
   AssignmentState(const netlist::ClockTree& tree,
                   const netlist::Design& design,
                   const tech::Technology& tech, const netlist::NetList& nets,
                   const timing::AnalysisOptions& analysis,
-                  std::size_t geometry_budget_bytes = 0);
+                  std::size_t geometry_budget_bytes = 0,
+                  const extract::GeometryCache* shared_geometry = nullptr);
 
   /// Re-synchronizes every incremental accumulator from a full evaluation
   /// of `assignment` (which becomes the current assignment).
@@ -121,9 +141,22 @@ class AssignmentState {
 
   /// Rule-independent net geometry shared by every evaluation this state
   /// drives (exact_eval misses, full evaluate() resyncs, corner signoff).
-  /// Built once in the constructor; the tree and congestion map are fixed
-  /// for the lifetime of a search, so it is never invalidated here.
-  const extract::GeometryCache& geometry_cache() const { return geometry_; }
+  /// Built once in the constructor (or borrowed; see the ctor); the tree
+  /// and congestion map are fixed for the lifetime of a search, so it is
+  /// never invalidated here.
+  const extract::GeometryCache& geometry_cache() const { return *geometry_; }
+
+  /// Copies every fully warm memo row (and its per-net context) into
+  /// `out`, replacing its contents. Rows whose context stamp moved since
+  /// they were filled are skipped. Cheap: scalars only.
+  void export_memo(MemoSnapshot& out) const;
+
+  /// Adopts rows from a snapshot taken by a search over the same
+  /// (tree, nets, tech) shape: a row lands only if the snapshot's recorded
+  /// driver resistance is bitwise equal to this state's current one and
+  /// the row here is still cold. Returns the number of rows adopted.
+  /// Value-neutral by the exact_eval memo contract.
+  int import_memo(const MemoSnapshot& in);
 
   /// exact_eval cache counters since construction.
   std::int64_t exact_cache_hits() const { return cache_hits_; }
@@ -190,7 +223,10 @@ class AssignmentState {
   const tech::Technology* tech_;
   const netlist::NetList* nets_;
   timing::AnalysisOptions analysis_;
-  extract::GeometryCache geometry_;
+  /// Owned when built here, null when borrowing; `geometry_` always points
+  /// at the cache in use.
+  std::unique_ptr<extract::GeometryCache> geometry_own_;
+  const extract::GeometryCache* geometry_ = nullptr;
   timing::DeltaTimer delta_;  ///< incremental arrival/slew mirror.
   extract::NetShapeBuckets shape_buckets_;
   extract::NetParasitics move_par_;  ///< warm scratch for apply_move.

@@ -37,7 +37,11 @@ class Optimizer {
         margins_{opt.slew_margin, opt.uncertainty_margin, opt.em_margin,
                  opt.skew_margin},
         state_(tree, design, tech, nets, opt.analysis,
-               opt.geometry_budget_bytes) {}
+               opt.geometry_budget_bytes, opt.shared_geometry) {
+    // Transplanted rows are adopted only where the per-net context guard
+    // holds, so they are bitwise what a cold eval would compute here.
+    if (opt_.memo_in != nullptr) state_.import_memo(*opt_.memo_in);
+  }
 
   SmartNdrResult run();
 
@@ -406,6 +410,7 @@ SmartNdrResult Optimizer::run() {
   stats_.exact_cache_hits = state_.exact_cache_hits();
   stats_.exact_cache_misses = state_.exact_cache_misses();
   state_.flush_metrics();
+  if (opt_.memo_out != nullptr) state_.export_memo(*opt_.memo_out);
   SNDR_COUNTER_ADD("optimizer.commits", stats_.commits);
   SNDR_COUNTER_ADD("optimizer.candidates_scored", stats_.candidates_scored);
   SNDR_COUNTER_ADD("optimizer.exact_net_evals", stats_.exact_net_evals);

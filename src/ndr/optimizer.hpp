@@ -30,7 +30,13 @@
 #include "ndr/predictor.hpp"
 #include "obs/metrics.hpp"
 
+namespace sndr::extract {
+class GeometryCache;  // net_geometry.hpp
+}  // namespace sndr::extract
+
 namespace sndr::ndr {
+
+struct MemoSnapshot;  // assignment_state.hpp
 
 /// How candidate (net, rule) moves are scored before the commit validation.
 enum class Scoring {
@@ -89,6 +95,30 @@ struct OptimizerOptions {
   /// a cache hit is bitwise-identical to training fresh. Ignored when
   /// scoring != kModels. Null = train here.
   std::shared_ptr<const RuleImpactPredictor> shared_predictor;
+
+  /// Objective weight on switched capacitance. The greedy objective is
+  /// pure min-cap per net, which is scale-invariant — this knob does NOT
+  /// change the greedy result; it exists so one FlowConfig carries the
+  /// weight to the annealer (where it scales the Metropolis energy) and
+  /// the DSE sweep can treat it as an axis. Must be > 0.
+  double power_weight = 1.0;
+
+  /// Borrow an externally owned GeometryCache instead of building one.
+  /// The cache is a pure function of (tree, design, nets, budget,
+  /// extract options), so sharing it across searches over the same tree is
+  /// value-neutral: results are bitwise identical to building fresh. The
+  /// pointer must outlive the run; geometry_budget_bytes is ignored when
+  /// set. Null = build here (the historical mode).
+  const extract::GeometryCache* shared_geometry = nullptr;
+
+  /// Cross-run memo transplant (DSE warm reuse). `memo_in` donates warm
+  /// exact-eval rows: a row is adopted only where the net's evaluation
+  /// context (today: driver resistance) is bitwise unchanged, so adopted
+  /// values equal what a cold eval would compute — value-neutral by the
+  /// exact_eval memo contract. `memo_out` receives this run's final warm
+  /// rows for the next point. Both may be null (standalone runs).
+  const MemoSnapshot* memo_in = nullptr;
+  MemoSnapshot* memo_out = nullptr;
 
   timing::AnalysisOptions analysis;
 };

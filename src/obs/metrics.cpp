@@ -221,6 +221,14 @@ double MetricsRegistry::Snapshot::gauge(const std::string& name) const {
   return 0.0;
 }
 
+const MetricsRegistry::HistogramSnapshot* MetricsRegistry::Snapshot::histogram(
+    const std::string& name) const {
+  for (const auto& [n, v] : histograms) {
+    if (n == name) return &v;
+  }
+  return nullptr;
+}
+
 MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
   NameTable& t = names();
   // Lock order everywhere: name table, then registry.

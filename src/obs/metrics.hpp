@@ -105,6 +105,9 @@ class MetricsRegistry {
     /// Counter value by name (0 when absent) — convenient for tests.
     std::int64_t counter(const std::string& name) const;
     double gauge(const std::string& name) const;
+    /// Histogram by name, or null when absent (tests asserting the
+    /// per-job serve histograms / DSE reuse distributions).
+    const HistogramSnapshot* histogram(const std::string& name) const;
   };
   Snapshot snapshot() const;
 

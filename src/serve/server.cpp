@@ -158,6 +158,26 @@ void Server::worker_loop() {
       obs::ScopeBinding binding(scope_);
       scope_.metrics().accumulate(outcome.metrics);
       SNDR_HISTOGRAM_OBSERVE("serve.job_wall_seconds", outcome.wall_seconds);
+      // Per-job cache effectiveness, as histograms on purpose: a gauge
+      // here is last-writer-wins across workers, so all but one job's rate
+      // vanished from the snapshot. The distribution keeps every job.
+      const std::int64_t exact_hits =
+          outcome.metrics.counter("ndr.exact_cache.hits");
+      const std::int64_t exact_misses =
+          outcome.metrics.counter("ndr.exact_cache.misses");
+      if (exact_hits + exact_misses > 0) {
+        SNDR_HISTOGRAM_OBSERVE(
+            "serve.job_exact_cache_hit_rate",
+            obs::safe_ratio(exact_hits, exact_hits + exact_misses));
+      }
+      const std::int64_t geo_hits =
+          outcome.metrics.counter("extract.nets_materialized_from_cache");
+      const std::int64_t geo_walks =
+          outcome.metrics.counter("extract.nets_fresh_walks");
+      if (geo_hits + geo_walks > 0) {
+        SNDR_HISTOGRAM_OBSERVE("serve.job_geometry_cache_hit_rate",
+                               obs::safe_ratio(geo_hits, geo_hits + geo_walks));
+      }
       if (outcome.status.code() == common::StatusCode::kCancelled) {
         SNDR_COUNTER_ADD("serve.jobs_cancelled", 1);
       } else if (outcome.ok()) {

@@ -11,6 +11,44 @@ JobOutcome execute_job(flow::FlowConfig config, SharedCache* cache,
                        common::CancelToken token) {
   const auto t0 = std::chrono::steady_clock::now();
   JobOutcome out;
+
+  if (config.dse) {
+    // A DSE job is a whole sweep: the explorer owns the per-point sessions
+    // (warm-start chaining is inherently sequential), so it runs in this
+    // worker's lane rather than fanning out across the pool. The shared
+    // World still comes from the cache, and a predictor trained by the
+    // sweep's first point is harvested back.
+    std::string predictor_key;
+    flow::World world;
+    dse::ExploreOptions eo;
+    eo.cancel = token;
+    if (cache != nullptr) {
+      SharedCache::Lease lease = cache->acquire(config);
+      if (lease.valid) {
+        predictor_key = lease.predictor_key;
+        world = std::move(lease.world);
+        eo.world = &world;
+      }
+    }
+    common::Result<dse::SweepResult> sweep = dse::explore(config, eo);
+    if (sweep.ok()) {
+      out.dse = std::move(sweep).value();
+      out.design_name = config.design_path;
+      out.nets = out.dse->n_nets;
+      if (cache != nullptr && !predictor_key.empty() &&
+          out.dse->trained_predictor != nullptr) {
+        cache->store_predictor(predictor_key, out.dse->trained_predictor);
+      }
+      out.metrics = out.dse->metrics;
+    } else {
+      out.status = sweep.status();
+    }
+    out.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    return out;
+  }
+
   flow::Session session(std::move(config));
   session.cancel_token() = std::move(token);
 

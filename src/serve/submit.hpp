@@ -15,6 +15,7 @@
 
 #include "common/cancel.hpp"
 #include "common/status.hpp"
+#include "dse/explorer.hpp"
 #include "flow/config.hpp"
 #include "flow/flow.hpp"
 #include "obs/metrics.hpp"
@@ -27,6 +28,9 @@ struct JobOutcome {
   /// result->feasible, exit code 1 in the CLI map).
   common::Status status;
   std::optional<flow::FlowResult> result;
+  /// Sweep result when the job was a DSE job (config.dse) — `result` is
+  /// then empty; the per-point numbers live in the sweep.
+  std::optional<dse::SweepResult> dse;
 
   // Loaded-design summary, captured on success (the line the CLI prints
   // above the evaluation table).
@@ -42,7 +46,10 @@ struct JobOutcome {
   double wall_seconds = 0.0;
 
   bool ok() const { return status.ok(); }
-  bool feasible() const { return status.ok() && result && result->feasible; }
+  bool feasible() const {
+    return status.ok() && ((result && result->feasible) ||
+                           (dse && !dse->front.empty()));
+  }
 };
 
 /// Runs one job to completion (or cancellation) in the calling thread.

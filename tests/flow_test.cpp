@@ -124,7 +124,8 @@ TEST(FlowConfig, KnownKeysRoundTripThroughSet) {
   for (const std::string& key : flow::FlowConfig::known_keys()) {
     // Values that parse for every key type (paths accept anything).
     Status s = config.set(key, "1");
-    if (!s.ok()) s = config.set(key, "models");
+    if (!s.ok()) s = config.set(key, "models");  // enum: scoring.
+    if (!s.ok()) s = config.set(key, "grid");    // enum: dse_mode.
     EXPECT_TRUE(s.ok()) << key << ": " << s.to_string();
   }
 }

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/thread_pool.hpp"
+#include "dse/explorer.hpp"
 #include "flow/checkpoint.hpp"
 #include "fuzz_util.hpp"
 #include "ndr/assignment_state.hpp"
@@ -447,6 +448,68 @@ TEST(ScenarioFuzz, CheckpointCorruptionAlwaysParseErrors) {
     expect_parse_error("duplicated");
   }
   std::filesystem::remove(path);
+}
+
+// Property: the DSE Pareto front is exactly the non-dominated feasible
+// subset, for ANY point cloud — no emitted member is dominated by any
+// feasible point, every omitted feasible point is dominated by some front
+// member, infeasible points never appear, and the id order is
+// (power, skew, id). Random clouds include deliberate duplicates and ties
+// so the strictness half of dominates() is exercised too.
+TEST(ScenarioFuzz, DseFrontNeverContainsDominatedPoints) {
+  const int n = fuzz::scenario_count(40);
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t seed = fuzz::scenario_seed(9, i);
+    workload::Rng rng(seed);
+    std::vector<dse::PointResult> points;
+    const int count = 2 + static_cast<int>(rng.uniform_int(24));
+    for (int id = 0; id < count; ++id) {
+      dse::PointResult p;
+      p.id = id;
+      // Coarse grids of values make exact ties / duplicates common.
+      p.total_power = 1e-3 * static_cast<double>(1 + rng.uniform_int(6));
+      p.skew = 1e-11 * static_cast<double>(1 + rng.uniform_int(6));
+      p.settings.uncertainty_margin =
+          0.02 * static_cast<double>(1 + rng.uniform_int(4));
+      p.feasible = rng.uniform_int(4) != 0;  // ~25% infeasible.
+      points.push_back(p);
+    }
+
+    const std::vector<int> front = dse::pareto_front(points);
+    std::vector<bool> on_front(points.size(), false);
+    for (const int id : front) {
+      on_front[static_cast<std::size_t>(id)] = true;
+      const dse::PointResult& p = points[static_cast<std::size_t>(id)];
+      EXPECT_TRUE(p.feasible) << "seed=" << seed << " id=" << id;
+      for (const dse::PointResult& q : points) {
+        EXPECT_FALSE(q.feasible && dse::dominates(q, p))
+            << "seed=" << seed << ": front point " << id
+            << " dominated by " << q.id;
+      }
+    }
+    // Completeness: a feasible point off the front must be dominated.
+    for (const dse::PointResult& p : points) {
+      if (!p.feasible || on_front[static_cast<std::size_t>(p.id)]) continue;
+      bool dominated = false;
+      for (const dse::PointResult& q : points) {
+        if (q.feasible && dse::dominates(q, p)) dominated = true;
+      }
+      EXPECT_TRUE(dominated)
+          << "seed=" << seed << ": feasible point " << p.id
+          << " missing from the front yet dominated by nobody";
+    }
+    // Deterministic emission order: (power, skew, id) ascending.
+    for (std::size_t k = 0; k + 1 < front.size(); ++k) {
+      const dse::PointResult& a = points[static_cast<std::size_t>(front[k])];
+      const dse::PointResult& b =
+          points[static_cast<std::size_t>(front[k + 1])];
+      const bool ordered =
+          a.total_power < b.total_power ||
+          (a.total_power == b.total_power &&
+           (a.skew < b.skew || (a.skew == b.skew && a.id < b.id)));
+      EXPECT_TRUE(ordered) << "seed=" << seed << " at front position " << k;
+    }
+  }
 }
 
 }  // namespace

@@ -19,6 +19,16 @@
 //             [--tech tech.txt] [--threads N]
 //       Evaluate one uniform rule assignment (no optimization).
 //
+//   sndr dse [--config flow.conf] --design design.txt
+//            [--dse-mode grid|refine] [--points N] [--dse-out d]
+//            [--dse-power-weight L] [--dse-max-skew L]
+//            [--dse-uncertainty-margin L]
+//       Sweep the (power x skew x guardband) space and emit the Pareto
+//       front (src/dse/explorer.hpp): pareto.csv, front.json, and one
+//       manifest + warm-start seed per point under results/<dse-out>/.
+//       Each axis L is a comma-separated value list; every sweep point is
+//       bitwise-reproducible standalone via its emitted config.
+//
 //   sndr help   (also --help / -h, or --help after any command)
 //       Print the flag reference to stdout and exit 0.
 //
@@ -121,6 +131,9 @@ void print_usage(std::ostream& os) {
       "            [--checkpoint f] [--checkpoint-interval N]\n"
       "  sndr eval [--config f] --design design.txt --rule NAME\n"
       "            [--tech tech.txt] [--threads N]\n"
+      "  sndr dse  [--config f] --design design.txt [--dse-mode grid|refine]\n"
+      "            [--points N] [--dse-out d] [--dse-power-weight L]\n"
+      "            [--dse-max-skew L] [--dse-uncertainty-margin L]\n"
       "\n"
       "  --config f:  read `key = value` flow options from f; command-line\n"
       "               flags override file values (file overrides defaults).\n"
@@ -162,6 +175,26 @@ void print_usage(std::ostream& os) {
       "  --anneal-full-refresh-interval N, --prewarm BOOL (batched\n"
       "  exact-eval prewarm of the anneal memo, default true; results are\n"
       "  bitwise identical either way — false measures the lazy path).\n"
+      "sweep keys (sndr dse; also usable on run for a single point):\n"
+      "  --power-weight F: objective weight on switched cap (> 0; 1.0 is\n"
+      "               the bitwise-neutral default). The DSE power axis.\n"
+      "  --max-skew PS: override the design's max-skew constraint, in\n"
+      "               picoseconds (0 = keep the design's). The skew axis.\n"
+      "  --warm-start f: seed the optimizer from an sndr.assignment_seed/1\n"
+      "               file (resolved under --results-dir); DSE writes one\n"
+      "               per point, making warm-started points reproducible.\n"
+      "  --dse BOOL:  turn the run into a sweep (sndr dse sets this).\n"
+      "  --dse-mode grid|refine: full Cartesian grid, or adaptive\n"
+      "               refinement that bisects the largest front gap.\n"
+      "  --dse-points N (= --points): refine-mode point budget\n"
+      "               (default: 2x the corner count).\n"
+      "  --dse-out d: sweep artifact directory under --results-dir\n"
+      "               (default `dse`): pareto.csv, front.json, sweep.ck,\n"
+      "               per-point manifests and seeds.\n"
+      "  --dse-power-weight L, --dse-max-skew L,\n"
+      "  --dse-uncertainty-margin L: comma-separated axis value lists\n"
+      "               (e.g. 0.5,1.0,2.0); an empty axis uses the matching\n"
+      "               scalar key as a single grid line.\n"
       "\n"
       "exit codes: 0 ok, 1 infeasible, 2 usage, 3 missing file,\n"
       "            4 parse error, 5 io error, 6 internal, 7 cancelled\n";
@@ -323,6 +356,49 @@ int cmd_run(const Args& args, int argc, char** argv) {
   return result.feasible ? 0 : 1;
 }
 
+int cmd_dse(const Args& args, int argc, char** argv) {
+  flow::FlowConfig config;
+  if (common::Status s = build_config(args, argc, argv, {"points"}, config);
+      !s.ok()) {
+    return fail(s);
+  }
+  if (args.flag("points")) {
+    if (common::Status s = config.set("dse_points", args.get("points"));
+        !s.ok()) {
+      return fail(s);
+    }
+  }
+  if (common::Status s = config.set("dse", "true"); !s.ok()) return fail(s);
+
+  // Same entry point the service's `dse` job type dispatches through.
+  const std::string dse_dir = config.output_path(config.dse_out);
+  const serve::JobOutcome outcome =
+      serve::execute_job(std::move(config), nullptr);
+  if (!outcome.status.ok() || !outcome.dse) return fail(outcome.status);
+  const dse::SweepResult& sweep = *outcome.dse;
+
+  std::cout << sweep.points.size() << " points (" << sweep.solved_points
+            << " solved, " << sweep.resumed_points << " resumed, "
+            << sweep.warm_started << " warm-started), front of "
+            << sweep.front.size() << ":\n\n";
+  report::Table t({"id", "pw", "max skew (ps)", "guardband", "P (mW)",
+                   "skew (ps)", "warm from"});
+  for (const int id : sweep.front) {
+    const dse::PointResult& p = sweep.points[static_cast<std::size_t>(id)];
+    t.add_row({std::to_string(p.id),
+               report::fmt(p.settings.power_weight, 3),
+               report::fmt(p.settings.max_skew_ps, 1),
+               report::fmt(p.settings.uncertainty_margin, 3),
+               report::fmt(units::to_mW(p.total_power), 3),
+               report::fmt(units::to_ps(p.skew), 1),
+               p.warm_from < 0 ? "-" : std::to_string(p.warm_from)});
+  }
+  t.print(std::cout);
+  std::cout << "\nwrote " << dse_dir << "/pareto.csv\n"
+            << "wrote " << dse_dir << "/front.json\n";
+  return sweep.front.empty() ? 1 : 0;
+}
+
 int cmd_version() {
   std::cout << "sndr " << obs::git_describe() << "\n"
             << "manifest schema:   " << obs::kManifestSchema << "\n"
@@ -453,6 +529,15 @@ int main(int argc, char** argv) {
         return fail(s);
       }
       return cmd_run(args, argc, argv);
+    }
+    if (args.command == "dse") {
+      std::vector<std::string> allowed = flow::FlowConfig::known_keys();
+      allowed.push_back("points");
+      if (common::Status s = check_known_flags(args, std::move(allowed));
+          !s.ok()) {
+        return fail(s);
+      }
+      return cmd_dse(args, argc, argv);
     }
     if (args.command == "eval") {
       if (common::Status s =

@@ -146,12 +146,20 @@ common::Status parse_serve_args(int argc, char** argv, ServeArgs& args) {
 
 void print_record(const serve::JobRecord& r, std::ostream& os) {
   os << "job " << r.id << " " << r.design_path << ": ";
-  if (r.outcome.ok()) {
+  if (!r.outcome.ok()) {
+    os << r.outcome.status.to_string();
+  } else if (r.outcome.dse) {
+    // DSE jobs have no single result — summarize the sweep.
+    os << "dse points=" << r.outcome.dse->points.size()
+       << " front=" << r.outcome.dse->front.size()
+       << " warm=" << r.outcome.dse->warm_started
+       << " wall=" << r.outcome.wall_seconds << "s";
+  } else if (r.outcome.result) {
     os << (r.outcome.feasible() ? "feasible" : "infeasible") << " power="
        << r.outcome.result->final_eval().power.total_power
        << " wall=" << r.outcome.wall_seconds << "s";
   } else {
-    os << r.outcome.status.to_string();
+    os << "ok";
   }
   os << "\n";
 }
